@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: argument
+ * parsing (--full for paper-length schedules, --seed), table printing.
+ */
+
+#ifndef TWIG_BENCH_BENCH_UTIL_HH
+#define TWIG_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace twig::bench {
+
+/** Common bench options. */
+struct BenchArgs
+{
+    /** Run the paper-length schedules instead of the compressed ones. */
+    bool full = false;
+    std::uint64_t seed = 42;
+
+    static BenchArgs
+    parse(int argc, char **argv)
+    {
+        BenchArgs args;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--full") == 0) {
+                args.full = true;
+            } else if (std::strcmp(argv[i], "--seed") == 0 &&
+                       i + 1 < argc) {
+                args.seed = std::strtoull(argv[++i], nullptr, 10);
+            } else if (std::strcmp(argv[i], "--help") == 0) {
+                std::printf("usage: %s [--full] [--seed N]\n", argv[0]);
+                std::exit(0);
+            }
+        }
+        return args;
+    }
+};
+
+/** Print a banner naming the experiment. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+} // namespace twig::bench
+
+#endif // TWIG_BENCH_BENCH_UTIL_HH

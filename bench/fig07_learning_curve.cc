@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fig. 7 reproduction: learning-time complexity — QoS guarantee over
+ * time for Masstree under Twig-S and Hipster.
+ *
+ * Paper setup: Twig's epsilon anneals to 0.1 by 5000 s and Hipster's
+ * learning phase ends at 5000 s; each point averages 500 s. Expected
+ * shape: Hipster starts higher (its heuristic embeds prior knowledge
+ * of the power ordering) but Twig-S crosses 80 % guarantee sooner and
+ * ends higher, without any prior system knowledge.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "bench/managers.hh"
+#include "harness/runner.hh"
+#include "services/tailbench.hh"
+#include "sim/loadgen.hh"
+#include "sim/server.hh"
+
+using namespace twig;
+
+namespace {
+
+std::vector<double>
+learningCurve(core::TaskManager &mgr, const sim::ServiceProfile &profile,
+              std::size_t steps, std::size_t bucket, std::uint64_t seed)
+{
+    sim::Server server(sim::MachineConfig{}, seed);
+    server.addService(profile, std::make_unique<sim::FixedLoad>(
+                                   profile.maxLoadRps, 0.5));
+    harness::ExperimentRunner runner(server, mgr);
+
+    std::vector<double> curve;
+    std::size_t met = 0, n = 0;
+    harness::RunOptions opt;
+    opt.steps = steps;
+    opt.summaryWindow = steps;
+    opt.onStep = [&](std::size_t, const sim::ServerIntervalStats &s) {
+        met += s.services[0].p99Ms <= profile.qosTargetMs ? 1 : 0;
+        if (++n == bucket) {
+            curve.push_back(100.0 * static_cast<double>(met) /
+                            static_cast<double>(n));
+            met = 0;
+            n = 0;
+        }
+    };
+    runner.run(opt);
+    return curve;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    // Paper: anneal to 0.1 in 5000 s, 500 s buckets. Compressed: the
+    // same fractions of a 1500-step run.
+    const std::size_t steps = args.full ? 10000 : 1500;
+    const std::size_t bucket = args.full ? 500 : 75;
+    const sim::MachineConfig machine;
+    const auto profile = services::masstree();
+
+    bench::banner("Fig. 7: QoS guarantee over time while learning "
+                  "(Masstree @ 50%)");
+
+    bench::Schedule half;
+    half.steps = steps;
+    half.summaryWindow = steps;
+    half.horizon = steps / 2; // epsilon ~0.1 by mid-run, as in Fig. 7
+
+    auto twig = bench::makeTwig(machine, {profile}, half, args.full,
+                                args.seed);
+    const auto twig_curve =
+        learningCurve(*twig, profile, steps, bucket, args.seed);
+
+    auto hipster =
+        bench::makeHipster(machine, profile, half, args.full,
+                           args.seed + 1);
+    const auto hip_curve =
+        learningCurve(*hipster, profile, steps, bucket, args.seed);
+
+    std::printf("%-12s %10s %10s\n", "steps", "Twig-S", "Hipster");
+    for (std::size_t i = 0; i < twig_curve.size(); ++i) {
+        std::printf("%-12zu %9.1f%% %9.1f%%\n", (i + 1) * bucket,
+                    twig_curve[i],
+                    i < hip_curve.size() ? hip_curve[i] : 0.0);
+    }
+
+    auto tail_mean = [](const std::vector<double> &curve) {
+        double s = 0.0;
+        const std::size_t q = curve.size() / 2;
+        for (std::size_t i = q; i < curve.size(); ++i)
+            s += curve[i];
+        return s / static_cast<double>(curve.size() - q);
+    };
+    std::printf("\nsecond-half mean guarantee: Twig-S %.1f%%, Hipster "
+                "%.1f%%\n",
+                tail_mean(twig_curve), tail_mean(hip_curve));
+    std::printf("paper shape: Hipster starts higher (its heuristic "
+                "embeds prior knowledge of the\npower ordering and "
+                "begins from the safest configuration) but Twig-S "
+                "overtakes it\nand holds a higher, more stable "
+                "guarantee once epsilon anneals.\n");
+    return 0;
+}

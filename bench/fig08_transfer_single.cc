@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Fig. 8 reproduction: transfer learning with Twig-S.
+ *
+ * Paper setup: learn on Masstree for 10 000 s, then transfer the
+ * weights (re-initialising the specialised output layers) to Moses,
+ * Img-dnn and Xapian in consecutive experiments, each at 50 % of max
+ * load, and compare QoS guarantee / tardiness against learning from
+ * scratch. Expected shape: transfer reaches a high QoS guarantee
+ * ~1/3 sooner while ending at similar tardiness (it still learns to
+ * minimise energy, not just to over-provision).
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "bench/managers.hh"
+#include "harness/runner.hh"
+#include "services/tailbench.hh"
+#include "sim/loadgen.hh"
+#include "sim/server.hh"
+
+using namespace twig;
+
+namespace {
+
+struct Curve
+{
+    std::vector<double> qosPct;
+    std::vector<double> tardiness;
+};
+
+Curve
+watch(core::TaskManager &mgr, const sim::ServiceProfile &profile,
+      std::size_t steps, std::size_t bucket, std::uint64_t seed)
+{
+    sim::Server server(sim::MachineConfig{}, seed);
+    server.addService(profile, std::make_unique<sim::FixedLoad>(
+                                   profile.maxLoadRps, 0.5));
+    harness::ExperimentRunner runner(server, mgr);
+
+    Curve curve;
+    std::size_t met = 0, n = 0;
+    double tard = 0.0;
+    harness::RunOptions opt;
+    opt.steps = steps;
+    opt.summaryWindow = steps;
+    opt.onStep = [&](std::size_t, const sim::ServerIntervalStats &s) {
+        met += s.services[0].p99Ms <= profile.qosTargetMs ? 1 : 0;
+        tard += s.services[0].p99Ms / profile.qosTargetMs;
+        if (++n == bucket) {
+            curve.qosPct.push_back(100.0 * met / n);
+            curve.tardiness.push_back(tard / n);
+            met = n = 0;
+            tard = 0.0;
+        }
+    };
+    runner.run(opt);
+    return curve;
+}
+
+std::size_t
+stepsTo(const Curve &c, double pct, std::size_t bucket)
+{
+    for (std::size_t i = 0; i < c.qosPct.size(); ++i) {
+        if (c.qosPct[i] >= pct)
+            return (i + 1) * bucket;
+    }
+    return c.qosPct.size() * bucket;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    const std::size_t learn_steps = args.full ? 10000 : 1500;
+    const std::size_t adapt_steps = args.full ? 3000 : 600;
+    const std::size_t bucket = args.full ? 300 : 60;
+    const sim::MachineConfig machine;
+
+    bench::banner("Fig. 8: Twig-S transfer learning "
+                  "(Masstree -> Moses/Img-dnn/Xapian @ 50%)");
+
+    bench::Schedule learn_sched{learn_steps, learn_steps, learn_steps};
+
+    for (const char *target : {"moses", "img-dnn", "xapian"}) {
+        const auto target_profile = services::byName(target);
+
+        // (a) Transfer: pre-train on masstree, swap service, keep the
+        //     trunk, re-anneal epsilon over a short window.
+        auto twig = bench::makeTwig(machine, {services::masstree()},
+                                    learn_sched, args.full, args.seed);
+        {
+            sim::Server server(machine, args.seed + 1);
+            const auto mt = services::masstree();
+            server.addService(mt, std::make_unique<sim::FixedLoad>(
+                                      mt.maxLoadRps, 0.5));
+            harness::ExperimentRunner runner(server, *twig);
+            harness::RunOptions opt;
+            opt.steps = learn_steps;
+            opt.summaryWindow = learn_steps;
+            runner.run(opt);
+        }
+        twig->transferService(
+            0,
+            harness::makeTwigSpec(target_profile, machine,
+                                  args.seed ^ 5),
+            adapt_steps / 6);
+        const auto transfer = watch(*twig, target_profile, adapt_steps,
+                                    bucket, args.seed + 2);
+
+        // (b) Scratch: a fresh Twig given the same adaptation budget.
+        bench::Schedule scratch_sched{adapt_steps, adapt_steps,
+                                      adapt_steps};
+        auto fresh = bench::makeTwig(machine, {target_profile},
+                                     scratch_sched, args.full,
+                                     args.seed + 3);
+        const auto scratch = watch(*fresh, target_profile, adapt_steps,
+                                   bucket, args.seed + 2);
+
+        std::printf("\n--- masstree -> %s ---\n", target);
+        std::printf("%-10s %18s %18s\n", "steps",
+                    "transfer QoS/tard", "scratch QoS/tard");
+        for (std::size_t i = 0; i < transfer.qosPct.size(); ++i) {
+            std::printf("%-10zu %10.1f%%/%5.2f %10.1f%%/%5.2f\n",
+                        (i + 1) * bucket, transfer.qosPct[i],
+                        transfer.tardiness[i],
+                        i < scratch.qosPct.size() ? scratch.qosPct[i]
+                                                  : 0.0,
+                        i < scratch.tardiness.size()
+                            ? scratch.tardiness[i]
+                            : 0.0);
+        }
+        const auto t80 = stepsTo(transfer, 80.0, bucket);
+        const auto s80 = stepsTo(scratch, 80.0, bucket);
+        std::printf("steps to 80%% guarantee: transfer %zu vs scratch "
+                    "%zu (%.0f%% faster; paper: ~33%%)\n",
+                    t80, s80,
+                    s80 > 0 ? 100.0 * (1.0 - static_cast<double>(t80) /
+                                                 s80)
+                            : 0.0);
+    }
+    return 0;
+}

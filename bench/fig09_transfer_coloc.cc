@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fig. 9 reproduction: transfer learning with Twig-C.
+ *
+ * Paper setup: learn with (Moses @ 50%, Masstree @ 20%) colocated,
+ * then swap Moses for Xapian (@ 50%) after the learning phase, with
+ * and without transfer learning. Expected shape: without transfer the
+ * QoS guarantee drops and energy spikes until the agent re-learns;
+ * with transfer it adapts within tens of steps.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "bench/managers.hh"
+#include "harness/runner.hh"
+#include "services/tailbench.hh"
+#include "sim/loadgen.hh"
+#include "sim/server.hh"
+
+using namespace twig;
+
+namespace {
+
+struct Curve
+{
+    std::vector<double> qosXapian;
+    std::vector<double> qosMasstree;
+    std::vector<double> powerW;
+};
+
+Curve
+adaptPhase(core::TwigManager &twig, std::size_t steps,
+           std::size_t bucket, std::uint64_t seed)
+{
+    const sim::MachineConfig machine;
+    sim::Server server(machine, seed);
+    const auto xa = services::xapian();
+    const auto mt = services::masstree();
+    server.addService(xa, std::make_unique<sim::FixedLoad>(
+                              xa.maxLoadRps, 0.5));
+    server.addService(mt, std::make_unique<sim::FixedLoad>(
+                              mt.maxLoadRps, 0.2));
+    harness::ExperimentRunner runner(server, twig);
+
+    Curve curve;
+    std::size_t met_x = 0, met_m = 0, n = 0;
+    double power = 0.0;
+    harness::RunOptions opt;
+    opt.steps = steps;
+    opt.summaryWindow = steps;
+    opt.onStep = [&](std::size_t, const sim::ServerIntervalStats &s) {
+        met_x += s.services[0].p99Ms <= xa.qosTargetMs ? 1 : 0;
+        met_m += s.services[1].p99Ms <= mt.qosTargetMs ? 1 : 0;
+        power += s.socketPowerW;
+        if (++n == bucket) {
+            curve.qosXapian.push_back(100.0 * met_x / n);
+            curve.qosMasstree.push_back(100.0 * met_m / n);
+            curve.powerW.push_back(power / n);
+            met_x = met_m = n = 0;
+            power = 0.0;
+        }
+    };
+    runner.run(opt);
+    return curve;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    const std::size_t learn_steps = args.full ? 10000 : 1500;
+    const std::size_t adapt_steps = args.full ? 3000 : 600;
+    const std::size_t bucket = args.full ? 300 : 60;
+    const sim::MachineConfig machine;
+
+    bench::banner("Fig. 9: Twig-C transfer learning "
+                  "((moses,masstree) -> (xapian,masstree))");
+
+    // Phase 1: learn with moses + masstree.
+    bench::Schedule sched{learn_steps, learn_steps, learn_steps};
+    auto twig = bench::makeTwig(
+        machine, {services::moses(), services::masstree()}, sched,
+        args.full, args.seed);
+    {
+        sim::Server server(machine, args.seed + 1);
+        const auto mo = services::moses();
+        const auto mt = services::masstree();
+        server.addService(mo, std::make_unique<sim::FixedLoad>(
+                                  mo.maxLoadRps, 0.5));
+        server.addService(mt, std::make_unique<sim::FixedLoad>(
+                                  mt.maxLoadRps, 0.2));
+        harness::ExperimentRunner runner(server, *twig);
+        harness::RunOptions opt;
+        opt.steps = learn_steps;
+        opt.summaryWindow = learn_steps;
+        runner.run(opt);
+    }
+
+    // Phase 2a: swap moses -> xapian WITH transfer learning.
+    twig->transferService(0,
+                          harness::makeTwigSpec(services::xapian(),
+                                                machine, args.seed ^ 9),
+                          adapt_steps / 6);
+    const auto with_tl =
+        adaptPhase(*twig, adapt_steps, bucket, args.seed + 2);
+
+    // Phase 2b: no transfer — a fresh Twig-C learns the pair from
+    // scratch over the same window.
+    bench::Schedule scratch{adapt_steps, adapt_steps, adapt_steps};
+    auto fresh = bench::makeTwig(
+        machine, {services::xapian(), services::masstree()}, scratch,
+        args.full, args.seed + 3);
+    const auto without =
+        adaptPhase(*fresh, adapt_steps, bucket, args.seed + 2);
+
+    std::printf("%-8s | %-26s | %-26s\n", "steps",
+                "with transfer (xap/mas/W)",
+                "no transfer (xap/mas/W)");
+    for (std::size_t i = 0; i < with_tl.qosXapian.size(); ++i) {
+        std::printf("%-8zu | %6.1f%% %6.1f%% %6.1f | %6.1f%% %6.1f%% "
+                    "%6.1f\n",
+                    (i + 1) * bucket, with_tl.qosXapian[i],
+                    with_tl.qosMasstree[i], with_tl.powerW[i],
+                    without.qosXapian[i], without.qosMasstree[i],
+                    without.powerW[i]);
+    }
+    std::printf("\npaper shape: with transfer the agent adapts to the "
+                "service change within tens of\nsteps; from scratch "
+                "the guarantee starts low and climbs as epsilon "
+                "anneals.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+#include "baselines/heracles.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "sim/pmc.hh"
+
+namespace twig::baselines {
+
+Heracles::Heracles(const HeraclesConfig &cfg,
+                   const sim::MachineConfig &machine,
+                   const BaselineServiceSpec &spec)
+    : cfg_(cfg), machine_(machine), spec_(spec),
+      cores_(machine.numCores), dvfs_(machine.dvfs.maxIndex())
+{
+}
+
+std::vector<core::ResourceRequest>
+Heracles::decide(const sim::ServerIntervalStats &stats)
+{
+    common::fatalIf(stats.services.size() != 1,
+                    "heracles manages exactly one service");
+    const auto &svc = stats.services.front();
+    const double tardiness = svc.p99Ms / spec_.qosTargetMs;
+    const double load_fraction = svc.offeredRps / spec_.maxLoadRps;
+    const std::size_t prev_cores = cores_;
+
+    // Main controller: violation or high load -> everything, 5 minutes.
+    if (step_ % cfg_.mainPeriodSteps == 0) {
+        if (tardiness > 1.0 || load_fraction > cfg_.loadGuardFraction)
+            lockoutUntil_ = step_ + cfg_.lockoutSteps;
+    }
+
+    const double bw_proxy =
+        svc.pmcs[static_cast<std::size_t>(sim::Pmc::LlcMisses)];
+
+    if (step_ < lockoutUntil_) {
+        cores_ = machine_.numCores;
+        dvfs_ = machine_.dvfs.maxIndex();
+    } else {
+        // Core & memory controller.
+        if (step_ % cfg_.corePeriodSteps == 0) {
+            const bool bw_increased = prevBandwidthProxy_ > 0.0 &&
+                bw_proxy >
+                    prevBandwidthProxy_ * (1.0 + cfg_.bandwidthGrowth);
+            if (tardiness >= cfg_.latencyGrowFraction || bw_increased) {
+                cores_ = std::min(cores_ + 1, machine_.numCores);
+            } else if (cores_ > 1) {
+                --cores_;
+            }
+        }
+        // Power controller: back off DVFS only near the TDP cap.
+        if (step_ % cfg_.powerPeriodSteps == 0) {
+            if (stats.socketPowerW >= cfg_.powerCapFraction * cfg_.tdpW) {
+                if (dvfs_ > 0)
+                    --dvfs_;
+            } else if (dvfs_ < machine_.dvfs.maxIndex()) {
+                ++dvfs_;
+            }
+        }
+    }
+
+    prevBandwidthProxy_ = bw_proxy;
+    if (cores_ != prev_cores)
+        ++migrations_;
+    ++step_;
+    return {core::ResourceRequest{cores_, dvfs_}};
+}
+
+} // namespace twig::baselines

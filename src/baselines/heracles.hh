@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reimplementation of Heracles (Lo et al., ISCA 2015) from its
+ * published description as configured by the Twig authors (paper §V-A):
+ * a three-level feedback controller for a single LC service.
+ *
+ *  * Main controller (every 15 s): if the service violates its tail
+ *    latency or load exceeds 85 %, allocate *all* resources to the LC
+ *    service for 5 minutes.
+ *  * Core & memory controller (every 2 s): grow the core allocation
+ *    when tail latency nears the target (the paper uses 80 %; we use
+ *    70 % because our simulated tail is noisier at the per-interval
+ *    granularity) or measured memory bandwidth has increased;
+ *    otherwise reclaim one core.
+ *  * Power controller (every 2 s): lower the DVFS state when power
+ *    reaches 90 % of TDP (otherwise stay at the maximum state).
+ *
+ * Intel CAT is not modelled (the Twig authors could not use it on
+ * their servers either).
+ */
+
+#ifndef TWIG_BASELINES_HERACLES_HH
+#define TWIG_BASELINES_HERACLES_HH
+
+#include <cstddef>
+
+#include "baselines/static_manager.hh"
+#include "core/task_manager.hh"
+
+namespace twig::baselines {
+
+/** Heracles controller periods & thresholds (paper §V-A). */
+struct HeraclesConfig
+{
+    std::size_t mainPeriodSteps = 15;
+    std::size_t corePeriodSteps = 2;
+    std::size_t powerPeriodSteps = 2;
+    /** Lockout after a violation: all resources for this long
+     * (paper: 5 min). */
+    std::size_t lockoutSteps = 300;
+    double loadGuardFraction = 0.85;
+    double latencyGrowFraction = 0.70;
+    double powerCapFraction = 0.90;
+    /** TDP of the socket, W (E5-2695v4: 120 W). */
+    double tdpW = 120.0;
+    /** Relative growth in the bandwidth proxy treated as "increased". */
+    double bandwidthGrowth = 0.05;
+};
+
+/** The Heracles manager (single service). */
+class Heracles : public core::TaskManager
+{
+  public:
+    Heracles(const HeraclesConfig &cfg, const sim::MachineConfig &machine,
+             const BaselineServiceSpec &spec);
+
+    std::string name() const override { return "heracles"; }
+
+    std::vector<core::ResourceRequest>
+    decide(const sim::ServerIntervalStats &stats) override;
+
+    std::size_t migrations() const { return migrations_; }
+
+  private:
+    HeraclesConfig cfg_;
+    sim::MachineConfig machine_;
+    BaselineServiceSpec spec_;
+    std::size_t step_ = 0;
+    std::size_t cores_;
+    std::size_t dvfs_;
+    std::size_t lockoutUntil_ = 0;
+    double prevBandwidthProxy_ = 0.0;
+    std::size_t migrations_ = 0;
+};
+
+} // namespace twig::baselines
+
+#endif // TWIG_BASELINES_HERACLES_HH

@@ -1,0 +1,134 @@
+#include "baselines/hipster.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace twig::baselines {
+
+namespace {
+
+rl::QTableConfig
+tableConfig(const HipsterConfig &cfg, std::size_t num_configs)
+{
+    rl::QTableConfig qc;
+    qc.numStates = static_cast<std::size_t>(
+        std::ceil(1.0 / cfg.bucketFraction)) + 1;
+    qc.numActions = num_configs;
+    qc.learningRate = cfg.learningRate;
+    qc.discount = cfg.discount;
+    // Pessimistic initialisation: a configuration the heuristic never
+    // visited must not win the post-learning argmax on optimism alone
+    // (compressed runs cannot amortise exhaustive exploration).
+    qc.optimisticInit = -20.0;
+    return qc;
+}
+
+} // namespace
+
+Hipster::Hipster(const HipsterConfig &cfg,
+                 const sim::MachineConfig &machine,
+                 const BaselineServiceSpec &spec, std::uint64_t seed)
+    : cfg_(cfg), machine_(machine), spec_(spec), rng_(seed),
+      configs_(), qtable_(rl::QTableConfig{}), heuristicIdx_(0),
+      prevConfig_(0)
+{
+    common::fatalIf(cfg.bucketFraction <= 0.0 || cfg.bucketFraction > 1.0,
+                    "hipster: bucket fraction out of (0, 1]");
+
+    // Enumerate every mapping configuration, ordered by increasing
+    // power efficiency (a cores * f^3 proxy).
+    for (std::size_t c = 1; c <= machine.numCores; ++c) {
+        for (std::size_t d = 0; d < machine.dvfs.numStates(); ++d) {
+            const double f = machine.dvfs.freq(d);
+            configs_.push_back({c, d, static_cast<double>(c) * f * f * f});
+        }
+    }
+    std::sort(configs_.begin(), configs_.end(),
+              [](const Config &a, const Config &b) {
+                  return a.powerProxy < b.powerProxy;
+              });
+
+    qtable_ = rl::QTable(tableConfig(cfg, configs_.size()));
+    heuristicIdx_ = configs_.size() - 1; // start from the safest config
+    prevConfig_ = heuristicIdx_;
+}
+
+std::size_t
+Hipster::loadBucket(double rps) const
+{
+    const double fraction =
+        std::clamp(rps / spec_.maxLoadRps, 0.0, 1.0);
+    const auto bucket = static_cast<std::size_t>(
+        fraction / cfg_.bucketFraction);
+    return std::min(bucket, qtable_.config().numStates - 1);
+}
+
+double
+Hipster::rewardFor(const sim::ServiceIntervalStats &svc,
+                   std::size_t config_idx) const
+{
+    // Hipster's reward: meet the QoS target with the cheapest mapping.
+    // Credit assignment uses the instantaneous p99 (the windowed
+    // measure lags the configuration by a couple of intervals and
+    // would poison the table entries of configurations entered right
+    // after a violation).
+    const double tardiness = svc.p99InstantMs / spec_.qosTargetMs;
+    if (tardiness > 1.0)
+        return -30.0;
+    const double max_proxy = configs_.back().powerProxy;
+    return 1.0 + (max_proxy - configs_[config_idx].powerProxy) / max_proxy;
+}
+
+std::vector<core::ResourceRequest>
+Hipster::decide(const sim::ServerIntervalStats &stats)
+{
+    common::fatalIf(stats.services.size() != 1,
+                    "hipster manages exactly one service");
+    const auto &svc = stats.services.front();
+    const std::size_t bucket = loadBucket(svc.offeredRps);
+
+    // Learn from the previous decision's outcome — but only when the
+    // same configuration was also active the interval before (settle
+    // time): right after a switch the measured latency still carries
+    // the previous configuration's backlog and would poison the table.
+    if (havePrevPrev_ && prevConfig_ == prevPrevConfig_) {
+        const double r = rewardFor(svc, prevConfig_);
+        qtable_.update(prevBucket_, prevConfig_, r, bucket);
+    }
+
+    std::size_t chosen;
+    if (step_ < cfg_.learningPhaseSteps) {
+        // Heuristic phase: walk the power-ordered configuration list.
+        const double tardiness = svc.p99Ms / spec_.qosTargetMs;
+        if (tardiness >= cfg_.upThreshold) {
+            // Too close to the target: jump to a beefier config. The
+            // jump grows with the violation severity, which is what
+            // makes Hipster oscillate at high load (paper Fig. 10).
+            const std::size_t jump = tardiness > 1.0 ? 24 : 8;
+            heuristicIdx_ =
+                std::min(heuristicIdx_ + jump, configs_.size() - 1);
+        } else if (tardiness < cfg_.downThreshold && heuristicIdx_ > 0) {
+            --heuristicIdx_;
+        }
+        chosen = heuristicIdx_;
+    } else {
+        chosen = qtable_.select(bucket, cfg_.epsilonAfterLearning, rng_);
+    }
+
+    if (havePrev_ && configs_[chosen].cores != configs_[prevConfig_].cores)
+        ++migrations_;
+
+    prevBucket_ = bucket;
+    prevPrevConfig_ = prevConfig_;
+    havePrevPrev_ = havePrev_;
+    prevConfig_ = chosen;
+    havePrev_ = true;
+    ++step_;
+
+    return {core::ResourceRequest{configs_[chosen].cores,
+                                  configs_[chosen].dvfs}};
+}
+
+} // namespace twig::baselines

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reimplementation of Hipster (Nishtala et al., HPCA 2017) from its
+ * published description (paper §V-A), as the Twig authors configured
+ * it: a hybrid task manager for a *single* LC service that runs a
+ * heuristic during a learning phase, recording experience into a
+ * tabular Q-learner keyed on the load (requests per second) quantised
+ * into 4 % buckets, then switches to the learned policy.
+ *
+ *  * Heuristic: mapping configurations (cores x DVFS) are ordered by
+ *    increasing power efficiency; the state machine moves to a more
+ *    powerful configuration when the tail latency gets too close to
+ *    the target and steps down when it is far below it.
+ *  * Q-learning: learning rate 0.6, discount 0.9 (paper §V-A), reward
+ *    favouring low-power configurations that meet the QoS target.
+ */
+
+#ifndef TWIG_BASELINES_HIPSTER_HH
+#define TWIG_BASELINES_HIPSTER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/static_manager.hh"
+#include "common/rng.hh"
+#include "core/task_manager.hh"
+#include "rl/qtable.hh"
+
+namespace twig::baselines {
+
+/** Hipster knobs (defaults per paper §V-A). */
+struct HipsterConfig
+{
+    /** Load bucket width as a fraction of max load (paper: 4 %). */
+    double bucketFraction = 0.04;
+    /** Steps before switching from heuristic to the learned policy
+     * (paper: 7500 s; benches compress). */
+    std::size_t learningPhaseSteps = 7500;
+    double learningRate = 0.6;
+    double discount = 0.9;
+    /** Exploration after the learning phase. */
+    double epsilonAfterLearning = 0.05;
+    /** Heuristic thresholds: step up when latency exceeds this fraction
+     * of the target, step down when below the lower fraction. */
+    double upThreshold = 0.85;
+    double downThreshold = 0.75;
+};
+
+/** The Hipster manager (single service). */
+class Hipster : public core::TaskManager
+{
+  public:
+    Hipster(const HipsterConfig &cfg, const sim::MachineConfig &machine,
+            const BaselineServiceSpec &spec, std::uint64_t seed);
+
+    std::string name() const override { return "hipster"; }
+
+    std::vector<core::ResourceRequest>
+    decide(const sim::ServerIntervalStats &stats) override;
+
+    /** Number of (cores, DVFS) configurations in the table. */
+    std::size_t numConfigs() const { return configs_.size(); }
+
+    /** Q-table memory footprint (memory-complexity study). */
+    std::size_t tableBytes() const { return qtable_.memoryBytes(); }
+
+    /** Number of core-allocation changes made so far (migrations). */
+    std::size_t migrations() const { return migrations_; }
+
+    bool inLearningPhase() const { return step_ < cfg_.learningPhaseSteps; }
+
+  private:
+    struct Config
+    {
+        std::size_t cores;
+        std::size_t dvfs;
+        double powerProxy; // cores * f^3 ordering key
+    };
+
+    std::size_t loadBucket(double rps) const;
+    double rewardFor(const sim::ServiceIntervalStats &svc,
+                     std::size_t config_idx) const;
+
+    HipsterConfig cfg_;
+    sim::MachineConfig machine_;
+    BaselineServiceSpec spec_;
+    common::Rng rng_;
+    std::vector<Config> configs_; // sorted by increasing power
+    rl::QTable qtable_;
+    std::size_t step_ = 0;
+    std::size_t heuristicIdx_; // current position in the config order
+    std::size_t prevConfig_;
+    std::size_t prevPrevConfig_ = 0;
+    std::size_t prevBucket_ = 0;
+    bool havePrev_ = false;
+    bool havePrevPrev_ = false;
+    std::size_t migrations_ = 0;
+};
+
+} // namespace twig::baselines
+
+#endif // TWIG_BASELINES_HIPSTER_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Static mapping baseline (paper §V-A): every core at the highest DVFS
+ * state, all cores granted to each service's socket — no adaptation.
+ */
+
+#ifndef TWIG_BASELINES_STATIC_MANAGER_HH
+#define TWIG_BASELINES_STATIC_MANAGER_HH
+
+#include "core/task_manager.hh"
+
+namespace twig::baselines {
+
+/** Shared per-service knowledge for the baseline managers. */
+struct BaselineServiceSpec
+{
+    std::string name;
+    double qosTargetMs = 10.0;
+    double maxLoadRps = 1000.0;
+};
+
+/** All cores, maximum DVFS, forever. */
+class StaticManager : public core::TaskManager
+{
+  public:
+    explicit StaticManager(const sim::MachineConfig &machine)
+        : machine_(machine)
+    {
+    }
+
+    std::string name() const override { return "static"; }
+
+    std::vector<core::ResourceRequest>
+    decide(const sim::ServerIntervalStats &stats) override
+    {
+        return std::vector<core::ResourceRequest>(
+            stats.services.size(),
+            core::ResourceRequest{machine_.numCores,
+                                  machine_.dvfs.maxIndex()});
+    }
+
+  private:
+    sim::MachineConfig machine_;
+};
+
+} // namespace twig::baselines
+
+#endif // TWIG_BASELINES_STATIC_MANAGER_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal CSV writer used by benches and examples to dump figure data.
+ */
+
+#ifndef TWIG_COMMON_CSV_HH
+#define TWIG_COMMON_CSV_HH
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace twig::common {
+
+/**
+ * Streams rows of comma-separated values to a file.
+ *
+ * Values are written unescaped; callers must not embed commas or newlines
+ * in string cells (figure data here never needs them).
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing, truncating any existing file. */
+    explicit CsvWriter(const std::string &path) : out_(path)
+    {
+        fatalIf(!out_.is_open(), "cannot open CSV file: ", path);
+    }
+
+    /** Write the header row. */
+    void
+    header(const std::vector<std::string> &names)
+    {
+        writeRowImpl(names);
+    }
+
+    /** Write a row of heterogeneous printable cells. */
+    template <typename... Cells>
+    void
+    row(const Cells &...cells)
+    {
+        bool first = true;
+        ((writeCell(cells, first)), ...);
+        out_ << '\n';
+    }
+
+    /** Write a row from a vector of doubles. */
+    void
+    rowVec(const std::vector<double> &cells)
+    {
+        bool first = true;
+        for (double c : cells)
+            writeCell(c, first);
+        out_ << '\n';
+    }
+
+  private:
+    void
+    writeRowImpl(const std::vector<std::string> &cells)
+    {
+        bool first = true;
+        for (const auto &c : cells)
+            writeCell(c, first);
+        out_ << '\n';
+    }
+
+    template <typename T>
+    void
+    writeCell(const T &cell, bool &first)
+    {
+        if (!first)
+            out_ << ',';
+        out_ << cell;
+        first = false;
+    }
+
+    std::ofstream out_;
+};
+
+} // namespace twig::common
+
+#endif // TWIG_COMMON_CSV_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's panic()/fatal().
+ *
+ * panic()  — an internal invariant was violated: a bug in this library.
+ * fatal()  — the caller supplied an invalid configuration or argument.
+ *
+ * Both throw typed exceptions (rather than aborting) so tests can assert
+ * on misuse and embedding applications can recover.
+ */
+
+#ifndef TWIG_COMMON_ERROR_HH
+#define TWIG_COMMON_ERROR_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace twig::common {
+
+/** Thrown when an internal invariant is violated (library bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    using std::logic_error::logic_error;
+};
+
+/** Thrown on invalid user input / configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    detail::formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal invariant violation. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw PanicError(detail::concat("panic: ", args...));
+}
+
+/** Report a user/configuration error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(detail::concat("fatal: ", args...));
+}
+
+/** Check a user-facing precondition, raising FatalError on failure. */
+template <typename... Args>
+void
+fatalIf(bool condition, const Args &...args)
+{
+    if (condition)
+        fatal(args...);
+}
+
+/** Check an internal invariant, raising PanicError on failure. */
+template <typename... Args>
+void
+panicIf(bool condition, const Args &...args)
+{
+    if (condition)
+        panic(args...);
+}
+
+} // namespace twig::common
+
+#endif // TWIG_COMMON_ERROR_HH

@@ -1,0 +1,76 @@
+#include "core/counter_selection.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hh"
+#include "stats/correlation.hh"
+#include "stats/pca.hh"
+
+namespace twig::core {
+
+CounterSelection
+selectCounters(const std::vector<std::string> &counter_names,
+               const std::vector<std::vector<double>> &counter_columns,
+               const std::vector<double> &latency_column,
+               double covariance_threshold, std::size_t select_count)
+{
+    const std::size_t k = counter_columns.size();
+    common::fatalIf(k == 0, "selectCounters: no counters");
+    common::fatalIf(counter_names.size() != k,
+                    "selectCounters: name/column count mismatch");
+
+    CounterSelection out;
+    out.counterNames = counter_names;
+
+    // Correlation of each counter with the tail latency.
+    out.latencyCorrelation.reserve(k);
+    for (const auto &col : counter_columns)
+        out.latencyCorrelation.push_back(
+            stats::pearson(col, latency_column));
+
+    // Standardise columns (PCA on the correlation structure, so scale
+    // differences between raw counters do not dominate).
+    std::vector<std::vector<double>> standardised = counter_columns;
+    for (auto &col : standardised) {
+        double mean = std::accumulate(col.begin(), col.end(), 0.0) /
+            static_cast<double>(col.size());
+        double var = 0.0;
+        for (double x : col)
+            var += (x - mean) * (x - mean);
+        var /= static_cast<double>(col.size());
+        const double sd = var > 0.0 ? std::sqrt(var) : 1.0;
+        for (double &x : col)
+            x = (x - mean) / sd;
+    }
+
+    const stats::PcaResult pca_result = stats::pca(standardised);
+    out.componentsKept = pca_result.componentsFor(covariance_threshold);
+
+    // Importance = PCA loading mass, weighted by each counter's latency
+    // correlation so that counters that both span the variance *and*
+    // track the latency rank highest (methodology of Malik et al.,
+    // as cited in §III-B1).
+    const auto loadings =
+        pca_result.featureImportance(out.componentsKept);
+    out.importance.resize(k);
+    for (std::size_t c = 0; c < k; ++c) {
+        out.importance[c] =
+            loadings[c] * std::abs(out.latencyCorrelation[c]);
+    }
+
+    out.ranking.resize(k);
+    std::iota(out.ranking.begin(), out.ranking.end(), 0);
+    std::sort(out.ranking.begin(), out.ranking.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return out.importance[a] > out.importance[b];
+              });
+
+    const std::size_t keep = std::min(select_count, k);
+    out.selected.assign(out.ranking.begin(), out.ranking.begin() + keep);
+    std::sort(out.selected.begin(), out.selected.end());
+    return out;
+}
+
+} // namespace twig::core

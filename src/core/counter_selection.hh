@@ -1,0 +1,56 @@
+/**
+ * @file
+ * PMC selection pipeline (paper §III-B1 / Table I): profile a service
+ * across DVFS/core combinations gathering all candidate counters, build
+ * the Pearson correlation matrix between counters and tail latency,
+ * pick the number of principal components covering >= 95 % of the
+ * covariance, and rank counters by their PCA importance.
+ */
+
+#ifndef TWIG_CORE_COUNTER_SELECTION_HH
+#define TWIG_CORE_COUNTER_SELECTION_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace twig::core {
+
+/** Result of the selection pipeline. */
+struct CounterSelection
+{
+    /** Candidate counter names, input order. */
+    std::vector<std::string> counterNames;
+    /** Pearson correlation of each counter with tail latency. */
+    std::vector<double> latencyCorrelation;
+    /** Number of principal components covering the covariance
+     * threshold. */
+    std::size_t componentsKept = 0;
+    /** PCA importance score per counter (higher = more vital). */
+    std::vector<double> importance;
+    /** Counter indices sorted by importance, most important first. */
+    std::vector<std::size_t> ranking;
+    /** Indices of the selected counters (top `selectCount`, or all when
+     * selectCount >= candidates). */
+    std::vector<std::size_t> selected;
+};
+
+/**
+ * Run the selection pipeline on profiling data.
+ *
+ * @param counter_names    one name per candidate counter
+ * @param counter_columns  counter_columns[c][t]: counter c at sample t
+ * @param latency_column   tail latency at each sample
+ * @param covariance_threshold  paper: 0.95
+ * @param select_count     how many counters to keep (paper keeps 11)
+ */
+CounterSelection
+selectCounters(const std::vector<std::string> &counter_names,
+               const std::vector<std::vector<double>> &counter_columns,
+               const std::vector<double> &latency_column,
+               double covariance_threshold = 0.95,
+               std::size_t select_count = 11);
+
+} // namespace twig::core
+
+#endif // TWIG_CORE_COUNTER_SELECTION_HH

@@ -1,0 +1,146 @@
+#include "core/mapper.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace twig::core {
+
+Mapper::Mapper(const sim::MachineConfig &machine) : machine_(machine)
+{
+    common::fatalIf(machine.numCores == 0, "mapper: zero cores");
+}
+
+std::vector<std::size_t>
+Mapper::allocateIds(std::size_t svc_idx, std::size_t num_services,
+                    std::size_t count, std::vector<bool> &used) const
+{
+    const std::size_t n = machine_.numCores;
+    std::vector<std::size_t> ids;
+    ids.reserve(count);
+
+    // Start each service in its own region of the socket, then prefer
+    // stride-2 IDs (cache locality: neighbouring cores share L2/ring
+    // stops), falling back to any free core.
+    const std::size_t start = num_services > 0
+        ? (svc_idx * n) / num_services
+        : 0;
+    for (std::size_t stride : {std::size_t{2}, std::size_t{1}}) {
+        for (std::size_t j = 0; j < n && ids.size() < count; ++j) {
+            const std::size_t id = (start + j * stride) % n;
+            if (!used[id]) {
+                used[id] = true;
+                ids.push_back(id);
+            }
+        }
+    }
+    common::panicIf(ids.size() != count,
+                    "mapper: ran out of cores during ID assignment");
+    return ids;
+}
+
+std::vector<sim::CoreAssignment>
+Mapper::map(const std::vector<ResourceRequest> &requests) const
+{
+    const std::size_t n = machine_.numCores;
+    const std::size_t k = requests.size();
+    common::fatalIf(k == 0, "mapper: no requests");
+
+    // Clamp requests into the valid range.
+    std::vector<std::size_t> want(k), dvfs(k);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+        want[i] = std::clamp<std::size_t>(requests[i].numCores, 1, n);
+        dvfs[i] = std::min(requests[i].dvfsIndex,
+                           machine_.dvfs.maxIndex());
+        total += want[i];
+    }
+
+    std::vector<sim::CoreAssignment> out(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        out[i].freqGhz = machine_.dvfs.freq(dvfs[i]);
+        out[i].sharedFreqGhz = out[i].freqGhz;
+        out[i].shareCount = 1;
+    }
+
+    std::vector<bool> used(n, false);
+
+    if (total <= n) {
+        // No conflict: everyone gets dedicated cores.
+        for (std::size_t i = 0; i < k; ++i)
+            out[i].dedicatedCores = allocateIds(i, k, want[i], used);
+        return out;
+    }
+
+    // Arbitration: find the smallest overlap v such that giving every
+    // service max(0, want - v) dedicated cores plus v shared cores fits
+    // on the socket.
+    std::size_t v = 1;
+    std::size_t dedicated_total = 0;
+    for (;; ++v) {
+        dedicated_total = 0;
+        for (std::size_t i = 0; i < k; ++i)
+            dedicated_total += want[i] > v ? want[i] - v : 0;
+        if (dedicated_total + v <= n)
+            break;
+        common::panicIf(v > n, "mapper: arbitration failed to converge");
+    }
+
+    std::vector<std::size_t> dedicated(k);
+    for (std::size_t i = 0; i < k; ++i)
+        dedicated[i] = want[i] > v ? want[i] - v : 0;
+
+    // Hand any leftover cores back, largest cut first.
+    std::size_t leftover = n - v - dedicated_total;
+    while (leftover > 0) {
+        std::size_t best = k;
+        std::size_t best_cut = 0;
+        for (std::size_t i = 0; i < k; ++i) {
+            const std::size_t cut = want[i] - dedicated[i];
+            if (cut > best_cut) {
+                best_cut = cut;
+                best = i;
+            }
+        }
+        if (best == k)
+            break;
+        ++dedicated[best];
+        --leftover;
+    }
+
+    // The shared pool serves every service whose request was cut; it
+    // runs at the highest DVFS state among the participants.
+    std::size_t participants = 0;
+    double shared_freq = machine_.dvfs.freq(0);
+    for (std::size_t i = 0; i < k; ++i) {
+        if (dedicated[i] < want[i]) {
+            ++participants;
+            shared_freq = std::max(shared_freq, out[i].freqGhz);
+        }
+    }
+
+    for (std::size_t i = 0; i < k; ++i)
+        out[i].dedicatedCores = allocateIds(i, k, dedicated[i], used);
+
+    std::vector<std::size_t> shared_ids;
+    shared_ids.reserve(v);
+    for (std::size_t id = 0; id < n && shared_ids.size() < v; ++id) {
+        if (!used[id]) {
+            used[id] = true;
+            shared_ids.push_back(id);
+        }
+    }
+    common::panicIf(shared_ids.size() != v,
+                    "mapper: shared pool allocation failed");
+
+    for (std::size_t i = 0; i < k; ++i) {
+        if (dedicated[i] < want[i]) {
+            out[i].sharedCores = shared_ids;
+            out[i].shareCount = participants;
+            out[i].sharedFreqGhz = shared_freq;
+        }
+    }
+    return out;
+}
+
+} // namespace twig::core

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Twig's mapper module (paper §III-B3 and §IV "Resource Arbitration"):
+ *
+ *  1. turns (core count, DVFS) requests into concrete core IDs, spacing
+ *     services apart and preferring stride-2 IDs for cache locality
+ *     (the paper's example maps sv-1 to {0, 2, 4} and sv-2 to
+ *     {10, 12, 14, 16});
+ *  2. leaves unallocated cores at the lowest DVFS state to save power
+ *     (the simulator's default core state);
+ *  3. arbitrates conflicts: when the services jointly request more
+ *     cores than exist, the overlapping cores are time-shared by the
+ *     affected services and run at the highest DVFS state any of them
+ *     requested; the remaining cores keep their service's request.
+ */
+
+#ifndef TWIG_CORE_MAPPER_HH
+#define TWIG_CORE_MAPPER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/task_manager.hh"
+#include "sim/machine.hh"
+
+namespace twig::core {
+
+/** Turns resource requests into concrete core assignments. */
+class Mapper
+{
+  public:
+    explicit Mapper(const sim::MachineConfig &machine);
+
+    /**
+     * Map all services' requests for the next interval.
+     * Requests are clamped to [1, numCores] cores and valid DVFS
+     * indices.
+     */
+    std::vector<sim::CoreAssignment>
+    map(const std::vector<ResourceRequest> &requests) const;
+
+  private:
+    /** Allocate @p count unused core IDs for service @p svc_idx with the
+     * locality heuristic. */
+    std::vector<std::size_t>
+    allocateIds(std::size_t svc_idx, std::size_t num_services,
+                std::size_t count, std::vector<bool> &used) const;
+
+    sim::MachineConfig machine_;
+};
+
+} // namespace twig::core
+
+#endif // TWIG_CORE_MAPPER_HH

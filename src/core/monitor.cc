@@ -1,0 +1,78 @@
+#include "core/monitor.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace twig::core {
+
+SystemMonitor::SystemMonitor(std::size_t num_services,
+                             const sim::PmcVector &maxima, std::size_t eta)
+    : maxima_(maxima), eta_(eta), history_(num_services)
+{
+    common::fatalIf(num_services == 0, "monitor: no services");
+    common::fatalIf(eta == 0, "monitor: eta must be >= 1");
+    for (double m : maxima_)
+        common::fatalIf(m <= 0.0, "monitor: non-positive counter ceiling");
+}
+
+std::vector<float>
+SystemMonitor::update(std::size_t idx, const sim::PmcVector &raw)
+{
+    common::fatalIf(idx >= history_.size(), "monitor: bad service index");
+
+    sim::PmcVector normalised;
+    for (std::size_t c = 0; c < sim::kNumPmcs; ++c) {
+        normalised[c] =
+            std::clamp(raw[c] / maxima_[c], 0.0, 1.0);
+    }
+    auto &h = history_[idx];
+    h.push_front(normalised);
+    while (h.size() > eta_)
+        h.pop_back();
+    return state(idx);
+}
+
+std::vector<float>
+SystemMonitor::state(std::size_t idx) const
+{
+    common::fatalIf(idx >= history_.size(), "monitor: bad service index");
+    const auto &h = history_[idx];
+    std::vector<float> out(sim::kNumPmcs, 0.0f);
+    if (h.empty())
+        return out;
+
+    // Linearly decaying recency weights: newest snapshot weighs eta,
+    // oldest weighs 1; normalised to sum to one.
+    double weight_sum = 0.0;
+    for (std::size_t j = 0; j < h.size(); ++j)
+        weight_sum += static_cast<double>(eta_ - j);
+    for (std::size_t j = 0; j < h.size(); ++j) {
+        const double w =
+            static_cast<double>(eta_ - j) / weight_sum;
+        for (std::size_t c = 0; c < sim::kNumPmcs; ++c)
+            out[c] += static_cast<float>(w * h[j][c]);
+    }
+    return out;
+}
+
+std::vector<float>
+SystemMonitor::jointState() const
+{
+    std::vector<float> joint;
+    joint.reserve(history_.size() * sim::kNumPmcs);
+    for (std::size_t i = 0; i < history_.size(); ++i) {
+        const auto s = state(i);
+        joint.insert(joint.end(), s.begin(), s.end());
+    }
+    return joint;
+}
+
+void
+SystemMonitor::reset(std::size_t idx)
+{
+    common::fatalIf(idx >= history_.size(), "monitor: bad service index");
+    history_[idx].clear();
+}
+
+} // namespace twig::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Twig's system monitor (paper §III-B1): gathers per-service PMCs each
+ * interval, smooths each aggregated counter with a weighted sum over
+ * the last eta time steps, and feature-scales the result to [0, 1] by
+ * max-value normalisation (ceilings from the calibration
+ * microbenchmarks).
+ */
+
+#ifndef TWIG_CORE_MONITOR_HH
+#define TWIG_CORE_MONITOR_HH
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "sim/pmc.hh"
+
+namespace twig::core {
+
+/** Per-service smoothing + normalisation of the PMC stream. */
+class SystemMonitor
+{
+  public:
+    /**
+     * @param num_services number of monitored services
+     * @param maxima       per-counter normalisation ceilings
+     * @param eta          smoothing window (paper: eta = 5)
+     */
+    SystemMonitor(std::size_t num_services, const sim::PmcVector &maxima,
+                  std::size_t eta = 5);
+
+    /**
+     * Record the latest raw counters of service @p idx and return its
+     * smoothed, normalised state vector (length kNumPmcs, values in
+     * [0, 1]).
+     */
+    std::vector<float> update(std::size_t idx, const sim::PmcVector &raw);
+
+    /** Most recent normalised state of service @p idx (zeros before the
+     * first update). */
+    std::vector<float> state(std::size_t idx) const;
+
+    /** Concatenated state of all services (the joint BDQ input). */
+    std::vector<float> jointState() const;
+
+    /** Reset service @p idx's history (service swap). */
+    void reset(std::size_t idx);
+
+    std::size_t numServices() const { return history_.size(); }
+    std::size_t eta() const { return eta_; }
+    std::size_t stateDimPerService() const { return sim::kNumPmcs; }
+
+  private:
+    sim::PmcVector maxima_;
+    std::size_t eta_;
+    /** history_[idx] holds up to eta normalised snapshots, newest
+     * first. */
+    std::vector<std::deque<sim::PmcVector>> history_;
+};
+
+} // namespace twig::core
+
+#endif // TWIG_CORE_MONITOR_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Twig's reward function (paper Eq. 1):
+ *
+ *            | QoS_rew + theta * Power_rew        if QoS <= QoS_target
+ *     r_k =  |
+ *            | max(-QoS_rew^phi, varphi)          if QoS  > QoS_target
+ *
+ * QoS_rew   = measured tail latency / target (the "tardiness" ratio);
+ *             <= 1 when the target is met — rewarding values *close* to
+ *             1 nudges the agent toward configurations that just meet
+ *             the target, which are the power-efficient ones.
+ * Power_rew = maximum measured power / estimated service power — larger
+ *             when the service burns less power.
+ * theta = 0.5, phi = 3, varphi = -100 (paper §IV).
+ */
+
+#ifndef TWIG_CORE_REWARD_HH
+#define TWIG_CORE_REWARD_HH
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace twig::core {
+
+/** Reward hyper-parameters (paper defaults). */
+struct RewardConfig
+{
+    double theta = 0.5;    ///< power/QoS balance
+    double phi = 3.0;      ///< violation penalty exponent
+    double varphi = -100.0; ///< penalty floor
+};
+
+/** Computes Eq. 1 per service. */
+class Reward
+{
+  public:
+    explicit Reward(const RewardConfig &cfg = {}) : cfg_(cfg)
+    {
+        common::fatalIf(cfg.varphi >= 0.0,
+                        "reward: varphi must be negative");
+        common::fatalIf(cfg.phi <= 0.0, "reward: phi must be positive");
+    }
+
+    const RewardConfig &config() const { return cfg_; }
+
+    /**
+     * @param measured_qos_ms    measured tail latency
+     * @param target_qos_ms      the service's QoS target
+     * @param estimated_power_w  Eq. 2 estimate for the service
+     * @param max_power_w        stress-microbenchmark socket maximum
+     */
+    double
+    operator()(double measured_qos_ms, double target_qos_ms,
+               double estimated_power_w, double max_power_w) const
+    {
+        common::fatalIf(target_qos_ms <= 0.0,
+                        "reward: QoS target must be > 0");
+        const double qos_rew = measured_qos_ms / target_qos_ms;
+        if (qos_rew <= 1.0) {
+            const double power_rew = max_power_w /
+                std::max(estimated_power_w, 1e-3);
+            return qos_rew + cfg_.theta * power_rew;
+        }
+        return std::max(-std::pow(qos_rew, cfg_.phi), cfg_.varphi);
+    }
+
+  private:
+    RewardConfig cfg_;
+};
+
+} // namespace twig::core
+
+#endif // TWIG_CORE_REWARD_HH

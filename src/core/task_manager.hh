@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The task-manager interface shared by Twig and all baselines.
+ *
+ * A task manager observes the previous control interval's telemetry and
+ * returns one (core count, DVFS state) request per hosted service; the
+ * mapper turns requests into concrete core assignments.
+ */
+
+#ifndef TWIG_CORE_TASK_MANAGER_HH
+#define TWIG_CORE_TASK_MANAGER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+#include "sim/server.hh"
+
+namespace twig::core {
+
+/** What a manager asks for, per service, for the next interval. */
+struct ResourceRequest
+{
+    /** Requested core count (1 .. machine.numCores). */
+    std::size_t numCores = 1;
+    /** Requested DVFS state index (0 = lowest). */
+    std::size_t dvfsIndex = 0;
+};
+
+/** Base class of Twig-S/Twig-C, Hipster, Heracles, PARTIES, static. */
+class TaskManager
+{
+  public:
+    virtual ~TaskManager() = default;
+
+    /** Human-readable name (for tables). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Decide allocations for the next interval.
+     *
+     * @param stats  telemetry of the interval that just finished
+     * @return one request per service (same order as server indices)
+     */
+    virtual std::vector<ResourceRequest>
+    decide(const sim::ServerIntervalStats &stats) = 0;
+
+    /** Initial requests before any telemetry exists (experiments start
+     * with all cores at the highest DVFS state, paper §V-A). */
+    virtual std::vector<ResourceRequest>
+    initialRequests(std::size_t num_services,
+                    const sim::MachineConfig &machine) const
+    {
+        return std::vector<ResourceRequest>(
+            num_services,
+            ResourceRequest{machine.numCores, machine.dvfs.maxIndex()});
+    }
+};
+
+} // namespace twig::core
+
+#endif // TWIG_CORE_TASK_MANAGER_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The Twig task manager (paper Fig. 3 / Algorithm 1): system monitor +
+ * multi-agent BDQ learning agent + reward, packaged behind the common
+ * TaskManager interface. One instance manages K colocated services
+ * (Twig-S is simply K = 1, Twig-C is K >= 2).
+ */
+
+#ifndef TWIG_CORE_TWIG_MANAGER_HH
+#define TWIG_CORE_TWIG_MANAGER_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/monitor.hh"
+#include "core/power_model.hh"
+#include "core/reward.hh"
+#include "core/task_manager.hh"
+#include "rl/bdq_learner.hh"
+#include "sim/pmc.hh"
+
+namespace twig::core {
+
+/** Per-service knowledge Twig needs (QoS target, load scale, Eq. 2). */
+struct TwigServiceSpec
+{
+    std::string name;
+    double qosTargetMs = 10.0;
+    /** Max load of the service; only used to express offered load as a
+     * fraction for the Eq. 2 power estimate. */
+    double maxLoadRps = 1000.0;
+    /** The fitted first-order power model for this service. */
+    ServicePowerModel powerModel;
+};
+
+/** Full Twig configuration with paper and compressed presets. */
+struct TwigConfig
+{
+    rl::BdqLearnerConfig learner;
+    RewardConfig reward;
+    /** Monitor smoothing window (paper: eta = 5). */
+    std::size_t eta = 5;
+    /** Pure exploitation: skip gradient descent and random exploration
+     * (paper §V "Overhead": recommended once trained). */
+    bool exploitOnly = false;
+
+    /** The paper's hyper-parameters (§IV), exactly. */
+    static TwigConfig paper();
+
+    /**
+     * Compressed preset for simulation benches: a smaller network and
+     * schedules annealed over @p horizon control steps instead of the
+     * paper's 25 000 s. Keeps the algorithm identical; only capacity
+     * and time constants shrink (EXPERIMENTS.md documents this).
+     */
+    static TwigConfig fast(std::size_t horizon);
+};
+
+/** Twig-S / Twig-C. */
+class TwigManager : public TaskManager
+{
+  public:
+    /**
+     * @param cfg      hyper-parameters (net sizing fields numAgents /
+     *                 stateDimPerAgent / branchActions are overwritten
+     *                 to match the machine and service count)
+     * @param machine  hardware description
+     * @param maxima   PMC normalisation ceilings (calibration)
+     * @param specs    one spec per managed service
+     * @param seed     randomness seed
+     */
+    TwigManager(const TwigConfig &cfg, const sim::MachineConfig &machine,
+                const sim::PmcVector &maxima,
+                std::vector<TwigServiceSpec> specs, std::uint64_t seed);
+
+    std::string name() const override;
+
+    std::vector<ResourceRequest>
+    decide(const sim::ServerIntervalStats &stats) override;
+
+    /**
+     * Transfer learning (paper §IV): swap the spec of service @p idx
+     * for a new service, re-initialise the network's output layers and
+     * re-anneal epsilon over a short window.
+     */
+    void transferService(std::size_t idx, const TwigServiceSpec &spec,
+                         std::size_t reexplore_steps = 50);
+
+    /** Switch to pure exploitation (drops gradient descent). */
+    void setExploitOnly(bool on) { exploitOnly_ = on; }
+
+    /** Persist the trained policy (network parameters only). A model
+     * saved by one manager can be loaded by another with the same
+     * machine shape and service count — e.g. train offline, then
+     * deploy with exploitOnly for the <1% overhead mode of §V. */
+    void saveModel(std::ostream &os) const { learner_.save(os); }
+    void loadModel(std::istream &is) { learner_.load(is); }
+
+    /** Reward value of service @p idx in the last decide() (tests). */
+    double lastReward(std::size_t idx) const;
+
+    const rl::BdqLearner &learner() const { return learner_; }
+    rl::BdqLearner &learner() { return learner_; }
+    const SystemMonitor &monitor() const { return monitor_; }
+
+  private:
+    std::vector<ResourceRequest>
+    actionsToRequests(const std::vector<nn::BranchActions> &actions) const;
+
+    sim::MachineConfig machine_;
+    std::vector<TwigServiceSpec> specs_;
+    SystemMonitor monitor_;
+    Reward reward_;
+    common::Rng rng_; // must precede learner_ (seeds it)
+    rl::BdqLearner learner_;
+    double maxPowerW_;
+    bool exploitOnly_;
+
+    // Previous-interval context for building transitions.
+    std::optional<std::vector<float>> prevState_;
+    std::vector<nn::BranchActions> prevActions_;
+    std::vector<double> lastRewards_;
+};
+
+} // namespace twig::core
+
+#endif // TWIG_CORE_TWIG_MANAGER_HH

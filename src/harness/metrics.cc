@@ -1,0 +1,62 @@
+#include "harness/metrics.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace twig::harness {
+
+MetricsAccumulator::MetricsAccumulator(
+    std::vector<std::string> service_names,
+    std::vector<double> qos_targets_ms)
+    : names_(std::move(service_names)), targets_(std::move(qos_targets_ms)),
+      met_(names_.size(), 0), tardiness_(names_.size()),
+      p99_(names_.size())
+{
+    common::fatalIf(names_.size() != targets_.size(),
+                    "metrics: name/target count mismatch");
+    common::fatalIf(names_.empty(), "metrics: no services");
+}
+
+void
+MetricsAccumulator::add(const std::vector<double> &p99_ms,
+                        double socket_power_w, double interval_seconds)
+{
+    common::fatalIf(p99_ms.size() != names_.size(),
+                    "metrics: sample count mismatch");
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        const double tard = p99_ms[i] / targets_[i];
+        tardiness_[i].add(tard);
+        p99_[i].add(p99_ms[i]);
+        if (tard <= 1.0)
+            ++met_[i];
+    }
+    power_.add(socket_power_w);
+    energyJ_ += socket_power_w * interval_seconds;
+    ++steps_;
+}
+
+RunMetrics
+MetricsAccumulator::finish() const
+{
+    RunMetrics out;
+    out.windowSteps = steps_;
+    out.energyJoules = energyJ_;
+    out.meanPowerW = power_.mean();
+    out.services.resize(names_.size());
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        ServiceMetrics &m = out.services[i];
+        m.name = names_[i];
+        m.samples = steps_;
+        m.qosGuaranteePct = steps_
+            ? 100.0 * static_cast<double>(met_[i]) /
+                static_cast<double>(steps_)
+            : 0.0;
+        m.meanTardiness = tardiness_[i].mean();
+        m.maxTardiness = tardiness_[i].max();
+        m.meanP99Ms = p99_[i].mean();
+    }
+    return out;
+}
+
+} // namespace twig::harness

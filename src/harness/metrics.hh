@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Evaluation metrics (paper §V "Evaluation Metrics"):
+ *
+ *  * QoS guarantee — percentage of measured QoS samples that met the
+ *    QoS target;
+ *  * QoS tardiness — ratio of measured QoS to the target (a violation
+ *    occurred when tardiness > 1);
+ *  * energy usage over the summary window (via simulated RAPL).
+ */
+
+#ifndef TWIG_HARNESS_METRICS_HH
+#define TWIG_HARNESS_METRICS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/summary.hh"
+
+namespace twig::harness {
+
+/** Per-service outcome over a summary window. */
+struct ServiceMetrics
+{
+    std::string name;
+    double qosGuaranteePct = 0.0;
+    double meanTardiness = 0.0;
+    double maxTardiness = 0.0;
+    double meanP99Ms = 0.0;
+    std::size_t samples = 0;
+};
+
+/** Whole-run outcome over a summary window. */
+struct RunMetrics
+{
+    std::vector<ServiceMetrics> services;
+    double energyJoules = 0.0;
+    double meanPowerW = 0.0;
+    std::size_t windowSteps = 0;
+
+    /** Average QoS guarantee across services. */
+    double
+    avgQosGuaranteePct() const
+    {
+        if (services.empty())
+            return 0.0;
+        double s = 0.0;
+        for (const auto &m : services)
+            s += m.qosGuaranteePct;
+        return s / static_cast<double>(services.size());
+    }
+};
+
+/** Incrementally accumulates RunMetrics over a window. */
+class MetricsAccumulator
+{
+  public:
+    MetricsAccumulator(std::vector<std::string> service_names,
+                       std::vector<double> qos_targets_ms);
+
+    /** Record one interval's outcome. */
+    void add(const std::vector<double> &p99_ms, double socket_power_w,
+             double interval_seconds);
+
+    RunMetrics finish() const;
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<double> targets_;
+    std::vector<std::size_t> met_;
+    std::vector<stats::RunningStats> tardiness_;
+    std::vector<stats::RunningStats> p99_;
+    stats::RunningStats power_;
+    double energyJ_ = 0.0;
+    std::size_t steps_ = 0;
+};
+
+} // namespace twig::harness
+
+#endif // TWIG_HARNESS_METRICS_HH

@@ -1,0 +1,75 @@
+#include "harness/runner.hh"
+
+#include "common/error.hh"
+
+namespace twig::harness {
+
+ExperimentRunner::ExperimentRunner(sim::Server &server,
+                                   core::TaskManager &manager)
+    : server_(server), manager_(manager), mapper_(server.machine())
+{
+}
+
+RunResult
+ExperimentRunner::run(const RunOptions &options)
+{
+    common::fatalIf(options.steps == 0, "runner: zero steps");
+    common::fatalIf(options.summaryWindow == 0,
+                    "runner: zero summary window");
+    const std::size_t n_svc = server_.numServices();
+    common::fatalIf(n_svc == 0, "runner: server hosts no services");
+
+    std::vector<std::string> names;
+    std::vector<double> targets;
+    for (std::size_t i = 0; i < n_svc; ++i) {
+        names.push_back(server_.profile(i).name);
+        targets.push_back(server_.profile(i).qosTargetMs);
+    }
+    MetricsAccumulator acc(names, targets);
+
+    RunResult result;
+    if (options.recordTrace)
+        result.trace.reserve(options.steps);
+
+    const std::size_t window_start = options.steps > options.summaryWindow
+        ? options.steps - options.summaryWindow
+        : 0;
+
+    auto requests =
+        manager_.initialRequests(n_svc, server_.machine());
+    for (std::size_t step = 0; step < options.steps; ++step) {
+        const auto assignments = mapper_.map(requests);
+        const auto stats = server_.runInterval(assignments);
+
+        if (options.recordTrace) {
+            TraceRecord rec;
+            rec.step = step;
+            rec.socketPowerW = stats.socketPowerW;
+            for (std::size_t i = 0; i < n_svc; ++i) {
+                rec.cores.push_back(requests[i].numCores);
+                rec.dvfs.push_back(requests[i].dvfsIndex);
+                rec.p99Ms.push_back(stats.services[i].p99Ms);
+                rec.offeredRps.push_back(stats.services[i].offeredRps);
+            }
+            result.trace.push_back(std::move(rec));
+        }
+
+        if (step >= window_start) {
+            std::vector<double> p99(n_svc);
+            for (std::size_t i = 0; i < n_svc; ++i)
+                p99[i] = stats.services[i].p99Ms;
+            acc.add(p99, stats.socketPowerW,
+                    server_.machine().intervalSeconds);
+        }
+
+        if (options.onStep)
+            options.onStep(step, stats);
+
+        requests = manager_.decide(stats);
+    }
+
+    result.metrics = acc.finish();
+    return result;
+}
+
+} // namespace twig::harness

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Dense row-major matrix of floats — the numeric workhorse of the NN
+ * library. Deliberately small: just the operations the layers need,
+ * all bounds-checked in debug via assertions.
+ */
+
+#ifndef TWIG_NN_MATRIX_HH
+#define TWIG_NN_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace twig::nn {
+
+/**
+ * Row-major dense matrix. A batch of vectors is stored as one row per
+ * batch element ([batch x features]).
+ */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols matrix initialised to @p fill. */
+    Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    float &
+    operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+
+    float
+    operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    float *rowPtr(std::size_t r) { return data_.data() + r * cols_; }
+    const float *
+    rowPtr(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    /** Reset every element to @p value. */
+    void
+    fill(float value)
+    {
+        std::fill(data_.begin(), data_.end(), value);
+    }
+
+    /** Resize (contents unspecified afterwards). */
+    void
+    resize(std::size_t rows, std::size_t cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        data_.assign(rows * cols, 0.0f);
+    }
+
+    /** this += other (same shape). */
+    void
+    addInPlace(const Matrix &other)
+    {
+        common::panicIf(rows_ != other.rows_ || cols_ != other.cols_,
+                        "Matrix::addInPlace shape mismatch");
+        for (std::size_t i = 0; i < data_.size(); ++i)
+            data_[i] += other.data_[i];
+    }
+
+    /** this *= scalar. */
+    void
+    scaleInPlace(float s)
+    {
+        for (auto &x : data_)
+            x *= s;
+    }
+
+    const std::vector<float> &raw() const { return data_; }
+    std::vector<float> &raw() { return data_; }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** out = a * b ([m x k] * [k x n] -> [m x n]); out is resized. */
+void matmul(const Matrix &a, const Matrix &b, Matrix &out);
+
+/** out = a * b^T ([m x k] * [n x k]^T -> [m x n]); out is resized. */
+void matmulTransposeB(const Matrix &a, const Matrix &b, Matrix &out);
+
+/** out = a^T * b ([m x k]^T * [m x n] -> [k x n]); out is resized. */
+void matmulTransposeA(const Matrix &a, const Matrix &b, Matrix &out);
+
+} // namespace twig::nn
+
+#endif // TWIG_NN_MATRIX_HH

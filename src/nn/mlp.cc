@@ -1,0 +1,112 @@
+#include "nn/mlp.hh"
+
+namespace twig::nn {
+
+Mlp::Mlp(const MlpConfig &cfg, common::Rng &rng) : cfg_(cfg), rng_(rng.fork())
+{
+    common::fatalIf(cfg.inputDim == 0 || cfg.outputDim == 0,
+                    "Mlp: zero-sized input/output");
+    std::size_t prev = cfg.inputDim;
+    for (std::size_t h : cfg.hidden) {
+        linears_.emplace_back(prev, h, rng_);
+        relus_.emplace_back();
+        dropouts_.emplace_back(cfg.dropoutRate);
+        prev = h;
+    }
+    linears_.emplace_back(prev, cfg.outputDim, rng_);
+    acts_.resize(2 * linears_.size() + cfg_.hidden.size() + 2);
+}
+
+void
+Mlp::forwardImpl(const Matrix &x, Matrix &y, bool train)
+{
+    const Matrix *cur = &x;
+    std::size_t slot = 0;
+    for (std::size_t i = 0; i < cfg_.hidden.size(); ++i) {
+        Matrix &lin_out = acts_[slot++];
+        linears_[i].forward(*cur, lin_out);
+        Matrix &relu_out = acts_[slot++];
+        relus_[i].forward(lin_out, relu_out);
+        Matrix &drop_out = acts_[slot++];
+        dropouts_[i].forward(relu_out, drop_out, train, rng_);
+        cur = &drop_out;
+    }
+    linears_.back().forward(*cur, y);
+}
+
+void
+Mlp::predict(const Matrix &x, Matrix &y)
+{
+    forwardImpl(x, y, false);
+}
+
+float
+Mlp::trainStep(const Matrix &x, const Matrix &target)
+{
+    common::fatalIf(x.rows() != target.rows(),
+                    "Mlp::trainStep: batch size mismatch");
+    Matrix y;
+    forwardImpl(x, y, true);
+    common::panicIf(y.cols() != target.cols(),
+                    "Mlp::trainStep: target width mismatch");
+
+    // dL/dy for MSE = 2 (y - t) / (batch * outDim); also compute the loss.
+    Matrix dy(y.rows(), y.cols());
+    float loss = 0.0f;
+    const float scale =
+        2.0f / static_cast<float>(y.rows() * y.cols());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        const float e = y.raw()[i] - target.raw()[i];
+        loss += e * e;
+        dy.raw()[i] = scale * e;
+    }
+    loss /= static_cast<float>(y.size());
+
+    // Backward through the stack.
+    Matrix grad = dy, scratch;
+    linears_.back().backward(grad, scratch);
+    grad = scratch;
+    for (std::size_t i = cfg_.hidden.size(); i-- > 0;) {
+        dropouts_[i].backward(grad, scratch);
+        grad = scratch;
+        relus_[i].backward(grad, scratch);
+        grad = scratch;
+        if (i == 0) {
+            linears_[i].backwardNoInputGrad(grad);
+        } else {
+            linears_[i].backward(grad, scratch);
+            grad = scratch;
+        }
+    }
+    ++step_;
+    for (auto &l : linears_)
+        l.adamStep(cfg_.adam, step_);
+    return loss;
+}
+
+std::vector<float>
+Mlp::predictOne(const std::vector<float> &x)
+{
+    common::fatalIf(x.size() != cfg_.inputDim,
+                    "Mlp::predictOne: wrong input size");
+    Matrix in(1, x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        in(0, i) = x[i];
+    Matrix out;
+    predict(in, out);
+    std::vector<float> result(out.cols());
+    for (std::size_t i = 0; i < out.cols(); ++i)
+        result[i] = out(0, i);
+    return result;
+}
+
+std::size_t
+Mlp::paramCount() const
+{
+    std::size_t n = 0;
+    for (const auto &l : linears_)
+        n += l.paramCount();
+    return n;
+}
+
+} // namespace twig::nn

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A plain multi-layer perceptron for regression.
+ *
+ * Used to learn tail latency as a function of PMCs (paper Fig. 1) and as
+ * a generic function approximator in tests. ReLU hidden layers, linear
+ * output, MSE loss, Adam.
+ */
+
+#ifndef TWIG_NN_MLP_HH
+#define TWIG_NN_MLP_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+#include "nn/layers.hh"
+
+namespace twig::nn {
+
+/** Configuration of an Mlp. */
+struct MlpConfig
+{
+    std::size_t inputDim = 1;
+    std::vector<std::size_t> hidden = {64, 32};
+    std::size_t outputDim = 1;
+    float dropoutRate = 0.0f;
+    AdamConfig adam;
+};
+
+/** Feed-forward regressor: Linear+ReLU(+Dropout) stacks, linear output. */
+class Mlp
+{
+  public:
+    Mlp(const MlpConfig &cfg, common::Rng &rng);
+
+    /** Forward pass (evaluation mode, no dropout). */
+    void predict(const Matrix &x, Matrix &y);
+
+    /**
+     * One SGD step on a minibatch: forward (train mode), MSE loss,
+     * backward, Adam update.
+     *
+     * @return the minibatch MSE before the update
+     */
+    float trainStep(const Matrix &x, const Matrix &target);
+
+    /** Convenience: predict a single vector. */
+    std::vector<float> predictOne(const std::vector<float> &x);
+
+    std::size_t paramCount() const;
+
+  private:
+    void forwardImpl(const Matrix &x, Matrix &y, bool train);
+
+    MlpConfig cfg_;
+    common::Rng rng_;
+    std::vector<Linear> linears_;
+    std::vector<ReLU> relus_;
+    std::vector<Dropout> dropouts_;
+    std::vector<Matrix> acts_; // scratch activations
+    std::size_t step_ = 0;
+};
+
+} // namespace twig::nn
+
+#endif // TWIG_NN_MLP_HH

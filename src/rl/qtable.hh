@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tabular Q-learning, the state-action representation Hipster uses
+ * (paper §II-B / §V-A). Kept generic: discrete state buckets x discrete
+ * action index, epsilon-greedy policy, standard Q-learning update.
+ */
+
+#ifndef TWIG_RL_QTABLE_HH
+#define TWIG_RL_QTABLE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+
+namespace twig::rl {
+
+/** Configuration for tabular Q-learning (Hipster defaults from §V-A). */
+struct QTableConfig
+{
+    std::size_t numStates = 25;  ///< load buckets (4% bucket -> 25)
+    std::size_t numActions = 1;  ///< flattened mapping configurations
+    double learningRate = 0.6;   ///< paper: 0.6
+    double discount = 0.9;       ///< paper: 0.9
+    double optimisticInit = 0.0; ///< initial Q value
+};
+
+/** A dense table of Q(s, a) with the classic update rule. */
+class QTable
+{
+  public:
+    explicit QTable(const QTableConfig &cfg)
+        : cfg_(cfg),
+          q_(cfg.numStates * cfg.numActions, cfg.optimisticInit)
+    {
+        common::fatalIf(cfg.numStates == 0 || cfg.numActions == 0,
+                        "QTable: empty table");
+    }
+
+    const QTableConfig &config() const { return cfg_; }
+
+    double
+    value(std::size_t s, std::size_t a) const
+    {
+        return q_[index(s, a)];
+    }
+
+    /** Greedy action in state s (ties broken towards lower index). */
+    std::size_t
+    greedy(std::size_t s) const
+    {
+        std::size_t best = 0;
+        for (std::size_t a = 1; a < cfg_.numActions; ++a) {
+            if (q_[index(s, a)] > q_[index(s, best)])
+                best = a;
+        }
+        return best;
+    }
+
+    /** Epsilon-greedy action selection. */
+    std::size_t
+    select(std::size_t s, double epsilon, common::Rng &rng) const
+    {
+        if (rng.uniform() < epsilon)
+            return rng.uniformInt(cfg_.numActions);
+        return greedy(s);
+    }
+
+    /** Q-learning update; returns the TD error. */
+    double
+    update(std::size_t s, std::size_t a, double reward, std::size_t s_next)
+    {
+        const double target =
+            reward + cfg_.discount * q_[index(s_next, greedy(s_next))];
+        const double td = target - q_[index(s, a)];
+        q_[index(s, a)] += cfg_.learningRate * td;
+        return td;
+    }
+
+    /** Terminal-state update (no bootstrap); returns the TD error. */
+    double
+    updateTerminal(std::size_t s, std::size_t a, double reward)
+    {
+        const double td = reward - q_[index(s, a)];
+        q_[index(s, a)] += cfg_.learningRate * td;
+        return td;
+    }
+
+    /** Bytes used by the table (for the memory-complexity bench). */
+    std::size_t
+    memoryBytes() const
+    {
+        return q_.size() * sizeof(double);
+    }
+
+  private:
+    std::size_t
+    index(std::size_t s, std::size_t a) const
+    {
+        common::panicIf(s >= cfg_.numStates || a >= cfg_.numActions,
+                        "QTable: index out of range");
+        return s * cfg_.numActions + a;
+    }
+
+    QTableConfig cfg_;
+    std::vector<double> q_;
+};
+
+} // namespace twig::rl
+
+#endif // TWIG_RL_QTABLE_HH

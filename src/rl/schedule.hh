@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Annealing schedules used by the learning agents.
+ *
+ * The paper anneals exploration epsilon from 1 to 0.1 over the first
+ * 10 000 s and on to 0.01 by 25 000 s, and linearly anneals the
+ * prioritised-replay importance exponent beta from 0.4 to 1.
+ */
+
+#ifndef TWIG_RL_SCHEDULE_HH
+#define TWIG_RL_SCHEDULE_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace twig::rl {
+
+/**
+ * Piecewise-linear schedule through (step, value) knots; clamps to the
+ * first/last value outside the knot range.
+ */
+class PiecewiseLinearSchedule
+{
+  public:
+    struct Knot
+    {
+        std::size_t step;
+        double value;
+    };
+
+    explicit PiecewiseLinearSchedule(std::vector<Knot> knots)
+        : knots_(std::move(knots))
+    {
+        common::fatalIf(knots_.empty(), "schedule needs >= 1 knot");
+        for (std::size_t i = 1; i < knots_.size(); ++i) {
+            common::fatalIf(knots_[i].step <= knots_[i - 1].step,
+                            "schedule knots must be strictly increasing");
+        }
+    }
+
+    /** Value at @p step. */
+    double
+    at(std::size_t step) const
+    {
+        if (step <= knots_.front().step)
+            return knots_.front().value;
+        if (step >= knots_.back().step)
+            return knots_.back().value;
+        for (std::size_t i = 1; i < knots_.size(); ++i) {
+            if (step <= knots_[i].step) {
+                const auto &a = knots_[i - 1];
+                const auto &b = knots_[i];
+                const double f =
+                    static_cast<double>(step - a.step) /
+                    static_cast<double>(b.step - a.step);
+                return a.value + f * (b.value - a.value);
+            }
+        }
+        return knots_.back().value; // unreachable
+    }
+
+  private:
+    std::vector<Knot> knots_;
+};
+
+/**
+ * Paper-default epsilon schedule: 1 -> eps_mid at @p mid_step,
+ * -> eps_final at @p final_step (paper: 0.1 @ 10 000, 0.01 @ 25 000).
+ */
+inline PiecewiseLinearSchedule
+makeEpsilonSchedule(std::size_t mid_step = 10000,
+                    std::size_t final_step = 25000, double eps_mid = 0.1,
+                    double eps_final = 0.01)
+{
+    return PiecewiseLinearSchedule({{0, 1.0},
+                                    {mid_step, eps_mid},
+                                    {final_step, eps_final}});
+}
+
+/** Paper-default PER beta schedule: 0.4 -> 1 over @p steps. */
+inline PiecewiseLinearSchedule
+makeBetaSchedule(std::size_t steps, double beta0 = 0.4)
+{
+    return PiecewiseLinearSchedule({{0, beta0}, {steps, 1.0}});
+}
+
+} // namespace twig::rl
+
+#endif // TWIG_RL_SCHEDULE_HH

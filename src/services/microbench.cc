@@ -1,0 +1,105 @@
+#include "services/microbench.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace twig::services {
+
+sim::ServiceProfile
+cpuMaxMicrobench()
+{
+    sim::ServiceProfile p;
+    p.name = "ubench-cpu-max";
+    p.baseServiceTimeMs = 1.0;
+    p.serviceTimeCv = 0.05;
+    p.freqExponent = 1.0;
+    p.memTrafficPerReqMB = 0.0;
+    p.llcFootprintMB = 0.1;
+    p.instructionsPerReqM = 7.6; // IPC ~3.8: wide issue, no stalls
+    p.uopsPerInstr = 1.5;        // fused-multiply heavy
+    p.branchFraction = 0.05;
+    p.branchMissRate = 0.001;
+    p.l1dPerInstr = 0.05;
+    p.l1iPerInstr = 0.02;
+    p.llcAccessPerInstr = 0.0001;
+    p.llcBaseMissRate = 0.01;
+    return p;
+}
+
+sim::ServiceProfile
+branchyMicrobench()
+{
+    sim::ServiceProfile p;
+    p.name = "ubench-branchy";
+    p.baseServiceTimeMs = 1.0;
+    p.serviceTimeCv = 0.05;
+    p.freqExponent = 1.0;
+    p.memTrafficPerReqMB = 0.05;
+    p.llcFootprintMB = 1.0;
+    p.instructionsPerReqM = 2.4; // IPC ~1.2: mispredicts flush pipeline
+    p.uopsPerInstr = 1.1;
+    p.branchFraction = 0.40;     // aggregation loop: compare + branch
+    p.branchMissRate = 0.22;     // unsorted data: near-random outcomes
+    p.l1dPerInstr = 0.62; // every compare loads from the vector
+    p.l1iPerInstr = 0.12; // tight compare loop refetches hot code
+    p.llcAccessPerInstr = 0.002;
+    p.llcBaseMissRate = 0.2;
+    return p;
+}
+
+sim::ServiceProfile
+streamMicrobench()
+{
+    sim::ServiceProfile p;
+    p.name = "ubench-stream";
+    p.baseServiceTimeMs = 1.0;
+    p.serviceTimeCv = 0.05;
+    p.freqExponent = 0.3;        // bandwidth bound, not clock bound
+    p.memTrafficPerReqMB = 50.0;
+    p.llcFootprintMB = 100.0;    // streams straight through the LLC
+    p.instructionsPerReqM = 1.0; // IPC ~0.5: stalled on memory
+    p.uopsPerInstr = 1.05;
+    p.branchFraction = 0.06;
+    p.branchMissRate = 0.002;
+    p.l1dPerInstr = 0.60;
+    p.l1iPerInstr = 0.01;
+    p.llcAccessPerInstr = 0.50;  // every element misses L1/L2
+    p.llcBaseMissRate = 0.95;
+    return p;
+}
+
+sim::PmcVector
+calibrateCounterMaxima(const sim::MachineConfig &machine)
+{
+    // One interval, all cores fully busy at the highest DVFS state.
+    common::Rng rng(0); // noiseless path is used; rng unused by it
+    const sim::PmcModel model_probe(machine, rng);
+
+    sim::PmcVector maxima{};
+    for (const auto &profile :
+         {cpuMaxMicrobench(), branchyMicrobench(), streamMicrobench()}) {
+        sim::IntervalExecution exec;
+        exec.busyCoreSeconds =
+            static_cast<double>(machine.numCores) *
+            machine.intervalSeconds;
+        exec.freqGhz = machine.dvfs.maxGhz;
+        exec.llcMissFactor = 1.0;
+        // Enough requests to keep every core busy for the interval:
+        // completed = busy cycles * IPC / instructions-per-request,
+        // where IPC is implied by the profile's service time.
+        const double cycles = exec.busyCoreSeconds * exec.freqGhz * 1e9;
+        const double cycles_per_req =
+            profile.baseServiceTimeMs * 1e-3 * exec.freqGhz * 1e9;
+        exec.completedRequests =
+            static_cast<std::size_t>(cycles / cycles_per_req);
+
+        const sim::PmcVector v =
+            model_probe.synthesizeNoiseless(profile, exec);
+        for (std::size_t i = 0; i < sim::kNumPmcs; ++i)
+            maxima[i] = std::max(maxima[i], v[i]);
+    }
+    return maxima;
+}
+
+} // namespace twig::services

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Calibration microbenchmarks (paper §IV "PMCs Measurement and
+ * Selection"): the maximum value of each counter — used for max-value
+ * feature scaling — is obtained by running three extreme workloads on
+ * the whole socket at the highest DVFS state:
+ *
+ *  * cpu-max:  pure arithmetic, no memory accesses (counters 1-5,
+ *              also defines the "maximum system power consumption"
+ *              used by the power reward);
+ *  * branchy:  aggregates an unsorted vector with data-dependent
+ *              branches (counters 6-8);
+ *  * stream:   McCalpin STREAM-like bandwidth workload (counters 9-11).
+ */
+
+#ifndef TWIG_SERVICES_MICROBENCH_HH
+#define TWIG_SERVICES_MICROBENCH_HH
+
+#include "sim/machine.hh"
+#include "sim/pmc.hh"
+#include "sim/service_profile.hh"
+
+namespace twig::services {
+
+/** CPU-intensive microbenchmark, no memory accesses. */
+sim::ServiceProfile cpuMaxMicrobench();
+
+/** Branch-miss generator (unsorted-vector aggregation). */
+sim::ServiceProfile branchyMicrobench();
+
+/** STREAM-like memory-bandwidth microbenchmark. */
+sim::ServiceProfile streamMicrobench();
+
+/**
+ * "Run" the three microbenchmarks on all cores at max DVFS for one
+ * interval and take the element-wise maximum of the resulting counter
+ * vectors: the normalisation ceiling for each PMC.
+ */
+sim::PmcVector calibrateCounterMaxima(const sim::MachineConfig &machine);
+
+} // namespace twig::services
+
+#endif // TWIG_SERVICES_MICROBENCH_HH

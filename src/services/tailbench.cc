@@ -1,0 +1,293 @@
+#include "services/tailbench.hh"
+
+#include "common/error.hh"
+
+namespace twig::services {
+
+sim::ServiceProfile
+masstree()
+{
+    sim::ServiceProfile p;
+    p.name = "masstree";
+    p.maxLoadRps = 2400.0;
+    p.qosTargetMs = 36.0;  // 1.3x the p99 at 90% load, full allocation
+    p.timeoutMs = 220.0;   // ~6x target: clients abandon hopeless requests
+    p.baseServiceTimeMs = 6.75; // knee of 18 cores @ 2 GHz near max load
+    p.serviceTimeCv = 0.7;
+    p.freqExponent = 0.85;      // partially bound by memory latency
+    p.memTrafficPerReqMB = 2.0; // modest own bandwidth use...
+    p.bwSensitivity = 1.3;      // ...but extremely interference-sensitive
+    p.llcFootprintMB = 12.0;
+    p.llcSensitivity = 0.6;
+    p.instructionsPerReqM = 10.8; // IPC ~0.8 (pointer chasing)
+    p.uopsPerInstr = 1.25;
+    p.branchFraction = 0.20;
+    p.branchMissRate = 0.012;
+    p.l1dPerInstr = 0.42;
+    p.l1iPerInstr = 0.06;
+    p.llcAccessPerInstr = 0.030;
+    p.llcBaseMissRate = 0.45;
+    return p;
+}
+
+sim::ServiceProfile
+xapian()
+{
+    sim::ServiceProfile p;
+    p.name = "xapian";
+    p.maxLoadRps = 1000.0;
+    p.qosTargetMs = 136.0;
+    p.timeoutMs = 820.0;
+    p.baseServiceTimeMs = 16.2;
+    p.serviceTimeCv = 1.1;      // query cost varies widely
+    p.freqExponent = 0.95;
+    p.memTrafficPerReqMB = 6.0;
+    p.bwSensitivity = 0.6;
+    p.llcFootprintMB = 24.0;
+    p.llcSensitivity = 0.5;
+    p.instructionsPerReqM = 35.6; // IPC ~1.1
+    p.uopsPerInstr = 1.30;
+    p.branchFraction = 0.22;
+    p.branchMissRate = 0.030;
+    p.l1dPerInstr = 0.38;
+    p.l1iPerInstr = 0.10;
+    p.llcAccessPerInstr = 0.018;
+    p.llcBaseMissRate = 0.35;
+    return p;
+}
+
+sim::ServiceProfile
+moses()
+{
+    sim::ServiceProfile p;
+    p.name = "moses";
+    p.maxLoadRps = 2800.0;
+    p.qosTargetMs = 43.0;
+    p.timeoutMs = 260.0;
+    p.baseServiceTimeMs = 5.79;
+    p.serviceTimeCv = 0.9;
+    p.freqExponent = 0.80;       // heavily memory bound
+    p.memTrafficPerReqMB = 14.0; // bandwidth hungry (paper §V-B2)
+    p.bwSensitivity = 0.5;
+    p.llcFootprintMB = 40.0;     // cache-capacity hungry
+    p.llcSensitivity = 0.45;
+    p.instructionsPerReqM = 11.6; // IPC ~1.0
+    p.uopsPerInstr = 1.35;
+    p.branchFraction = 0.18;
+    p.branchMissRate = 0.022;
+    p.l1dPerInstr = 0.45;
+    p.l1iPerInstr = 0.09;
+    p.llcAccessPerInstr = 0.040;
+    p.llcBaseMissRate = 0.55;
+    return p;
+}
+
+sim::ServiceProfile
+imgdnn()
+{
+    sim::ServiceProfile p;
+    p.name = "img-dnn";
+    p.maxLoadRps = 1100.0;
+    p.qosTargetMs = 49.0;
+    p.timeoutMs = 300.0;
+    p.baseServiceTimeMs = 14.73;
+    p.serviceTimeCv = 0.4;       // uniform DNN inference cost
+    p.freqExponent = 1.0;        // compute bound
+    p.memTrafficPerReqMB = 4.0;
+    p.bwSensitivity = 0.35;
+    p.llcFootprintMB = 18.0;
+    p.llcSensitivity = 0.3;
+    p.instructionsPerReqM = 47.1; // IPC ~1.6 (dense kernels)
+    p.uopsPerInstr = 1.15;
+    p.branchFraction = 0.08;
+    p.branchMissRate = 0.006;
+    p.l1dPerInstr = 0.50;
+    p.l1iPerInstr = 0.04;
+    p.llcAccessPerInstr = 0.012;
+    p.llcBaseMissRate = 0.40;
+    return p;
+}
+
+sim::ServiceProfile
+memcached()
+{
+    sim::ServiceProfile p;
+    p.name = "memcached";
+    p.maxLoadRps = 6000.0;
+    p.qosTargetMs = 10.5;
+    p.timeoutMs = 70.0;
+    p.baseServiceTimeMs = 2.70;
+    p.serviceTimeCv = 0.5;
+    p.freqExponent = 0.85;
+    p.memTrafficPerReqMB = 1.2;
+    p.bwSensitivity = 1.1;
+    p.llcFootprintMB = 10.0;
+    p.llcSensitivity = 0.5;
+    p.instructionsPerReqM = 4.9; // IPC ~0.9
+    p.uopsPerInstr = 1.20;
+    p.branchFraction = 0.21;
+    p.branchMissRate = 0.010;
+    p.l1dPerInstr = 0.40;
+    p.l1iPerInstr = 0.07;
+    p.llcAccessPerInstr = 0.025;
+    p.llcBaseMissRate = 0.50;
+    return p;
+}
+
+sim::ServiceProfile
+websearch()
+{
+    sim::ServiceProfile p;
+    p.name = "web-search";
+    p.maxLoadRps = 1200.0;
+    p.qosTargetMs = 126.0;
+    p.timeoutMs = 760.0;
+    p.baseServiceTimeMs = 13.5;
+    p.serviceTimeCv = 1.2;
+    p.freqExponent = 0.9;
+    p.memTrafficPerReqMB = 8.0;
+    p.bwSensitivity = 0.7;
+    p.llcFootprintMB = 28.0;
+    p.llcSensitivity = 0.5;
+    p.instructionsPerReqM = 32.4; // IPC ~1.2
+    p.uopsPerInstr = 1.30;
+    p.branchFraction = 0.24;
+    p.branchMissRate = 0.035;
+    p.l1dPerInstr = 0.36;
+    p.l1iPerInstr = 0.11;
+    p.llcAccessPerInstr = 0.020;
+    p.llcBaseMissRate = 0.40;
+    return p;
+}
+
+
+sim::ServiceProfile
+silo()
+{
+    sim::ServiceProfile p;
+    p.name = "silo";
+    p.maxLoadRps = 4000.0;
+    p.qosTargetMs = 21.0; // same 1.3x-p99-at-90%-load rule
+    p.timeoutMs = 130.0;
+    p.baseServiceTimeMs = 4.05; // knee rule: 0.9 * 18 / maxLoad
+    p.serviceTimeCv = 0.6;
+    p.freqExponent = 0.9;
+    p.memTrafficPerReqMB = 1.5;
+    p.bwSensitivity = 0.9;
+    p.llcFootprintMB = 16.0;
+    p.llcSensitivity = 0.5;
+    p.instructionsPerReqM = 8.1; // IPC ~1.0
+    p.uopsPerInstr = 1.25;
+    p.branchFraction = 0.19;
+    p.branchMissRate = 0.011;
+    p.l1dPerInstr = 0.41;
+    p.l1iPerInstr = 0.07;
+    p.llcAccessPerInstr = 0.022;
+    p.llcBaseMissRate = 0.40;
+    return p;
+}
+
+sim::ServiceProfile
+sphinx()
+{
+    sim::ServiceProfile p;
+    p.name = "sphinx";
+    p.maxLoadRps = 30.0; // seconds-long utterances: very low RPS
+    p.qosTargetMs = 2600.0;
+    p.timeoutMs = 13500.0;
+    p.baseServiceTimeMs = 540.0;
+    p.serviceTimeCv = 0.5;
+    p.freqExponent = 1.0; // GMM scoring is compute bound
+    p.memTrafficPerReqMB = 120.0;
+    p.bwSensitivity = 0.4;
+    p.llcFootprintMB = 30.0;
+    p.llcSensitivity = 0.35;
+    p.instructionsPerReqM = 1600.0; // IPC ~1.5
+    p.uopsPerInstr = 1.15;
+    p.branchFraction = 0.10;
+    p.branchMissRate = 0.008;
+    p.l1dPerInstr = 0.48;
+    p.l1iPerInstr = 0.05;
+    p.llcAccessPerInstr = 0.014;
+    p.llcBaseMissRate = 0.45;
+    return p;
+}
+
+sim::ServiceProfile
+shore()
+{
+    sim::ServiceProfile p;
+    p.name = "shore";
+    p.maxLoadRps = 1800.0;
+    p.qosTargetMs = 55.0;
+    p.timeoutMs = 330.0;
+    p.baseServiceTimeMs = 9.0;
+    p.serviceTimeCv = 1.0; // I/O-path variance
+    p.freqExponent = 0.7;  // storage-stack bound
+    p.memTrafficPerReqMB = 5.0;
+    p.bwSensitivity = 0.6;
+    p.llcFootprintMB = 22.0;
+    p.llcSensitivity = 0.45;
+    p.instructionsPerReqM = 12.6; // IPC ~0.7
+    p.uopsPerInstr = 1.30;
+    p.branchFraction = 0.23;
+    p.branchMissRate = 0.025;
+    p.l1dPerInstr = 0.44;
+    p.l1iPerInstr = 0.12;
+    p.llcAccessPerInstr = 0.030;
+    p.llcBaseMissRate = 0.55;
+    return p;
+}
+
+sim::ServiceProfile
+specjbb()
+{
+    sim::ServiceProfile p;
+    p.name = "specjbb";
+    p.maxLoadRps = 6500.0;
+    p.qosTargetMs = 13.0;
+    p.timeoutMs = 80.0;
+    p.baseServiceTimeMs = 2.49;
+    p.serviceTimeCv = 0.9; // GC pauses fatten the tail
+    p.freqExponent = 0.95;
+    p.memTrafficPerReqMB = 2.5;
+    p.bwSensitivity = 0.7;
+    p.llcFootprintMB = 26.0;
+    p.llcSensitivity = 0.5;
+    p.instructionsPerReqM = 6.0; // IPC ~1.2
+    p.uopsPerInstr = 1.35;
+    p.branchFraction = 0.20;
+    p.branchMissRate = 0.020;
+    p.l1dPerInstr = 0.42;
+    p.l1iPerInstr = 0.13; // JITted code footprint
+    p.llcAccessPerInstr = 0.020;
+    p.llcBaseMissRate = 0.45;
+    return p;
+}
+
+std::vector<sim::ServiceProfile>
+fullCatalogue()
+{
+    return {masstree(), xapian(),  moses(), imgdnn(),
+            silo(),     sphinx(),  shore(), specjbb()};
+}
+
+std::vector<sim::ServiceProfile>
+tailbenchCatalogue()
+{
+    return {masstree(), xapian(), moses(), imgdnn()};
+}
+
+sim::ServiceProfile
+byName(const std::string &name)
+{
+    for (const auto &p : {masstree(), xapian(), moses(), imgdnn(),
+                          memcached(), websearch(), silo(), sphinx(),
+                          shore(), specjbb()}) {
+        if (p.name == name)
+            return p;
+    }
+    common::fatal("unknown service: ", name);
+}
+
+} // namespace twig::services

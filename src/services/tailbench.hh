@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The workload catalogue: parameterised models of the Tailbench LC
+ * services the paper evaluates (Masstree, Xapian, Moses, Img-dnn,
+ * Table II) plus Memcached and Web-Search (used for Fig. 1).
+ *
+ * Parameters are chosen so that (a) the knee of each service's
+ * latency/load curve on the full socket at max DVFS lands at its
+ * nominal maximum load, and (b) the qualitative contention behaviour
+ * the paper describes holds: Masstree is highly *sensitive* to memory
+ * bandwidth interference while using little itself; Moses is *hungry*
+ * for bandwidth and LLC capacity; Img-dnn is compute-bound.
+ *
+ * QoS targets are the p99 each service achieves at ~90 % of its maximum
+ * load with all cores at the highest DVFS state (plus margin) — the
+ * methodology of paper §V ("We specify the QoS targets and maximum
+ * incoming load according to the capacity and characteristics of our
+ * platform"); bench/tab2_service_capacity regenerates the table.
+ */
+
+#ifndef TWIG_SERVICES_TAILBENCH_HH
+#define TWIG_SERVICES_TAILBENCH_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/service_profile.hh"
+
+namespace twig::services {
+
+/** In-memory key-value store index (Table II: tightest QoS target). */
+sim::ServiceProfile masstree();
+
+/** Open-source search engine (Table II). */
+sim::ServiceProfile xapian();
+
+/** Statistical machine translation (Table II; cache/bandwidth hungry). */
+sim::ServiceProfile moses();
+
+/** Handwriting-recognition DNN (Table II; compute-bound). */
+sim::ServiceProfile imgdnn();
+
+/** Key-value cache (used in the Fig. 1 motivation study). */
+sim::ServiceProfile memcached();
+
+/** Web-search leaf node (used in the Fig. 1 motivation study). */
+sim::ServiceProfile websearch();
+
+/** OLTP in-memory database (not in the paper's evaluation; included
+ * for full Tailbench coverage). */
+sim::ServiceProfile silo();
+
+/** Speech recognition (compute-heavy, long requests). */
+sim::ServiceProfile sphinx();
+
+/** Disk-backed OLTP database. */
+sim::ServiceProfile shore();
+
+/** Java middleware (SPECjbb-like). */
+sim::ServiceProfile specjbb();
+
+/** The four Table II services, in table order. */
+std::vector<sim::ServiceProfile> tailbenchCatalogue();
+
+/** Every modelled Tailbench service (the paper's four plus silo,
+ * sphinx, shore and specjbb) — the full suite of Kasture & Sanchez. */
+std::vector<sim::ServiceProfile> fullCatalogue();
+
+/** Lookup by (case-sensitive) name across all six services. */
+sim::ServiceProfile byName(const std::string &name);
+
+} // namespace twig::services
+
+#endif // TWIG_SERVICES_TAILBENCH_HH

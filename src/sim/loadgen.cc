@@ -1,0 +1,67 @@
+#include "sim/loadgen.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace twig::sim {
+
+StepwiseMonotonicLoad::StepwiseMonotonicLoad(double max_rps,
+                                             double min_fraction,
+                                             double change_factor,
+                                             std::size_t period_steps)
+    : maxRps_(max_rps), minFraction_(min_fraction),
+      changeFactor_(change_factor), periodSteps_(period_steps)
+{
+    common::fatalIf(min_fraction <= 0.0 || min_fraction > 1.0,
+                    "StepwiseMonotonicLoad: min fraction out of (0, 1]");
+    common::fatalIf(change_factor <= 0.0,
+                    "StepwiseMonotonicLoad: change factor must be > 0");
+    common::fatalIf(period_steps == 0,
+                    "StepwiseMonotonicLoad: period must be >= 1 step");
+
+    levelsUp_ = 0;
+    double f = minFraction_;
+    while (f * (1.0 + changeFactor_) <= 1.0 + 1e-12) {
+        f *= 1.0 + changeFactor_;
+        ++levelsUp_;
+    }
+}
+
+double
+StepwiseMonotonicLoad::rps(std::size_t step) const
+{
+    const std::size_t level_index = step / periodSteps_;
+    // Cycle: up for levelsUp_ levels, down for levelsUp_ levels.
+    const std::size_t cycle = 2 * levelsUp_;
+    std::size_t pos = cycle ? level_index % cycle : 0;
+    std::size_t ups = pos <= levelsUp_ ? pos : cycle - pos;
+    double f = minFraction_;
+    for (std::size_t i = 0; i < ups; ++i)
+        f *= 1.0 + changeFactor_;
+    if (f > 1.0)
+        f = 1.0;
+    return maxRps_ * f;
+}
+
+DiurnalLoad::DiurnalLoad(double max_rps, double low_fraction,
+                         double high_fraction, std::size_t period_steps)
+    : maxRps_(max_rps), low_(low_fraction), high_(high_fraction),
+      period_(period_steps)
+{
+    common::fatalIf(period_steps == 0, "DiurnalLoad: period must be >= 1");
+    common::fatalIf(low_fraction > high_fraction,
+                    "DiurnalLoad: low fraction exceeds high fraction");
+}
+
+double
+DiurnalLoad::rps(std::size_t step) const
+{
+    const double phase = 2.0 * M_PI *
+        static_cast<double>(step % period_) / static_cast<double>(period_);
+    const double mid = 0.5 * (low_ + high_);
+    const double amp = 0.5 * (high_ - low_);
+    return maxRps_ * (mid - amp * std::cos(phase));
+}
+
+} // namespace twig::sim

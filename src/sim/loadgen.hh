@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Load generators: request-rate profiles driving the simulated clients.
+ *
+ * The paper evaluates fixed loads (20/50/80 % of max), a step-wise
+ * monotonic profile (Fig. 10: load changes every 200 s by a 20 % change
+ * factor, up to max then back down), a gradual ramp (Fig. 11) and
+ * diurnal variation common in data centres.
+ */
+
+#ifndef TWIG_SIM_LOADGEN_HH
+#define TWIG_SIM_LOADGEN_HH
+
+#include <cstddef>
+#include <memory>
+
+namespace twig::sim {
+
+/** A request-rate profile: RPS as a function of the control step. */
+class LoadGenerator
+{
+  public:
+    virtual ~LoadGenerator() = default;
+
+    /** Offered load (requests per second) during step @p step. */
+    virtual double rps(std::size_t step) const = 0;
+};
+
+/** Constant load at a fixed fraction of a maximum rate. */
+class FixedLoad : public LoadGenerator
+{
+  public:
+    FixedLoad(double max_rps, double fraction)
+        : rps_(max_rps * fraction)
+    {
+    }
+
+    double rps(std::size_t) const override { return rps_; }
+
+  private:
+    double rps_;
+};
+
+/**
+ * Step-wise monotonic profile (paper Fig. 10): starting from a minimum,
+ * the load is multiplied by (1 + change factor) every @p period steps
+ * until it reaches the maximum, then divided until it returns to the
+ * minimum, cyclically.
+ */
+class StepwiseMonotonicLoad : public LoadGenerator
+{
+  public:
+    /**
+     * @param max_rps        service maximum load
+     * @param min_fraction   starting fraction of max (e.g. 0.2)
+     * @param change_factor  multiplicative step (paper: 0.2)
+     * @param period_steps   steps between load changes (paper: 200 s)
+     */
+    StepwiseMonotonicLoad(double max_rps, double min_fraction,
+                          double change_factor, std::size_t period_steps);
+
+    double rps(std::size_t step) const override;
+
+  private:
+    double maxRps_;
+    double minFraction_;
+    double changeFactor_;
+    std::size_t periodSteps_;
+    std::size_t levelsUp_; // number of upward multiplications to reach max
+};
+
+/** Linear ramp between two fractions of max load (paper Fig. 11). */
+class RampLoad : public LoadGenerator
+{
+  public:
+    RampLoad(double max_rps, double from_fraction, double to_fraction,
+             std::size_t duration_steps)
+        : maxRps_(max_rps), from_(from_fraction), to_(to_fraction),
+          duration_(duration_steps ? duration_steps : 1)
+    {
+    }
+
+    double
+    rps(std::size_t step) const override
+    {
+        const double f = step >= duration_
+            ? to_
+            : from_ + (to_ - from_) * static_cast<double>(step) /
+                static_cast<double>(duration_);
+        return maxRps_ * f;
+    }
+
+  private:
+    double maxRps_;
+    double from_;
+    double to_;
+    std::size_t duration_;
+};
+
+/**
+ * Diurnal load: sinusoidal day/night pattern between a low and a high
+ * fraction of max load (period = @p period_steps).
+ */
+class DiurnalLoad : public LoadGenerator
+{
+  public:
+    DiurnalLoad(double max_rps, double low_fraction, double high_fraction,
+                std::size_t period_steps);
+
+    double rps(std::size_t step) const override;
+
+  private:
+    double maxRps_;
+    double low_;
+    double high_;
+    std::size_t period_;
+};
+
+} // namespace twig::sim
+
+#endif // TWIG_SIM_LOADGEN_HH

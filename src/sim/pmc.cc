@@ -1,0 +1,89 @@
+#include "sim/pmc.hh"
+
+#include <vector>
+
+#include "common/error.hh"
+
+namespace twig::sim {
+
+const std::string &
+pmcName(Pmc counter)
+{
+    static const std::vector<std::string> names = {
+        "UNHALTED_CORE_CYCLES",
+        "INSTRUCTION_RETIRED",
+        "PERF_COUNT_HW_CPU_CYCLES",
+        "UNHALTED_REFERENCE_CYCLES",
+        "UOPS_RETIRED",
+        "BRANCH_INSTRUCTIONS_RETIRED",
+        "MISPREDICTED_BRANCH_RETIRED",
+        "PERF_COUNT_HW_BRANCH_MISSES",
+        "LLC_MISSES",
+        "PERF_COUNT_HW_CACHE_L1D",
+        "PERF_COUNT_HW_CACHE_L1I",
+    };
+    const auto idx = static_cast<std::size_t>(counter);
+    common::fatalIf(idx >= names.size(), "pmcName: bad counter");
+    return names[idx];
+}
+
+PmcModel::PmcModel(const MachineConfig &machine, common::Rng rng,
+                   double noise_sigma)
+    : machine_(machine), rng_(rng), noiseSigma_(noise_sigma)
+{
+}
+
+PmcVector
+PmcModel::synthesizeNoiseless(const ServiceProfile &profile,
+                              const IntervalExecution &exec) const
+{
+    PmcVector v{};
+    const double instr = static_cast<double>(exec.completedRequests) *
+        profile.instructionsPerReqM * 1e6;
+
+    // Cycle counters: busy core time at the operating/reference clock.
+    const double core_cycles = exec.busyCoreSeconds * exec.freqGhz * 1e9;
+    const double ref_cycles =
+        exec.busyCoreSeconds * machine_.dvfs.maxGhz * 1e9;
+
+    v[static_cast<std::size_t>(Pmc::UnhaltedCoreCycles)] = core_cycles;
+    v[static_cast<std::size_t>(Pmc::InstructionRetired)] = instr;
+    // CPU_CYCLES has a slightly wider scope than unhalted core cycles
+    // (it also ticks in kernel paths the service triggers).
+    v[static_cast<std::size_t>(Pmc::CpuCycles)] = core_cycles * 1.02;
+    v[static_cast<std::size_t>(Pmc::UnhaltedReferenceCycles)] = ref_cycles;
+    v[static_cast<std::size_t>(Pmc::UopsRetired)] =
+        instr * profile.uopsPerInstr;
+
+    const double branches = instr * profile.branchFraction;
+    const double branch_misses = branches * profile.branchMissRate;
+    v[static_cast<std::size_t>(Pmc::BranchInstructionsRetired)] = branches;
+    v[static_cast<std::size_t>(Pmc::MispredictedBranchRetired)] =
+        branch_misses;
+    // The perf generic event counts a slightly different set of
+    // speculative events than the architectural counter.
+    v[static_cast<std::size_t>(Pmc::BranchMisses)] = branch_misses * 1.05;
+
+    v[static_cast<std::size_t>(Pmc::LlcMisses)] = instr *
+        profile.llcAccessPerInstr * profile.llcBaseMissRate *
+        exec.llcMissFactor;
+    v[static_cast<std::size_t>(Pmc::CacheL1d)] =
+        instr * profile.l1dPerInstr;
+    v[static_cast<std::size_t>(Pmc::CacheL1i)] =
+        instr * profile.l1iPerInstr;
+    return v;
+}
+
+PmcVector
+PmcModel::synthesize(const ServiceProfile &profile,
+                     const IntervalExecution &exec)
+{
+    PmcVector v = synthesizeNoiseless(profile, exec);
+    for (auto &x : v) {
+        const double noise = rng_.normal(1.0, noiseSigma_);
+        x *= noise < 0.0 ? 0.0 : noise;
+    }
+    return v;
+}
+
+} // namespace twig::sim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Synthesis of the 11 hardware performance counters of paper Table I
+ * from the simulated execution of a service interval.
+ *
+ * The synthesis preserves the causal structure that makes the paper's
+ * premise hold: cycle counters expose how much core time the service
+ * consumed (load x allocation), instruction-derived counters expose the
+ * completed work, and cache/branch counters expose the workload mix and
+ * interference. IPC (instructions / cycles) stays nearly flat across
+ * load levels — which is exactly why IPC alone cannot predict tail
+ * latency (paper Fig. 1) while the joint counter vector can.
+ */
+
+#ifndef TWIG_SIM_PMC_HH
+#define TWIG_SIM_PMC_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "common/rng.hh"
+#include "sim/machine.hh"
+#include "sim/service_profile.hh"
+
+namespace twig::sim {
+
+/** The 11 PMCs of paper Table I, in table order. */
+enum class Pmc : std::size_t
+{
+    UnhaltedCoreCycles = 0,
+    InstructionRetired,
+    CpuCycles,
+    UnhaltedReferenceCycles,
+    UopsRetired,
+    BranchInstructionsRetired,
+    MispredictedBranchRetired,
+    BranchMisses,
+    LlcMisses,
+    CacheL1d,
+    CacheL1i,
+    NumCounters
+};
+
+inline constexpr std::size_t kNumPmcs =
+    static_cast<std::size_t>(Pmc::NumCounters);
+
+/** Raw counter values for one service over one interval. */
+using PmcVector = std::array<double, kNumPmcs>;
+
+/** Human-readable counter name (Table I spelling). */
+const std::string &pmcName(Pmc counter);
+
+/** Execution facts of one service interval, input to the synthesis. */
+struct IntervalExecution
+{
+    /** Requests that entered service. */
+    std::size_t completedRequests = 0;
+    /** Core-seconds consumed (stall time included). */
+    double busyCoreSeconds = 0.0;
+    /** Operating frequency of the service's cores, GHz. */
+    double freqGhz = 2.0;
+    /** LLC miss-rate multiplier from interference. */
+    double llcMissFactor = 1.0;
+};
+
+/** Synthesises PMC vectors; one instance per server (owns noise RNG). */
+class PmcModel
+{
+  public:
+    /**
+     * @param machine     hardware description (reference clock)
+     * @param rng         measurement-noise stream
+     * @param noise_sigma relative measurement noise per counter
+     */
+    PmcModel(const MachineConfig &machine, common::Rng rng,
+             double noise_sigma = 0.015);
+
+    /** Synthesise the 11 counters for one service interval. */
+    PmcVector synthesize(const ServiceProfile &profile,
+                         const IntervalExecution &exec);
+
+    /**
+     * Ceiling values used for max-value normalisation: the counters a
+     * maximally demanding workload produces in one interval on the
+     * whole socket (paper §IV obtains these from three calibration
+     * microbenchmarks; services/calibration.hh drives this).
+     */
+    PmcVector
+    synthesizeNoiseless(const ServiceProfile &profile,
+                        const IntervalExecution &exec) const;
+
+  private:
+    MachineConfig machine_;
+    common::Rng rng_;
+    double noiseSigma_;
+};
+
+} // namespace twig::sim
+
+#endif // TWIG_SIM_PMC_HH

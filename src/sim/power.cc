@@ -1,0 +1,51 @@
+#include "sim/power.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace twig::sim {
+
+double
+PowerModel::corePower(const CorePowerState &core) const
+{
+    if (!core.enabled)
+        return 0.0;
+    const double leak = machine_.coreLeakBaseW +
+        machine_.coreLeakPerGhzW *
+            std::max(0.0, core.freqGhz - machine_.dvfs.minGhz);
+    const double util = std::clamp(core.utilization, 0.0, 1.0);
+    const double v =
+        machine_.voltageV0 + machine_.voltagePerGhz * core.freqGhz;
+    const double dyn =
+        machine_.dynPowerCoeffW * v * v * core.freqGhz * util;
+    return leak + dyn;
+}
+
+double
+PowerModel::socketPower(const std::vector<CorePowerState> &cores) const
+{
+    double total = machine_.uncorePowerW;
+    for (const auto &c : cores)
+        total += corePower(c);
+    return total;
+}
+
+double
+PowerModel::idlePower() const
+{
+    std::vector<CorePowerState> cores(
+        machine_.numCores,
+        CorePowerState{true, machine_.dvfs.minGhz, 0.0});
+    return socketPower(cores);
+}
+
+double
+PowerModel::maxPower() const
+{
+    std::vector<CorePowerState> cores(
+        machine_.numCores,
+        CorePowerState{true, machine_.dvfs.maxGhz, 1.0});
+    return socketPower(cores);
+}
+
+} // namespace twig::sim

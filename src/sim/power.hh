@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Ground-truth socket power model and the simulated RAPL interface.
+ *
+ * Physics (per interval): every *enabled* core burns leakage that grows
+ * with its DVFS state (voltage tracks frequency) plus dynamic power
+ * proportional to f^3 scaled by its utilisation; the uncore burns a
+ * constant. RAPL, like on real hardware (paper §IV), exposes only the
+ * socket-level aggregate — which is exactly why Twig needs its own
+ * first-order per-service model (paper Eq. 2) for the reward.
+ */
+
+#ifndef TWIG_SIM_POWER_HH
+#define TWIG_SIM_POWER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace twig::sim {
+
+/** Power-relevant state of one physical core during one interval. */
+struct CorePowerState
+{
+    bool enabled = true;
+    double freqGhz = 1.2;
+    /** Busy fraction of the interval, [0, 1]. */
+    double utilization = 0.0;
+};
+
+/** Ground-truth power computation. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const MachineConfig &machine) : machine_(machine) {}
+
+    /** Instantaneous power of one core, W. */
+    double corePower(const CorePowerState &core) const;
+
+    /** Socket power for a full per-core state vector, W. */
+    double socketPower(const std::vector<CorePowerState> &cores) const;
+
+    /** Socket power when completely idle (all cores enabled at the
+     * lowest DVFS state, zero utilisation), W. Used to derive the
+     * "dynamic power" the paper's Eq. 2 models. */
+    double idlePower() const;
+
+    /**
+     * Peak power: all cores at max DVFS, fully busy — the paper obtains
+     * this "maximum system power consumption" by running a stress
+     * microbenchmark with no memory accesses.
+     */
+    double maxPower() const;
+
+  private:
+    MachineConfig machine_;
+};
+
+/**
+ * Simulated running-average-power-limit register: integrates socket
+ * energy; polled at the control interval like the LC services (§IV).
+ */
+class Rapl
+{
+  public:
+    explicit Rapl(const MachineConfig &machine)
+        : model_(machine)
+    {
+    }
+
+    /** Account @p seconds of the given core states. */
+    void
+    integrate(const std::vector<CorePowerState> &cores, double seconds)
+    {
+        const double watts = model_.socketPower(cores);
+        energyJ_ += watts * seconds;
+        lastPowerW_ = watts;
+    }
+
+    /** Cumulative socket energy since construction, J. */
+    double energyJoules() const { return energyJ_; }
+
+    /** Average power over the last integrated window, W. */
+    double lastPowerW() const { return lastPowerW_; }
+
+    const PowerModel &model() const { return model_; }
+
+  private:
+    PowerModel model_;
+    double energyJ_ = 0.0;
+    double lastPowerW_ = 0.0;
+};
+
+} // namespace twig::sim
+
+#endif // TWIG_SIM_POWER_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Event-driven multi-server FCFS queue: the latency engine of one
+ * simulated LC service.
+ *
+ * Each control interval, Poisson arrivals are generated at the offered
+ * load and dispatched FCFS onto the cores granted to the service. A
+ * request's on-core time is log-normal, scaled by DVFS
+ * ((fmax/f)^freqExponent) and by the interference inflation factor
+ * computed for the interval. Unstarted requests carry over between
+ * intervals, so overload makes tail latency blow up across intervals —
+ * exactly the behaviour the paper's capacity sweep looks for.
+ *
+ * Time-shared cores (resource arbitration, paper §IV) are modelled as
+ * cores running at 1/shareCount speed.
+ */
+
+#ifndef TWIG_SIM_QUEUE_SIM_HH
+#define TWIG_SIM_QUEUE_SIM_HH
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/machine.hh"
+#include "sim/service_profile.hh"
+
+namespace twig::sim {
+
+/** Outcome of simulating one control interval for one service. */
+struct QueueIntervalResult
+{
+    /** Latencies (ms) of requests that *started* service this interval. */
+    std::vector<double> latenciesMs;
+    /** p99 over the trailing QoS window (see MachineConfig); when
+     * nothing completed recently, the age of the oldest queued request
+     * (overload signal). */
+    double p99Ms = 0.0;
+    /** p99 over this interval's completions only (no trailing window);
+     * same overload fallback. Credit assignment wants this: it reflects
+     * only the allocation that was actually active. */
+    double p99InstantMs = 0.0;
+    double meanMs = 0.0;
+    /** Requests that entered service. */
+    std::size_t completed = 0;
+    /** New arrivals this interval. */
+    std::size_t arrivals = 0;
+    /** Requests dropped because the pending queue overflowed. */
+    std::size_t dropped = 0;
+    /** Requests still waiting at interval end. */
+    std::size_t queuedAtEnd = 0;
+    /** Total on-core seconds consumed by requests started this interval
+     * (weighted by core speed, i.e. real occupancy). */
+    double busyCoreSeconds = 0.0;
+    /** Mean per-request on-core time actually drawn (ms), after DVFS and
+     * interference scaling — feeds PMC stall modelling. */
+    double meanServiceTimeMs = 0.0;
+};
+
+/** Per-service queue simulator with cross-interval backlog. */
+class RequestQueueSim
+{
+  public:
+    /**
+     * @param profile      the service's workload parameters
+     * @param rng          private randomness stream
+     * @param ref_freq_ghz frequency at which baseServiceTimeMs holds
+     * @param max_pending  backlog cap (drops beyond; memory guard)
+     */
+    RequestQueueSim(const ServiceProfile &profile, common::Rng rng,
+                    double ref_freq_ghz, std::size_t max_pending = 200000,
+                    std::size_t qos_window_intervals = 3);
+
+    /**
+     * Simulate the interval [t0, t0+dt).
+     *
+     * @param rps        offered load
+     * @param assignment cores granted this interval
+     * @param inflation  interference service-time inflation (>= 1)
+     */
+    QueueIntervalResult run(double t0, double dt, double rps,
+                            const CoreAssignment &assignment,
+                            double inflation);
+
+    /** Clear the backlog (used when a service is swapped out). */
+    void reset();
+
+    std::size_t backlog() const { return pending_.size(); }
+    const ServiceProfile &profile() const { return profile_; }
+
+  private:
+    /** Draw a Poisson count (normal approximation above lambda = 64). */
+    std::size_t poisson(double lambda);
+
+    ServiceProfile profile_;
+    common::Rng rng_;
+    double refFreqGhz_;
+    std::size_t maxPending_;
+    std::size_t qosWindow_;
+    std::deque<double> pending_; // arrival times of unstarted requests
+    /** Latency samples of the most recent intervals (QoS window). */
+    std::deque<std::vector<double>> recentLatencies_;
+};
+
+} // namespace twig::sim
+
+#endif // TWIG_SIM_QUEUE_SIM_HH

@@ -1,0 +1,56 @@
+#include "stats/correlation.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace twig::stats {
+
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    common::fatalIf(x.size() != y.size(),
+                    "pearson: series lengths differ (", x.size(), " vs ",
+                    y.size(), ")");
+    const std::size_t n = x.size();
+    if (n < 2)
+        return 0.0;
+
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += x[i];
+        my += y[i];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<std::vector<double>>
+correlationMatrix(const std::vector<std::vector<double>> &columns)
+{
+    const std::size_t k = columns.size();
+    std::vector<std::vector<double>> m(k, std::vector<double>(k, 0.0));
+    for (std::size_t i = 0; i < k; ++i) {
+        m[i][i] = 1.0;
+        for (std::size_t j = i + 1; j < k; ++j) {
+            const double r = pearson(columns[i], columns[j]);
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    return m;
+}
+
+} // namespace twig::stats

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Pearson correlation and correlation matrices, used by the PMC selection
+ * pipeline (paper §III-B1) to relate candidate counters to tail latency.
+ */
+
+#ifndef TWIG_STATS_CORRELATION_HH
+#define TWIG_STATS_CORRELATION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace twig::stats {
+
+/**
+ * Pearson correlation coefficient of two equal-length series.
+ * Returns 0 when either series has zero variance or fewer than 2 points.
+ */
+double pearson(const std::vector<double> &x, const std::vector<double> &y);
+
+/**
+ * Full correlation matrix of a column-major dataset.
+ *
+ * @param columns  each inner vector is one variable's samples; all columns
+ *                 must have the same length
+ * @return symmetric matrix m where m[i][j] = pearson(col_i, col_j)
+ */
+std::vector<std::vector<double>>
+correlationMatrix(const std::vector<std::vector<double>> &columns);
+
+} // namespace twig::stats
+
+#endif // TWIG_STATS_CORRELATION_HH

@@ -1,0 +1,76 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace twig::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), binWidth_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    common::fatalIf(hi <= lo, "histogram range must be non-empty");
+    common::fatalIf(bins == 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    auto idx = static_cast<std::ptrdiff_t>((x - lo_) / binWidth_);
+    idx = std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return lo_ + (static_cast<double>(i) + 0.5) * binWidth_;
+}
+
+double
+Histogram::binFraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+double
+Histogram::density(std::size_t i) const
+{
+    return binFraction(i) / binWidth_;
+}
+
+std::size_t
+Histogram::modeBin() const
+{
+    return static_cast<std::size_t>(std::distance(
+        counts_.begin(), std::max_element(counts_.begin(), counts_.end())));
+}
+
+std::string
+Histogram::ascii(std::size_t width) const
+{
+    std::ostringstream os;
+    const std::size_t peak =
+        total_ ? counts_[modeBin()] : static_cast<std::size_t>(1);
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "%9.3f ", binCenter(i));
+        os << label;
+        const auto bar = peak
+            ? counts_[i] * width / peak
+            : static_cast<std::size_t>(0);
+        for (std::size_t b = 0; b < bar; ++b)
+            os << '#';
+        os << "  (" << counts_[i] << ")\n";
+    }
+    return os.str();
+}
+
+} // namespace twig::stats

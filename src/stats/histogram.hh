@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fixed-range histogram used for tardiness histograms (Fig. 6) and the
+ * prediction-error probability-density plots (Fig. 1).
+ */
+
+#ifndef TWIG_STATS_HISTOGRAM_HH
+#define TWIG_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace twig::stats {
+
+/**
+ * Uniform-bin histogram over [lo, hi); out-of-range samples are clamped
+ * into the first/last bin so no data is silently dropped.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo    lower edge of the first bin
+     * @param hi    upper edge of the last bin (must be > lo)
+     * @param bins  number of bins (must be >= 1)
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Total number of samples added. */
+    std::size_t count() const { return total_; }
+
+    /** Raw count of bin @p i. */
+    std::size_t binCount(std::size_t i) const { return counts_.at(i); }
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Centre value of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    /** Fraction of all samples that fell in bin @p i (0 when empty). */
+    double binFraction(std::size_t i) const;
+
+    /**
+     * Probability density estimate for bin @p i
+     * (fraction divided by bin width).
+     */
+    double density(std::size_t i) const;
+
+    /** Index of the most populated bin (0 when empty). */
+    std::size_t modeBin() const;
+
+    /** Render a compact ASCII bar chart (for bench stdout). */
+    std::string ascii(std::size_t width = 40) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double binWidth_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace twig::stats
+
+#endif // TWIG_STATS_HISTOGRAM_HH

@@ -1,0 +1,150 @@
+#include "stats/pca.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hh"
+
+namespace twig::stats {
+
+std::size_t
+PcaResult::componentsFor(double threshold) const
+{
+    double cum = 0.0;
+    for (std::size_t c = 0; c < explainedVarianceRatio.size(); ++c) {
+        cum += explainedVarianceRatio[c];
+        if (cum >= threshold)
+            return c + 1;
+    }
+    return explainedVarianceRatio.size();
+}
+
+std::vector<double>
+PcaResult::featureImportance(std::size_t n_components) const
+{
+    const std::size_t dims =
+        eigenvectors.empty() ? 0 : eigenvectors.front().size();
+    std::vector<double> importance(dims, 0.0);
+    const std::size_t n = std::min(n_components, eigenvectors.size());
+    for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t f = 0; f < dims; ++f) {
+            importance[f] +=
+                std::abs(eigenvectors[c][f]) * explainedVarianceRatio[c];
+        }
+    }
+    return importance;
+}
+
+PcaResult
+jacobiEigenSymmetric(std::vector<std::vector<double>> m,
+                     std::size_t max_sweeps)
+{
+    const std::size_t n = m.size();
+    for (const auto &row : m)
+        common::fatalIf(row.size() != n, "matrix must be square");
+
+    // Eigenvector accumulator starts as identity.
+    std::vector<std::vector<double>> v(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i)
+        v[i][i] = 1.0;
+
+    for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+        // Sum of magnitudes of off-diagonal entries; convergence check.
+        double off = 0.0;
+        for (std::size_t p = 0; p < n; ++p)
+            for (std::size_t q = p + 1; q < n; ++q)
+                off += std::abs(m[p][q]);
+        if (off < 1e-12)
+            break;
+
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                if (std::abs(m[p][q]) < 1e-15)
+                    continue;
+                const double theta = (m[q][q] - m[p][p]) / (2.0 * m[p][q]);
+                const double t = (theta >= 0 ? 1.0 : -1.0) /
+                    (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double mkp = m[k][p];
+                    const double mkq = m[k][q];
+                    m[k][p] = c * mkp - s * mkq;
+                    m[k][q] = s * mkp + c * mkq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double mpk = m[p][k];
+                    const double mqk = m[q][k];
+                    m[p][k] = c * mpk - s * mqk;
+                    m[q][k] = s * mpk + c * mqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v[k][p];
+                    const double vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Collect eigenpairs and sort by eigenvalue descending.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return m[a][a] > m[b][b]; });
+
+    PcaResult result;
+    result.eigenvalues.reserve(n);
+    result.eigenvectors.reserve(n);
+    double total = 0.0;
+    for (std::size_t i : order) {
+        result.eigenvalues.push_back(m[i][i]);
+        std::vector<double> vec(n);
+        for (std::size_t k = 0; k < n; ++k)
+            vec[k] = v[k][i];
+        result.eigenvectors.push_back(std::move(vec));
+        total += std::max(0.0, m[i][i]);
+    }
+    result.explainedVarianceRatio.reserve(n);
+    for (double lambda : result.eigenvalues) {
+        result.explainedVarianceRatio.push_back(
+            total > 0.0 ? std::max(0.0, lambda) / total : 0.0);
+    }
+    return result;
+}
+
+PcaResult
+pca(const std::vector<std::vector<double>> &columns)
+{
+    const std::size_t k = columns.size();
+    common::fatalIf(k == 0, "pca: empty dataset");
+    const std::size_t n = columns.front().size();
+    for (const auto &col : columns)
+        common::fatalIf(col.size() != n, "pca: ragged columns");
+    common::fatalIf(n < 2, "pca: need at least two samples");
+
+    std::vector<double> means(k, 0.0);
+    for (std::size_t j = 0; j < k; ++j) {
+        for (double x : columns[j])
+            means[j] += x;
+        means[j] /= static_cast<double>(n);
+    }
+
+    std::vector<std::vector<double>> cov(k, std::vector<double>(k, 0.0));
+    for (std::size_t a = 0; a < k; ++a) {
+        for (std::size_t b = a; b < k; ++b) {
+            double s = 0.0;
+            for (std::size_t i = 0; i < n; ++i)
+                s += (columns[a][i] - means[a]) * (columns[b][i] - means[b]);
+            s /= static_cast<double>(n - 1);
+            cov[a][b] = s;
+            cov[b][a] = s;
+        }
+    }
+    return jacobiEigenSymmetric(std::move(cov));
+}
+
+} // namespace twig::stats

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Principal component analysis via Jacobi eigendecomposition.
+ *
+ * Used by the PMC selection pipeline (paper §III-B1): after building a
+ * correlation matrix between counters and tail latency, PCA determines the
+ * most vital and distinct counters, keeping enough components to explain
+ * at least 95% of the covariance.
+ */
+
+#ifndef TWIG_STATS_PCA_HH
+#define TWIG_STATS_PCA_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace twig::stats {
+
+/** Result of a principal component analysis. */
+struct PcaResult
+{
+    /** Eigenvalues, sorted descending. */
+    std::vector<double> eigenvalues;
+    /** eigenvectors[c] is the loading vector of component c. */
+    std::vector<std::vector<double>> eigenvectors;
+    /** Fraction of total variance explained per component (descending). */
+    std::vector<double> explainedVarianceRatio;
+
+    /**
+     * Smallest number of leading components whose cumulative explained
+     * variance reaches @p threshold (e.g. 0.95).
+     */
+    std::size_t componentsFor(double threshold) const;
+
+    /**
+     * Feature-importance score: for each input feature, the sum over the
+     * first @p n_components of |loading| weighted by explained variance.
+     * Larger means the feature contributes more to the retained components.
+     */
+    std::vector<double> featureImportance(std::size_t n_components) const;
+};
+
+/**
+ * Jacobi eigendecomposition of a symmetric matrix.
+ *
+ * @param m          symmetric square matrix (modified copy internally)
+ * @param max_sweeps maximum Jacobi sweeps before giving up
+ * @return eigenvalues (descending) and matching eigenvectors (rows)
+ */
+PcaResult jacobiEigenSymmetric(std::vector<std::vector<double>> m,
+                               std::size_t max_sweeps = 64);
+
+/**
+ * PCA over a column-major dataset: builds the covariance matrix of the
+ * (mean-centred) columns and eigendecomposes it.
+ */
+PcaResult pca(const std::vector<std::vector<double>> &columns);
+
+} // namespace twig::stats
+
+#endif // TWIG_STATS_PCA_HH

@@ -1,0 +1,155 @@
+#include "stats/regression.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hh"
+
+namespace twig::stats {
+
+std::vector<double>
+leastSquares(const std::vector<std::vector<double>> &rows,
+             const std::vector<double> &y)
+{
+    common::fatalIf(rows.empty(), "leastSquares: no samples");
+    common::fatalIf(rows.size() != y.size(),
+                    "leastSquares: X/y length mismatch");
+    const std::size_t d = rows.front().size();
+    for (const auto &r : rows)
+        common::fatalIf(r.size() != d, "leastSquares: ragged rows");
+    common::fatalIf(rows.size() < d,
+                    "leastSquares: underdetermined system (", rows.size(),
+                    " samples, ", d, " features)");
+
+    // Normal equations: (X^T X) w = X^T y.
+    std::vector<std::vector<double>> a(d, std::vector<double>(d + 1, 0.0));
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        for (std::size_t p = 0; p < d; ++p) {
+            for (std::size_t q = 0; q < d; ++q)
+                a[p][q] += rows[i][p] * rows[i][q];
+            a[p][d] += rows[i][p] * y[i];
+        }
+    }
+
+    // Gaussian elimination with partial pivoting on the augmented matrix.
+    for (std::size_t col = 0; col < d; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < d; ++r) {
+            if (std::abs(a[r][col]) > std::abs(a[pivot][col]))
+                pivot = r;
+        }
+        std::swap(a[col], a[pivot]);
+        common::fatalIf(std::abs(a[col][col]) < 1e-12,
+                        "leastSquares: singular normal matrix");
+        for (std::size_t r = 0; r < d; ++r) {
+            if (r == col)
+                continue;
+            const double f = a[r][col] / a[col][col];
+            for (std::size_t q = col; q <= d; ++q)
+                a[r][q] -= f * a[col][q];
+        }
+    }
+
+    std::vector<double> w(d);
+    for (std::size_t i = 0; i < d; ++i)
+        w[i] = a[i][d] / a[i][i];
+    return w;
+}
+
+double
+meanSquaredError(const std::vector<double> &pred,
+                 const std::vector<double> &truth)
+{
+    common::fatalIf(pred.size() != truth.size() || pred.empty(),
+                    "meanSquaredError: bad input sizes");
+    double s = 0.0;
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+        const double e = pred[i] - truth[i];
+        s += e * e;
+    }
+    return s / static_cast<double>(pred.size());
+}
+
+double
+rSquared(const std::vector<double> &pred, const std::vector<double> &truth)
+{
+    common::fatalIf(pred.size() != truth.size() || pred.empty(),
+                    "rSquared: bad input sizes");
+    const double mean =
+        std::accumulate(truth.begin(), truth.end(), 0.0) /
+        static_cast<double>(truth.size());
+    double ssRes = 0.0, ssTot = 0.0;
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+        ssRes += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+        ssTot += (truth[i] - mean) * (truth[i] - mean);
+    }
+    if (ssTot <= 0.0)
+        return ssRes <= 0.0 ? 1.0 : 0.0;
+    return 1.0 - ssRes / ssTot;
+}
+
+double
+meanAbsolutePercentageError(const std::vector<double> &pred,
+                            const std::vector<double> &truth)
+{
+    common::fatalIf(pred.size() != truth.size() || pred.empty(),
+                    "MAPE: bad input sizes");
+    double s = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+        if (truth[i] == 0.0)
+            continue;
+        s += std::abs((pred[i] - truth[i]) / truth[i]);
+        ++n;
+    }
+    return n ? 100.0 * s / static_cast<double>(n) : 0.0;
+}
+
+std::vector<std::vector<std::size_t>>
+kfoldSplit(std::size_t n_samples, std::size_t k, common::Rng &rng)
+{
+    common::fatalIf(n_samples == 0, "kfoldSplit: no samples");
+    common::fatalIf(k == 0, "kfoldSplit: k must be >= 1");
+    k = std::min(k, n_samples);
+
+    std::vector<std::size_t> order(n_samples);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = n_samples - 1; i > 0; --i) {
+        const auto j = static_cast<std::size_t>(rng.uniformInt(i + 1));
+        std::swap(order[i], order[j]);
+    }
+
+    std::vector<std::vector<std::size_t>> folds(k);
+    for (std::size_t i = 0; i < n_samples; ++i)
+        folds[i % k].push_back(order[i]);
+    return folds;
+}
+
+GridSearchResult
+randomGridSearch(
+    const std::vector<ParamRange> &ranges,
+    const std::function<double(const std::vector<double> &)> &score,
+    std::size_t n_iter, common::Rng &rng)
+{
+    common::fatalIf(ranges.empty(), "randomGridSearch: no parameters");
+    common::fatalIf(n_iter == 0, "randomGridSearch: need n_iter >= 1");
+
+    GridSearchResult result;
+    result.bestScore = std::numeric_limits<double>::infinity();
+    result.evaluations = n_iter;
+
+    std::vector<double> params(ranges.size());
+    for (std::size_t it = 0; it < n_iter; ++it) {
+        for (std::size_t p = 0; p < ranges.size(); ++p)
+            params[p] = rng.uniform(ranges[p].lo, ranges[p].hi);
+        const double s = score(params);
+        if (s < result.bestScore) {
+            result.bestScore = s;
+            result.bestParams = params;
+        }
+    }
+    return result;
+}
+
+} // namespace twig::stats

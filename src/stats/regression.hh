@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Linear least squares, k-fold cross validation and random grid search.
+ *
+ * These are the fitting tools behind Twig's per-service power model
+ * (paper Eq. 2 / Fig. 4): the model is linear in its coefficients and the
+ * paper fits it "by performing a random grid search with 5-fold cross
+ * validation across the possible parameter space".
+ */
+
+#ifndef TWIG_STATS_REGRESSION_HH
+#define TWIG_STATS_REGRESSION_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace twig::stats {
+
+/**
+ * Solve min ||X w - y||^2 via the normal equations with partial-pivot
+ * Gaussian elimination.
+ *
+ * @param rows  design matrix, rows[i] is the feature vector of sample i
+ * @param y     targets, same length as rows
+ * @return coefficient vector w (size = feature count)
+ */
+std::vector<double> leastSquares(const std::vector<std::vector<double>> &rows,
+                                 const std::vector<double> &y);
+
+/** Mean squared error of predictions vs targets. */
+double meanSquaredError(const std::vector<double> &pred,
+                        const std::vector<double> &truth);
+
+/** Coefficient of determination R^2 of predictions vs targets. */
+double rSquared(const std::vector<double> &pred,
+                const std::vector<double> &truth);
+
+/** Mean absolute percentage error (in %, skips zero-truth samples). */
+double meanAbsolutePercentageError(const std::vector<double> &pred,
+                                   const std::vector<double> &truth);
+
+/**
+ * Deterministic k-fold index split.
+ *
+ * @param n_samples total number of samples
+ * @param k         number of folds (clamped to n_samples)
+ * @param rng       shuffles sample order before splitting
+ * @return k folds of sample indices, sizes differing by at most one
+ */
+std::vector<std::vector<std::size_t>>
+kfoldSplit(std::size_t n_samples, std::size_t k, common::Rng &rng);
+
+/** Search-space box for one parameter of a random grid search. */
+struct ParamRange
+{
+    double lo;
+    double hi;
+};
+
+/** Outcome of randomGridSearch(). */
+struct GridSearchResult
+{
+    std::vector<double> bestParams;
+    double bestScore; // lower is better (e.g. CV mean squared error)
+    std::size_t evaluations;
+};
+
+/**
+ * Random grid search: sample parameter vectors uniformly from the given
+ * ranges and keep the one with the lowest score.
+ *
+ * @param ranges  one ParamRange per parameter
+ * @param score   objective; lower is better
+ * @param n_iter  number of random samples
+ * @param rng     randomness source
+ */
+GridSearchResult
+randomGridSearch(const std::vector<ParamRange> &ranges,
+                 const std::function<double(const std::vector<double> &)> &score,
+                 std::size_t n_iter, common::Rng &rng);
+
+} // namespace twig::stats
+
+#endif // TWIG_STATS_REGRESSION_HH

@@ -1,0 +1,92 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace twig::stats {
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = n1 + n2;
+    mean_ += delta * n2 / total;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats{};
+}
+
+double
+RunningStats::variance() const
+{
+    return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+RunningStats::sampleVariance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+PercentileEstimator::percentile(double p) const
+{
+    return percentileOf(samples_, p);
+}
+
+double
+percentileOf(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    if (p <= 0.0)
+        return *std::min_element(values.begin(), values.end());
+    if (p >= 100.0)
+        return *std::max_element(values.begin(), values.end());
+
+    std::sort(values.begin(), values.end());
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= values.size())
+        return values.back();
+    return values[lo] + frac * (values[lo + 1] - values[lo]);
+}
+
+} // namespace twig::stats

@@ -1,0 +1,397 @@
+/** @file Unit tests for the Static, Hipster, Heracles and PARTIES
+ * baselines. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/heracles.hh"
+#include "baselines/hipster.hh"
+#include "baselines/parties.hh"
+#include "baselines/static_manager.hh"
+#include "core/mapper.hh"
+#include "services/tailbench.hh"
+#include "sim/loadgen.hh"
+#include "sim/server.hh"
+
+using namespace twig;
+using namespace twig::baselines;
+
+namespace {
+
+BaselineServiceSpec
+spec()
+{
+    return {"svc", 20.0, 1000.0};
+}
+
+/** Telemetry with a given measured p99 (and optional load/power). */
+sim::ServerIntervalStats
+telemetry(double p99, double rps = 500.0, double power = 50.0,
+          std::size_t services = 1)
+{
+    sim::ServerIntervalStats stats;
+    stats.services.resize(services);
+    for (auto &s : stats.services) {
+        s.p99Ms = p99;
+        s.p99InstantMs = p99;
+        s.offeredRps = rps;
+        s.pmcs.fill(1e9);
+    }
+    stats.socketPowerW = power;
+    return stats;
+}
+
+} // namespace
+
+TEST(Static, AlwaysAllCoresMaxDvfs)
+{
+    sim::MachineConfig m;
+    StaticManager mgr(m);
+    EXPECT_EQ(mgr.name(), "static");
+    for (double p99 : {1.0, 100.0, 10000.0}) {
+        const auto reqs = mgr.decide(telemetry(p99));
+        ASSERT_EQ(reqs.size(), 1u);
+        EXPECT_EQ(reqs[0].numCores, m.numCores);
+        EXPECT_EQ(reqs[0].dvfsIndex, m.dvfs.maxIndex());
+    }
+}
+
+TEST(Hipster, EnumeratesAllConfigsOrderedByPower)
+{
+    sim::MachineConfig m;
+    Hipster mgr(HipsterConfig{}, m, spec(), 1);
+    EXPECT_EQ(mgr.numConfigs(), m.numCores * m.dvfs.numStates());
+}
+
+TEST(Hipster, HeuristicStepsDownWhenComfortable)
+{
+    sim::MachineConfig m;
+    HipsterConfig cfg;
+    cfg.learningPhaseSteps = 1000;
+    Hipster mgr(cfg, m, spec(), 2);
+    // Very low latency -> step down the power-ordered list each tick.
+    const auto r1 = mgr.decide(telemetry(2.0));
+    const auto r2 = mgr.decide(telemetry(2.0));
+    const double p1 = static_cast<double>(r1[0].numCores) *
+        std::pow(1.2 + 0.1 * r1[0].dvfsIndex, 3);
+    const double p2 = static_cast<double>(r2[0].numCores) *
+        std::pow(1.2 + 0.1 * r2[0].dvfsIndex, 3);
+    EXPECT_LE(p2, p1);
+}
+
+TEST(Hipster, HeuristicJumpsUpUnderPressure)
+{
+    sim::MachineConfig m;
+    HipsterConfig cfg;
+    cfg.learningPhaseSteps = 1000;
+    Hipster mgr(cfg, m, spec(), 3);
+    // Drive it down to the cheap end of the configuration order.
+    for (int i = 0; i < 250; ++i)
+        mgr.decide(telemetry(2.0));
+    const auto low = mgr.decide(telemetry(2.0));
+    // Violation: jump to a much beefier configuration.
+    const auto high = mgr.decide(telemetry(50.0));
+    const double p_low = static_cast<double>(low[0].numCores) *
+        std::pow(1.2 + 0.1 * low[0].dvfsIndex, 3);
+    const double p_high = static_cast<double>(high[0].numCores) *
+        std::pow(1.2 + 0.1 * high[0].dvfsIndex, 3);
+    EXPECT_GT(p_high, p_low * 1.5);
+}
+
+TEST(Hipster, SwitchesToTableAfterLearningPhase)
+{
+    sim::MachineConfig m;
+    HipsterConfig cfg;
+    cfg.learningPhaseSteps = 5;
+    cfg.epsilonAfterLearning = 0.0;
+    Hipster mgr(cfg, m, spec(), 4);
+    for (int i = 0; i < 5; ++i) {
+        mgr.decide(telemetry(10.0));
+        EXPECT_TRUE(i == 4 ? !mgr.inLearningPhase()
+                           : mgr.inLearningPhase());
+    }
+    const auto reqs = mgr.decide(telemetry(10.0));
+    EXPECT_EQ(reqs.size(), 1u); // greedy table action, still valid
+    EXPECT_GE(reqs[0].numCores, 1u);
+}
+
+TEST(Hipster, CountsMigrations)
+{
+    sim::MachineConfig m;
+    HipsterConfig cfg;
+    cfg.learningPhaseSteps = 1000;
+    Hipster mgr(cfg, m, spec(), 5);
+    mgr.decide(telemetry(2.0));
+    for (int i = 0; i < 30; ++i) {
+        mgr.decide(telemetry(2.0));  // drift down
+        mgr.decide(telemetry(50.0)); // jump up
+    }
+    EXPECT_GT(mgr.migrations(), 10u);
+}
+
+TEST(Hipster, TableBytesMatchesQTable)
+{
+    sim::MachineConfig m;
+    Hipster mgr(HipsterConfig{}, m, spec(), 6);
+    // 26 load buckets x 162 configs x 8 bytes.
+    EXPECT_EQ(mgr.tableBytes(), 26u * 162u * sizeof(double));
+}
+
+TEST(Hipster, SingleServiceOnly)
+{
+    sim::MachineConfig m;
+    Hipster mgr(HipsterConfig{}, m, spec(), 7);
+    EXPECT_THROW(mgr.decide(telemetry(5.0, 500.0, 50.0, 2)),
+                 twig::common::FatalError);
+}
+
+TEST(Heracles, ViolationTriggersLockout)
+{
+    sim::MachineConfig m;
+    HeraclesConfig cfg;
+    cfg.lockoutSteps = 10;
+    Heracles mgr(cfg, m, spec());
+    // Step 0 is a main-controller tick; report a violation.
+    auto reqs = mgr.decide(telemetry(50.0));
+    EXPECT_EQ(reqs[0].numCores, m.numCores);
+    EXPECT_EQ(reqs[0].dvfsIndex, m.dvfs.maxIndex());
+    // Lockout holds even when latency recovers.
+    for (int i = 0; i < 8; ++i) {
+        reqs = mgr.decide(telemetry(1.0));
+        EXPECT_EQ(reqs[0].numCores, m.numCores);
+    }
+}
+
+TEST(Heracles, ReclaimsCoresWhenComfortable)
+{
+    sim::MachineConfig m;
+    Heracles mgr(HeraclesConfig{}, m, spec());
+    std::size_t cores = m.numCores;
+    for (int i = 0; i < 20; ++i) {
+        const auto reqs = mgr.decide(telemetry(5.0)); // 25% of target
+        EXPECT_LE(reqs[0].numCores, cores);
+        cores = reqs[0].numCores;
+    }
+    EXPECT_LT(cores, m.numCores);
+}
+
+TEST(Heracles, GrowsCoresNearTarget)
+{
+    sim::MachineConfig m;
+    Heracles mgr(HeraclesConfig{}, m, spec());
+    // Walk it down, then pressure at 85% of target (no violation).
+    for (int i = 0; i < 20; ++i)
+        mgr.decide(telemetry(5.0));
+    const auto before = mgr.decide(telemetry(5.0))[0].numCores;
+    // Two pressure ticks guarantee hitting a core-controller period.
+    mgr.decide(telemetry(17.5));
+    const auto after = mgr.decide(telemetry(17.5))[0].numCores;
+    EXPECT_GT(after, before);
+}
+
+TEST(Heracles, DvfsDropsOnlyNearTdp)
+{
+    sim::MachineConfig m;
+    HeraclesConfig cfg;
+    cfg.tdpW = 120.0;
+    Heracles mgr(cfg, m, spec());
+    // Comfortable latency, power below the cap: DVFS stays at max.
+    auto reqs = mgr.decide(telemetry(5.0, 500.0, 60.0));
+    reqs = mgr.decide(telemetry(5.0, 500.0, 60.0));
+    EXPECT_EQ(reqs[0].dvfsIndex, m.dvfs.maxIndex());
+    // Power at 95% of TDP: back off.
+    reqs = mgr.decide(telemetry(5.0, 500.0, 115.0));
+    EXPECT_LT(reqs[0].dvfsIndex, m.dvfs.maxIndex());
+}
+
+TEST(Heracles, HighLoadTriggersGuard)
+{
+    sim::MachineConfig m;
+    HeraclesConfig cfg;
+    cfg.lockoutSteps = 5;
+    Heracles mgr(cfg, m, spec());
+    // Load above 85% of max with fine latency still locks everything.
+    const auto reqs = mgr.decide(telemetry(2.0, 900.0));
+    EXPECT_EQ(reqs[0].numCores, m.numCores);
+}
+
+TEST(Parties, ReclaimsFromTheSlackestService)
+{
+    sim::MachineConfig m;
+    Parties mgr(PartiesConfig{}, m, {spec(), spec()}, 1);
+    // Service 0 has huge slack, service 1 is close to target.
+    sim::ServerIntervalStats stats = telemetry(2.0, 500.0, 50.0, 2);
+    stats.services[1].p99Ms = 18.0;
+    const auto before = mgr.decide(stats);
+    const auto after = mgr.decide(stats); // next control tick
+    // Capacity of the slack service must not grow; the pressured one
+    // must not shrink.
+    EXPECT_LE(after[0].numCores + after[0].dvfsIndex,
+              before[0].numCores + before[0].dvfsIndex);
+    EXPECT_GE(after[1].numCores + after[1].dvfsIndex,
+              before[1].numCores + before[1].dvfsIndex);
+}
+
+TEST(Parties, UpsizesThePressuredService)
+{
+    sim::MachineConfig m;
+    Parties mgr(PartiesConfig{}, m, {spec(), spec()}, 2);
+    // Walk service 0 down while both are comfortable.
+    sim::ServerIntervalStats comfy = telemetry(2.0, 500.0, 50.0, 2);
+    for (int i = 0; i < 30; ++i)
+        mgr.decide(comfy);
+    auto reqs = mgr.decide(comfy);
+    const auto r0 = reqs[0];
+    // Now service 0 violates: one of its resources must grow.
+    sim::ServerIntervalStats bad = comfy;
+    bad.services[0].p99Ms = 25.0;
+    reqs = mgr.decide(bad);
+    EXPECT_GE(reqs[0].numCores + reqs[0].dvfsIndex,
+              r0.numCores + r0.dvfsIndex);
+}
+
+TEST(Parties, PeriodGatesAdjustments)
+{
+    sim::MachineConfig m;
+    PartiesConfig cfg;
+    cfg.periodSteps = 3;
+    Parties mgr(cfg, m, {spec()}, 3);
+    const auto r0 = mgr.decide(telemetry(2.0)); // control tick
+    const auto r1 = mgr.decide(telemetry(2.0)); // passthrough
+    const auto r2 = mgr.decide(telemetry(2.0)); // passthrough
+    EXPECT_EQ(r0[0].numCores, r1[0].numCores);
+    EXPECT_EQ(r1[0].numCores, r2[0].numCores);
+    const auto r3 = mgr.decide(telemetry(2.0)); // next control tick
+    EXPECT_LE(r3[0].numCores + r3[0].dvfsIndex,
+              r2[0].numCores + r2[0].dvfsIndex);
+}
+
+TEST(Parties, RevertsReclaimThatCausedPressure)
+{
+    sim::MachineConfig m;
+    PartiesConfig pcfg;
+    pcfg.periodSteps = 1; // make every decide a control tick
+    Parties mgr(pcfg, m, {spec()}, 4);
+    // Comfortable tick: a reclaim happens (cores 18 -> 17).
+    auto reqs = mgr.decide(telemetry(2.0));
+    const auto reclaimed = reqs[0];
+    // The reclaim hurt: latency at 96% of target. The pending reclaim
+    // is reverted, and (being also the most pressured service) it gets
+    // an upsize too.
+    reqs = mgr.decide(telemetry(19.5));
+    EXPECT_GE(reqs[0].numCores + reqs[0].dvfsIndex,
+              reclaimed.numCores + reclaimed.dvfsIndex + 1);
+}
+
+TEST(Parties, Validation)
+{
+    sim::MachineConfig m;
+    EXPECT_THROW(Parties(PartiesConfig{}, m, {}, 5),
+                 twig::common::FatalError);
+    Parties mgr(PartiesConfig{}, m, {spec()}, 6);
+    EXPECT_THROW(mgr.decide(telemetry(5.0, 500.0, 50.0, 2)),
+                 twig::common::FatalError);
+}
+
+TEST(Baselines, InitialRequestsAreStatic)
+{
+    sim::MachineConfig m;
+    StaticManager mgr(m);
+    const auto reqs = mgr.initialRequests(3, m);
+    ASSERT_EQ(reqs.size(), 3u);
+    for (const auto &r : reqs) {
+        EXPECT_EQ(r.numCores, m.numCores);
+        EXPECT_EQ(r.dvfsIndex, m.dvfs.maxIndex());
+    }
+}
+
+TEST(Baselines, HeraclesTracksARealLoadRamp)
+{
+    // End-to-end on the simulator: Heracles must grow its allocation
+    // as a ramp climbs and never let the service collapse.
+    sim::MachineConfig machine;
+    sim::Server server(machine, 61);
+    const auto p = services::imgdnn();
+    server.addService(p, std::make_unique<sim::RampLoad>(
+                             p.maxLoadRps, 0.2, 0.85, 150));
+    HeraclesConfig cfg;
+    cfg.lockoutSteps = 30;
+    Heracles mgr(cfg, machine, {p.name, p.qosTargetMs, p.maxLoadRps});
+
+    twig::core::Mapper mapper(machine);
+    auto reqs = mgr.initialRequests(1, machine);
+    std::size_t early_cores = 0, late_cores = 0, violations = 0;
+    for (int step = 0; step < 200; ++step) {
+        const auto stats = server.runInterval(mapper.map(reqs));
+        if (step >= 40 && step < 60)
+            early_cores += reqs[0].numCores;
+        if (step >= 180)
+            late_cores += reqs[0].numCores;
+        if (step >= 180 &&
+            stats.services[0].p99Ms > 2.0 * p.qosTargetMs)
+            ++violations;
+        reqs = mgr.decide(stats);
+    }
+    EXPECT_GT(late_cores / 20, early_cores / 20);
+    EXPECT_LT(violations, 5u);
+}
+
+TEST(Baselines, PartiesKeepsBothServicesAliveUnderContention)
+{
+    // End-to-end: PARTIES on a feasible colocated pair must keep both
+    // services within 2x of their targets almost always.
+    sim::MachineConfig machine;
+    sim::Server server(machine, 62);
+    const auto mt = services::masstree();
+    const auto xa = services::xapian();
+    server.addService(mt, std::make_unique<sim::FixedLoad>(
+                              mt.maxLoadRps * 0.5, 0.5));
+    server.addService(xa, std::make_unique<sim::FixedLoad>(
+                              xa.maxLoadRps * 0.5, 0.5));
+    Parties mgr(PartiesConfig{}, machine,
+                {{mt.name, mt.qosTargetMs, mt.maxLoadRps},
+                 {xa.name, xa.qosTargetMs, xa.maxLoadRps}},
+                63);
+
+    twig::core::Mapper mapper(machine);
+    auto reqs = mgr.initialRequests(2, machine);
+    std::size_t deep_violations = 0, n = 0;
+    for (int step = 0; step < 250; ++step) {
+        const auto stats = server.runInterval(mapper.map(reqs));
+        if (step >= 50) {
+            ++n;
+            deep_violations +=
+                stats.services[0].p99Ms > 2.0 * mt.qosTargetMs ||
+                stats.services[1].p99Ms > 2.0 * xa.qosTargetMs;
+        }
+        reqs = mgr.decide(stats);
+    }
+    EXPECT_LT(deep_violations, n / 10);
+}
+
+TEST(Baselines, HipsterEndToEndMeetsQosAfterLearning)
+{
+    sim::MachineConfig machine;
+    sim::Server server(machine, 64);
+    const auto p = services::moses();
+    server.addService(p, std::make_unique<sim::FixedLoad>(
+                             p.maxLoadRps, 0.5));
+    HipsterConfig cfg;
+    cfg.learningPhaseSteps = 400;
+    Hipster mgr(cfg, machine, {p.name, p.qosTargetMs, p.maxLoadRps},
+                65);
+
+    twig::core::Mapper mapper(machine);
+    auto reqs = mgr.initialRequests(1, machine);
+    std::size_t met = 0, n = 0;
+    for (int step = 0; step < 700; ++step) {
+        const auto stats = server.runInterval(mapper.map(reqs));
+        if (step >= 550) {
+            ++n;
+            met += stats.services[0].p99Ms <= p.qosTargetMs;
+        }
+        reqs = mgr.decide(stats);
+    }
+    EXPECT_GT(100.0 * met / n, 70.0);
+}

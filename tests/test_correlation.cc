@@ -1,0 +1,92 @@
+/** @file Unit tests for Pearson correlation. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "stats/correlation.hh"
+
+using namespace twig::stats;
+
+TEST(Pearson, PerfectPositive)
+{
+    EXPECT_NEAR(pearson({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative)
+{
+    EXPECT_NEAR(pearson({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Pearson, ShiftAndScaleInvariant)
+{
+    const std::vector<double> x = {1, 5, 2, 8, 3};
+    std::vector<double> y;
+    for (double v : x)
+        y.push_back(100.0 - 3.0 * v);
+    EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceGivesZero)
+{
+    EXPECT_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+    EXPECT_EQ(pearson({1, 2, 3}, {5, 5, 5}), 0.0);
+}
+
+TEST(Pearson, TooFewPointsGivesZero)
+{
+    EXPECT_EQ(pearson({1.0}, {2.0}), 0.0);
+    EXPECT_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(Pearson, LengthMismatchThrows)
+{
+    EXPECT_THROW(pearson({1, 2}, {1, 2, 3}), twig::common::FatalError);
+}
+
+TEST(Pearson, IndependentSeriesNearZero)
+{
+    twig::common::Rng rng(9);
+    std::vector<double> x, y;
+    for (int i = 0; i < 5000; ++i) {
+        x.push_back(rng.normal());
+        y.push_back(rng.normal());
+    }
+    EXPECT_NEAR(pearson(x, y), 0.0, 0.05);
+}
+
+TEST(CorrelationMatrix, DiagonalIsOneAndSymmetric)
+{
+    twig::common::Rng rng(15);
+    std::vector<std::vector<double>> cols(3);
+    for (int i = 0; i < 200; ++i) {
+        const double base = rng.normal();
+        cols[0].push_back(base);
+        cols[1].push_back(base + 0.1 * rng.normal());
+        cols[2].push_back(rng.normal());
+    }
+    const auto m = correlationMatrix(cols);
+    ASSERT_EQ(m.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_DOUBLE_EQ(m[i][i], 1.0);
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(m[i][j], m[j][i]);
+    }
+    EXPECT_GT(m[0][1], 0.9); // strongly related columns
+    EXPECT_LT(std::abs(m[0][2]), 0.2);
+}
+
+TEST(CorrelationMatrix, BoundedInMinusOneOne)
+{
+    twig::common::Rng rng(21);
+    std::vector<std::vector<double>> cols(4);
+    for (int i = 0; i < 100; ++i)
+        for (auto &c : cols)
+            c.push_back(rng.uniform());
+    for (const auto &row : correlationMatrix(cols)) {
+        for (double r : row) {
+            EXPECT_GE(r, -1.0 - 1e-12);
+            EXPECT_LE(r, 1.0 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+/** @file Unit tests for the PMC selection pipeline (Table I). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "core/counter_selection.hh"
+
+using namespace twig::core;
+using twig::common::Rng;
+
+TEST(CounterSelection, LatencyTrackingCounterRanksFirst)
+{
+    Rng rng(1);
+    std::vector<double> latency;
+    std::vector<std::vector<double>> cols(3);
+    for (int i = 0; i < 400; ++i) {
+        const double lat = rng.uniform(1.0, 10.0);
+        latency.push_back(lat);
+        cols[0].push_back(rng.normal());            // pure noise
+        cols[1].push_back(lat + 0.05 * rng.normal()); // tracks latency
+        cols[2].push_back(0.5 * rng.normal());      // noise
+    }
+    const auto sel = selectCounters({"noise-a", "tracker", "noise-b"},
+                                    cols, latency, 0.95, 2);
+    EXPECT_EQ(sel.ranking.front(), 1u);
+    EXPECT_GT(std::abs(sel.latencyCorrelation[1]), 0.95);
+    EXPECT_LT(std::abs(sel.latencyCorrelation[0]), 0.2);
+    EXPECT_EQ(sel.selected.size(), 2u);
+    EXPECT_NE(std::find(sel.selected.begin(), sel.selected.end(), 1u),
+              sel.selected.end());
+}
+
+TEST(CounterSelection, RedundantCountersShareImportance)
+{
+    // Two copies of the same signal: both correlate with latency, but
+    // PCA needs only one component for them.
+    Rng rng(2);
+    std::vector<double> latency;
+    std::vector<std::vector<double>> cols(2);
+    for (int i = 0; i < 300; ++i) {
+        const double lat = rng.uniform(0.0, 1.0);
+        latency.push_back(lat);
+        cols[0].push_back(lat);
+        cols[1].push_back(2.0 * lat + 1.0);
+    }
+    const auto sel =
+        selectCounters({"a", "b"}, cols, latency, 0.95, 2);
+    EXPECT_EQ(sel.componentsKept, 1u);
+    EXPECT_NEAR(sel.importance[0], sel.importance[1], 0.05);
+}
+
+TEST(CounterSelection, ComponentsGrowWithIndependentSignals)
+{
+    Rng rng(3);
+    std::vector<double> latency;
+    std::vector<std::vector<double>> cols(4);
+    for (int i = 0; i < 2000; ++i) {
+        latency.push_back(rng.uniform());
+        for (auto &c : cols)
+            c.push_back(rng.normal());
+    }
+    const auto sel = selectCounters({"a", "b", "c", "d"}, cols, latency,
+                                    0.95, 4);
+    EXPECT_GE(sel.componentsKept, 3u);
+}
+
+TEST(CounterSelection, SelectedIndicesSortedAndBounded)
+{
+    Rng rng(4);
+    std::vector<double> latency;
+    std::vector<std::vector<double>> cols(5);
+    for (int i = 0; i < 100; ++i) {
+        latency.push_back(rng.uniform());
+        for (auto &c : cols)
+            c.push_back(rng.uniform());
+    }
+    const auto sel = selectCounters({"a", "b", "c", "d", "e"}, cols,
+                                    latency, 0.95, 3);
+    ASSERT_EQ(sel.selected.size(), 3u);
+    EXPECT_TRUE(
+        std::is_sorted(sel.selected.begin(), sel.selected.end()));
+    for (auto idx : sel.selected)
+        EXPECT_LT(idx, 5u);
+}
+
+TEST(CounterSelection, SelectCountClampedToCandidates)
+{
+    Rng rng(5);
+    std::vector<double> latency;
+    std::vector<std::vector<double>> cols(2);
+    for (int i = 0; i < 50; ++i) {
+        latency.push_back(rng.uniform());
+        cols[0].push_back(rng.uniform());
+        cols[1].push_back(rng.uniform());
+    }
+    const auto sel =
+        selectCounters({"a", "b"}, cols, latency, 0.95, 11);
+    EXPECT_EQ(sel.selected.size(), 2u);
+}
+
+TEST(CounterSelection, Validation)
+{
+    EXPECT_THROW(selectCounters({}, {}, {}), twig::common::FatalError);
+    EXPECT_THROW(selectCounters({"a"}, {{1.0, 2.0}, {3.0, 4.0}},
+                                {1.0, 2.0}),
+                 twig::common::FatalError);
+}

@@ -1,0 +1,77 @@
+/** @file Unit tests for the CSV writer. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hh"
+
+using twig::common::CsvWriter;
+
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+} // namespace
+
+TEST(Csv, WritesHeaderAndRows)
+{
+    const std::string path = tmpPath("basic.csv");
+    {
+        CsvWriter csv(path);
+        csv.header({"a", "b", "c"});
+        csv.row(1, 2.5, "x");
+        csv.row(3, 4.0, "y");
+    }
+    EXPECT_EQ(slurp(path), "a,b,c\n1,2.5,x\n3,4,y\n");
+}
+
+TEST(Csv, RowVecWritesDoubles)
+{
+    const std::string path = tmpPath("vec.csv");
+    {
+        CsvWriter csv(path);
+        csv.rowVec({1.0, 2.0, 3.5});
+    }
+    EXPECT_EQ(slurp(path), "1,2,3.5\n");
+}
+
+TEST(Csv, EmptyFileWhenNothingWritten)
+{
+    const std::string path = tmpPath("empty.csv");
+    {
+        CsvWriter csv(path);
+    }
+    EXPECT_EQ(slurp(path), "");
+}
+
+TEST(Csv, UnwritableDirectoryThrows)
+{
+    EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"),
+                 twig::common::FatalError);
+}
+
+TEST(Csv, SingleCellRow)
+{
+    const std::string path = tmpPath("one.csv");
+    {
+        CsvWriter csv(path);
+        csv.row(42);
+    }
+    EXPECT_EQ(slurp(path), "42\n");
+}

@@ -1,0 +1,62 @@
+/** @file Unit tests for the panic()/fatal() error helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+
+using namespace twig::common;
+
+TEST(Error, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+}
+
+TEST(Error, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(Error, MessagesAreConcatenated)
+{
+    try {
+        fatal("value was ", 42, ", expected ", 7);
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "fatal: value was 42, expected 7");
+    }
+}
+
+TEST(Error, PanicMessagePrefixed)
+{
+    try {
+        panic("x=", 1.5);
+        FAIL() << "panic did not throw";
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "panic: x=1.5");
+    }
+}
+
+TEST(Error, FatalIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(fatalIf(false, "nope"));
+    EXPECT_THROW(fatalIf(true, "yes"), FatalError);
+}
+
+TEST(Error, PanicIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(panicIf(false, "nope"));
+    EXPECT_THROW(panicIf(true, "yes"), PanicError);
+}
+
+TEST(Error, FatalIsNotAPanic)
+{
+    // The two categories must stay distinct so tests can tell user
+    // errors from library bugs.
+    try {
+        fatal("user error");
+    } catch (const PanicError &) {
+        FAIL() << "FatalError must not be caught as PanicError";
+    } catch (const FatalError &) {
+        SUCCEED();
+    }
+}

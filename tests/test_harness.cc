@@ -1,0 +1,216 @@
+/** @file Unit tests for the experiment harness. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "baselines/static_manager.hh"
+#include "harness/metrics.hh"
+#include "harness/profiling.hh"
+#include "harness/runner.hh"
+#include "services/tailbench.hh"
+#include "sim/loadgen.hh"
+#include "sim/server.hh"
+
+using namespace twig;
+using namespace twig::harness;
+
+TEST(Metrics, AccumulatorComputesGuaranteeAndTardiness)
+{
+    MetricsAccumulator acc({"svc"}, {10.0});
+    acc.add({5.0}, 100.0, 1.0);  // met, tardiness 0.5
+    acc.add({20.0}, 100.0, 1.0); // violated, tardiness 2.0
+    acc.add({10.0}, 50.0, 1.0);  // met (== target), tardiness 1.0
+    const auto m = acc.finish();
+    ASSERT_EQ(m.services.size(), 1u);
+    EXPECT_NEAR(m.services[0].qosGuaranteePct, 200.0 / 3.0, 1e-9);
+    EXPECT_NEAR(m.services[0].meanTardiness, 3.5 / 3.0, 1e-9);
+    EXPECT_DOUBLE_EQ(m.services[0].maxTardiness, 2.0);
+    EXPECT_NEAR(m.services[0].meanP99Ms, 35.0 / 3.0, 1e-9);
+    EXPECT_DOUBLE_EQ(m.energyJoules, 250.0);
+    EXPECT_NEAR(m.meanPowerW, 250.0 / 3.0, 1e-9);
+    EXPECT_EQ(m.windowSteps, 3u);
+}
+
+TEST(Metrics, MultiServiceAverage)
+{
+    MetricsAccumulator acc({"a", "b"}, {10.0, 100.0});
+    acc.add({5.0, 200.0}, 10.0, 1.0); // a met, b violated
+    const auto m = acc.finish();
+    EXPECT_DOUBLE_EQ(m.services[0].qosGuaranteePct, 100.0);
+    EXPECT_DOUBLE_EQ(m.services[1].qosGuaranteePct, 0.0);
+    EXPECT_DOUBLE_EQ(m.avgQosGuaranteePct(), 50.0);
+}
+
+TEST(Metrics, Validation)
+{
+    EXPECT_THROW(MetricsAccumulator({"a"}, {1.0, 2.0}),
+                 twig::common::FatalError);
+    EXPECT_THROW(MetricsAccumulator({}, {}), twig::common::FatalError);
+    MetricsAccumulator acc({"a"}, {1.0});
+    EXPECT_THROW(acc.add({1.0, 2.0}, 1.0, 1.0),
+                 twig::common::FatalError);
+}
+
+TEST(Runner, StaticManagerMeetsQosAtModerateLoad)
+{
+    sim::MachineConfig machine;
+    sim::Server server(machine, 21);
+    const auto p = services::masstree();
+    server.addService(p,
+                      std::make_unique<sim::FixedLoad>(p.maxLoadRps, 0.5));
+    baselines::StaticManager mgr(machine);
+    ExperimentRunner runner(server, mgr);
+
+    RunOptions opt;
+    opt.steps = 30;
+    opt.summaryWindow = 20;
+    const auto result = runner.run(opt);
+    EXPECT_EQ(result.metrics.windowSteps, 20u);
+    EXPECT_GT(result.metrics.services[0].qosGuaranteePct, 90.0);
+    EXPECT_GT(result.metrics.energyJoules, 0.0);
+}
+
+TEST(Runner, TraceRecordsEveryStep)
+{
+    sim::MachineConfig machine;
+    sim::Server server(machine, 22);
+    const auto p = services::xapian();
+    server.addService(p,
+                      std::make_unique<sim::FixedLoad>(p.maxLoadRps, 0.2));
+    baselines::StaticManager mgr(machine);
+    ExperimentRunner runner(server, mgr);
+
+    RunOptions opt;
+    opt.steps = 12;
+    opt.summaryWindow = 12;
+    opt.recordTrace = true;
+    const auto result = runner.run(opt);
+    ASSERT_EQ(result.trace.size(), 12u);
+    for (std::size_t i = 0; i < 12; ++i) {
+        EXPECT_EQ(result.trace[i].step, i);
+        ASSERT_EQ(result.trace[i].cores.size(), 1u);
+        EXPECT_EQ(result.trace[i].cores[0], machine.numCores);
+        EXPECT_GT(result.trace[i].socketPowerW, 0.0);
+    }
+}
+
+TEST(Runner, OnStepHookFires)
+{
+    sim::MachineConfig machine;
+    sim::Server server(machine, 23);
+    const auto p = services::moses();
+    server.addService(p,
+                      std::make_unique<sim::FixedLoad>(p.maxLoadRps, 0.2));
+    baselines::StaticManager mgr(machine);
+    ExperimentRunner runner(server, mgr);
+
+    std::size_t calls = 0;
+    RunOptions opt;
+    opt.steps = 7;
+    opt.summaryWindow = 7;
+    opt.onStep = [&calls](std::size_t,
+                          const sim::ServerIntervalStats &) { ++calls; };
+    runner.run(opt);
+    EXPECT_EQ(calls, 7u);
+}
+
+TEST(Runner, SummaryWindowLargerThanRunIsWholeRun)
+{
+    sim::MachineConfig machine;
+    sim::Server server(machine, 24);
+    const auto p = services::imgdnn();
+    server.addService(p,
+                      std::make_unique<sim::FixedLoad>(p.maxLoadRps, 0.2));
+    baselines::StaticManager mgr(machine);
+    ExperimentRunner runner(server, mgr);
+    RunOptions opt;
+    opt.steps = 5;
+    opt.summaryWindow = 100;
+    const auto result = runner.run(opt);
+    EXPECT_EQ(result.metrics.windowSteps, 5u);
+}
+
+TEST(Runner, Validation)
+{
+    sim::MachineConfig machine;
+    sim::Server server(machine, 25);
+    baselines::StaticManager mgr(machine);
+    ExperimentRunner runner(server, mgr);
+    RunOptions opt;
+    opt.steps = 0;
+    EXPECT_THROW(runner.run(opt), twig::common::FatalError);
+    opt.steps = 5;
+    opt.summaryWindow = 0;
+    EXPECT_THROW(runner.run(opt), twig::common::FatalError);
+    opt.summaryWindow = 5;
+    // Server hosts no services.
+    EXPECT_THROW(runner.run(opt), twig::common::FatalError);
+}
+
+TEST(Profiling, CampaignCoversTheGrid)
+{
+    sim::MachineConfig machine;
+    PowerProfilingOptions opt;
+    opt.loadLevels = {0.2, 0.5};
+    opt.coreCounts = {4, 12};
+    opt.dvfsStates = {0, 8};
+    opt.intervalsPerConfig = 2;
+    const auto samples = profileServicePower(services::masstree(),
+                                             machine, opt, 31);
+    // Saturated configurations are dropped (4 cores at 1.2 GHz cannot
+    // sustain 50% of masstree's max load), so the grid is an upper
+    // bound.
+    EXPECT_LE(samples.size(), 2u * 2u * 2u);
+    EXPECT_GE(samples.size(), 4u);
+    for (const auto &s : samples) {
+        EXPECT_GT(s.dynamicPowerW, 0.0);
+        EXPECT_GE(s.numCores, 4.0);
+        EXPECT_LE(s.numCores, 12.0);
+    }
+}
+
+TEST(Profiling, PowerGrowsWithCoresAndDvfs)
+{
+    sim::MachineConfig machine;
+    PowerProfilingOptions opt;
+    opt.loadLevels = {0.5};
+    opt.coreCounts = {4, 16};
+    opt.dvfsStates = {0, 8};
+    opt.intervalsPerConfig = 3;
+    const auto samples = profileServicePower(services::moses(),
+                                             machine, opt, 32);
+    auto find = [&](double cores,
+                    double ghz) -> const core::PowerSample * {
+        for (const auto &s : samples) {
+            if (s.numCores == cores && std::abs(s.dvfsGhz - ghz) < 1e-9)
+                return &s;
+        }
+        return nullptr;
+    };
+    const auto *lo = find(16, 1.2);
+    const auto *hi = find(16, 2.0);
+    ASSERT_NE(lo, nullptr);
+    ASSERT_NE(hi, nullptr);
+    EXPECT_LT(lo->dynamicPowerW, hi->dynamicPowerW);
+}
+
+TEST(Profiling, MakeTwigSpecProducesUsableModel)
+{
+    sim::MachineConfig machine;
+    const auto spec = makeTwigSpec(services::masstree(), machine, 33);
+    EXPECT_EQ(spec.name, "masstree");
+    EXPECT_DOUBLE_EQ(spec.qosTargetMs, 36.0);
+    const double p = spec.powerModel.predict(0.5, 10.0, 1.8);
+    EXPECT_GT(p, 5.0);
+    EXPECT_LT(p, 120.0);
+}
+
+TEST(Profiling, MakeBaselineSpecCopiesFields)
+{
+    const auto spec = makeBaselineSpec(services::xapian());
+    EXPECT_EQ(spec.name, "xapian");
+    EXPECT_DOUBLE_EQ(spec.qosTargetMs, 136.0);
+    EXPECT_DOUBLE_EQ(spec.maxLoadRps, 1000.0);
+}

@@ -1,0 +1,94 @@
+/** @file Unit tests for the fixed-range histogram. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "stats/histogram.hh"
+
+using twig::stats::Histogram;
+
+TEST(Histogram, BinsSamplesCorrectly)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);  // bin 0
+    h.add(5.5);  // bin 5
+    h.add(9.99); // bin 9
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.binCount(1), 0u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-100.0);
+    h.add(100.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(3), 1u);
+    EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(Histogram, BinCenters)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(4), 9.0);
+}
+
+TEST(Histogram, FractionsSumToOne)
+{
+    Histogram h(0.0, 1.0, 7);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i) / 100.0);
+    double total = 0.0;
+    for (std::size_t b = 0; b < h.bins(); ++b)
+        total += h.binFraction(b);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, DensityIntegratesToOne)
+{
+    Histogram h(-2.0, 2.0, 16);
+    for (int i = 0; i < 1000; ++i)
+        h.add(-2.0 + 4.0 * i / 1000.0);
+    double integral = 0.0;
+    const double width = 4.0 / 16.0;
+    for (std::size_t b = 0; b < h.bins(); ++b)
+        integral += h.density(b) * width;
+    EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, ModeBin)
+{
+    Histogram h(0.0, 3.0, 3);
+    h.add(1.5);
+    h.add(1.6);
+    h.add(0.1);
+    EXPECT_EQ(h.modeBin(), 1u);
+}
+
+TEST(Histogram, EmptyFractionsAndDensity)
+{
+    Histogram h(0.0, 1.0, 2);
+    EXPECT_EQ(h.binFraction(0), 0.0);
+    EXPECT_EQ(h.density(1), 0.0);
+    EXPECT_EQ(h.modeBin(), 0u);
+}
+
+TEST(Histogram, AsciiRendersOneLinePerBin)
+{
+    Histogram h(0.0, 1.0, 3);
+    h.add(0.5);
+    const std::string art = h.ascii(10);
+    EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+    EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstruction)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), twig::common::FatalError);
+    EXPECT_THROW(Histogram(2.0, 1.0, 4), twig::common::FatalError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), twig::common::FatalError);
+}

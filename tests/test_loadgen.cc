@@ -1,0 +1,130 @@
+/** @file Unit tests for the load generators. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+#include "sim/loadgen.hh"
+
+using namespace twig::sim;
+
+TEST(FixedLoad, ConstantAtFraction)
+{
+    FixedLoad load(1000.0, 0.5);
+    EXPECT_DOUBLE_EQ(load.rps(0), 500.0);
+    EXPECT_DOUBLE_EQ(load.rps(99999), 500.0);
+}
+
+TEST(RampLoad, Endpoints)
+{
+    RampLoad load(1000.0, 0.2, 1.0, 100);
+    EXPECT_DOUBLE_EQ(load.rps(0), 200.0);
+    EXPECT_NEAR(load.rps(50), 600.0, 1e-9);
+    EXPECT_DOUBLE_EQ(load.rps(100), 1000.0);
+    EXPECT_DOUBLE_EQ(load.rps(500), 1000.0); // holds after the ramp
+}
+
+TEST(RampLoad, CanRampDown)
+{
+    RampLoad load(1000.0, 1.0, 0.2, 10);
+    EXPECT_DOUBLE_EQ(load.rps(0), 1000.0);
+    EXPECT_GT(load.rps(3), load.rps(7));
+    EXPECT_DOUBLE_EQ(load.rps(10), 200.0);
+}
+
+TEST(StepwiseMonotonic, StartsAtMinimum)
+{
+    StepwiseMonotonicLoad load(1000.0, 0.2, 0.2, 10);
+    EXPECT_DOUBLE_EQ(load.rps(0), 200.0);
+    EXPECT_DOUBLE_EQ(load.rps(9), 200.0); // constant within a period
+}
+
+TEST(StepwiseMonotonic, MultipliesByChangeFactorEachPeriod)
+{
+    StepwiseMonotonicLoad load(1000.0, 0.2, 0.2, 10);
+    EXPECT_NEAR(load.rps(10), 240.0, 1e-9);
+    EXPECT_NEAR(load.rps(20), 288.0, 1e-9);
+}
+
+TEST(StepwiseMonotonic, RisesToMaxThenReturns)
+{
+    StepwiseMonotonicLoad load(1000.0, 0.2, 0.2, 1);
+    // 0.2 * 1.2^8 = 0.859, one more step would exceed 1? 1.03 > 1, so
+    // 8 upward levels; peak at step 8.
+    double peak = 0.0;
+    for (std::size_t s = 0; s < 20; ++s)
+        peak = std::max(peak, load.rps(s));
+    EXPECT_NEAR(peak, 1000.0 * 0.2 * std::pow(1.2, 8), 1.0);
+    // The cycle returns to the minimum at step 16.
+    EXPECT_NEAR(load.rps(16), 200.0, 1e-9);
+}
+
+TEST(StepwiseMonotonic, AverageConstantAcrossCycle)
+{
+    // The paper: "the average load for the service is constant across
+    // two load changes" — the profile is symmetric up/down.
+    StepwiseMonotonicLoad load(1000.0, 0.25, 0.25, 1);
+    // up levels: 0.25 -> 1.0 is log(4)/log(1.25) ~ 6.2 -> 6 levels.
+    for (std::size_t s = 0; s < 6; ++s)
+        EXPECT_NEAR(load.rps(s), load.rps(12 - s), 1e-9);
+}
+
+TEST(StepwiseMonotonic, NeverExceedsMax)
+{
+    StepwiseMonotonicLoad load(1000.0, 0.3, 0.5, 2);
+    for (std::size_t s = 0; s < 100; ++s) {
+        EXPECT_LE(load.rps(s), 1000.0 + 1e-9);
+        EXPECT_GE(load.rps(s), 300.0 - 1e-9);
+    }
+}
+
+TEST(StepwiseMonotonic, Validation)
+{
+    EXPECT_THROW(StepwiseMonotonicLoad(1000, 0.0, 0.2, 10),
+                 twig::common::FatalError);
+    EXPECT_THROW(StepwiseMonotonicLoad(1000, 1.5, 0.2, 10),
+                 twig::common::FatalError);
+    EXPECT_THROW(StepwiseMonotonicLoad(1000, 0.2, 0.0, 10),
+                 twig::common::FatalError);
+    EXPECT_THROW(StepwiseMonotonicLoad(1000, 0.2, 0.2, 0),
+                 twig::common::FatalError);
+}
+
+TEST(DiurnalLoad, OscillatesBetweenBounds)
+{
+    DiurnalLoad load(1000.0, 0.2, 0.8, 100);
+    double lo = 1e18, hi = 0.0;
+    for (std::size_t s = 0; s < 100; ++s) {
+        const double r = load.rps(s);
+        lo = std::min(lo, r);
+        hi = std::max(hi, r);
+        EXPECT_GE(r, 200.0 - 1e-9);
+        EXPECT_LE(r, 800.0 + 1e-9);
+    }
+    EXPECT_NEAR(lo, 200.0, 1.0);
+    EXPECT_NEAR(hi, 800.0, 1.0);
+}
+
+TEST(DiurnalLoad, PeriodRepeats)
+{
+    DiurnalLoad load(1000.0, 0.1, 0.9, 50);
+    for (std::size_t s = 0; s < 50; ++s)
+        EXPECT_DOUBLE_EQ(load.rps(s), load.rps(s + 50));
+}
+
+TEST(DiurnalLoad, StartsAtTrough)
+{
+    DiurnalLoad load(1000.0, 0.2, 0.8, 100);
+    EXPECT_NEAR(load.rps(0), 200.0, 1e-9);
+    EXPECT_NEAR(load.rps(50), 800.0, 1e-9);
+}
+
+TEST(DiurnalLoad, Validation)
+{
+    EXPECT_THROW(DiurnalLoad(1000, 0.2, 0.8, 0),
+                 twig::common::FatalError);
+    EXPECT_THROW(DiurnalLoad(1000, 0.9, 0.2, 10),
+                 twig::common::FatalError);
+}

@@ -1,0 +1,126 @@
+/** @file Unit tests for the dense matrix primitives. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "nn/matrix.hh"
+
+using namespace twig::nn;
+
+TEST(Matrix, ConstructAndIndex)
+{
+    Matrix m(2, 3, 1.5f);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.size(), 6u);
+    EXPECT_FLOAT_EQ(m(1, 2), 1.5f);
+    m(0, 1) = 7.0f;
+    EXPECT_FLOAT_EQ(m(0, 1), 7.0f);
+}
+
+TEST(Matrix, FillAndScale)
+{
+    Matrix m(2, 2);
+    m.fill(3.0f);
+    m.scaleInPlace(0.5f);
+    for (std::size_t i = 0; i < m.size(); ++i)
+        EXPECT_FLOAT_EQ(m.raw()[i], 1.5f);
+}
+
+TEST(Matrix, AddInPlace)
+{
+    Matrix a(2, 2, 1.0f), b(2, 2, 2.0f);
+    a.addInPlace(b);
+    EXPECT_FLOAT_EQ(a(0, 0), 3.0f);
+    EXPECT_FLOAT_EQ(a(1, 1), 3.0f);
+}
+
+TEST(Matrix, AddShapeMismatchPanics)
+{
+    Matrix a(2, 2), b(2, 3);
+    EXPECT_THROW(a.addInPlace(b), twig::common::PanicError);
+}
+
+TEST(Matrix, RowPtrPointsIntoStorage)
+{
+    Matrix m(3, 4);
+    m(2, 1) = 9.0f;
+    EXPECT_FLOAT_EQ(m.rowPtr(2)[1], 9.0f);
+}
+
+TEST(Matmul, KnownProduct)
+{
+    // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+    Matrix a(2, 2), b(2, 2), out;
+    a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+    b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+    matmul(a, b, out);
+    EXPECT_FLOAT_EQ(out(0, 0), 19.0f);
+    EXPECT_FLOAT_EQ(out(0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(out(1, 0), 43.0f);
+    EXPECT_FLOAT_EQ(out(1, 1), 50.0f);
+}
+
+TEST(Matmul, RectangularShapes)
+{
+    Matrix a(1, 3, 1.0f), b(3, 2, 2.0f), out;
+    matmul(a, b, out);
+    EXPECT_EQ(out.rows(), 1u);
+    EXPECT_EQ(out.cols(), 2u);
+    EXPECT_FLOAT_EQ(out(0, 0), 6.0f);
+}
+
+TEST(Matmul, InnerDimensionMismatchPanics)
+{
+    Matrix a(2, 3), b(2, 2), out;
+    EXPECT_THROW(matmul(a, b, out), twig::common::PanicError);
+}
+
+TEST(Matmul, TransposeBMatchesExplicit)
+{
+    // a [2x3] * b^T where b is [4x3].
+    Matrix a(2, 3), b(4, 3), expect, bt(3, 4), out;
+    float v = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a.raw()[i] = v += 1.0f;
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b.raw()[i] = v -= 0.5f;
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            bt(c, r) = b(r, c);
+    matmul(a, bt, expect);
+    matmulTransposeB(a, b, out);
+    ASSERT_EQ(out.rows(), 2u);
+    ASSERT_EQ(out.cols(), 4u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_NEAR(out.raw()[i], expect.raw()[i], 1e-4);
+}
+
+TEST(Matmul, TransposeAMatchesExplicit)
+{
+    // a^T [3x2] * b [3x4] where a is [3x2].
+    Matrix a(3, 2), b(3, 4), at(2, 3), expect, out;
+    float v = 1.0f;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a.raw()[i] = v *= 1.1f;
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b.raw()[i] = v -= 0.2f;
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            at(c, r) = a(r, c);
+    matmul(at, b, expect);
+    matmulTransposeA(a, b, out);
+    ASSERT_EQ(out.rows(), 2u);
+    ASSERT_EQ(out.cols(), 4u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_NEAR(out.raw()[i], expect.raw()[i], 1e-4);
+}
+
+TEST(Matmul, OutputIsOverwrittenNotAccumulated)
+{
+    Matrix a(1, 1), b(1, 1), out(1, 1, 99.0f);
+    a(0, 0) = 2.0f;
+    b(0, 0) = 3.0f;
+    matmul(a, b, out);
+    EXPECT_FLOAT_EQ(out(0, 0), 6.0f);
+}

@@ -1,0 +1,136 @@
+/** @file Unit tests for the Jacobi eigensolver and PCA. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "stats/pca.hh"
+
+using namespace twig::stats;
+
+TEST(Jacobi, DiagonalMatrixEigenvaluesSorted)
+{
+    const auto r = jacobiEigenSymmetric({{3.0, 0.0, 0.0},
+                                         {0.0, 7.0, 0.0},
+                                         {0.0, 0.0, 1.0}});
+    ASSERT_EQ(r.eigenvalues.size(), 3u);
+    EXPECT_NEAR(r.eigenvalues[0], 7.0, 1e-10);
+    EXPECT_NEAR(r.eigenvalues[1], 3.0, 1e-10);
+    EXPECT_NEAR(r.eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(Jacobi, Known2x2)
+{
+    // [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors
+    // (1,1)/sqrt2 and (1,-1)/sqrt2.
+    const auto r = jacobiEigenSymmetric({{2.0, 1.0}, {1.0, 2.0}});
+    EXPECT_NEAR(r.eigenvalues[0], 3.0, 1e-10);
+    EXPECT_NEAR(r.eigenvalues[1], 1.0, 1e-10);
+    const auto &v = r.eigenvectors[0];
+    EXPECT_NEAR(std::abs(v[0]), 1.0 / std::sqrt(2.0), 1e-8);
+    EXPECT_NEAR(v[0], v[1], 1e-8); // same sign components
+}
+
+TEST(Jacobi, EigenvectorsSatisfyDefinition)
+{
+    const std::vector<std::vector<double>> m = {
+        {4.0, 1.0, 0.5}, {1.0, 3.0, 0.2}, {0.5, 0.2, 1.0}};
+    const auto r = jacobiEigenSymmetric(m);
+    for (std::size_t c = 0; c < 3; ++c) {
+        const auto &v = r.eigenvectors[c];
+        for (std::size_t i = 0; i < 3; ++i) {
+            double mv = 0.0;
+            for (std::size_t j = 0; j < 3; ++j)
+                mv += m[i][j] * v[j];
+            EXPECT_NEAR(mv, r.eigenvalues[c] * v[i], 1e-8);
+        }
+    }
+}
+
+TEST(Jacobi, TraceEqualsEigenvalueSum)
+{
+    const auto r = jacobiEigenSymmetric(
+        {{5.0, 2.0}, {2.0, -1.0}});
+    EXPECT_NEAR(r.eigenvalues[0] + r.eigenvalues[1], 4.0, 1e-10);
+}
+
+TEST(Jacobi, NonSquareThrows)
+{
+    EXPECT_THROW(jacobiEigenSymmetric({{1.0, 2.0}}),
+                 twig::common::FatalError);
+}
+
+TEST(Pca, ExplainedVarianceSumsToOne)
+{
+    twig::common::Rng rng(2);
+    std::vector<std::vector<double>> cols(4);
+    for (int i = 0; i < 300; ++i)
+        for (auto &c : cols)
+            c.push_back(rng.normal());
+    const auto r = pca(cols);
+    double total = 0.0;
+    for (double f : r.explainedVarianceRatio)
+        total += f;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Pca, FirstComponentCapturesSharedDirection)
+{
+    // Two near-identical columns plus tiny noise column: the first
+    // component should explain almost everything.
+    twig::common::Rng rng(4);
+    std::vector<std::vector<double>> cols(3);
+    for (int i = 0; i < 500; ++i) {
+        const double base = rng.normal(0.0, 10.0);
+        cols[0].push_back(base);
+        cols[1].push_back(base + 0.01 * rng.normal());
+        cols[2].push_back(0.01 * rng.normal());
+    }
+    const auto r = pca(cols);
+    EXPECT_GT(r.explainedVarianceRatio[0], 0.99);
+    EXPECT_EQ(r.componentsFor(0.95), 1u);
+    // Loadings of the two correlated columns dominate component 0.
+    const auto &v0 = r.eigenvectors[0];
+    EXPECT_GT(std::abs(v0[0]), 10.0 * std::abs(v0[2]));
+}
+
+TEST(Pca, ComponentsForThresholds)
+{
+    // Independent equal-variance columns: each component explains ~1/3.
+    twig::common::Rng rng(8);
+    std::vector<std::vector<double>> cols(3);
+    for (int i = 0; i < 3000; ++i)
+        for (auto &c : cols)
+            c.push_back(rng.normal());
+    const auto r = pca(cols);
+    EXPECT_EQ(r.componentsFor(0.30), 1u);
+    EXPECT_EQ(r.componentsFor(0.99), 3u);
+    EXPECT_EQ(r.componentsFor(2.0), 3u); // unreachable -> all
+}
+
+TEST(Pca, FeatureImportanceSizeAndPositivity)
+{
+    twig::common::Rng rng(16);
+    std::vector<std::vector<double>> cols(5);
+    for (int i = 0; i < 100; ++i)
+        for (auto &c : cols)
+            c.push_back(rng.uniform());
+    const auto r = pca(cols);
+    const auto imp = r.featureImportance(2);
+    ASSERT_EQ(imp.size(), 5u);
+    for (double v : imp)
+        EXPECT_GE(v, 0.0);
+}
+
+TEST(Pca, RaggedColumnsThrow)
+{
+    EXPECT_THROW(pca({{1.0, 2.0}, {1.0}}), twig::common::FatalError);
+}
+
+TEST(Pca, TooFewSamplesThrow)
+{
+    EXPECT_THROW(pca({{1.0}, {2.0}}), twig::common::FatalError);
+    EXPECT_THROW(pca({}), twig::common::FatalError);
+}

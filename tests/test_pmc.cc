@@ -1,0 +1,141 @@
+/** @file Unit tests for PMC synthesis (Table I counters). */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sim/pmc.hh"
+
+using namespace twig::sim;
+using twig::common::Rng;
+
+namespace {
+
+ServiceProfile
+profile()
+{
+    ServiceProfile p;
+    p.name = "svc";
+    p.instructionsPerReqM = 10.0;
+    p.uopsPerInstr = 1.3;
+    p.branchFraction = 0.2;
+    p.branchMissRate = 0.02;
+    p.l1dPerInstr = 0.4;
+    p.l1iPerInstr = 0.1;
+    p.llcAccessPerInstr = 0.02;
+    p.llcBaseMissRate = 0.5;
+    return p;
+}
+
+IntervalExecution
+exec(std::size_t reqs = 1000, double busy = 5.0, double ghz = 2.0)
+{
+    IntervalExecution e;
+    e.completedRequests = reqs;
+    e.busyCoreSeconds = busy;
+    e.freqGhz = ghz;
+    e.llcMissFactor = 1.0;
+    return e;
+}
+
+std::size_t
+idx(Pmc c)
+{
+    return static_cast<std::size_t>(c);
+}
+
+} // namespace
+
+TEST(Pmc, NamesMatchTableOne)
+{
+    EXPECT_EQ(pmcName(Pmc::UnhaltedCoreCycles), "UNHALTED_CORE_CYCLES");
+    EXPECT_EQ(pmcName(Pmc::LlcMisses), "LLC_MISSES");
+    EXPECT_EQ(pmcName(Pmc::CacheL1i), "PERF_COUNT_HW_CACHE_L1I");
+    EXPECT_EQ(kNumPmcs, 11u);
+}
+
+TEST(Pmc, NoiselessKnownValues)
+{
+    MachineConfig m;
+    PmcModel model(m, Rng(1));
+    const auto v = model.synthesizeNoiseless(profile(), exec());
+
+    // 1000 requests x 10 M instructions.
+    EXPECT_DOUBLE_EQ(v[idx(Pmc::InstructionRetired)], 1e10);
+    // 5 core-seconds at 2 GHz.
+    EXPECT_DOUBLE_EQ(v[idx(Pmc::UnhaltedCoreCycles)], 1e10);
+    // Reference clock = max DVFS (2.0 GHz by default).
+    EXPECT_DOUBLE_EQ(v[idx(Pmc::UnhaltedReferenceCycles)], 1e10);
+    EXPECT_DOUBLE_EQ(v[idx(Pmc::UopsRetired)], 1.3e10);
+    EXPECT_DOUBLE_EQ(v[idx(Pmc::BranchInstructionsRetired)], 2e9);
+    EXPECT_DOUBLE_EQ(v[idx(Pmc::MispredictedBranchRetired)], 4e7);
+    EXPECT_DOUBLE_EQ(v[idx(Pmc::LlcMisses)], 1e10 * 0.02 * 0.5);
+    EXPECT_DOUBLE_EQ(v[idx(Pmc::CacheL1d)], 4e9);
+    EXPECT_DOUBLE_EQ(v[idx(Pmc::CacheL1i)], 1e9);
+}
+
+TEST(Pmc, IpcDropsWhenBusyTimeInflates)
+{
+    // Same completed work, more busy time (stalls): IPC must drop.
+    MachineConfig m;
+    PmcModel model(m, Rng(2));
+    const auto clean = model.synthesizeNoiseless(profile(), exec());
+    const auto stalled =
+        model.synthesizeNoiseless(profile(), exec(1000, 7.5));
+    const double ipc_clean = clean[idx(Pmc::InstructionRetired)] /
+        clean[idx(Pmc::UnhaltedCoreCycles)];
+    const double ipc_stalled = stalled[idx(Pmc::InstructionRetired)] /
+        stalled[idx(Pmc::UnhaltedCoreCycles)];
+    EXPECT_NEAR(ipc_stalled, ipc_clean / 1.5, 1e-9);
+}
+
+TEST(Pmc, LlcMissFactorScalesOnlyLlcMisses)
+{
+    MachineConfig m;
+    PmcModel model(m, Rng(3));
+    auto e = exec();
+    const auto base = model.synthesizeNoiseless(profile(), e);
+    e.llcMissFactor = 2.0;
+    const auto hot = model.synthesizeNoiseless(profile(), e);
+    EXPECT_DOUBLE_EQ(hot[idx(Pmc::LlcMisses)],
+                     2.0 * base[idx(Pmc::LlcMisses)]);
+    EXPECT_DOUBLE_EQ(hot[idx(Pmc::InstructionRetired)],
+                     base[idx(Pmc::InstructionRetired)]);
+    EXPECT_DOUBLE_EQ(hot[idx(Pmc::CacheL1d)], base[idx(Pmc::CacheL1d)]);
+}
+
+TEST(Pmc, FrequencyChangesCoreNotReferenceCycles)
+{
+    MachineConfig m;
+    PmcModel model(m, Rng(4));
+    const auto lo = model.synthesizeNoiseless(profile(),
+                                              exec(1000, 5.0, 1.2));
+    const auto hi = model.synthesizeNoiseless(profile(),
+                                              exec(1000, 5.0, 2.0));
+    EXPECT_LT(lo[idx(Pmc::UnhaltedCoreCycles)],
+              hi[idx(Pmc::UnhaltedCoreCycles)]);
+    EXPECT_DOUBLE_EQ(lo[idx(Pmc::UnhaltedReferenceCycles)],
+                     hi[idx(Pmc::UnhaltedReferenceCycles)]);
+}
+
+TEST(Pmc, NoiseIsSmallAndNonNegative)
+{
+    MachineConfig m;
+    PmcModel model(m, Rng(5), 0.02);
+    const auto truth = model.synthesizeNoiseless(profile(), exec());
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto noisy = model.synthesize(profile(), exec());
+        for (std::size_t c = 0; c < kNumPmcs; ++c) {
+            EXPECT_GE(noisy[c], 0.0);
+            EXPECT_NEAR(noisy[c] / truth[c], 1.0, 0.15);
+        }
+    }
+}
+
+TEST(Pmc, ZeroWorkGivesZeroCounters)
+{
+    MachineConfig m;
+    PmcModel model(m, Rng(6));
+    const auto v = model.synthesizeNoiseless(profile(), exec(0, 0.0));
+    for (std::size_t c = 0; c < kNumPmcs; ++c)
+        EXPECT_DOUBLE_EQ(v[c], 0.0);
+}

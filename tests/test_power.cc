@@ -1,0 +1,138 @@
+/** @file Unit tests for the ground-truth power model and RAPL. */
+
+#include <gtest/gtest.h>
+
+#include "sim/power.hh"
+
+using namespace twig::sim;
+
+TEST(Power, DisabledCoreBurnsNothing)
+{
+    PowerModel pm{MachineConfig{}};
+    EXPECT_DOUBLE_EQ(pm.corePower({false, 2.0, 1.0}), 0.0);
+}
+
+TEST(Power, IdleCoreBurnsOnlyLeakage)
+{
+    MachineConfig m;
+    PowerModel pm(m);
+    const double leak_min = pm.corePower({true, m.dvfs.minGhz, 0.0});
+    EXPECT_DOUBLE_EQ(leak_min, m.coreLeakBaseW);
+}
+
+TEST(Power, MonotoneInFrequency)
+{
+    PowerModel pm{MachineConfig{}};
+    double prev = 0.0;
+    for (double f : {1.2, 1.5, 1.8, 2.0}) {
+        const double p = pm.corePower({true, f, 0.7});
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(Power, MonotoneInUtilization)
+{
+    PowerModel pm{MachineConfig{}};
+    EXPECT_LT(pm.corePower({true, 2.0, 0.2}),
+              pm.corePower({true, 2.0, 0.9}));
+}
+
+TEST(Power, UtilizationClamped)
+{
+    PowerModel pm{MachineConfig{}};
+    EXPECT_DOUBLE_EQ(pm.corePower({true, 2.0, 1.5}),
+                     pm.corePower({true, 2.0, 1.0}));
+    EXPECT_DOUBLE_EQ(pm.corePower({true, 2.0, -1.0}),
+                     pm.corePower({true, 2.0, 0.0}));
+}
+
+TEST(Power, VoltageScaledDynamicTerm)
+{
+    // P_dyn = coeff * (v0 + v1 f)^2 * f * util; with the defaults
+    // (v0 = 0.6, v1 = 0.2) the 1.0 -> 2.0 GHz ratio is
+    // (1.0^2 * 2.0) / (0.8^2 * 1.0) = 3.125.
+    MachineConfig m;
+    PowerModel pm(m);
+    const double dyn_low = pm.corePower({true, 1.0, 1.0}) -
+        pm.corePower({true, 1.0, 0.0});
+    const double dyn_high = pm.corePower({true, 2.0, 1.0}) -
+        pm.corePower({true, 2.0, 0.0});
+    EXPECT_NEAR(dyn_high / dyn_low, 3.125, 1e-9);
+}
+
+TEST(Power, SocketPowerIncludesUncore)
+{
+    MachineConfig m;
+    PowerModel pm(m);
+    EXPECT_DOUBLE_EQ(pm.socketPower({}), m.uncorePowerW);
+}
+
+TEST(Power, IdleBelowMax)
+{
+    MachineConfig m;
+    PowerModel pm(m);
+    EXPECT_LT(pm.idlePower(), pm.maxPower());
+    // TDP-scale sanity: an 18-core Broadwell socket flat out burns on
+    // the order of 100-150 W.
+    EXPECT_GT(pm.maxPower(), 80.0);
+    EXPECT_LT(pm.maxPower(), 200.0);
+    EXPECT_GT(pm.idlePower(), 20.0);
+    EXPECT_LT(pm.idlePower(), 50.0);
+}
+
+TEST(Rapl, IntegratesEnergy)
+{
+    MachineConfig m;
+    Rapl rapl(m);
+    std::vector<CorePowerState> cores(
+        m.numCores, CorePowerState{true, 2.0, 1.0});
+    rapl.integrate(cores, 2.0);
+    const double p = rapl.lastPowerW();
+    EXPECT_NEAR(rapl.energyJoules(), 2.0 * p, 1e-9);
+    rapl.integrate(cores, 1.0);
+    EXPECT_NEAR(rapl.energyJoules(), 3.0 * p, 1e-9);
+}
+
+TEST(Rapl, LastPowerTracksCurrentWindow)
+{
+    MachineConfig m;
+    Rapl rapl(m);
+    std::vector<CorePowerState> busy(
+        m.numCores, CorePowerState{true, 2.0, 1.0});
+    std::vector<CorePowerState> idle(
+        m.numCores, CorePowerState{true, m.dvfs.minGhz, 0.0});
+    rapl.integrate(busy, 1.0);
+    const double p_busy = rapl.lastPowerW();
+    rapl.integrate(idle, 1.0);
+    EXPECT_LT(rapl.lastPowerW(), p_busy);
+}
+
+TEST(Dvfs, LadderProperties)
+{
+    DvfsLadder ladder;
+    EXPECT_EQ(ladder.numStates(), 9u);
+    EXPECT_DOUBLE_EQ(ladder.freq(0), 1.2);
+    EXPECT_DOUBLE_EQ(ladder.freq(8), 2.0);
+    EXPECT_NEAR(ladder.freq(4), 1.6, 1e-12);
+    EXPECT_EQ(ladder.maxIndex(), 8u);
+    EXPECT_THROW(ladder.freq(9), twig::common::FatalError);
+}
+
+TEST(CoreAssignment, EffectiveCores)
+{
+    CoreAssignment a;
+    a.dedicatedCores = {0, 1, 2};
+    a.sharedCores = {3, 4};
+    a.shareCount = 2;
+    // Default (sentinel): the whole pool is usable.
+    EXPECT_DOUBLE_EQ(a.effectiveCores(), 5.0);
+    EXPECT_EQ(a.totalCoreIds(), 5u);
+    // With the server's work-conserving split applied:
+    a.sharedUsableCores = 1.2;
+    EXPECT_DOUBLE_EQ(a.effectiveCores(), 4.2);
+    EXPECT_DOUBLE_EQ(a.usableSharedCores(), 1.2);
+    // Usable capacity is clamped to the pool size.
+    a.sharedUsableCores = 9.0;
+    EXPECT_DOUBLE_EQ(a.effectiveCores(), 5.0);
+}

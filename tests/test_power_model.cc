@@ -1,0 +1,132 @@
+/** @file Unit tests for the Eq. 2 per-service power model. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/power_model.hh"
+#include "harness/profiling.hh"
+#include "services/tailbench.hh"
+
+using namespace twig::core;
+using twig::common::Rng;
+
+namespace {
+
+/** Synthetic samples from an exact Eq. 2 model. */
+std::vector<PowerSample>
+syntheticSamples(double kappa, double sigma, double omega, Rng &rng,
+                 double noise = 0.0)
+{
+    std::vector<PowerSample> samples;
+    for (double load : {0.2, 0.5, 0.8}) {
+        for (double cores : {2.0, 6.0, 10.0, 14.0, 18.0}) {
+            for (double ghz : {1.2, 1.4, 1.6, 1.8, 2.0}) {
+                const double p = kappa * load + sigma * cores +
+                    omega * omega * ghz + rng.normal(0.0, noise);
+                samples.push_back({load, cores, ghz, p});
+            }
+        }
+    }
+    return samples;
+}
+
+} // namespace
+
+TEST(PowerModel, PredictFormula)
+{
+    ServicePowerModel m(10.0, 2.0, 3.0);
+    EXPECT_DOUBLE_EQ(m.predict(0.5, 4.0, 1.5), 5.0 + 8.0 + 13.5);
+    EXPECT_DOUBLE_EQ(m.kappa(), 10.0);
+    EXPECT_DOUBLE_EQ(m.sigma(), 2.0);
+    EXPECT_DOUBLE_EQ(m.omega(), 3.0);
+}
+
+TEST(PowerModel, ClosedFormRecoversExactCoefficients)
+{
+    Rng rng(1);
+    const auto samples = syntheticSamples(12.0, 1.5, 2.5, rng);
+    ServicePowerModel m;
+    const auto report = m.fitClosedForm(samples);
+    EXPECT_NEAR(m.kappa(), 12.0, 1e-6);
+    EXPECT_NEAR(m.sigma(), 1.5, 1e-6);
+    EXPECT_NEAR(m.omega(), 2.5, 1e-6);
+    EXPECT_LT(report.trainMse, 1e-10);
+    EXPECT_NEAR(report.rSquared, 1.0, 1e-9);
+}
+
+TEST(PowerModel, RandomSearchApproachesClosedForm)
+{
+    Rng rng(2);
+    const auto samples = syntheticSamples(12.0, 1.5, 2.5, rng, 0.3);
+
+    ServicePowerModel exact;
+    const auto exact_report = exact.fitClosedForm(samples);
+
+    ServicePowerModel searched;
+    Rng search_rng(3);
+    const auto report = searched.fit(samples, search_rng, 8000);
+
+    // Paper-faithful random search lands near the least-squares fit.
+    EXPECT_LT(report.trainMse, 4.0 * exact_report.trainMse + 1.0);
+    EXPECT_NEAR(searched.kappa(), exact.kappa(), 4.0);
+    EXPECT_NEAR(searched.sigma(), exact.sigma(), 1.0);
+}
+
+TEST(PowerModel, FitRejectsTooFewSamples)
+{
+    ServicePowerModel m;
+    Rng rng(4);
+    std::vector<PowerSample> two = {{0.2, 2, 1.2, 5.0},
+                                    {0.5, 4, 1.6, 9.0}};
+    EXPECT_THROW(m.fit(two, rng), twig::common::FatalError);
+    EXPECT_THROW(m.fitClosedForm({}), twig::common::FatalError);
+}
+
+TEST(PowerModel, ClosedFormClampsNegativeDvfsTerm)
+{
+    // Construct data where the best linear DVFS coefficient is
+    // negative; omega^2 cannot be negative, so omega clamps to 0.
+    std::vector<PowerSample> samples;
+    Rng rng(5);
+    for (double load : {0.2, 0.5, 0.8})
+        for (double cores : {2.0, 8.0, 14.0})
+            for (double ghz : {1.2, 1.6, 2.0})
+                samples.push_back(
+                    {load, cores, ghz, 5.0 * load + cores - 2.0 * ghz});
+    ServicePowerModel m;
+    m.fitClosedForm(samples);
+    EXPECT_DOUBLE_EQ(m.omega(), 0.0);
+}
+
+TEST(PowerModel, ProfilingCampaignFitMatchesPaperQuality)
+{
+    // End-to-end: profile masstree on the simulator and fit Eq. 2.
+    // The paper reports R^2 = 0.92 and mean PAAE 5.46% (7% max). Our
+    // ground truth carries a load x frequency interaction the additive
+    // Eq. 2 cannot express, so the reproduction lands at R^2 ~ 0.84 and
+    // PAAE ~ 25% (EXPERIMENTS.md discusses the gap).
+    const twig::sim::MachineConfig machine;
+    const auto samples = twig::harness::profileServicePower(
+        twig::services::masstree(), machine, {}, 7);
+    ASSERT_GT(samples.size(), 50u);
+
+    ServicePowerModel m;
+    Rng rng(8);
+    const auto report = m.fit(samples, rng, 4000);
+    EXPECT_GT(report.rSquared, 0.78);
+    EXPECT_LT(report.paaePercent, 32.0);
+    // Every coefficient non-negative (the search space enforces it).
+    EXPECT_GE(m.kappa(), 0.0);
+    EXPECT_GE(m.sigma(), 0.0);
+    EXPECT_GE(m.omega(), 0.0);
+}
+
+TEST(PowerModel, CrossValidationScorePopulated)
+{
+    Rng rng(9);
+    const auto samples = syntheticSamples(8.0, 1.0, 2.0, rng, 0.5);
+    ServicePowerModel m;
+    const auto report = m.fit(samples, rng, 2000);
+    EXPECT_GT(report.crossValidationMse, 0.0);
+    EXPECT_TRUE(std::isfinite(report.crossValidationMse));
+}

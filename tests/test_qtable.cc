@@ -1,0 +1,145 @@
+/** @file Unit tests for tabular Q-learning (Hipster's learner). */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "rl/qtable.hh"
+
+using namespace twig::rl;
+using twig::common::Rng;
+
+TEST(QTable, StartsAtInitialValue)
+{
+    QTableConfig cfg;
+    cfg.numStates = 3;
+    cfg.numActions = 4;
+    cfg.optimisticInit = 2.5;
+    QTable q(cfg);
+    EXPECT_DOUBLE_EQ(q.value(2, 3), 2.5);
+}
+
+TEST(QTable, UpdateRuleMath)
+{
+    QTableConfig cfg;
+    cfg.numStates = 2;
+    cfg.numActions = 2;
+    cfg.learningRate = 0.5;
+    cfg.discount = 0.9;
+    QTable q(cfg);
+    // Q(0,1) <- 0 + 0.5 * (1 + 0.9*max_a Q(1,a) - 0) = 0.5
+    const double td = q.update(0, 1, 1.0, 1);
+    EXPECT_DOUBLE_EQ(td, 1.0);
+    EXPECT_DOUBLE_EQ(q.value(0, 1), 0.5);
+    // Second update bootstraps from Q(1,.) = 0 still.
+    q.update(0, 1, 1.0, 1);
+    EXPECT_DOUBLE_EQ(q.value(0, 1), 0.75);
+}
+
+TEST(QTable, BootstrapUsesMaxOfNextState)
+{
+    QTableConfig cfg;
+    cfg.numStates = 2;
+    cfg.numActions = 2;
+    cfg.learningRate = 1.0;
+    cfg.discount = 0.5;
+    QTable q(cfg);
+    q.updateTerminal(1, 0, 4.0); // Q(1,0) = 4
+    q.update(0, 0, 1.0, 1);      // target = 1 + 0.5*4 = 3
+    EXPECT_DOUBLE_EQ(q.value(0, 0), 3.0);
+}
+
+TEST(QTable, TerminalUpdateSkipsBootstrap)
+{
+    QTableConfig cfg;
+    cfg.numStates = 1;
+    cfg.numActions = 1;
+    cfg.learningRate = 1.0;
+    QTable q(cfg);
+    q.updateTerminal(0, 0, -7.0);
+    EXPECT_DOUBLE_EQ(q.value(0, 0), -7.0);
+}
+
+TEST(QTable, GreedyPicksHighestValue)
+{
+    QTableConfig cfg;
+    cfg.numStates = 1;
+    cfg.numActions = 3;
+    cfg.learningRate = 1.0;
+    QTable q(cfg);
+    q.updateTerminal(0, 1, 5.0);
+    q.updateTerminal(0, 2, 3.0);
+    EXPECT_EQ(q.greedy(0), 1u);
+}
+
+TEST(QTable, GreedyTieBreaksTowardLowerIndex)
+{
+    QTableConfig cfg;
+    cfg.numStates = 1;
+    cfg.numActions = 3;
+    QTable q(cfg);
+    EXPECT_EQ(q.greedy(0), 0u);
+}
+
+TEST(QTable, SelectExploresAndExploits)
+{
+    QTableConfig cfg;
+    cfg.numStates = 1;
+    cfg.numActions = 10;
+    cfg.learningRate = 1.0;
+    QTable q(cfg);
+    q.updateTerminal(0, 4, 100.0);
+    Rng rng(1);
+    // epsilon = 0: always greedy.
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(q.select(0, 0.0, rng), 4u);
+    // epsilon = 1: hits other actions too.
+    std::size_t other = 0;
+    for (int i = 0; i < 200; ++i)
+        other += q.select(0, 1.0, rng) != 4u;
+    EXPECT_GT(other, 100u);
+}
+
+TEST(QTable, MemoryBytesScalesWithTable)
+{
+    QTableConfig cfg;
+    cfg.numStates = 25;
+    cfg.numActions = 162;
+    QTable q(cfg);
+    EXPECT_EQ(q.memoryBytes(), 25u * 162u * sizeof(double));
+}
+
+TEST(QTable, OutOfRangePanics)
+{
+    QTableConfig cfg;
+    cfg.numStates = 2;
+    cfg.numActions = 2;
+    QTable q(cfg);
+    EXPECT_THROW(q.value(2, 0), twig::common::PanicError);
+    EXPECT_THROW(q.value(0, 2), twig::common::PanicError);
+}
+
+TEST(QTable, EmptyTableThrows)
+{
+    QTableConfig cfg;
+    cfg.numStates = 0;
+    EXPECT_THROW(QTable{cfg}, twig::common::FatalError);
+}
+
+TEST(QTable, ConvergesOnTwoArmBandit)
+{
+    QTableConfig cfg;
+    cfg.numStates = 1;
+    cfg.numActions = 2;
+    cfg.learningRate = 0.2;
+    cfg.discount = 0.0; // pure bandit
+    QTable q(cfg);
+    Rng rng(2);
+    for (int i = 0; i < 500; ++i) {
+        const std::size_t a = q.select(0, 0.3, rng);
+        const double r = a == 1 ? 1.0 : 0.2;
+        q.updateTerminal(0, a, r);
+    }
+    EXPECT_EQ(q.greedy(0), 1u);
+    EXPECT_NEAR(q.value(0, 1), 1.0, 0.1);
+}

@@ -1,0 +1,157 @@
+/** @file Unit tests for least squares, k-fold CV and random search. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "stats/regression.hh"
+
+using namespace twig::stats;
+
+TEST(LeastSquares, RecoversExactCoefficients)
+{
+    // y = 2a - 3b + 0.5c
+    std::vector<std::vector<double>> rows;
+    std::vector<double> y;
+    twig::common::Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        const double a = rng.uniform(), b = rng.uniform(),
+                     c = rng.uniform();
+        rows.push_back({a, b, c});
+        y.push_back(2.0 * a - 3.0 * b + 0.5 * c);
+    }
+    const auto w = leastSquares(rows, y);
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_NEAR(w[0], 2.0, 1e-9);
+    EXPECT_NEAR(w[1], -3.0, 1e-9);
+    EXPECT_NEAR(w[2], 0.5, 1e-9);
+}
+
+TEST(LeastSquares, MinimisesResidualUnderNoise)
+{
+    twig::common::Rng rng(2);
+    std::vector<std::vector<double>> rows;
+    std::vector<double> y;
+    for (int i = 0; i < 2000; ++i) {
+        const double x = rng.uniform(0.0, 10.0);
+        rows.push_back({1.0, x});
+        y.push_back(4.0 + 1.5 * x + rng.normal(0.0, 0.1));
+    }
+    const auto w = leastSquares(rows, y);
+    EXPECT_NEAR(w[0], 4.0, 0.05);
+    EXPECT_NEAR(w[1], 1.5, 0.01);
+}
+
+TEST(LeastSquares, SingularThrows)
+{
+    // Two identical columns -> singular normal matrix.
+    std::vector<std::vector<double>> rows = {
+        {1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+    EXPECT_THROW(leastSquares(rows, {1.0, 2.0, 3.0}),
+                 twig::common::FatalError);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows)
+{
+    EXPECT_THROW(leastSquares({{1.0, 2.0, 3.0}}, {1.0}),
+                 twig::common::FatalError);
+}
+
+TEST(LeastSquares, InputValidation)
+{
+    EXPECT_THROW(leastSquares({}, {}), twig::common::FatalError);
+    EXPECT_THROW(leastSquares({{1.0}}, {1.0, 2.0}),
+                 twig::common::FatalError);
+}
+
+TEST(Metrics, MseKnownValue)
+{
+    EXPECT_DOUBLE_EQ(meanSquaredError({1.0, 2.0}, {0.0, 4.0}), 2.5);
+    EXPECT_DOUBLE_EQ(meanSquaredError({3.0}, {3.0}), 0.0);
+}
+
+TEST(Metrics, RSquaredPerfectAndBaseline)
+{
+    EXPECT_DOUBLE_EQ(rSquared({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}), 1.0);
+    // Predicting the mean gives R^2 = 0.
+    EXPECT_NEAR(rSquared({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0}), 0.0, 1e-12);
+}
+
+TEST(Metrics, MapeSkipsZeroTruth)
+{
+    // Only the second sample counts: |5-4|/4 = 25%.
+    EXPECT_DOUBLE_EQ(
+        meanAbsolutePercentageError({1.0, 5.0}, {0.0, 4.0}), 25.0);
+}
+
+TEST(Kfold, PartitionsAllIndicesExactlyOnce)
+{
+    twig::common::Rng rng(5);
+    const auto folds = kfoldSplit(103, 5, rng);
+    ASSERT_EQ(folds.size(), 5u);
+    std::set<std::size_t> seen;
+    for (const auto &f : folds) {
+        // Fold sizes differ by at most one.
+        EXPECT_GE(f.size(), 20u);
+        EXPECT_LE(f.size(), 21u);
+        for (std::size_t i : f) {
+            EXPECT_TRUE(seen.insert(i).second) << "duplicate index";
+            EXPECT_LT(i, 103u);
+        }
+    }
+    EXPECT_EQ(seen.size(), 103u);
+}
+
+TEST(Kfold, KClampedToSampleCount)
+{
+    twig::common::Rng rng(6);
+    const auto folds = kfoldSplit(3, 10, rng);
+    EXPECT_EQ(folds.size(), 3u);
+}
+
+TEST(Kfold, InvalidInputsThrow)
+{
+    twig::common::Rng rng(7);
+    EXPECT_THROW(kfoldSplit(0, 5, rng), twig::common::FatalError);
+    EXPECT_THROW(kfoldSplit(10, 0, rng), twig::common::FatalError);
+}
+
+TEST(RandomGridSearch, FindsQuadraticMinimum)
+{
+    twig::common::Rng rng(8);
+    const auto r = randomGridSearch(
+        {{-10.0, 10.0}, {-10.0, 10.0}},
+        [](const std::vector<double> &p) {
+            return (p[0] - 3.0) * (p[0] - 3.0) +
+                (p[1] + 2.0) * (p[1] + 2.0);
+        },
+        20000, rng);
+    EXPECT_NEAR(r.bestParams[0], 3.0, 0.3);
+    EXPECT_NEAR(r.bestParams[1], -2.0, 0.3);
+    EXPECT_LT(r.bestScore, 0.1);
+    EXPECT_EQ(r.evaluations, 20000u);
+}
+
+TEST(RandomGridSearch, RespectsRanges)
+{
+    twig::common::Rng rng(9);
+    const auto r = randomGridSearch(
+        {{5.0, 6.0}},
+        [](const std::vector<double> &p) { return p[0]; }, 100, rng);
+    EXPECT_GE(r.bestParams[0], 5.0);
+    EXPECT_LT(r.bestParams[0], 6.0);
+}
+
+TEST(RandomGridSearch, InvalidInputsThrow)
+{
+    twig::common::Rng rng(10);
+    const auto noop = [](const std::vector<double> &) { return 0.0; };
+    EXPECT_THROW(randomGridSearch({}, noop, 10, rng),
+                 twig::common::FatalError);
+    EXPECT_THROW(randomGridSearch({{0.0, 1.0}}, noop, 0, rng),
+                 twig::common::FatalError);
+}

@@ -1,0 +1,99 @@
+/** @file Unit tests for the Eq. 1 reward function. */
+
+#include <gtest/gtest.h>
+
+#include "core/reward.hh"
+
+using namespace twig::core;
+
+TEST(Reward, MetBranchAddsPowerTerm)
+{
+    Reward r;
+    // tardiness 0.8, power reward 100/25 = 4, theta 0.5.
+    EXPECT_DOUBLE_EQ(r(8.0, 10.0, 25.0, 100.0), 0.8 + 0.5 * 4.0);
+}
+
+TEST(Reward, ExactlyOnTargetCountsAsMet)
+{
+    Reward r;
+    EXPECT_GT(r(10.0, 10.0, 50.0, 100.0), 0.0);
+}
+
+TEST(Reward, ViolationIsNegativePowerIgnored)
+{
+    Reward r;
+    const double v1 = r(15.0, 10.0, 1.0, 100.0);
+    const double v2 = r(15.0, 10.0, 99.0, 100.0);
+    EXPECT_LT(v1, 0.0);
+    EXPECT_DOUBLE_EQ(v1, v2); // power does not matter when violating
+    // -(1.5)^3 = -3.375
+    EXPECT_DOUBLE_EQ(v1, -3.375);
+}
+
+TEST(Reward, PenaltyCappedAtVarphi)
+{
+    Reward r;
+    EXPECT_DOUBLE_EQ(r(1000.0, 10.0, 1.0, 100.0), -100.0);
+}
+
+TEST(Reward, PenaltyGrowsWithViolationSeverity)
+{
+    Reward r;
+    EXPECT_GT(r(11.0, 10.0, 10.0, 100.0), r(20.0, 10.0, 10.0, 100.0));
+}
+
+TEST(Reward, LowerPowerEstimateHigherReward)
+{
+    Reward r;
+    EXPECT_GT(r(8.0, 10.0, 20.0, 100.0), r(8.0, 10.0, 40.0, 100.0));
+}
+
+TEST(Reward, RidingTheTargetBeatsOverdelivering)
+{
+    // Same power estimate: tardiness 0.95 slightly out-rewards 0.5
+    // (the QoS term nudges toward "just meeting", paper §III-B2).
+    Reward r;
+    EXPECT_GT(r(9.5, 10.0, 30.0, 100.0), r(5.0, 10.0, 30.0, 100.0));
+}
+
+TEST(Reward, ThetaBalancesPowerTerm)
+{
+    RewardConfig cfg;
+    cfg.theta = 0.0;
+    Reward no_power(cfg);
+    EXPECT_DOUBLE_EQ(no_power(8.0, 10.0, 5.0, 100.0), 0.8);
+
+    cfg.theta = 1.0;
+    Reward strong(cfg);
+    EXPECT_DOUBLE_EQ(strong(8.0, 10.0, 5.0, 100.0), 0.8 + 20.0);
+}
+
+TEST(Reward, PhiControlsPenaltyCurvature)
+{
+    RewardConfig cfg;
+    cfg.phi = 1.0;
+    Reward linear(cfg);
+    EXPECT_DOUBLE_EQ(linear(20.0, 10.0, 1.0, 100.0), -2.0);
+}
+
+TEST(Reward, TinyPowerEstimateIsGuarded)
+{
+    Reward r;
+    // estimated power 0 must not divide by zero.
+    const double v = r(8.0, 10.0, 0.0, 100.0);
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GT(v, 0.0);
+}
+
+TEST(Reward, Validation)
+{
+    RewardConfig bad;
+    bad.varphi = 1.0;
+    EXPECT_THROW(Reward{bad}, twig::common::FatalError);
+    bad = RewardConfig{};
+    bad.phi = 0.0;
+    EXPECT_THROW(Reward{bad}, twig::common::FatalError);
+
+    Reward r;
+    EXPECT_THROW(r(1.0, 0.0, 1.0, 100.0), twig::common::FatalError);
+}

@@ -1,0 +1,77 @@
+/** @file Unit tests for the annealing schedules. */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "rl/schedule.hh"
+
+using namespace twig::rl;
+
+TEST(Schedule, ValuesAtKnots)
+{
+    PiecewiseLinearSchedule s({{0, 1.0}, {100, 0.1}, {200, 0.01}});
+    EXPECT_DOUBLE_EQ(s.at(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.at(100), 0.1);
+    EXPECT_DOUBLE_EQ(s.at(200), 0.01);
+}
+
+TEST(Schedule, LinearInterpolationBetweenKnots)
+{
+    PiecewiseLinearSchedule s({{0, 1.0}, {100, 0.0}});
+    EXPECT_DOUBLE_EQ(s.at(50), 0.5);
+    EXPECT_DOUBLE_EQ(s.at(25), 0.75);
+}
+
+TEST(Schedule, ClampsOutsideRange)
+{
+    PiecewiseLinearSchedule s({{10, 0.8}, {20, 0.2}});
+    EXPECT_DOUBLE_EQ(s.at(0), 0.8);
+    EXPECT_DOUBLE_EQ(s.at(5), 0.8);
+    EXPECT_DOUBLE_EQ(s.at(1000), 0.2);
+}
+
+TEST(Schedule, SingleKnotIsConstant)
+{
+    PiecewiseLinearSchedule s({{5, 0.3}});
+    EXPECT_DOUBLE_EQ(s.at(0), 0.3);
+    EXPECT_DOUBLE_EQ(s.at(5), 0.3);
+    EXPECT_DOUBLE_EQ(s.at(99), 0.3);
+}
+
+TEST(Schedule, NonIncreasingKnotsThrow)
+{
+    EXPECT_THROW(
+        PiecewiseLinearSchedule({{10, 1.0}, {10, 0.5}}),
+        twig::common::FatalError);
+    EXPECT_THROW(
+        PiecewiseLinearSchedule({{10, 1.0}, {5, 0.5}}),
+        twig::common::FatalError);
+    EXPECT_THROW(PiecewiseLinearSchedule({}), twig::common::FatalError);
+}
+
+TEST(Schedule, PaperEpsilonDefaults)
+{
+    // 1 -> 0.1 over 10000 steps, -> 0.01 by 25000 (paper §IV).
+    const auto eps = makeEpsilonSchedule();
+    EXPECT_DOUBLE_EQ(eps.at(0), 1.0);
+    EXPECT_DOUBLE_EQ(eps.at(10000), 0.1);
+    EXPECT_DOUBLE_EQ(eps.at(25000), 0.01);
+    EXPECT_DOUBLE_EQ(eps.at(50000), 0.01);
+    EXPECT_NEAR(eps.at(5000), 0.55, 1e-12);
+}
+
+TEST(Schedule, BetaAnnealsToOne)
+{
+    const auto beta = makeBetaSchedule(1000);
+    EXPECT_DOUBLE_EQ(beta.at(0), 0.4);
+    EXPECT_DOUBLE_EQ(beta.at(1000), 1.0);
+    EXPECT_DOUBLE_EQ(beta.at(2000), 1.0);
+    EXPECT_DOUBLE_EQ(beta.at(500), 0.7);
+}
+
+TEST(Schedule, MonotoneDecreasingEpsilon)
+{
+    const auto eps = makeEpsilonSchedule(100, 200);
+    for (std::size_t t = 1; t <= 250; ++t)
+        EXPECT_LE(eps.at(t), eps.at(t - 1));
+}

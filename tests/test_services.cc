@@ -1,0 +1,187 @@
+/** @file Unit tests for the Tailbench catalogue and calibration. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hh"
+#include "services/microbench.hh"
+#include "services/tailbench.hh"
+#include "sim/loadgen.hh"
+#include "sim/server.hh"
+
+using namespace twig::services;
+using namespace twig::sim;
+
+TEST(Catalogue, TableTwoOrderAndNames)
+{
+    const auto cat = tailbenchCatalogue();
+    ASSERT_EQ(cat.size(), 4u);
+    EXPECT_EQ(cat[0].name, "masstree");
+    EXPECT_EQ(cat[1].name, "xapian");
+    EXPECT_EQ(cat[2].name, "moses");
+    EXPECT_EQ(cat[3].name, "img-dnn");
+}
+
+TEST(Catalogue, ByNameRoundTrip)
+{
+    for (const char *name : {"masstree", "xapian", "moses", "img-dnn",
+                             "memcached", "web-search"}) {
+        EXPECT_EQ(byName(name).name, name);
+    }
+}
+
+TEST(Catalogue, UnknownNameThrows)
+{
+    EXPECT_THROW(byName("redis"), twig::common::FatalError);
+}
+
+TEST(Catalogue, AllParametersPositive)
+{
+    for (const auto &p : {masstree(), xapian(), moses(), imgdnn(),
+                          memcached(), websearch()}) {
+        EXPECT_GT(p.maxLoadRps, 0.0) << p.name;
+        EXPECT_GT(p.qosTargetMs, 0.0) << p.name;
+        EXPECT_GT(p.baseServiceTimeMs, 0.0) << p.name;
+        EXPECT_GT(p.serviceTimeCv, 0.0) << p.name;
+        EXPECT_GT(p.freqExponent, 0.0) << p.name;
+        EXPECT_GT(p.instructionsPerReqM, 0.0) << p.name;
+        EXPECT_GT(p.llcFootprintMB, 0.0) << p.name;
+        EXPECT_GT(p.timeoutMs, p.qosTargetMs) << p.name;
+    }
+}
+
+TEST(Catalogue, PaperQualitativeTraits)
+{
+    // §V-B: Masstree is the most bandwidth-interference-sensitive of
+    // the four; Moses demands the most bandwidth and LLC capacity.
+    const auto cat = tailbenchCatalogue();
+    const auto &mt = cat[0];
+    const auto &mo = cat[2];
+    for (const auto &p : cat) {
+        EXPECT_GE(mt.bwSensitivity, p.bwSensitivity) << p.name;
+        EXPECT_GE(mo.memTrafficPerReqMB, p.memTrafficPerReqMB) << p.name;
+        EXPECT_GE(mo.llcFootprintMB, p.llcFootprintMB) << p.name;
+    }
+}
+
+TEST(Catalogue, CapacityKneeNearNominalMaxLoad)
+{
+    // The design rule: base service time puts the 18-core max-DVFS
+    // knee (rho = 0.9) at the nominal max load.
+    const MachineConfig m;
+    for (const auto &p : tailbenchCatalogue()) {
+        const double capacity = static_cast<double>(m.numCores) /
+            (p.baseServiceTimeMs * 1e-3);
+        EXPECT_NEAR(0.9 * capacity, p.maxLoadRps,
+                    0.05 * p.maxLoadRps)
+            << p.name;
+    }
+}
+
+TEST(Microbench, ProfilesMatchTheirRoles)
+{
+    const auto cpu = cpuMaxMicrobench();
+    const auto branchy = branchyMicrobench();
+    const auto stream = streamMicrobench();
+    // cpu-max: no memory accesses.
+    EXPECT_EQ(cpu.memTrafficPerReqMB, 0.0);
+    EXPECT_LT(cpu.branchMissRate, 0.01);
+    // branchy: by far the highest misprediction rate.
+    EXPECT_GT(branchy.branchMissRate, 10.0 * cpu.branchMissRate);
+    EXPECT_GT(branchy.branchFraction, cpu.branchFraction);
+    // stream: saturates bandwidth and misses the LLC.
+    EXPECT_GT(stream.memTrafficPerReqMB, 10.0);
+    EXPECT_GT(stream.llcBaseMissRate, 0.9);
+}
+
+TEST(Calibration, MaximaAreStrictlyPositive)
+{
+    const auto maxima = calibrateCounterMaxima(MachineConfig{});
+    for (std::size_t c = 0; c < kNumPmcs; ++c)
+        EXPECT_GT(maxima[c], 0.0) << pmcName(static_cast<Pmc>(c));
+}
+
+TEST(Calibration, CeilingsDominateRealServiceIntervals)
+{
+    // Property (paper's normalisation premise): a real LC service on
+    // the full socket never exceeds the microbenchmark ceilings.
+    const MachineConfig m;
+    const auto maxima = calibrateCounterMaxima(m);
+    twig::common::Rng rng(3);
+    const PmcModel model(m, rng);
+    for (const auto &p : tailbenchCatalogue()) {
+        IntervalExecution exec;
+        exec.busyCoreSeconds =
+            static_cast<double>(m.numCores) * m.intervalSeconds;
+        exec.freqGhz = m.dvfs.maxGhz;
+        exec.completedRequests = static_cast<std::size_t>(
+            p.maxLoadRps * m.intervalSeconds);
+        exec.llcMissFactor = 1.5;
+        const auto v = model.synthesizeNoiseless(p, exec);
+        for (std::size_t c = 0; c < kNumPmcs; ++c) {
+            EXPECT_LE(v[c], maxima[c] * 1.001)
+                << p.name << " exceeds ceiling for "
+                << pmcName(static_cast<Pmc>(c));
+        }
+    }
+}
+
+TEST(Calibration, InstructionCeilingComesFromCpuMax)
+{
+    // The instruction ceiling must reflect the high-IPC workload.
+    const MachineConfig m;
+    const auto maxima = calibrateCounterMaxima(m);
+    const double cycles =
+        static_cast<double>(m.numCores) * m.dvfs.maxGhz * 1e9;
+    const double instr =
+        maxima[static_cast<std::size_t>(Pmc::InstructionRetired)];
+    EXPECT_GT(instr / cycles, 3.0); // cpu-max IPC ~3.8
+}
+
+TEST(Catalogue, FullSuiteCoversTailbench)
+{
+    const auto all = fullCatalogue();
+    ASSERT_EQ(all.size(), 8u);
+    // The paper's four lead, in Table II order.
+    EXPECT_EQ(all[0].name, "masstree");
+    EXPECT_EQ(all[3].name, "img-dnn");
+    for (const char *extra : {"silo", "sphinx", "shore", "specjbb"})
+        EXPECT_EQ(byName(extra).name, extra);
+}
+
+TEST(Catalogue, ExtendedServicesHoldTheDesignRules)
+{
+    const MachineConfig m;
+    for (const auto &p : fullCatalogue()) {
+        // Knee rule: base service time puts the 18-core max-DVFS knee
+        // near the nominal max load.
+        const double capacity = static_cast<double>(m.numCores) /
+            (p.baseServiceTimeMs * 1e-3);
+        EXPECT_NEAR(0.9 * capacity, p.maxLoadRps, 0.06 * p.maxLoadRps)
+            << p.name;
+        // Timeout comfortably above the QoS target.
+        EXPECT_GE(p.timeoutMs, 5.0 * p.qosTargetMs) << p.name;
+        EXPECT_GT(p.serviceTimeCv, 0.0) << p.name;
+    }
+}
+
+TEST(Catalogue, ExtendedServicesRunOnTheServer)
+{
+    // Smoke: every service meets its target at 50% load on the full
+    // socket (the targets were derived with headroom).
+    const MachineConfig m;
+    for (const auto &p : {silo(), sphinx(), shore(), specjbb()}) {
+        Server server(m, 71);
+        server.addService(p, std::make_unique<FixedLoad>(
+                                 p.maxLoadRps, 0.5));
+        CoreAssignment all;
+        for (std::size_t i = 0; i < m.numCores; ++i)
+            all.dedicatedCores.push_back(i);
+        all.freqGhz = all.sharedFreqGhz = m.dvfs.maxGhz;
+        double p99 = 0.0;
+        for (int i = 0; i < 10; ++i)
+            p99 = server.runInterval({all}).services[0].p99Ms;
+        EXPECT_LT(p99, p.qosTargetMs) << p.name;
+    }
+}

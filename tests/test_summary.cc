@@ -1,0 +1,158 @@
+/** @file Unit tests for running statistics and percentile estimation. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "stats/summary.hh"
+
+using namespace twig::stats;
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.sampleVariance(), 0.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_NEAR(s.sampleVariance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    twig::common::Rng rng(3);
+    RunningStats whole, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        whole.add(x);
+        (i < 400 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+    EXPECT_EQ(left.min(), whole.min());
+    EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b); // no-op
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a); // adopt
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, ResetClears)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Percentile, EmptyReturnsZero)
+{
+    PercentileEstimator p;
+    EXPECT_EQ(p.percentile(99.0), 0.0);
+    EXPECT_TRUE(p.empty());
+}
+
+TEST(Percentile, MedianOfOddCount)
+{
+    EXPECT_DOUBLE_EQ(percentileOf({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks)
+{
+    // p25 of {1,2,3,4}: rank = 0.75 -> 1 + 0.75*(2-1) = 1.75
+    EXPECT_DOUBLE_EQ(percentileOf({1.0, 2.0, 3.0, 4.0}, 25.0), 1.75);
+}
+
+TEST(Percentile, ExtremesClampToMinMax)
+{
+    const std::vector<double> v = {5.0, 1.0, 9.0};
+    EXPECT_DOUBLE_EQ(percentileOf(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileOf(v, 100.0), 9.0);
+    EXPECT_DOUBLE_EQ(percentileOf(v, -5.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileOf(v, 120.0), 9.0);
+}
+
+TEST(Percentile, P99OfUniformGrid)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 1000; ++i)
+        v.push_back(static_cast<double>(i));
+    EXPECT_NEAR(percentileOf(v, 99.0), 990.0, 1.0);
+}
+
+TEST(Percentile, EstimatorMatchesFreeFunction)
+{
+    PercentileEstimator p;
+    for (double x : {4.0, 8.0, 15.0, 16.0, 23.0, 42.0})
+        p.add(x);
+    EXPECT_EQ(p.count(), 6u);
+    EXPECT_DOUBLE_EQ(
+        p.percentile(50.0),
+        percentileOf({4.0, 8.0, 15.0, 16.0, 23.0, 42.0}, 50.0));
+}
+
+TEST(Percentile, ClearEmpties)
+{
+    PercentileEstimator p;
+    p.add(1.0);
+    p.clear();
+    EXPECT_TRUE(p.empty());
+    EXPECT_EQ(p.percentile(50.0), 0.0);
+}
+
+class PercentileSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PercentileSweep, MonotoneInP)
+{
+    // Property: percentile is a non-decreasing function of p.
+    twig::common::Rng rng(77);
+    std::vector<double> v;
+    for (int i = 0; i < 500; ++i)
+        v.push_back(rng.normal(0.0, 1.0));
+    const double p = GetParam();
+    EXPECT_LE(percentileOf(v, p), percentileOf(v, p + 5.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PercentileSweep,
+                         ::testing::Values(0.0, 10.0, 25.0, 50.0, 75.0,
+                                           90.0, 95.0));

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * twig_sim — command-line driver for the Twig simulator.
+ *
+ * Runs any catalogue service mix under any task manager and load
+ * pattern and reports the QoS/energy outcome, optionally dumping a
+ * per-step CSV trace for plotting.
+ *
+ * Examples:
+ *   twig_sim --service masstree --load 0.5
+ *   twig_sim --service masstree --service moses --manager parties
+ *   twig_sim --service img-dnn --pattern diurnal --manager heracles
+ *   twig_sim --service xapian --steps 4000 --trace run.csv
+ *
+ * Options:
+ *   --service NAME    catalogue service (repeatable; twig/static/
+ *                     parties accept several, hipster/heracles one)
+ *   --manager NAME    twig | static | hipster | heracles | parties
+ *   --load F          load fraction of max (default 0.5)
+ *   --pattern NAME    fixed | diurnal | step | ramp (default fixed)
+ *   --steps N         control steps (default 2000)
+ *   --window N        metrics window (default steps/6)
+ *   --seed N          RNG seed (default 42)
+ *   --trace FILE      write a per-step CSV trace
+ *   --paper           use the paper's full hyper-parameters for Twig
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/managers.hh"
+#include "common/csv.hh"
+#include "harness/runner.hh"
+#include "services/tailbench.hh"
+#include "sim/loadgen.hh"
+#include "sim/server.hh"
+
+using namespace twig;
+
+namespace {
+
+struct Options
+{
+    std::vector<std::string> services;
+    std::string manager = "twig";
+    double load = 0.5;
+    std::string pattern = "fixed";
+    std::size_t steps = 2000;
+    std::size_t window = 0;
+    std::uint64_t seed = 42;
+    std::string trace;
+    bool paper = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::printf("usage: %s --service NAME [--service NAME ...]\n"
+                "  [--manager twig|static|hipster|heracles|parties]\n"
+                "  [--load F] [--pattern fixed|diurnal|step|ramp]\n"
+                "  [--steps N] [--window N] [--seed N]\n"
+                "  [--trace FILE] [--paper]\n",
+                argv0);
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--service")
+            opt.services.push_back(next());
+        else if (arg == "--manager")
+            opt.manager = next();
+        else if (arg == "--load")
+            opt.load = std::strtod(next(), nullptr);
+        else if (arg == "--pattern")
+            opt.pattern = next();
+        else if (arg == "--steps")
+            opt.steps = std::strtoul(next(), nullptr, 10);
+        else if (arg == "--window")
+            opt.window = std::strtoul(next(), nullptr, 10);
+        else if (arg == "--seed")
+            opt.seed = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--trace")
+            opt.trace = next();
+        else if (arg == "--paper")
+            opt.paper = true;
+        else
+            usage(argv[0]);
+    }
+    if (opt.services.empty())
+        usage(argv[0]);
+    if (opt.window == 0)
+        opt.window = std::max<std::size_t>(opt.steps / 6, 1);
+    return opt;
+}
+
+std::unique_ptr<sim::LoadGenerator>
+makeLoad(const Options &opt, const sim::ServiceProfile &p)
+{
+    if (opt.pattern == "fixed")
+        return std::make_unique<sim::FixedLoad>(p.maxLoadRps, opt.load);
+    if (opt.pattern == "diurnal") {
+        return std::make_unique<sim::DiurnalLoad>(
+            p.maxLoadRps, opt.load * 0.4, opt.load, opt.steps / 4);
+    }
+    if (opt.pattern == "step") {
+        return std::make_unique<sim::StepwiseMonotonicLoad>(
+            p.maxLoadRps, std::max(0.1, opt.load * 0.4), 0.2,
+            std::max<std::size_t>(opt.steps / 50, 1));
+    }
+    if (opt.pattern == "ramp") {
+        return std::make_unique<sim::RampLoad>(
+            p.maxLoadRps, opt.load * 0.25, opt.load, opt.steps);
+    }
+    common::fatal("unknown load pattern: ", opt.pattern);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+    const sim::MachineConfig machine;
+
+    std::vector<sim::ServiceProfile> profiles;
+    for (const auto &name : opt.services)
+        profiles.push_back(services::byName(name));
+
+    sim::Server server(machine, opt.seed);
+    for (const auto &p : profiles)
+        server.addService(p, makeLoad(opt, p));
+
+    const bench::Schedule sched{opt.steps, opt.window, opt.steps};
+    std::unique_ptr<core::TaskManager> manager;
+    if (opt.manager == "twig") {
+        manager = bench::makeTwig(machine, profiles, sched, opt.paper,
+                                  opt.seed + 1);
+    } else if (opt.manager == "static") {
+        manager = std::make_unique<baselines::StaticManager>(machine);
+    } else if (opt.manager == "hipster") {
+        common::fatalIf(profiles.size() != 1,
+                        "hipster manages exactly one service");
+        manager = bench::makeHipster(machine, profiles[0], sched,
+                                     opt.paper, opt.seed + 1);
+    } else if (opt.manager == "heracles") {
+        common::fatalIf(profiles.size() != 1,
+                        "heracles manages exactly one service");
+        manager = bench::makeHeracles(machine, profiles[0], opt.paper);
+    } else if (opt.manager == "parties") {
+        manager = bench::makeParties(machine, profiles, opt.seed + 1);
+    } else {
+        common::fatal("unknown manager: ", opt.manager);
+    }
+
+    harness::ExperimentRunner runner(server, *manager);
+    harness::RunOptions run;
+    run.steps = opt.steps;
+    run.summaryWindow = opt.window;
+    run.recordTrace = !opt.trace.empty();
+    const auto result = runner.run(run);
+
+    if (!opt.trace.empty()) {
+        common::CsvWriter csv(opt.trace);
+        std::vector<std::string> header = {"step", "power_w"};
+        for (const auto &p : profiles) {
+            header.push_back(p.name + "_cores");
+            header.push_back(p.name + "_dvfs_ghz");
+            header.push_back(p.name + "_p99_ms");
+            header.push_back(p.name + "_rps");
+        }
+        csv.header(header);
+        for (const auto &r : result.trace) {
+            std::vector<double> row = {static_cast<double>(r.step),
+                                       r.socketPowerW};
+            for (std::size_t i = 0; i < profiles.size(); ++i) {
+                row.push_back(static_cast<double>(r.cores[i]));
+                row.push_back(1.2 + 0.1 *
+                              static_cast<double>(r.dvfs[i]));
+                row.push_back(r.p99Ms[i]);
+                row.push_back(r.offeredRps[i]);
+            }
+            csv.rowVec(row);
+        }
+        std::printf("trace written to %s (%zu steps)\n",
+                    opt.trace.c_str(), result.trace.size());
+    }
+
+    std::printf("%s over the last %zu of %zu steps "
+                "(pattern %s, load %.0f%%):\n",
+                manager->name().c_str(), result.metrics.windowSteps,
+                opt.steps, opt.pattern.c_str(), 100 * opt.load);
+    for (const auto &svc : result.metrics.services) {
+        std::printf("  %-11s QoS %5.1f%%  mean tardiness %.2f  "
+                    "(target met when <= 1)\n",
+                    svc.name.c_str(), svc.qosGuaranteePct,
+                    svc.meanTardiness);
+    }
+    std::printf("  mean power %.1f W, energy %.0f J\n",
+                result.metrics.meanPowerW, result.metrics.energyJoules);
+    return 0;
+}
