@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_design_knobs.dir/abl_design_knobs.cc.o"
+  "CMakeFiles/abl_design_knobs.dir/abl_design_knobs.cc.o.d"
+  "abl_design_knobs"
+  "abl_design_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_design_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

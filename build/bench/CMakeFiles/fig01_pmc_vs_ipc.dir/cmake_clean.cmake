@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_pmc_vs_ipc.dir/fig01_pmc_vs_ipc.cc.o"
+  "CMakeFiles/fig01_pmc_vs_ipc.dir/fig01_pmc_vs_ipc.cc.o.d"
+  "fig01_pmc_vs_ipc"
+  "fig01_pmc_vs_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_pmc_vs_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

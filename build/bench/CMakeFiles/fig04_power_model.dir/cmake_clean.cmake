@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_power_model.dir/fig04_power_model.cc.o"
+  "CMakeFiles/fig04_power_model.dir/fig04_power_model.cc.o.d"
+  "fig04_power_model"
+  "fig04_power_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_power_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

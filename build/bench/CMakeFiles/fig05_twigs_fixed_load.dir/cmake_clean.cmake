@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_twigs_fixed_load.dir/fig05_twigs_fixed_load.cc.o"
+  "CMakeFiles/fig05_twigs_fixed_load.dir/fig05_twigs_fixed_load.cc.o.d"
+  "fig05_twigs_fixed_load"
+  "fig05_twigs_fixed_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_twigs_fixed_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

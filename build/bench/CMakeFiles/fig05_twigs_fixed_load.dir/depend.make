@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_twigs_fixed_load.
+# This may be replaced when dependencies are built.

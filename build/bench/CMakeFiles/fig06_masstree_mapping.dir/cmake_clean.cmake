@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_masstree_mapping.dir/fig06_masstree_mapping.cc.o"
+  "CMakeFiles/fig06_masstree_mapping.dir/fig06_masstree_mapping.cc.o.d"
+  "fig06_masstree_mapping"
+  "fig06_masstree_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_masstree_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

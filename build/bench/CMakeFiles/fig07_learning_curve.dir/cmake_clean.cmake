@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_learning_curve.dir/fig07_learning_curve.cc.o"
+  "CMakeFiles/fig07_learning_curve.dir/fig07_learning_curve.cc.o.d"
+  "fig07_learning_curve"
+  "fig07_learning_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_learning_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

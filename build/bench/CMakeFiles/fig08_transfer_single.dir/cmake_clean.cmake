@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_transfer_single.dir/fig08_transfer_single.cc.o"
+  "CMakeFiles/fig08_transfer_single.dir/fig08_transfer_single.cc.o.d"
+  "fig08_transfer_single"
+  "fig08_transfer_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_transfer_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

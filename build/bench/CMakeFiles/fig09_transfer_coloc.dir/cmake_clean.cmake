@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_transfer_coloc.dir/fig09_transfer_coloc.cc.o"
+  "CMakeFiles/fig09_transfer_coloc.dir/fig09_transfer_coloc.cc.o.d"
+  "fig09_transfer_coloc"
+  "fig09_transfer_coloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_transfer_coloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

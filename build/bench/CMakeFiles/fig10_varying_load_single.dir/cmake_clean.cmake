@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_varying_load_single.dir/fig10_varying_load_single.cc.o"
+  "CMakeFiles/fig10_varying_load_single.dir/fig10_varying_load_single.cc.o.d"
+  "fig10_varying_load_single"
+  "fig10_varying_load_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_varying_load_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

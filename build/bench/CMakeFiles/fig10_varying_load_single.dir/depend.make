@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_varying_load_single.
+# This may be replaced when dependencies are built.

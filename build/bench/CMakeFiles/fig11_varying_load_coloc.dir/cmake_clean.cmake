@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_varying_load_coloc.dir/fig11_varying_load_coloc.cc.o"
+  "CMakeFiles/fig11_varying_load_coloc.dir/fig11_varying_load_coloc.cc.o.d"
+  "fig11_varying_load_coloc"
+  "fig11_varying_load_coloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_varying_load_coloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

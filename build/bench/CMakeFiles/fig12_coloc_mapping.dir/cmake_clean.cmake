@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_coloc_mapping.dir/fig12_coloc_mapping.cc.o"
+  "CMakeFiles/fig12_coloc_mapping.dir/fig12_coloc_mapping.cc.o.d"
+  "fig12_coloc_mapping"
+  "fig12_coloc_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_coloc_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memx_memory_complexity.dir/memx_memory_complexity.cc.o"
+  "CMakeFiles/memx_memory_complexity.dir/memx_memory_complexity.cc.o.d"
+  "memx_memory_complexity"
+  "memx_memory_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memx_memory_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

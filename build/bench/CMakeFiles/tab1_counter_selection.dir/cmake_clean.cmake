@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_counter_selection.dir/tab1_counter_selection.cc.o"
+  "CMakeFiles/tab1_counter_selection.dir/tab1_counter_selection.cc.o.d"
+  "tab1_counter_selection"
+  "tab1_counter_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_counter_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

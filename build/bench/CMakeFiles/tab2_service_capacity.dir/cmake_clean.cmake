@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_service_capacity.dir/tab2_service_capacity.cc.o"
+  "CMakeFiles/tab2_service_capacity.dir/tab2_service_capacity.cc.o.d"
+  "tab2_service_capacity"
+  "tab2_service_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_service_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

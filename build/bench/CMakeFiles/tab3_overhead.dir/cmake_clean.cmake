@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_overhead.dir/tab3_overhead.cc.o"
+  "CMakeFiles/tab3_overhead.dir/tab3_overhead.cc.o.d"
+  "tab3_overhead"
+  "tab3_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocated_services.dir/colocated_services.cpp.o"
+  "CMakeFiles/colocated_services.dir/colocated_services.cpp.o.d"
+  "colocated_services"
+  "colocated_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocated_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_baselines.dir/heracles.cc.o"
+  "CMakeFiles/twig_baselines.dir/heracles.cc.o.d"
+  "CMakeFiles/twig_baselines.dir/hipster.cc.o"
+  "CMakeFiles/twig_baselines.dir/hipster.cc.o.d"
+  "CMakeFiles/twig_baselines.dir/parties.cc.o"
+  "CMakeFiles/twig_baselines.dir/parties.cc.o.d"
+  "libtwig_baselines.a"
+  "libtwig_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

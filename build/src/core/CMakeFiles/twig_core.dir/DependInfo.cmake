@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/counter_selection.cc" "src/core/CMakeFiles/twig_core.dir/counter_selection.cc.o" "gcc" "src/core/CMakeFiles/twig_core.dir/counter_selection.cc.o.d"
+  "/root/repo/src/core/mapper.cc" "src/core/CMakeFiles/twig_core.dir/mapper.cc.o" "gcc" "src/core/CMakeFiles/twig_core.dir/mapper.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/twig_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/twig_core.dir/monitor.cc.o.d"
+  "/root/repo/src/core/power_model.cc" "src/core/CMakeFiles/twig_core.dir/power_model.cc.o" "gcc" "src/core/CMakeFiles/twig_core.dir/power_model.cc.o.d"
+  "/root/repo/src/core/twig_manager.cc" "src/core/CMakeFiles/twig_core.dir/twig_manager.cc.o" "gcc" "src/core/CMakeFiles/twig_core.dir/twig_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/twig_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/twig_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/twig_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/twig_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_core.dir/counter_selection.cc.o"
+  "CMakeFiles/twig_core.dir/counter_selection.cc.o.d"
+  "CMakeFiles/twig_core.dir/mapper.cc.o"
+  "CMakeFiles/twig_core.dir/mapper.cc.o.d"
+  "CMakeFiles/twig_core.dir/monitor.cc.o"
+  "CMakeFiles/twig_core.dir/monitor.cc.o.d"
+  "CMakeFiles/twig_core.dir/power_model.cc.o"
+  "CMakeFiles/twig_core.dir/power_model.cc.o.d"
+  "CMakeFiles/twig_core.dir/twig_manager.cc.o"
+  "CMakeFiles/twig_core.dir/twig_manager.cc.o.d"
+  "libtwig_core.a"
+  "libtwig_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_harness.dir/metrics.cc.o"
+  "CMakeFiles/twig_harness.dir/metrics.cc.o.d"
+  "CMakeFiles/twig_harness.dir/profiling.cc.o"
+  "CMakeFiles/twig_harness.dir/profiling.cc.o.d"
+  "CMakeFiles/twig_harness.dir/runner.cc.o"
+  "CMakeFiles/twig_harness.dir/runner.cc.o.d"
+  "libtwig_harness.a"
+  "libtwig_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

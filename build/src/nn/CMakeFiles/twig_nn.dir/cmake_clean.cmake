@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_nn.dir/bdq.cc.o"
+  "CMakeFiles/twig_nn.dir/bdq.cc.o.d"
+  "CMakeFiles/twig_nn.dir/layers.cc.o"
+  "CMakeFiles/twig_nn.dir/layers.cc.o.d"
+  "CMakeFiles/twig_nn.dir/matrix.cc.o"
+  "CMakeFiles/twig_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/twig_nn.dir/mlp.cc.o"
+  "CMakeFiles/twig_nn.dir/mlp.cc.o.d"
+  "libtwig_nn.a"
+  "libtwig_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/bdq_learner.cc" "src/rl/CMakeFiles/twig_rl.dir/bdq_learner.cc.o" "gcc" "src/rl/CMakeFiles/twig_rl.dir/bdq_learner.cc.o.d"
+  "/root/repo/src/rl/replay.cc" "src/rl/CMakeFiles/twig_rl.dir/replay.cc.o" "gcc" "src/rl/CMakeFiles/twig_rl.dir/replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/twig_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_rl.dir/bdq_learner.cc.o"
+  "CMakeFiles/twig_rl.dir/bdq_learner.cc.o.d"
+  "CMakeFiles/twig_rl.dir/replay.cc.o"
+  "CMakeFiles/twig_rl.dir/replay.cc.o.d"
+  "libtwig_rl.a"
+  "libtwig_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

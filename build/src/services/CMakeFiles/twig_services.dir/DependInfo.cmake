@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/microbench.cc" "src/services/CMakeFiles/twig_services.dir/microbench.cc.o" "gcc" "src/services/CMakeFiles/twig_services.dir/microbench.cc.o.d"
+  "/root/repo/src/services/tailbench.cc" "src/services/CMakeFiles/twig_services.dir/tailbench.cc.o" "gcc" "src/services/CMakeFiles/twig_services.dir/tailbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/twig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/twig_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_services.dir/microbench.cc.o"
+  "CMakeFiles/twig_services.dir/microbench.cc.o.d"
+  "CMakeFiles/twig_services.dir/tailbench.cc.o"
+  "CMakeFiles/twig_services.dir/tailbench.cc.o.d"
+  "libtwig_services.a"
+  "libtwig_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

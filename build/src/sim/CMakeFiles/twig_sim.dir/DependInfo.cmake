@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/interference.cc" "src/sim/CMakeFiles/twig_sim.dir/interference.cc.o" "gcc" "src/sim/CMakeFiles/twig_sim.dir/interference.cc.o.d"
+  "/root/repo/src/sim/loadgen.cc" "src/sim/CMakeFiles/twig_sim.dir/loadgen.cc.o" "gcc" "src/sim/CMakeFiles/twig_sim.dir/loadgen.cc.o.d"
+  "/root/repo/src/sim/pmc.cc" "src/sim/CMakeFiles/twig_sim.dir/pmc.cc.o" "gcc" "src/sim/CMakeFiles/twig_sim.dir/pmc.cc.o.d"
+  "/root/repo/src/sim/power.cc" "src/sim/CMakeFiles/twig_sim.dir/power.cc.o" "gcc" "src/sim/CMakeFiles/twig_sim.dir/power.cc.o.d"
+  "/root/repo/src/sim/queue_sim.cc" "src/sim/CMakeFiles/twig_sim.dir/queue_sim.cc.o" "gcc" "src/sim/CMakeFiles/twig_sim.dir/queue_sim.cc.o.d"
+  "/root/repo/src/sim/server.cc" "src/sim/CMakeFiles/twig_sim.dir/server.cc.o" "gcc" "src/sim/CMakeFiles/twig_sim.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/twig_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_sim.dir/interference.cc.o"
+  "CMakeFiles/twig_sim.dir/interference.cc.o.d"
+  "CMakeFiles/twig_sim.dir/loadgen.cc.o"
+  "CMakeFiles/twig_sim.dir/loadgen.cc.o.d"
+  "CMakeFiles/twig_sim.dir/pmc.cc.o"
+  "CMakeFiles/twig_sim.dir/pmc.cc.o.d"
+  "CMakeFiles/twig_sim.dir/power.cc.o"
+  "CMakeFiles/twig_sim.dir/power.cc.o.d"
+  "CMakeFiles/twig_sim.dir/queue_sim.cc.o"
+  "CMakeFiles/twig_sim.dir/queue_sim.cc.o.d"
+  "CMakeFiles/twig_sim.dir/server.cc.o"
+  "CMakeFiles/twig_sim.dir/server.cc.o.d"
+  "libtwig_sim.a"
+  "libtwig_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

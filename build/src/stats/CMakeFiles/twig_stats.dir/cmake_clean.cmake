@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_stats.dir/correlation.cc.o"
+  "CMakeFiles/twig_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/twig_stats.dir/histogram.cc.o"
+  "CMakeFiles/twig_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/twig_stats.dir/pca.cc.o"
+  "CMakeFiles/twig_stats.dir/pca.cc.o.d"
+  "CMakeFiles/twig_stats.dir/regression.cc.o"
+  "CMakeFiles/twig_stats.dir/regression.cc.o.d"
+  "CMakeFiles/twig_stats.dir/summary.cc.o"
+  "CMakeFiles/twig_stats.dir/summary.cc.o.d"
+  "libtwig_stats.a"
+  "libtwig_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdq.dir/test_bdq.cc.o"
+  "CMakeFiles/test_bdq.dir/test_bdq.cc.o.d"
+  "test_bdq"
+  "test_bdq.pdb"
+  "test_bdq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdq_learner.dir/test_bdq_learner.cc.o"
+  "CMakeFiles/test_bdq_learner.dir/test_bdq_learner.cc.o.d"
+  "test_bdq_learner"
+  "test_bdq_learner.pdb"
+  "test_bdq_learner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdq_learner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdq_learner_features.dir/test_bdq_learner_features.cc.o"
+  "CMakeFiles/test_bdq_learner_features.dir/test_bdq_learner_features.cc.o.d"
+  "test_bdq_learner_features"
+  "test_bdq_learner_features.pdb"
+  "test_bdq_learner_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdq_learner_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

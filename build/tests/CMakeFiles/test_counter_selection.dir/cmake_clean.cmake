@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_counter_selection.dir/test_counter_selection.cc.o"
+  "CMakeFiles/test_counter_selection.dir/test_counter_selection.cc.o.d"
+  "test_counter_selection"
+  "test_counter_selection.pdb"
+  "test_counter_selection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_counter_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

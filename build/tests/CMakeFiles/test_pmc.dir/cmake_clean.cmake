@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmc.dir/test_pmc.cc.o"
+  "CMakeFiles/test_pmc.dir/test_pmc.cc.o.d"
+  "test_pmc"
+  "test_pmc.pdb"
+  "test_pmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

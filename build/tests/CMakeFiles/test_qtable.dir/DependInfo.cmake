@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_qtable.cc" "tests/CMakeFiles/test_qtable.dir/test_qtable.cc.o" "gcc" "tests/CMakeFiles/test_qtable.dir/test_qtable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/twig_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/twig_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/twig_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/twig_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/twig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/twig_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/twig_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/twig_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twig_manager.dir/test_twig_manager.cc.o"
+  "CMakeFiles/test_twig_manager.dir/test_twig_manager.cc.o.d"
+  "test_twig_manager"
+  "test_twig_manager.pdb"
+  "test_twig_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twig_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_sim_cli.dir/twig_sim.cc.o"
+  "CMakeFiles/twig_sim_cli.dir/twig_sim.cc.o.d"
+  "twig_sim"
+  "twig_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
