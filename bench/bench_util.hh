@@ -20,6 +20,11 @@ struct BenchArgs
     /** Run the paper-length schedules instead of the compressed ones. */
     bool full = false;
     std::uint64_t seed = 42;
+    /** Worker threads for independent runs (harness/sweep.hh);
+     * 1 executes the sweep serially on the calling thread. The result
+     * is bit-identical either way: per-run seeds depend only on
+     * (seed, config index), never on thread scheduling. */
+    std::size_t jobs = 1;
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -31,8 +36,22 @@ struct BenchArgs
             } else if (std::strcmp(argv[i], "--seed") == 0 &&
                        i + 1 < argc) {
                 args.seed = std::strtoull(argv[++i], nullptr, 10);
+            } else if (std::strcmp(argv[i], "--jobs") == 0 &&
+                       i + 1 < argc) {
+                args.jobs = std::strtoull(argv[++i], nullptr, 10);
+                if (args.jobs == 0)
+                    args.jobs = 1;
             } else if (std::strcmp(argv[i], "--help") == 0) {
-                std::printf("usage: %s [--full] [--seed N]\n", argv[0]);
+                std::printf(
+                    "usage: %s [--full] [--seed N] [--jobs N]\n"
+                    "  --full    paper-length schedules (hours) instead "
+                    "of compressed ones\n"
+                    "  --seed N  base seed; per-run seeds are derived "
+                    "from (seed, config index)\n"
+                    "  --jobs N  run independent experiment configs on N "
+                    "threads (default 1;\n"
+                    "            results are identical for any N)\n",
+                    argv[0]);
                 std::exit(0);
             }
         }

@@ -20,6 +20,7 @@
 #include "bench/bench_util.hh"
 #include "bench/managers.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "services/tailbench.hh"
 #include "sim/loadgen.hh"
 #include "sim/server.hh"
@@ -64,6 +65,50 @@ main(int argc, char **argv)
     std::printf("%-10s %5s | %-17s %-17s %-17s %-17s\n", "service",
                 "load", "static", "heracles", "hipster", "Twig-S");
 
+    // One sweep config per (service, load, manager) triple; every run
+    // is independent, so the whole figure fans across --jobs threads.
+    const auto catalogue = services::tailbenchCatalogue();
+    const std::vector<double> loads = {0.2, 0.5, 0.8};
+    constexpr std::size_t kManagers = 4; // static/heracles/hipster/twig
+
+    harness::SweepOptions sweep_opts;
+    sweep_opts.jobs = args.jobs;
+    sweep_opts.baseSeed = args.seed;
+    const harness::ParallelSweep sweep(sweep_opts);
+
+    const std::size_t count =
+        catalogue.size() * loads.size() * kManagers;
+    const auto cells = sweep.map<Cell>(
+        count, [&](std::size_t idx, std::uint64_t run_seed) {
+            const std::size_t mgr_kind = idx % kManagers;
+            const std::size_t pair = idx / kManagers;
+            const auto &profile = catalogue[pair / loads.size()];
+            const double load = loads[pair % loads.size()];
+            // All managers of one (service, load) pair face the same
+            // workload: the server seed depends on the pair alone;
+            // the manager is seeded from the per-run seed.
+            const std::uint64_t server_seed =
+                harness::sweepSeed(args.seed, pair);
+            std::unique_ptr<core::TaskManager> mgr;
+            switch (mgr_kind) {
+            case 0:
+                mgr = std::make_unique<baselines::StaticManager>(machine);
+                break;
+            case 1:
+                mgr = bench::makeHeracles(machine, profile, args.full);
+                break;
+            case 2:
+                mgr = bench::makeHipster(machine, profile, schedule,
+                                         args.full, run_seed);
+                break;
+            default:
+                mgr = bench::makeTwig(machine, {profile}, schedule,
+                                      args.full, run_seed);
+                break;
+            }
+            return runOne(*mgr, profile, load, schedule, server_seed);
+        });
+
     struct Avg
     {
         double qos = 0.0, energy = 0.0;
@@ -71,38 +116,20 @@ main(int argc, char **argv)
     };
     Avg avg_static, avg_heracles, avg_hipster, avg_twig;
 
-    for (const auto &profile : services::tailbenchCatalogue()) {
-        for (double load : {0.2, 0.5, 0.8}) {
-            const std::uint64_t seed =
-                args.seed ^ (std::hash<std::string>{}(profile.name) +
-                             static_cast<std::uint64_t>(load * 100));
-
-            baselines::StaticManager static_mgr(machine);
-            const Cell s =
-                runOne(static_mgr, profile, load, schedule, seed);
-
-            auto heracles =
-                bench::makeHeracles(machine, profile, args.full);
-            const Cell h =
-                runOne(*heracles, profile, load, schedule, seed);
-
-            auto hipster = bench::makeHipster(machine, profile,
-                                              schedule, args.full,
-                                              seed + 1);
-            const Cell hi =
-                runOne(*hipster, profile, load, schedule, seed);
-
-            auto twig = bench::makeTwig(machine, {profile}, schedule,
-                                        args.full, seed + 2);
-            const Cell t =
-                runOne(*twig, profile, load, schedule, seed);
+    for (std::size_t svc = 0; svc < catalogue.size(); ++svc) {
+        for (std::size_t li = 0; li < loads.size(); ++li) {
+            const std::size_t pair = svc * loads.size() + li;
+            const Cell &s = cells[pair * kManagers + 0];
+            const Cell &h = cells[pair * kManagers + 1];
+            const Cell &hi = cells[pair * kManagers + 2];
+            const Cell &t = cells[pair * kManagers + 3];
 
             auto cell = [&](const Cell &c) {
                 std::printf("%5.1f%% / E=%.2f   ", c.qosPct,
                             c.energyJ / s.energyJ);
             };
-            std::printf("%-10s %4.0f%% | ", profile.name.c_str(),
-                        100 * load);
+            std::printf("%-10s %4.0f%% | ",
+                        catalogue[svc].name.c_str(), 100 * loads[li]);
             cell(s);
             cell(h);
             cell(hi);

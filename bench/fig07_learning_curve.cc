@@ -17,6 +17,7 @@
 #include "bench/bench_util.hh"
 #include "bench/managers.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "services/tailbench.hh"
 #include "sim/loadgen.hh"
 #include "sim/server.hh"
@@ -73,16 +74,27 @@ main(int argc, char **argv)
     half.summaryWindow = steps;
     half.horizon = steps / 2; // epsilon ~0.1 by mid-run, as in Fig. 7
 
-    auto twig = bench::makeTwig(machine, {profile}, half, args.full,
-                                args.seed);
-    const auto twig_curve =
-        learningCurve(*twig, profile, steps, bucket, args.seed);
-
-    auto hipster =
-        bench::makeHipster(machine, profile, half, args.full,
-                           args.seed + 1);
-    const auto hip_curve =
-        learningCurve(*hipster, profile, steps, bucket, args.seed);
+    // The two curves are independent experiments; fan them across
+    // --jobs threads. Both managers watch the same workload (server
+    // seeded by args.seed), as in the paper's figure.
+    harness::SweepOptions sweep_opts;
+    sweep_opts.jobs = args.jobs;
+    sweep_opts.baseSeed = args.seed;
+    const harness::ParallelSweep sweep(sweep_opts);
+    const auto curves = sweep.map<std::vector<double>>(
+        2, [&](std::size_t idx, std::uint64_t run_seed) {
+            std::unique_ptr<core::TaskManager> mgr =
+                idx == 0 ? bench::makeTwig(machine, {profile}, half,
+                                           args.full, run_seed)
+                         : std::unique_ptr<core::TaskManager>(
+                               bench::makeHipster(machine, profile,
+                                                  half, args.full,
+                                                  run_seed));
+            return learningCurve(*mgr, profile, steps, bucket,
+                                 args.seed);
+        });
+    const auto &twig_curve = curves[0];
+    const auto &hip_curve = curves[1];
 
     std::printf("%-12s %10s %10s\n", "steps", "Twig-S", "Hipster");
     for (std::size_t i = 0; i < twig_curve.size(); ++i) {

@@ -19,6 +19,7 @@
 #include "bench/bench_util.hh"
 #include "bench/managers.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "services/tailbench.hh"
 #include "sim/loadgen.hh"
 #include "sim/server.hh"
@@ -104,19 +105,35 @@ main(int argc, char **argv)
     bench::banner("Fig. 10: varying load (img-dnn), Twig-S vs Hipster "
                   "vs Heracles");
 
-    auto twig = bench::makeTwig(machine, {profile}, sched, args.full,
-                                args.seed);
-    const auto t =
-        run(*twig, profile, steps, window, period, args.seed + 1);
-
-    auto hipster = bench::makeHipster(machine, profile, sched,
-                                      args.full, args.seed + 2);
-    const auto h =
-        run(*hipster, profile, steps, window, period, args.seed + 1);
-
-    auto heracles = bench::makeHeracles(machine, profile, args.full);
-    const auto he =
-        run(*heracles, profile, steps, window, period, args.seed + 1);
+    // Three independent (manager, same-workload) runs; fan across
+    // --jobs threads. Every manager sees the identical load trace
+    // (server seeded by args.seed + 1, as before).
+    harness::SweepOptions sweep_opts;
+    sweep_opts.jobs = args.jobs;
+    sweep_opts.baseSeed = args.seed;
+    const harness::ParallelSweep sweep(sweep_opts);
+    const auto outcomes = sweep.map<Outcome>(
+        3, [&](std::size_t idx, std::uint64_t run_seed) {
+            std::unique_ptr<core::TaskManager> mgr;
+            switch (idx) {
+            case 0:
+                mgr = bench::makeTwig(machine, {profile}, sched,
+                                      args.full, run_seed);
+                break;
+            case 1:
+                mgr = bench::makeHipster(machine, profile, sched,
+                                         args.full, run_seed);
+                break;
+            default:
+                mgr = bench::makeHeracles(machine, profile, args.full);
+                break;
+            }
+            return run(*mgr, profile, steps, window, period,
+                       args.seed + 1);
+        });
+    const Outcome &t = outcomes[0];
+    const Outcome &h = outcomes[1];
+    const Outcome &he = outcomes[2];
 
     report("Twig-S", t, t.energyJ);
     report("Hipster", h, t.energyJ);

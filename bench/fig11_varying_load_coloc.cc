@@ -32,7 +32,7 @@ main(int argc, char **argv)
     const auto mt = services::masstree();
     // The ramp tops out at the pair's colocated max (paper §V-B2).
     const double coloc =
-        bench::colocatedMaxFraction(mo, mt, args.seed ^ 3);
+        bench::colocatedMaxFraction(mo, mt, args.seed ^ 3, args.jobs);
 
     bench::banner("Fig. 11: Twig-C with Moses ramping 20->100% while "
                   "Masstree holds 20%");

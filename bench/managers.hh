@@ -18,6 +18,7 @@
 #include "core/mapper.hh"
 #include "core/twig_manager.hh"
 #include "harness/profiling.hh"
+#include "harness/sweep.hh"
 #include "services/microbench.hh"
 #include "sim/loadgen.hh"
 #include "sim/machine.hh"
@@ -100,14 +101,14 @@ makeParties(const sim::MachineConfig &machine,
 }
 
 /**
- * The paper's offline colocation sweep: the maximum load fraction (of
- * solo max) each service of a pair can run at when colocated, found by
- * lowering the fraction in 5% steps until the static mapping meets
- * both QoS targets at the pair's "high" (80%) operating point.
+ * One probe of the offline colocation sweep: does load fraction @p f
+ * meet both QoS targets under the full static mapping? Each probe is
+ * an independent simulation, so the sweep over fractions can fan out.
  */
-inline double
-colocatedMaxFraction(const sim::ServiceProfile &a,
-                     const sim::ServiceProfile &b, std::uint64_t seed)
+inline bool
+colocationProbePasses(const sim::ServiceProfile &a,
+                      const sim::ServiceProfile &b, double f,
+                      std::uint64_t seed)
 {
     const sim::MachineConfig machine;
     const core::Mapper mapper(machine);
@@ -116,27 +117,66 @@ colocatedMaxFraction(const sim::ServiceProfile &a,
                                machine.dvfs.maxIndex()},
          core::ResourceRequest{machine.numCores,
                                machine.dvfs.maxIndex()}});
-    for (double f = 0.60; f >= 0.30; f -= 0.05) {
-        sim::Server server(machine, seed);
-        server.addService(a, std::make_unique<sim::FixedLoad>(
-                                 a.maxLoadRps * f, 0.8));
-        server.addService(b, std::make_unique<sim::FixedLoad>(
-                                 b.maxLoadRps * f, 0.8));
-        std::size_t met = 0, n = 0;
-        for (int i = 0; i < 18; ++i) {
-            const auto s = server.runInterval(full);
-            if (i < 3)
-                continue;
-            ++n;
-            met += (s.services[0].p99Ms <= a.qosTargetMs &&
-                    s.services[1].p99Ms <= b.qosTargetMs)
-                ? 1
-                : 0;
-        }
-        if (met * 10 >= n * 9) // >= 90% of probe intervals clean
-            return f;
+    sim::Server server(machine, seed);
+    server.addService(a, std::make_unique<sim::FixedLoad>(
+                             a.maxLoadRps * f, 0.8));
+    server.addService(b, std::make_unique<sim::FixedLoad>(
+                             b.maxLoadRps * f, 0.8));
+    std::size_t met = 0, n = 0;
+    for (int i = 0; i < 18; ++i) {
+        const auto s = server.runInterval(full);
+        if (i < 3)
+            continue;
+        ++n;
+        met += (s.services[0].p99Ms <= a.qosTargetMs &&
+                s.services[1].p99Ms <= b.qosTargetMs)
+            ? 1
+            : 0;
     }
-    return 0.30;
+    return met * 10 >= n * 9; // >= 90% of probe intervals clean
+}
+
+/**
+ * The paper's offline colocation sweep: the maximum load fraction (of
+ * solo max) each service of a pair can run at when colocated, found by
+ * lowering the fraction in 5% steps until the static mapping meets
+ * both QoS targets at the pair's "high" (80%) operating point.
+ *
+ * With @p jobs > 1 every fraction is probed concurrently and the
+ * largest passing one is returned — the probes use identical per-
+ * fraction seeds either way, so the answer matches the serial walk.
+ */
+inline double
+colocatedMaxFraction(const sim::ServiceProfile &a,
+                     const sim::ServiceProfile &b, std::uint64_t seed,
+                     std::size_t jobs = 1)
+{
+    std::vector<double> fractions;
+    for (int pct = 60; pct >= 30; pct -= 5)
+        fractions.push_back(pct / 100.0);
+
+    if (jobs <= 1) {
+        for (double f : fractions) {
+            if (colocationProbePasses(a, b, f, seed))
+                return f;
+        }
+        return fractions.back();
+    }
+
+    harness::SweepOptions opts;
+    opts.jobs = jobs;
+    opts.baseSeed = seed;
+    const harness::ParallelSweep sweep(opts);
+    const auto passed = sweep.map<int>(
+        fractions.size(), [&](std::size_t i, std::uint64_t) {
+            return colocationProbePasses(a, b, fractions[i], seed) ? 1
+                                                                   : 0;
+        });
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+        if (passed[i])
+            return fractions[i]; // largest passing, as in the walk
+    }
+    return fractions.back();
 }
 
 } // namespace twig::bench

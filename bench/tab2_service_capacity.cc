@@ -16,6 +16,7 @@
 
 #include "bench/bench_util.hh"
 #include "core/mapper.hh"
+#include "harness/sweep.hh"
 #include "services/tailbench.hh"
 #include "sim/loadgen.hh"
 #include "sim/server.hh"
@@ -77,24 +78,45 @@ main(int argc, char **argv)
         {2400, 1.39}, {1000, 3.71}, {2800, 6.04}, {1100, 5.07}};
 
     const auto catalogue = services::tailbenchCatalogue();
+
+    // Every (service, fraction) p99 measurement is an independent
+    // simulation; fan them all across --jobs threads, then walk the
+    // knee scan sequentially over the pre-computed points. The scan
+    // result is identical to measuring lazily: the serial walk only
+    // ever skipped points past the knee, never measured different ones.
+    std::vector<double> fractions = {0.50}; // [0] = reference point
+    for (int pct = 55; pct <= 150; pct += 5)
+        fractions.push_back(pct / 100.0);
+
+    harness::SweepOptions sweep_opts;
+    sweep_opts.jobs = args.jobs;
+    sweep_opts.baseSeed = args.seed;
+    const harness::ParallelSweep sweep(sweep_opts);
+    const auto p99s = sweep.map<double>(
+        catalogue.size() * fractions.size(),
+        [&](std::size_t idx, std::uint64_t) {
+            const auto &profile = catalogue[idx / fractions.size()];
+            const double frac = fractions[idx % fractions.size()];
+            const std::uint64_t seed =
+                frac == 0.50 ? args.seed : args.seed + 1;
+            return measureP99(profile, profile.maxLoadRps * frac,
+                              machine, seed, intervals);
+        });
+
     for (std::size_t s = 0; s < catalogue.size(); ++s) {
         const auto &profile = catalogue[s];
+        const double *row = &p99s[s * fractions.size()];
 
         // Sweep load upward in 5% steps of the nominal max until the
         // latency blows up (knee = p99 more than 3x the value at 50%).
-        const double reference =
-            measureP99(profile, profile.maxLoadRps * 0.5, machine,
-                       args.seed, intervals);
+        const double reference = row[0];
         double max_rps = profile.maxLoadRps * 0.5;
         double qos_at_knee = reference;
-        for (double frac = 0.55; frac <= 1.50; frac += 0.05) {
-            const double rps = profile.maxLoadRps * frac;
-            const double p99 =
-                measureP99(profile, rps, machine, args.seed + 1, intervals);
-            if (p99 > 3.0 * reference)
+        for (std::size_t fi = 1; fi < fractions.size(); ++fi) {
+            if (row[fi] > 3.0 * reference)
                 break; // exponential blow-up: previous level was max
-            max_rps = rps;
-            qos_at_knee = p99;
+            max_rps = profile.maxLoadRps * fractions[fi];
+            qos_at_knee = row[fi];
         }
         const double qos_target = qos_at_knee * 1.10;
 

@@ -1,0 +1,152 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace twig::common {
+
+std::size_t
+hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0)
+        threads = hardwareThreads();
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    workAvailable_.notify_one();
+}
+
+void
+ThreadPool::runOne(const std::function<void()> &task)
+{
+    try {
+        task();
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!firstError_)
+            firstError_ = std::current_exception();
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(
+                lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        runOne(task);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+        }
+        // Notify on every completion: wait() and parallelFor() wait on
+        // different predicates over the same condvar.
+        allDone_.notify_all();
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+    if (firstError_) {
+        std::exception_ptr err = std::exchange(firstError_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (begin >= end)
+        return;
+    const std::size_t n = end - begin;
+    // More chunks than workers so an uneven body still balances; the
+    // caller participates, hence the +1.
+    const std::size_t chunks =
+        std::min(n, 4 * (workers_.size() + 1));
+    const std::size_t chunk = (n + chunks - 1) / chunks;
+
+    std::atomic<std::size_t> next{begin};
+    std::exception_ptr localError;
+    std::mutex errMutex;
+    auto drain = [&] {
+        for (;;) {
+            const std::size_t lo =
+                next.fetch_add(chunk, std::memory_order_relaxed);
+            if (lo >= end)
+                return;
+            const std::size_t hi = std::min(lo + chunk, end);
+            try {
+                for (std::size_t i = lo; i < hi; ++i)
+                    body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errMutex);
+                if (!localError)
+                    localError = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    // One helper task per worker; each pulls chunks until exhausted.
+    std::atomic<std::size_t> helpersDone{0};
+    const std::size_t helpers = std::min(workers_.size(), chunks - 1);
+    for (std::size_t i = 0; i < helpers; ++i) {
+        submit([&] {
+            drain();
+            helpersDone.fetch_add(1, std::memory_order_release);
+        });
+    }
+    drain();
+    // Wait for helper tasks only (other submitted work may coexist).
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        allDone_.wait(lock, [&] {
+            return helpersDone.load(std::memory_order_acquire) == helpers;
+        });
+    }
+    if (localError)
+        std::rethrow_exception(localError);
+}
+
+} // namespace twig::common

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A fixed-size worker pool with a mutex/condvar work queue.
+ *
+ * Used by the experiment harness to fan independent simulation runs
+ * across cores (harness/sweep.hh). Determinism is the caller's job:
+ * the pool only promises that every submitted task runs exactly once
+ * and that exceptions propagate to the waiter.
+ */
+
+#ifndef TWIG_COMMON_THREAD_POOL_HH
+#define TWIG_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace twig::common {
+
+/** Number of hardware threads, never less than 1. */
+std::size_t hardwareThreads();
+
+/**
+ * Fixed pool of worker threads draining a FIFO queue.
+ *
+ * The pool is reusable: submit/parallelFor may be called any number of
+ * times, from one controlling thread at a time. Destruction joins the
+ * workers after the queue drains.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads  worker count; 0 means hardwareThreads(). */
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /** Enqueue one task; returns immediately. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every task submitted so far has finished. If any
+     * task threw, rethrows the first captured exception (the rest are
+     * dropped).
+     */
+    void wait();
+
+    /**
+     * Run body(i) for every i in [begin, end), distributing contiguous
+     * chunks across the workers, and block until all complete. The
+     * calling thread participates, so this also works on a pool whose
+     * workers are saturated. Rethrows the first exception thrown by
+     * any body invocation.
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)> &body);
+
+  private:
+    void workerLoop();
+    void runOne(const std::function<void()> &task);
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allDone_;
+    std::size_t inFlight_ = 0;
+    std::exception_ptr firstError_;
+    bool stopping_ = false;
+};
+
+} // namespace twig::common
+
+#endif // TWIG_COMMON_THREAD_POOL_HH

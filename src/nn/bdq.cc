@@ -1,6 +1,7 @@
 #include "nn/bdq.hh"
 
 #include <algorithm>
+#include <utility>
 
 namespace twig::nn {
 
@@ -37,11 +38,10 @@ MultiAgentBdq::forward(const Matrix &x, BdqOutput &out, bool train)
     lastBatch_ = batch;
     lastTrain_ = train;
 
-    // Shared trunk.
+    // Shared trunk (linear+ReLU fused per stage).
     const Matrix *cur = &x;
     for (auto &stage : trunk_) {
-        stage.linear.forward(*cur, stage.linOut);
-        stage.relu.forward(stage.linOut, stage.reluOut);
+        stage.linear.forwardRelu(*cur, stage.reluOut, stage.relu);
         stage.dropout.forward(stage.reluOut, stage.dropOut, train, rng_);
         cur = &stage.dropOut;
     }
@@ -52,8 +52,7 @@ MultiAgentBdq::forward(const Matrix &x, BdqOutput &out, bool train)
     stackedEmbeds_.resize(cfg_.numAgents * batch, hw);
     for (std::size_t k = 0; k < cfg_.numAgents; ++k) {
         auto &agent = agents_[k];
-        agent.embed.forward(h, agent.embedLin);
-        agent.relu.forward(agent.embedLin, agent.embedAct);
+        agent.embed.forwardRelu(h, agent.embedAct, agent.relu);
         agent.valueOut.forward(agent.embedAct, agent.value);
         for (std::size_t i = 0; i < batch; ++i) {
             std::copy_n(agent.embedAct.rowPtr(i), hw,
@@ -62,11 +61,18 @@ MultiAgentBdq::forward(const Matrix &x, BdqOutput &out, bool train)
     }
 
     // Per-branch advantage modules over the stacked embeddings.
-    out.q.assign(cfg_.numAgents, std::vector<Matrix>(cfg_.numBranches()));
+    // Reshape the output in place: the nested vectors and matrices
+    // keep their buffers across calls, so steady-state forward passes
+    // do not allocate.
+    if (out.q.size() != cfg_.numAgents)
+        out.q.resize(cfg_.numAgents);
+    for (auto &per_agent : out.q) {
+        if (per_agent.size() != cfg_.numBranches())
+            per_agent.resize(cfg_.numBranches());
+    }
     for (std::size_t d = 0; d < branches_.size(); ++d) {
         auto &br = branches_[d];
-        br.hidden.forward(stackedEmbeds_, br.hidLin);
-        br.relu.forward(br.hidLin, br.hidAct);
+        br.hidden.forwardRelu(stackedEmbeds_, br.hidAct, br.relu);
         br.dropout.forward(br.hidAct, br.hidDrop, train, rng_);
         br.advOut.forward(br.hidDrop, br.adv);
 
@@ -102,8 +108,11 @@ MultiAgentBdq::backward(const std::vector<std::vector<Matrix>> &dq)
     const float inv_d = 1.0f / static_cast<float>(cfg_.numBranches());
 
     // Gradient wrt the stacked embeddings, accumulated over branches.
-    Matrix d_stacked(cfg_.numAgents * batch, hw, 0.0f);
-    Matrix d_adv, g1, g2, g3, g4;
+    Matrix &d_stacked = bwdStacked_;
+    d_stacked.resize(cfg_.numAgents * batch, hw);
+    d_stacked.zero();
+    Matrix &d_adv = bwdAdv_;
+    Matrix &g1 = bwdG1_, &g2 = bwdG2_, &g3 = bwdG3_, &g4 = bwdG4_;
     for (std::size_t d = 0; d < branches_.size(); ++d) {
         auto &br = branches_[d];
         const std::size_t n = cfg_.branchActions[d];
@@ -140,8 +149,13 @@ MultiAgentBdq::backward(const std::vector<std::vector<Matrix>> &dq)
 
     // Per-agent heads: value path plus the agent's slice of d_stacked.
     const std::size_t trunk_out = cfg_.trunkHidden.back();
-    Matrix d_h(batch, trunk_out, 0.0f);
-    Matrix dv(batch, 1), gv, d_embed_act(batch, hw), ge, gh;
+    Matrix &d_h = bwdDh_;
+    d_h.resize(batch, trunk_out);
+    d_h.zero();
+    Matrix &dv = bwdDv_, &gv = bwdGv_, &d_embed_act = bwdEmbedAct_,
+           &ge = bwdGe_, &gh = bwdGh_;
+    dv.resize(batch, 1);
+    d_embed_act.resize(batch, hw);
     for (std::size_t k = 0; k < cfg_.numAgents; ++k) {
         auto &agent = agents_[k];
         for (std::size_t i = 0; i < batch; ++i) {
@@ -170,17 +184,17 @@ MultiAgentBdq::backward(const std::vector<std::vector<Matrix>> &dq)
     // by 1/D (number of action dimensions).
     d_h.scaleInPlace(inv_d);
 
-    // Trunk backward (deepest stage last).
-    Matrix grad = d_h, scratch;
+    // Trunk backward (deepest stage last), ping-ponging two buffers.
+    Matrix *grad = &d_h, *tmp = &bwdTmp_;
     for (std::size_t s = trunk_.size(); s-- > 0;) {
         auto &stage = trunk_[s];
-        stage.dropout.backward(grad, scratch);
-        stage.relu.backward(scratch, grad);
+        stage.dropout.backward(*grad, *tmp);
+        stage.relu.backward(*tmp, *grad);
         if (s == 0) {
-            stage.linear.backwardNoInputGrad(grad);
+            stage.linear.backwardNoInputGrad(*grad);
         } else {
-            stage.linear.backward(grad, scratch);
-            grad = scratch;
+            stage.linear.backward(*grad, *tmp);
+            std::swap(grad, tmp);
         }
     }
 }

@@ -141,7 +141,9 @@ class MultiAgentBdq
         Linear linear;
         ReLU relu;
         Dropout dropout;
-        Matrix linOut, reluOut, dropOut; // cached activations
+        // Cached activations; the linear+ReLU pair is fused, so only
+        // the post-ReLU and post-dropout activations materialise.
+        Matrix reluOut, dropOut;
         TrunkStage(std::size_t in, std::size_t out, float rate,
                    common::Rng &rng)
             : linear(in, out, rng), dropout(rate)
@@ -154,7 +156,7 @@ class MultiAgentBdq
         Linear embed;    // trunk -> H
         ReLU relu;
         Linear valueOut; // H -> 1
-        Matrix embedLin, embedAct, value; // cached
+        Matrix embedAct, value; // cached (embed+ReLU fused)
         AgentHead(std::size_t trunk_out, std::size_t h, common::Rng &rng)
             : embed(trunk_out, h, rng), valueOut(h, 1, rng)
         {
@@ -167,7 +169,7 @@ class MultiAgentBdq
         ReLU relu;
         Dropout dropout;
         Linear advOut;  // branchHidden -> n_d
-        Matrix hidLin, hidAct, hidDrop, adv; // cached ([K*B x ...])
+        Matrix hidAct, hidDrop, adv; // cached ([K*B x ...], fused)
         BranchModule(std::size_t h, std::size_t hidden_w, std::size_t n,
                      float rate, common::Rng &rng)
             : hidden(h, hidden_w, rng), dropout(rate),
@@ -190,6 +192,15 @@ class MultiAgentBdq
     std::size_t lastBatch_ = 0;
     bool lastTrain_ = false;
     std::size_t adamT_ = 0;
+
+    // Backward-pass scratch, sized on first use and reused so a
+    // steady-state training step performs no heap allocation.
+    Matrix bwdStacked_;  // d(stacked embeddings), accumulated
+    Matrix bwdAdv_;      // dueling-combine gradient per branch
+    Matrix bwdG1_, bwdG2_, bwdG3_, bwdG4_;
+    Matrix bwdDh_;       // d(trunk output), accumulated over agents
+    Matrix bwdDv_, bwdGv_, bwdEmbedAct_, bwdGe_, bwdGh_;
+    Matrix bwdTmp_;      // trunk ping-pong buffer
 };
 
 } // namespace twig::nn

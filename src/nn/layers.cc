@@ -57,12 +57,17 @@ Linear::forward(const Matrix &x, Matrix &y)
     common::panicIf(x.cols() != weight_.rows(),
                     "Linear::forward: input width mismatch");
     cachedInput_ = x;
-    matmul(x, weight_, y);
-    for (std::size_t r = 0; r < y.rows(); ++r) {
-        float *row = y.rowPtr(r);
-        for (std::size_t c = 0; c < y.cols(); ++c)
-            row[c] += bias_[c];
-    }
+    matmulBias(x, weight_, bias_, y);
+}
+
+void
+Linear::forwardRelu(const Matrix &x, Matrix &y, ReLU &relu)
+{
+    common::panicIf(x.cols() != weight_.rows(),
+                    "Linear::forwardRelu: input width mismatch");
+    cachedInput_ = x;
+    matmulBiasRelu(x, weight_, bias_, y,
+                   relu.primeMask(x.rows(), weight_.cols()));
 }
 
 void
@@ -79,9 +84,9 @@ Linear::backwardNoInputGrad(const Matrix &dy)
                     "Linear::backward: batch mismatch");
     common::panicIf(dy.cols() != weight_.cols(),
                     "Linear::backward: output width mismatch");
-    Matrix gw;
-    matmulTransposeA(cachedInput_, dy, gw);
-    gradWeight_.addInPlace(gw);
+    // gradW += x^T dy, fused into the kernel: no scratch matrix, no
+    // second pass over the gradient.
+    matmulTransposeAAccum(cachedInput_, dy, gradWeight_);
     for (std::size_t r = 0; r < dy.rows(); ++r) {
         const float *row = dy.rowPtr(r);
         for (std::size_t c = 0; c < dy.cols(); ++c)
@@ -174,18 +179,13 @@ Linear::load(std::istream &is)
 void
 ReLU::forward(const Matrix &x, Matrix &y)
 {
-    rows_ = x.rows();
-    cols_ = x.cols();
-    mask_.assign(x.size(), 0);
+    unsigned char *mask = primeMask(x.rows(), x.cols()).data();
     y.resize(x.rows(), x.cols());
     for (std::size_t i = 0; i < x.size(); ++i) {
         const float v = x.raw()[i];
-        if (v > 0.0f) {
-            y.raw()[i] = v;
-            mask_[i] = 1;
-        } else {
-            y.raw()[i] = 0.0f;
-        }
+        const bool pos = v > 0.0f;
+        mask[i] = pos ? 1 : 0;
+        y.raw()[i] = pos ? v : 0.0f;
     }
 }
 
@@ -211,12 +211,14 @@ Dropout::forward(const Matrix &x, Matrix &y, bool train, common::Rng &rng)
         return;
     }
     const float keep = 1.0f - rate_;
-    mask_.assign(x.size(), 0.0f);
+    if (mask_.size() != x.size())
+        mask_.resize(x.size());
     for (std::size_t i = 0; i < x.size(); ++i) {
         if (rng.uniform() < keep) {
             mask_[i] = 1.0f / keep;
             y.raw()[i] = x.raw()[i] * mask_[i];
         } else {
+            mask_[i] = 0.0f;
             y.raw()[i] = 0.0f;
         }
     }

@@ -19,6 +19,8 @@
 
 namespace twig::nn {
 
+class ReLU;
+
 /** Hyper-parameters of the Adam optimiser (paper: lr = 0.0025). */
 struct AdamConfig
 {
@@ -45,8 +47,17 @@ class Linear
     std::size_t inFeatures() const { return weight_.rows(); }
     std::size_t outFeatures() const { return weight_.cols(); }
 
-    /** Forward pass; caches the input for backward(). */
+    /** Forward pass (fused GEMM+bias); caches the input for backward(). */
     void forward(const Matrix &x, Matrix &y);
+
+    /**
+     * Fused forward through this layer and a ReLU: y = relu(x W + b)
+     * in one kernel pass, without materialising the pre-activation.
+     * @p relu receives the activation mask exactly as if
+     * forward() + relu.forward() had run, so its backward() works
+     * unchanged.
+     */
+    void forwardRelu(const Matrix &x, Matrix &y, ReLU &relu);
 
     /**
      * Backward pass: accumulates weight/bias gradients from @p dy and
@@ -113,6 +124,21 @@ class ReLU
   public:
     void forward(const Matrix &x, Matrix &y);
     void backward(const Matrix &dy, Matrix &dx) const;
+
+    /**
+     * For fused producers (Linear::forwardRelu): size the cached mask
+     * for a [rows x cols] activation and hand it to the kernel to
+     * fill. backward() then behaves as after a normal forward().
+     */
+    std::vector<unsigned char> &
+    primeMask(std::size_t rows, std::size_t cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        if (mask_.size() != rows * cols)
+            mask_.resize(rows * cols);
+        return mask_;
+    }
 
   private:
     std::vector<unsigned char> mask_;

@@ -3,6 +3,13 @@
  * Dense row-major matrix of floats — the numeric workhorse of the NN
  * library. Deliberately small: just the operations the layers need,
  * all bounds-checked in debug via assertions.
+ *
+ * The GEMM entry points below all share one register-blocked,
+ * cache-tiled inner kernel (see matrix.cc); the transpose variants
+ * pack the transposed operand into a per-thread scratch buffer so the
+ * same canonical kernel serves all data layouts. Fused epilogues
+ * (bias add, bias+ReLU) exist so a Linear layer's forward pass is a
+ * single kernel call with no intermediate matrix.
  */
 
 #ifndef TWIG_NN_MATRIX_HH
@@ -63,13 +70,22 @@ class Matrix
         std::fill(data_.begin(), data_.end(), value);
     }
 
-    /** Resize (contents unspecified afterwards). */
+    /** Reset every element to zero. */
+    void zero() { fill(0.0f); }
+
+    /**
+     * Resize; contents are unspecified afterwards. Capacity is kept, so
+     * resizing a scratch matrix between steady-state shapes performs no
+     * allocation and no redundant zero-write. Callers that need zeroed
+     * storage must call zero() explicitly.
+     */
     void
     resize(std::size_t rows, std::size_t cols)
     {
         rows_ = rows;
         cols_ = cols;
-        data_.assign(rows * cols, 0.0f);
+        if (data_.size() != rows * cols)
+            data_.resize(rows * cols);
     }
 
     /** this += other (same shape). */
@@ -107,6 +123,50 @@ void matmulTransposeB(const Matrix &a, const Matrix &b, Matrix &out);
 
 /** out = a^T * b ([m x k]^T * [m x n] -> [k x n]); out is resized. */
 void matmulTransposeA(const Matrix &a, const Matrix &b, Matrix &out);
+
+/**
+ * out += a^T * b, accumulating into @p out which must already have
+ * shape [k x n]. This is the gradient-accumulation primitive
+ * (gradW += x^T dy) — fusing the add avoids a scratch matrix and a
+ * second pass over the gradient.
+ */
+void matmulTransposeAAccum(const Matrix &a, const Matrix &b, Matrix &out);
+
+/**
+ * Fused linear forward: out = a * w + bias (bias broadcast over rows);
+ * bias.size() must equal w.cols(). One kernel pass, no intermediate.
+ */
+void matmulBias(const Matrix &a, const Matrix &w,
+                const std::vector<float> &bias, Matrix &out);
+
+/**
+ * Fused linear + ReLU forward: out = relu(a * w + bias). @p mask is
+ * resized to out.size() and mask[i] is set to 1 where the
+ * pre-activation was positive (the backward pass needs exactly this).
+ */
+void matmulBiasRelu(const Matrix &a, const Matrix &w,
+                    const std::vector<float> &bias, Matrix &out,
+                    std::vector<unsigned char> &mask);
+
+/**
+ * out = a * b for a with many *exact* zeros (e.g. one-hot state
+ * slices): skips zero entries of @p a row-wise. On dense (post-init)
+ * weights the zero test costs more than it saves — use matmul() there;
+ * this variant exists only for genuinely sparse inputs.
+ */
+void matmulSparseA(const Matrix &a, const Matrix &b, Matrix &out);
+
+/**
+ * Naive triple-loop reference kernels (the seed implementation,
+ * compiled in their own translation unit at the project's default
+ * optimisation level). They define the semantics the tiled kernels are
+ * tested against and the baseline perf_kernels measures speedup over.
+ */
+namespace reference {
+void matmul(const Matrix &a, const Matrix &b, Matrix &out);
+void matmulTransposeB(const Matrix &a, const Matrix &b, Matrix &out);
+void matmulTransposeA(const Matrix &a, const Matrix &b, Matrix &out);
+} // namespace reference
 
 } // namespace twig::nn
 

@@ -1,5 +1,7 @@
 #include "nn/mlp.hh"
 
+#include <utility>
+
 namespace twig::nn {
 
 Mlp::Mlp(const MlpConfig &cfg, common::Rng &rng) : cfg_(cfg), rng_(rng.fork())
@@ -14,7 +16,9 @@ Mlp::Mlp(const MlpConfig &cfg, common::Rng &rng) : cfg_(cfg), rng_(rng.fork())
         prev = h;
     }
     linears_.emplace_back(prev, cfg.outputDim, rng_);
-    acts_.resize(2 * linears_.size() + cfg_.hidden.size() + 2);
+    // Two scratch activations per hidden stage: the fused
+    // linear+ReLU output and the dropout output.
+    acts_.resize(2 * cfg_.hidden.size());
 }
 
 void
@@ -23,10 +27,8 @@ Mlp::forwardImpl(const Matrix &x, Matrix &y, bool train)
     const Matrix *cur = &x;
     std::size_t slot = 0;
     for (std::size_t i = 0; i < cfg_.hidden.size(); ++i) {
-        Matrix &lin_out = acts_[slot++];
-        linears_[i].forward(*cur, lin_out);
         Matrix &relu_out = acts_[slot++];
-        relus_[i].forward(lin_out, relu_out);
+        linears_[i].forwardRelu(*cur, relu_out, relus_[i]);
         Matrix &drop_out = acts_[slot++];
         dropouts_[i].forward(relu_out, drop_out, train, rng_);
         cur = &drop_out;
@@ -45,37 +47,36 @@ Mlp::trainStep(const Matrix &x, const Matrix &target)
 {
     common::fatalIf(x.rows() != target.rows(),
                     "Mlp::trainStep: batch size mismatch");
-    Matrix y;
+    Matrix &y = trainY_;
     forwardImpl(x, y, true);
     common::panicIf(y.cols() != target.cols(),
                     "Mlp::trainStep: target width mismatch");
 
     // dL/dy for MSE = 2 (y - t) / (batch * outDim); also compute the loss.
-    Matrix dy(y.rows(), y.cols());
+    trainDy_.resize(y.rows(), y.cols());
     float loss = 0.0f;
     const float scale =
         2.0f / static_cast<float>(y.rows() * y.cols());
     for (std::size_t i = 0; i < y.size(); ++i) {
         const float e = y.raw()[i] - target.raw()[i];
         loss += e * e;
-        dy.raw()[i] = scale * e;
+        trainDy_.raw()[i] = scale * e;
     }
     loss /= static_cast<float>(y.size());
 
-    // Backward through the stack.
-    Matrix grad = dy, scratch;
-    linears_.back().backward(grad, scratch);
-    grad = scratch;
+    // Backward through the stack, ping-ponging two scratch matrices.
+    Matrix *grad = &gradA_, *tmp = &gradB_;
+    linears_.back().backward(trainDy_, *grad);
     for (std::size_t i = cfg_.hidden.size(); i-- > 0;) {
-        dropouts_[i].backward(grad, scratch);
-        grad = scratch;
-        relus_[i].backward(grad, scratch);
-        grad = scratch;
+        dropouts_[i].backward(*grad, *tmp);
+        std::swap(grad, tmp);
+        relus_[i].backward(*grad, *tmp);
+        std::swap(grad, tmp);
         if (i == 0) {
-            linears_[i].backwardNoInputGrad(grad);
+            linears_[i].backwardNoInputGrad(*grad);
         } else {
-            linears_[i].backward(grad, scratch);
-            grad = scratch;
+            linears_[i].backward(*grad, *tmp);
+            std::swap(grad, tmp);
         }
     }
     ++step_;

@@ -59,6 +59,9 @@ class Mlp
     std::vector<ReLU> relus_;
     std::vector<Dropout> dropouts_;
     std::vector<Matrix> acts_; // scratch activations
+    // trainStep scratch: sized on first use, then reused so a
+    // steady-state training step performs no heap allocation.
+    Matrix trainY_, trainDy_, gradA_, gradB_;
     std::size_t step_ = 0;
 };
 

@@ -101,13 +101,17 @@ BdqLearner::trainStep()
 {
     const std::size_t batch = std::min(cfg_.minibatch, replay_.size());
     const double beta = betaSchedule_.at(step_);
-    ReplaySample sample = replay_.sample(batch, beta, rng_);
+    ReplaySample &sample = sampleScratch_;
+    replay_.sampleInto(batch, beta, rng_, sample);
 
     const std::size_t in = cfg_.net.inputDim();
     const std::size_t K = cfg_.net.numAgents;
     const std::size_t D = cfg_.net.numBranches();
 
-    nn::Matrix states(batch, in), next_states(batch, in);
+    nn::Matrix &states = statesScratch_;
+    nn::Matrix &next_states = nextStatesScratch_;
+    states.resize(batch, in);
+    next_states.resize(batch, in);
     for (std::size_t i = 0; i < batch; ++i) {
         const Transition &t = replay_.at(sample.indices[i]);
         std::copy(t.state.begin(), t.state.end(), states.rowPtr(i));
@@ -116,14 +120,18 @@ BdqLearner::trainStep()
     }
 
     // Double DQN: online net picks the next action, target net values it.
-    nn::BdqOutput next_online, next_target;
+    nn::BdqOutput &next_online = nextOnlineScratch_;
+    nn::BdqOutput &next_target = nextTargetScratch_;
     online_.forward(next_states, next_online, false);
     target_.forward(next_states, next_target, false);
 
     // TD target per agent: y_k = r_k + gamma * (1/D) sum_d
     //     Q_target_{k,d}(s', argmax_a Q_online_{k,d}(s', a))
-    std::vector<std::vector<double>> targets(
-        K, std::vector<double>(batch, 0.0));
+    std::vector<std::vector<double>> &targets = targetsScratch_;
+    if (targets.size() != K)
+        targets.resize(K);
+    for (auto &per_agent : targets)
+        per_agent.assign(batch, 0.0);
     for (std::size_t k = 0; k < K; ++k) {
         for (std::size_t i = 0; i < batch; ++i) {
             const Transition &t = replay_.at(sample.indices[i]);
@@ -148,17 +156,21 @@ BdqLearner::trainStep()
     }
 
     // Forward the sampled states in train mode, build the Q gradients.
-    nn::BdqOutput out;
+    nn::BdqOutput &out = outScratch_;
     online_.forward(states, out, true);
 
-    std::vector<std::vector<nn::Matrix>> dq(K);
-    std::vector<double> td_for_priority(batch, 0.0);
+    std::vector<std::vector<nn::Matrix>> &dq = dqScratch_;
+    if (dq.size() != K)
+        dq.resize(K);
+    std::vector<double> &td_for_priority = tdPriorityScratch_;
+    td_for_priority.assign(batch, 0.0);
     double loss = 0.0;
     double abs_td = 0.0;
     const float grad_scale =
         2.0f / static_cast<float>(batch * D);
     for (std::size_t k = 0; k < K; ++k) {
-        dq[k].resize(D);
+        if (dq[k].size() != D)
+            dq[k].resize(D);
         for (std::size_t d = 0; d < D; ++d) {
             const std::size_t n = cfg_.net.branchActions[d];
             dq[k][d].resize(batch, n);

@@ -166,6 +166,16 @@ class BdqLearner
     std::vector<nn::BranchActions> heldAction_;
     /** Previous greedy choice (sticky argmax). */
     std::vector<nn::BranchActions> lastGreedy_;
+
+    // trainStep() scratch, sized on the first gradient step and then
+    // reused: the steady-state training step performs zero heap
+    // allocations (verified by tests/test_alloc.cc).
+    ReplaySample sampleScratch_;
+    nn::Matrix statesScratch_, nextStatesScratch_;
+    nn::BdqOutput nextOnlineScratch_, nextTargetScratch_, outScratch_;
+    std::vector<std::vector<double>> targetsScratch_;
+    std::vector<std::vector<nn::Matrix>> dqScratch_;
+    std::vector<double> tdPriorityScratch_;
 };
 
 } // namespace twig::rl

@@ -86,10 +86,20 @@ ReplaySample
 PrioritizedReplay::sample(std::size_t n, double beta,
                           common::Rng &rng) const
 {
+    ReplaySample out;
+    sampleInto(n, beta, rng, out);
+    return out;
+}
+
+void
+PrioritizedReplay::sampleInto(std::size_t n, double beta,
+                              common::Rng &rng, ReplaySample &out) const
+{
     common::fatalIf(size_ == 0, "replay: cannot sample from empty buffer");
     common::fatalIf(n == 0, "replay: sample size must be >= 1");
 
-    ReplaySample out;
+    out.indices.clear();
+    out.weights.clear();
     out.indices.reserve(n);
     out.weights.reserve(n);
 
@@ -117,7 +127,6 @@ PrioritizedReplay::sample(std::size_t n, double beta,
         for (auto &w : out.weights)
             w /= max_w;
     }
-    return out;
 }
 
 void

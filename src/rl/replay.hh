@@ -99,6 +99,13 @@ class PrioritizedReplay
      */
     ReplaySample sample(std::size_t n, double beta, common::Rng &rng) const;
 
+    /**
+     * As sample(), but reusing @p out's buffers — the allocation-free
+     * path for the steady-state training loop.
+     */
+    void sampleInto(std::size_t n, double beta, common::Rng &rng,
+                    ReplaySample &out) const;
+
     /** Update priorities after a training step (|TD error| based). */
     void updatePriorities(const std::vector<std::size_t> &indices,
                           const std::vector<double> &td_errors);

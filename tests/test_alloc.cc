@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Steady-state allocation tests: after a warm-up step has sized every
+ * scratch buffer, `BdqLearner::trainStep()` and `Mlp::trainStep()` must
+ * perform zero heap allocations. Enforced by replacing the global
+ * operator new/delete with malloc/free wrappers that bump an atomic
+ * counter while a test has counting enabled.
+ *
+ * This lives in its own test binary so the replaced allocator cannot
+ * perturb the rest of the suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "common/rng.hh"
+#include "nn/mlp.hh"
+#include "rl/bdq_learner.hh"
+
+namespace {
+
+std::atomic<long long> g_alloc_count{0};
+std::atomic<bool> g_counting{false};
+
+void *
+countedAlloc(std::size_t n)
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::malloc(n == 0 ? 1 : n);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+countedAllocAligned(std::size_t n, std::align_val_t al)
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t a = static_cast<std::size_t>(al);
+    void *p = std::aligned_alloc(a, (n + a - 1) / a * a);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+} // namespace
+
+void *operator new(std::size_t n) { return countedAlloc(n); }
+void *operator new[](std::size_t n) { return countedAlloc(n); }
+void *
+operator new(std::size_t n, std::align_val_t al)
+{
+    return countedAllocAligned(n, al);
+}
+void *
+operator new[](std::size_t n, std::align_val_t al)
+{
+    return countedAllocAligned(n, al);
+}
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::align_val_t) noexcept { std::free(p); }
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+using namespace twig;
+using twig::common::Rng;
+
+namespace {
+
+long long
+countAllocations(const std::function<void()> &body)
+{
+    g_alloc_count.store(0);
+    g_counting.store(true);
+    body();
+    g_counting.store(false);
+    return g_alloc_count.load();
+}
+
+rl::BdqLearnerConfig
+smallLearner()
+{
+    rl::BdqLearnerConfig cfg;
+    cfg.net.numAgents = 2;
+    cfg.net.stateDimPerAgent = 3;
+    cfg.net.trunkHidden = {24, 16};
+    cfg.net.agentHeadHidden = 12;
+    cfg.net.branchHidden = 12;
+    cfg.net.branchActions = {4, 3};
+    cfg.net.dropoutRate = 0.0f;
+    cfg.minibatch = 16;
+    cfg.replay.capacity = 2048;
+    cfg.minReplayBeforeTraining = 16;
+    cfg.targetUpdateInterval = 50;
+    return cfg;
+}
+
+rl::Transition
+randomTransition(Rng &rng)
+{
+    rl::Transition t;
+    for (int i = 0; i < 6; ++i)
+        t.state.push_back(static_cast<float>(rng.uniform()));
+    t.actions = {{rng.uniformInt(4), rng.uniformInt(3)},
+                 {rng.uniformInt(4), rng.uniformInt(3)}};
+    t.rewards = {rng.uniform(), rng.uniform()};
+    t.nextState = t.state;
+    return t;
+}
+
+} // namespace
+
+TEST(Alloc, CounterSeesHeapAllocations)
+{
+    const long long n = countAllocations([] {
+        std::vector<int> v(4096);
+        v[0] = 1;
+    });
+    EXPECT_GE(n, 1);
+}
+
+TEST(Alloc, BdqTrainStepSteadyStateIsAllocationFree)
+{
+    Rng rng(7);
+    rl::BdqLearner learner(smallLearner(), rng);
+    Rng env(11);
+    for (int i = 0; i < 64; ++i)
+        learner.observe(randomTransition(env));
+    // Warm up: the first gradient steps size every scratch buffer.
+    for (int i = 0; i < 3; ++i)
+        learner.trainStep();
+
+    const long long n = countAllocations([&] {
+        for (int i = 0; i < 5; ++i)
+            learner.trainStep();
+    });
+    EXPECT_EQ(n, 0) << "steady-state BdqLearner::trainStep allocated";
+}
+
+TEST(Alloc, MlpTrainStepSteadyStateIsAllocationFree)
+{
+    nn::MlpConfig cfg;
+    cfg.inputDim = 4;
+    cfg.hidden = {16, 8};
+    cfg.outputDim = 2;
+    Rng rng(3);
+    nn::Mlp mlp(cfg, rng);
+
+    nn::Matrix x(16, 4), t(16, 2);
+    Rng data(5);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x.data()[i] = static_cast<float>(data.uniform());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = static_cast<float>(data.uniform());
+
+    for (int i = 0; i < 3; ++i)
+        mlp.trainStep(x, t);
+
+    const long long n = countAllocations([&] {
+        for (int i = 0; i < 5; ++i)
+            mlp.trainStep(x, t);
+    });
+    EXPECT_EQ(n, 0) << "steady-state Mlp::trainStep allocated";
+}
+
+TEST(Alloc, MlpPredictSteadyStateIsAllocationFree)
+{
+    nn::MlpConfig cfg;
+    cfg.inputDim = 4;
+    cfg.hidden = {16, 8};
+    cfg.outputDim = 2;
+    Rng rng(3);
+    nn::Mlp mlp(cfg, rng);
+
+    nn::Matrix x(8, 4), y;
+    Rng data(5);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x.data()[i] = static_cast<float>(data.uniform());
+    mlp.predict(x, y); // warm-up sizes y and the activation scratch
+
+    const long long n = countAllocations([&] {
+        for (int i = 0; i < 5; ++i)
+            mlp.predict(x, y);
+    });
+    EXPECT_EQ(n, 0) << "steady-state Mlp::predict allocated";
+}

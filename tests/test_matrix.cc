@@ -3,9 +3,33 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hh"
+#include "common/rng.hh"
 #include "nn/matrix.hh"
 
 using namespace twig::nn;
+
+namespace {
+
+Matrix
+randomMatrix(std::size_t rows, std::size_t cols, twig::common::Rng &rng)
+{
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < m.size(); ++i)
+        m.raw()[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+    return m;
+}
+
+void
+expectNear(const Matrix &got, const Matrix &want, double tol)
+{
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        ASSERT_NEAR(got.raw()[i], want.raw()[i], tol)
+            << "element " << i;
+}
+
+} // namespace
 
 TEST(Matrix, ConstructAndIndex)
 {
@@ -123,4 +147,174 @@ TEST(Matmul, OutputIsOverwrittenNotAccumulated)
     b(0, 0) = 3.0f;
     matmul(a, b, out);
     EXPECT_FLOAT_EQ(out(0, 0), 6.0f);
+}
+
+TEST(MatrixResize, KeepsCapacityAndSkipsZeroFill)
+{
+    Matrix m(8, 8, 7.0f);
+    const float *storage = m.data();
+    // Shrinking must not reallocate: scratch matrices cycle between
+    // steady-state shapes without touching the heap.
+    m.resize(4, 4);
+    EXPECT_EQ(m.data(), storage);
+    EXPECT_EQ(m.rows(), 4u);
+    EXPECT_EQ(m.cols(), 4u);
+    // Contents are unspecified, but the old storage was NOT zeroed —
+    // that is the contract change callers rely on for speed.
+    EXPECT_FLOAT_EQ(m.raw()[0], 7.0f);
+    // Growing back within capacity must not reallocate either.
+    m.resize(8, 8);
+    EXPECT_EQ(m.data(), storage);
+    // Explicit zeroing is the caller's job now.
+    m.zero();
+    for (std::size_t i = 0; i < m.size(); ++i)
+        EXPECT_FLOAT_EQ(m.raw()[i], 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized equivalence of the tiled kernels against the naive
+// reference implementation, over shapes chosen to hit every edge of
+// the register tiling: 1x1, tall-skinny, wide, and dims that are not
+// multiples of the 6x16 tile.
+// ---------------------------------------------------------------------------
+
+struct Shape
+{
+    std::size_t m, k, n;
+};
+
+class TiledKernelEquivalence : public ::testing::TestWithParam<Shape>
+{
+};
+
+TEST_P(TiledKernelEquivalence, MatmulMatchesReference)
+{
+    const auto [m, k, n] = GetParam();
+    twig::common::Rng rng(m * 73856093 + k * 19349663 + n * 83492791);
+    const Matrix a = randomMatrix(m, k, rng);
+    const Matrix b = randomMatrix(k, n, rng);
+    Matrix want, got(3, 3, 42.0f); // stale shape/content must not leak
+    reference::matmul(a, b, want);
+    matmul(a, b, got);
+    expectNear(got, want, 1e-3);
+}
+
+TEST_P(TiledKernelEquivalence, TransposeBMatchesReference)
+{
+    const auto [m, k, n] = GetParam();
+    twig::common::Rng rng(m * 2654435761 + k * 40503 + n);
+    const Matrix a = randomMatrix(m, k, rng);
+    const Matrix b = randomMatrix(n, k, rng);
+    Matrix want, got;
+    reference::matmulTransposeB(a, b, want);
+    matmulTransposeB(a, b, got);
+    expectNear(got, want, 1e-3);
+}
+
+TEST_P(TiledKernelEquivalence, TransposeAMatchesReference)
+{
+    const auto [m, k, n] = GetParam();
+    twig::common::Rng rng(m * 31 + k * 37 + n * 41);
+    const Matrix a = randomMatrix(m, k, rng);
+    const Matrix b = randomMatrix(m, n, rng);
+    Matrix want, got;
+    reference::matmulTransposeA(a, b, want);
+    matmulTransposeA(a, b, got);
+    expectNear(got, want, 1e-3);
+}
+
+TEST_P(TiledKernelEquivalence, SparseAMatchesReferenceOnOneHotRows)
+{
+    const auto [m, k, n] = GetParam();
+    twig::common::Rng rng(m + k + n);
+    // One-hot rows: the genuinely sparse input the skip branch is for.
+    Matrix a(m, k, 0.0f);
+    for (std::size_t i = 0; i < m; ++i)
+        a(i, rng.uniformInt(k)) = 1.0f;
+    const Matrix b = randomMatrix(k, n, rng);
+    Matrix want, got;
+    reference::matmul(a, b, want);
+    matmulSparseA(a, b, got);
+    expectNear(got, want, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TiledKernelEquivalence,
+    ::testing::Values(Shape{1, 1, 1},        // degenerate
+                      Shape{1, 7, 1},        // single dot product
+                      Shape{5, 3, 2},        // below one tile
+                      Shape{6, 8, 16},       // exactly one row-tile
+                      Shape{7, 11, 17},      // one past the tile edges
+                      Shape{64, 1, 64},      // K=1
+                      Shape{129, 2, 3},      // tall-skinny
+                      Shape{3, 2, 130},      // short-wide
+                      Shape{64, 512, 256},   // BDQ trunk shape
+                      Shape{37, 61, 43}),    // odd everything
+    [](const ::testing::TestParamInfo<Shape> &info) {
+        return std::to_string(info.param.m) + "x" +
+            std::to_string(info.param.k) + "x" +
+            std::to_string(info.param.n);
+    });
+
+TEST(FusedKernels, TransposeAAccumAddsIntoOut)
+{
+    twig::common::Rng rng(99);
+    const Matrix a = randomMatrix(13, 9, rng);
+    const Matrix b = randomMatrix(13, 21, rng);
+    Matrix grad(9, 21, 1.25f); // pre-existing gradient accumulation
+    Matrix product;
+    reference::matmulTransposeA(a, b, product);
+    matmulTransposeAAccum(a, b, grad);
+    for (std::size_t i = 0; i < grad.size(); ++i)
+        ASSERT_NEAR(grad.raw()[i], 1.25f + product.raw()[i], 1e-3);
+}
+
+TEST(FusedKernels, TransposeAAccumRejectsWrongShape)
+{
+    Matrix a(4, 3), b(4, 5), out(2, 5);
+    EXPECT_THROW(matmulTransposeAAccum(a, b, out),
+                 twig::common::PanicError);
+}
+
+TEST(FusedKernels, MatmulBiasMatchesSeparatePasses)
+{
+    twig::common::Rng rng(7);
+    const Matrix x = randomMatrix(19, 23, rng);
+    const Matrix w = randomMatrix(23, 33, rng);
+    std::vector<float> bias(33);
+    for (auto &v : bias)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    Matrix want;
+    reference::matmul(x, w, want);
+    for (std::size_t r = 0; r < want.rows(); ++r)
+        for (std::size_t c = 0; c < want.cols(); ++c)
+            want(r, c) += bias[c];
+
+    Matrix got;
+    matmulBias(x, w, bias, got);
+    expectNear(got, want, 1e-3);
+}
+
+TEST(FusedKernels, MatmulBiasReluClampsAndRecordsMask)
+{
+    twig::common::Rng rng(11);
+    const Matrix x = randomMatrix(18, 10, rng);
+    const Matrix w = randomMatrix(10, 27, rng);
+    std::vector<float> bias(27);
+    for (auto &v : bias)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    Matrix pre;
+    matmulBias(x, w, bias, pre);
+
+    Matrix got;
+    std::vector<unsigned char> mask;
+    matmulBiasRelu(x, w, bias, got, mask);
+    ASSERT_EQ(mask.size(), pre.size());
+    for (std::size_t i = 0; i < pre.size(); ++i) {
+        const float v = pre.raw()[i];
+        ASSERT_FLOAT_EQ(got.raw()[i], v > 0.0f ? v : 0.0f);
+        ASSERT_EQ(mask[i], v > 0.0f ? 1 : 0);
+    }
 }

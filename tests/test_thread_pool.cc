@@ -1,0 +1,92 @@
+/** @file Unit tests for the fixed worker pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+using twig::common::ThreadPool;
+
+TEST(ThreadPool, RunsEverySubmittedTaskOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitPropagatesFirstException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is consumed: the pool remains usable afterwards.
+    std::atomic<int> count{0};
+    pool.submit([&] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversExactlyTheRange)
+{
+    ThreadPool pool(3);
+    constexpr std::size_t kBegin = 7, kEnd = 1000;
+    std::vector<std::atomic<int>> hits(kEnd);
+    pool.parallelFor(kBegin, kEnd,
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kEnd; ++i)
+        EXPECT_EQ(hits[i].load(), i >= kBegin ? 1 : 0) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingleRanges)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.parallelFor(5, 5, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 0);
+    pool.parallelFor(9, 10, [&](std::size_t i) {
+        EXPECT_EQ(i, 9u);
+        count.fetch_add(1);
+    });
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(0, 64,
+                                  [](std::size_t i) {
+                                      if (i == 13)
+                                          throw std::logic_error("boom");
+                                  }),
+                 std::logic_error);
+}
+
+TEST(ThreadPool, ReusableAcrossManyParallelFors)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<long> sum{0};
+        pool.parallelFor(0, 100, [&](std::size_t i) {
+            sum.fetch_add(static_cast<long>(i));
+        });
+        EXPECT_EQ(sum.load(), 4950);
+    }
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletes)
+{
+    ThreadPool pool(1);
+    std::atomic<long> sum{0};
+    pool.parallelFor(0, 50, [&](std::size_t i) {
+        sum.fetch_add(static_cast<long>(i));
+    });
+    EXPECT_EQ(sum.load(), 50 * 49 / 2);
+}
