@@ -9,8 +9,11 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
+#include <vector>
 
 namespace twig::bench {
 
@@ -25,39 +28,145 @@ struct BenchArgs
      * is bit-identical either way: per-run seeds depend only on
      * (seed, config index), never on thread scheduling. */
     std::size_t jobs = 1;
+    /** Values of bench-specific value flags passed via the @p extra
+     * allowlist of parse/tryParse, keyed by flag (e.g. "--out"). */
+    std::map<std::string, std::string> extra;
 
+    /** Outcome of tryParse: either args, or an error, or --help. */
+    struct ParseResult;
+
+    /**
+     * Strict parse. Rejects (with a message, not a guess): unknown
+     * flags, flags missing their value, non-numeric / negative /
+     * overflowed numbers, and --jobs 0. @p extra_value_flags lists
+     * bench-specific flags that take one value (e.g. {"--out"});
+     * their values land in BenchArgs::extra.
+     */
+    static ParseResult
+    tryParse(int argc, char **argv,
+             const std::vector<std::string> &extra_value_flags = {});
+
+    /** tryParse, exiting on bad input (status 2) or --help (0). */
     static BenchArgs
-    parse(int argc, char **argv)
+    parse(int argc, char **argv,
+          const std::vector<std::string> &extra_value_flags = {});
+
+    static void
+    printUsage(const char *prog,
+               const std::vector<std::string> &extra_value_flags = {})
     {
-        BenchArgs args;
-        for (int i = 1; i < argc; ++i) {
-            if (std::strcmp(argv[i], "--full") == 0) {
-                args.full = true;
-            } else if (std::strcmp(argv[i], "--seed") == 0 &&
-                       i + 1 < argc) {
-                args.seed = std::strtoull(argv[++i], nullptr, 10);
-            } else if (std::strcmp(argv[i], "--jobs") == 0 &&
-                       i + 1 < argc) {
-                args.jobs = std::strtoull(argv[++i], nullptr, 10);
-                if (args.jobs == 0)
-                    args.jobs = 1;
-            } else if (std::strcmp(argv[i], "--help") == 0) {
-                std::printf(
-                    "usage: %s [--full] [--seed N] [--jobs N]\n"
-                    "  --full    paper-length schedules (hours) instead "
-                    "of compressed ones\n"
-                    "  --seed N  base seed; per-run seeds are derived "
-                    "from (seed, config index)\n"
-                    "  --jobs N  run independent experiment configs on N "
-                    "threads (default 1;\n"
-                    "            results are identical for any N)\n",
-                    argv[0]);
-                std::exit(0);
-            }
-        }
-        return args;
+        std::string extras;
+        for (const auto &flag : extra_value_flags)
+            extras += " [" + flag + " VALUE]";
+        std::printf(
+            "usage: %s [--full] [--seed N] [--jobs N]%s\n"
+            "  --full    paper-length schedules (hours) instead "
+            "of compressed ones\n"
+            "  --seed N  base seed; per-run seeds are derived "
+            "from (seed, config index)\n"
+            "  --jobs N  run independent experiment configs on N "
+            "threads (default 1;\n"
+            "            results are identical for any N)\n",
+            prog, extras.c_str());
     }
 };
+
+struct BenchArgs::ParseResult
+{
+    BenchArgs args;
+    /** Empty on success; otherwise what is wrong with the line. */
+    std::string error;
+    bool helpRequested = false;
+
+    bool ok() const { return error.empty() && !helpRequested; }
+};
+
+inline BenchArgs::ParseResult
+BenchArgs::tryParse(int argc, char **argv,
+                    const std::vector<std::string> &extra_value_flags)
+{
+    ParseResult res;
+    auto fail = [&res](std::string msg) {
+        res.error = std::move(msg);
+        return res;
+    };
+    auto parseCount = [](const char *flag, const char *text,
+                         std::uint64_t &out, std::string &err) {
+        if (text[0] == '\0' || text[0] == '-' || text[0] == '+') {
+            err = std::string(flag) + " wants a non-negative integer, " +
+                "got '" + text + "'";
+            return false;
+        }
+        errno = 0;
+        char *end = nullptr;
+        out = std::strtoull(text, &end, 10);
+        if (errno != 0 || end == text || *end != '\0') {
+            err = std::string(flag) + " wants a non-negative integer, " +
+                "got '" + text + "'";
+            return false;
+        }
+        return true;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--full") == 0) {
+            res.args.full = true;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            res.helpRequested = true;
+            return res;
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            if (i + 1 >= argc)
+                return fail("--seed is missing its value");
+            std::string err;
+            if (!parseCount("--seed", argv[++i], res.args.seed, err))
+                return fail(err);
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            if (i + 1 >= argc)
+                return fail("--jobs is missing its value");
+            std::uint64_t jobs = 0;
+            std::string err;
+            if (!parseCount("--jobs", argv[++i], jobs, err))
+                return fail(err);
+            if (jobs == 0)
+                return fail("--jobs must be at least 1");
+            res.args.jobs = static_cast<std::size_t>(jobs);
+        } else {
+            bool matched = false;
+            for (const auto &flag : extra_value_flags) {
+                if (flag != arg)
+                    continue;
+                if (i + 1 >= argc)
+                    return fail(flag + " is missing its value");
+                res.args.extra[flag] = argv[++i];
+                matched = true;
+                break;
+            }
+            if (!matched)
+                return fail(std::string("unknown flag '") + arg +
+                            "' (see --help)");
+        }
+    }
+    return res;
+}
+
+inline BenchArgs
+BenchArgs::parse(int argc, char **argv,
+                 const std::vector<std::string> &extra_value_flags)
+{
+    auto res = tryParse(argc, argv, extra_value_flags);
+    if (res.helpRequested) {
+        printUsage(argv[0], extra_value_flags);
+        std::exit(0);
+    }
+    if (!res.error.empty()) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], res.error.c_str());
+        printUsage(argv[0], extra_value_flags);
+        std::exit(2);
+    }
+    return std::move(res.args);
+}
 
 /** Print a banner naming the experiment. */
 inline void

@@ -167,12 +167,10 @@ benchTrainStep(std::uint64_t seed)
 int
 main(int argc, char **argv)
 {
-    const auto args = bench::BenchArgs::parse(argc, argv);
+    const auto args = bench::BenchArgs::parse(argc, argv, {"--out"});
     std::string out_path = "BENCH_kernels.json";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
-            out_path = argv[i + 1];
-    }
+    if (auto it = args.extra.find("--out"); it != args.extra.end())
+        out_path = it->second;
 
     bench::banner("Kernel microbenchmark: tiled GEMM vs seed naive "
                   "loops (BDQ shapes, batch 64)");

@@ -1,0 +1,244 @@
+#include "cluster/cluster_manager.hh"
+
+#include <utility>
+
+#include "common/error.hh"
+#include "core/twig_manager.hh"
+#include "harness/sweep.hh"
+
+namespace twig::cluster {
+
+double
+FleetRunMetrics::avgQosGuaranteePct() const
+{
+    if (qosGuaranteePct.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double p : qosGuaranteePct)
+        sum += p;
+    return sum / static_cast<double>(qosGuaranteePct.size());
+}
+
+ClusterManager::ClusterManager(
+    const ClusterConfig &cfg, std::vector<sim::ServiceProfile> services,
+    std::vector<std::unique_ptr<sim::LoadGenerator>> fleet_loads,
+    std::uint64_t seed)
+    : cfg_(cfg), services_(std::move(services)),
+      fleetLoads_(std::move(fleet_loads)),
+      // The router draws from its own derived seed stream so adding
+      // policies never perturbs the nodes' randomness (and vice versa).
+      router_(cfg.router, harness::sweepSeed(seed, 0x5107e5)), seed_(seed)
+{
+    common::fatalIf(services_.empty(), "ClusterManager: no services");
+    common::fatalIf(fleetLoads_.size() != services_.size(),
+                    "ClusterManager: need one fleet load generator per "
+                    "service (got ", fleetLoads_.size(), " for ",
+                    services_.size(), " services)");
+    for (const auto &load : fleetLoads_)
+        common::fatalIf(!load, "ClusterManager: null load generator");
+    common::fatalIf(cfg_.latencyBins == 0,
+                    "ClusterManager: latencyBins must be positive");
+    common::fatalIf(cfg_.latencySpanQosMultiple <= 0.0,
+                    "ClusterManager: latencySpanQosMultiple must be "
+                    "positive");
+}
+
+std::vector<LatencyBinning>
+ClusterManager::binnings() const
+{
+    // Fleet-uniform binning per service (Histogram::merge requires
+    // identical edges on every node): [0, QoS x span multiple).
+    std::vector<LatencyBinning> out;
+    out.reserve(services_.size());
+    for (const auto &svc : services_)
+        out.push_back({0.0, svc.qosTargetMs * cfg_.latencySpanQosMultiple,
+                       cfg_.latencyBins});
+    return out;
+}
+
+std::size_t
+ClusterManager::addNode(const sim::MachineConfig &machine,
+                        const ManagerFactory &factory,
+                        const std::string &warm_start_checkpoint)
+{
+    common::fatalIf(!factory, "ClusterManager::addNode: null factory");
+    const std::size_t index = nodes_.size();
+    // Node seeds derive from (base seed, node index), so a fleet's
+    // node i has the same private world regardless of how many other
+    // replicas exist or which threads step them.
+    const std::uint64_t node_seed = harness::sweepSeed(seed_, index + 1);
+    auto manager = factory(machine, services_, node_seed);
+    common::fatalIf(!manager,
+                    "ClusterManager::addNode: factory returned null");
+    if (!warm_start_checkpoint.empty()) {
+        auto *twig = dynamic_cast<core::TwigManager *>(manager.get());
+        common::fatalIf(!twig,
+                        "ClusterManager::addNode: warm-start checkpoint "
+                        "needs a TwigManager, got ", manager->name());
+        twig->loadCheckpoint(warm_start_checkpoint);
+    }
+    NodeConfig node_cfg{machine, services_, binnings()};
+    nodes_.push_back(
+        std::make_unique<Node>(node_cfg, std::move(manager), node_seed));
+    return index;
+}
+
+Node &
+ClusterManager::node(std::size_t i)
+{
+    common::fatalIf(i >= nodes_.size(), "ClusterManager::node: bad index");
+    return *nodes_[i];
+}
+
+const sim::ServiceProfile &
+ClusterManager::service(std::size_t s) const
+{
+    common::fatalIf(s >= services_.size(),
+                    "ClusterManager::service: bad index");
+    return services_[s];
+}
+
+FleetIntervalStats
+ClusterManager::step()
+{
+    common::fatalIf(nodes_.empty(), "ClusterManager::step: no nodes");
+    const std::size_t num_nodes = nodes_.size();
+    const std::size_t num_services = services_.size();
+
+    // 1. Route: fleet offered load -> per-node shares (serial; the
+    //    router's RNG must see the same draw sequence at any --jobs).
+    std::vector<double> fleet_rps(num_services, 0.0);
+    for (std::size_t s = 0; s < num_services; ++s)
+        fleet_rps[s] = fleetLoads_[s]->rps(step_);
+
+    std::vector<double> weights(num_nodes, 0.0);
+    for (std::size_t n = 0; n < num_nodes; ++n)
+        weights[n] = nodes_[n]->capacityWeight();
+
+    RouterFeedback feedback;
+    if (step_ > 0) {
+        feedback.p99MsByNode.resize(num_nodes);
+        for (std::size_t n = 0; n < num_nodes; ++n) {
+            feedback.p99MsByNode[n].resize(num_services);
+            for (std::size_t s = 0; s < num_services; ++s)
+                feedback.p99MsByNode[n][s] = nodes_[n]->lastP99Ms(s);
+        }
+        for (const auto &svc : services_)
+            feedback.qosTargetsMs.push_back(svc.qosTargetMs);
+    }
+    const auto shares = router_.route(fleet_rps, weights, feedback);
+
+    // 2. Step every node. Nodes are sealed seeded worlds, so the pool
+    //    schedule cannot change any node's results — only the order
+    //    they finish in, which the serial merge below ignores.
+    for (std::size_t n = 0; n < num_nodes; ++n)
+        nodes_[n]->setOfferedLoad(shares[n]);
+    if (cfg_.jobs > 1 && num_nodes > 1) {
+        if (!pool_)
+            pool_ = std::make_unique<common::ThreadPool>(cfg_.jobs);
+        pool_->parallelFor(0, num_nodes, [this](std::size_t n) {
+            nodes_[n]->stepInterval();
+        });
+    } else {
+        for (std::size_t n = 0; n < num_nodes; ++n)
+            nodes_[n]->stepInterval();
+    }
+
+    // 3. Merge node telemetry in node order (deterministic).
+    if (mergedScratch_.empty()) {
+        const auto bins = binnings();
+        for (const auto &b : bins)
+            mergedScratch_.emplace_back(b.loMs, b.hiMs, b.bins);
+    }
+    for (auto &h : mergedScratch_)
+        h.clear();
+
+    FleetIntervalStats out;
+    out.step = step_;
+    out.offeredRps = fleet_rps;
+    out.fleetP99Ms.resize(num_services, 0.0);
+    out.nodes.reserve(num_nodes);
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+        for (std::size_t s = 0; s < num_services; ++s)
+            mergedScratch_[s].merge(nodes_[n]->intervalHistogram(s));
+        out.totalPowerW += nodes_[n]->lastStats().socketPowerW;
+        out.nodes.push_back(nodes_[n]->lastStats());
+    }
+    // Fleet p99 over a short trailing window of intervals (one
+    // interval's p99 is a noisy order statistic at realistic rates).
+    if (recent_.empty())
+        recent_.resize(num_services);
+    for (std::size_t s = 0; s < num_services; ++s) {
+        auto &window = recent_[s];
+        window.push_back(mergedScratch_[s]);
+        if (window.size() > std::max<std::size_t>(cfg_.qosWindowIntervals, 1))
+            window.erase(window.begin());
+        stats::Histogram trailing = window.front();
+        for (std::size_t i = 1; i < window.size(); ++i)
+            trailing.merge(window[i]);
+        out.fleetP99Ms[s] = trailing.quantile(0.99);
+    }
+
+    ++step_;
+    return out;
+}
+
+FleetRunResult
+ClusterManager::run(
+    std::size_t steps, std::size_t summary_window,
+    const std::function<void(std::size_t, const FleetIntervalStats &)>
+        &on_step)
+{
+    common::fatalIf(steps == 0, "ClusterManager::run: zero steps");
+    common::fatalIf(summary_window == 0 || summary_window > steps,
+                    "ClusterManager::run: summary window must be in "
+                    "[1, steps]");
+    const std::size_t num_services = services_.size();
+    const std::size_t window_start = steps - summary_window;
+
+    // Window accumulators: merged histograms for the exact fleet-wide
+    // window p99, plus per-interval QoS pass counts.
+    std::vector<stats::Histogram> window_hists;
+    for (const auto &b : binnings())
+        window_hists.emplace_back(b.loMs, b.hiMs, b.bins);
+    std::vector<std::size_t> qos_ok(num_services, 0);
+    double power_sum = 0.0;
+    double interval_s = 0.0;
+
+    FleetRunResult result;
+    result.trace.reserve(steps);
+    for (std::size_t t = 0; t < steps; ++t) {
+        FleetIntervalStats fs = step();
+        if (t >= window_start) {
+            for (std::size_t s = 0; s < num_services; ++s) {
+                for (std::size_t n = 0; n < nodes_.size(); ++n)
+                    window_hists[s].merge(nodes_[n]->intervalHistogram(s));
+                if (fs.fleetP99Ms[s] <= services_[s].qosTargetMs)
+                    ++qos_ok[s];
+            }
+            power_sum += fs.totalPowerW;
+        }
+        if (on_step)
+            on_step(t, fs);
+        result.trace.push_back(std::move(fs));
+    }
+
+    FleetRunMetrics &m = result.metrics;
+    m.windowSteps = summary_window;
+    for (std::size_t s = 0; s < num_services; ++s) {
+        m.serviceNames.push_back(services_[s].name);
+        m.windowP99Ms.push_back(window_hists[s].quantile(0.99));
+        m.qosGuaranteePct.push_back(100.0 *
+                                    static_cast<double>(qos_ok[s]) /
+                                    static_cast<double>(summary_window));
+    }
+    m.meanPowerW = power_sum / static_cast<double>(summary_window);
+    // Fleet energy over the window: mean power x window wall time. All
+    // nodes share the control-interval length of the first machine.
+    interval_s = nodes_.empty() ? 0.0 : nodes_[0]->machine().intervalSeconds;
+    m.energyJoules =
+        power_sum * interval_s;
+    return result;
+}
+
+} // namespace twig::cluster

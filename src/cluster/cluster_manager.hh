@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Fleet orchestration: N replica nodes behind a Router, stepped in
+ * lockstep one control interval at a time.
+ *
+ * The per-interval loop is:
+ *
+ *   1. sample the fleet-level load generators (one per service) and
+ *      let the Router split each service's RPS across the replicas;
+ *   2. step every node — in parallel on a common::ThreadPool when
+ *      jobs > 1, bit-identical to serial stepping because nodes share
+ *      no mutable state and all routing/merging stays on the caller;
+ *   3. merge the per-node latency histograms (stats::Histogram::merge)
+ *      into fleet-wide per-service histograms and read the fleet p99
+ *      off the merged bins; sum node power into fleet power.
+ *
+ * Replicas added with a checkpoint path are warm-started: the
+ * checkpointed BDQ is restored into the new node's TwigManager
+ * (rl/checkpoint.hh), so a scale-out event starts from a trained
+ * policy instead of exploring from scratch.
+ */
+
+#ifndef TWIG_CLUSTER_CLUSTER_MANAGER_HH
+#define TWIG_CLUSTER_CLUSTER_MANAGER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hh"
+#include "cluster/router.hh"
+#include "common/thread_pool.hh"
+#include "sim/loadgen.hh"
+#include "sim/machine.hh"
+#include "sim/service_profile.hh"
+#include "stats/histogram.hh"
+
+namespace twig::cluster {
+
+/** Fleet configuration. */
+struct ClusterConfig
+{
+    RouterConfig router;
+    /** Worker threads for node stepping; <= 1 steps serially. The
+     * fleet metrics are bit-identical either way. */
+    std::size_t jobs = 1;
+    /** Latency-histogram bins per service. */
+    std::size_t latencyBins = 1024;
+    /** Histogram upper edge as a multiple of each service's QoS
+     * target (latencies beyond clamp into the last bin). */
+    double latencySpanQosMultiple = 32.0;
+    /** The per-step fleet p99 is measured over the completions of the
+     * last this-many intervals (mirrors MachineConfig's
+     * qosWindowIntervals: a single interval's p99 is a noisy order
+     * statistic). */
+    std::size_t qosWindowIntervals = 3;
+};
+
+/** Fleet-wide telemetry for one control interval. */
+struct FleetIntervalStats
+{
+    std::size_t step = 0;
+    /** Fleet offered load per service (before routing). */
+    std::vector<double> offeredRps;
+    /** p99 per service over the fleet-wide completions of the last
+     * qosWindowIntervals intervals (merged per-node histograms). */
+    std::vector<double> fleetP99Ms;
+    /** Sum of node socket powers, W. */
+    double totalPowerW = 0.0;
+    /** Per-node telemetry (node order is stable). */
+    std::vector<sim::ServerIntervalStats> nodes;
+};
+
+/** Fleet outcome over a run's trailing summary window. */
+struct FleetRunMetrics
+{
+    std::vector<std::string> serviceNames;
+    /** p99 per service over all window completions fleet-wide
+     * (merge-then-quantile, not an average of averages). */
+    std::vector<double> windowP99Ms;
+    /** Percentage of window intervals whose fleet p99 met the QoS
+     * target, per service. */
+    std::vector<double> qosGuaranteePct;
+    double meanPowerW = 0.0;
+    double energyJoules = 0.0;
+    std::size_t windowSteps = 0;
+
+    double avgQosGuaranteePct() const;
+};
+
+/** Result of ClusterManager::run. */
+struct FleetRunResult
+{
+    FleetRunMetrics metrics;
+    /** Per-step fleet telemetry (always recorded; one entry per step). */
+    std::vector<FleetIntervalStats> trace;
+};
+
+/** Drives an N-node fleet: route, step (possibly parallel), merge. */
+class ClusterManager
+{
+  public:
+    /** Builds a node's task manager from its machine and services. */
+    using ManagerFactory = std::function<std::unique_ptr<core::TaskManager>(
+        const sim::MachineConfig &machine,
+        const std::vector<sim::ServiceProfile> &services,
+        std::uint64_t seed)>;
+
+    /**
+     * @param cfg          fleet configuration
+     * @param services     the service set every replica hosts
+     * @param fleet_loads  fleet-level offered load, one generator per
+     *                     service (aggregate RPS across all replicas)
+     * @param seed         base seed; per-node seeds derive from it
+     */
+    ClusterManager(const ClusterConfig &cfg,
+                   std::vector<sim::ServiceProfile> services,
+                   std::vector<std::unique_ptr<sim::LoadGenerator>>
+                       fleet_loads,
+                   std::uint64_t seed);
+
+    /**
+     * Add a replica. @p factory builds its manager; a non-empty
+     * @p warm_start_checkpoint restores that BDQ checkpoint into the
+     * manager (which must be a TwigManager of matching architecture).
+     * Returns the node index.
+     */
+    std::size_t addNode(const sim::MachineConfig &machine,
+                        const ManagerFactory &factory,
+                        const std::string &warm_start_checkpoint = "");
+
+    std::size_t numNodes() const { return nodes_.size(); }
+    std::size_t numServices() const { return services_.size(); }
+    Node &node(std::size_t i);
+    const sim::ServiceProfile &service(std::size_t s) const;
+
+    /** Advance the whole fleet one control interval. */
+    FleetIntervalStats step();
+
+    /**
+     * Run @p steps intervals; metrics summarise the trailing
+     * @p summary_window. @p on_step (optional) observes every interval.
+     */
+    FleetRunResult
+    run(std::size_t steps, std::size_t summary_window,
+        const std::function<void(std::size_t, const FleetIntervalStats &)>
+            &on_step = {});
+
+  private:
+    std::vector<LatencyBinning> binnings() const;
+
+    ClusterConfig cfg_;
+    std::vector<sim::ServiceProfile> services_;
+    std::vector<std::unique_ptr<sim::LoadGenerator>> fleetLoads_;
+    Router router_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    /** Created on first parallel step (jobs > 1). */
+    std::unique_ptr<common::ThreadPool> pool_;
+    std::uint64_t seed_;
+    std::size_t step_ = 0;
+    /** Scratch: merged per-service histograms for the current interval. */
+    std::vector<stats::Histogram> mergedScratch_;
+    /** Last qosWindowIntervals interval histograms per service
+     * (recent_[svc] is ordered oldest first). */
+    std::vector<std::vector<stats::Histogram>> recent_;
+};
+
+} // namespace twig::cluster
+
+#endif // TWIG_CLUSTER_CLUSTER_MANAGER_HH

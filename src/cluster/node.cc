@@ -1,0 +1,93 @@
+#include "cluster/node.hh"
+
+#include "common/error.hh"
+
+namespace twig::cluster {
+
+Node::Node(const NodeConfig &cfg,
+           std::unique_ptr<core::TaskManager> manager, std::uint64_t seed)
+    : config_(cfg), server_(cfg.machine, seed),
+      manager_(std::move(manager)), mapper_(cfg.machine)
+{
+    common::fatalIf(config_.services.empty(), "Node: hosts no services");
+    common::fatalIf(!manager_, "Node: null task manager");
+    common::fatalIf(config_.latencyBins.size() != config_.services.size(),
+                    "Node: need one latency binning per service");
+
+    for (std::size_t i = 0; i < config_.services.size(); ++i) {
+        auto load = std::make_unique<RoutedLoad>();
+        loads_.push_back(load.get());
+        server_.addService(config_.services[i], std::move(load));
+        const LatencyBinning &b = config_.latencyBins[i];
+        intervalHists_.emplace_back(b.loMs, b.hiMs, b.bins);
+    }
+
+    server_.setLatencySink(
+        [this](std::size_t svc, const std::vector<double> &lat_ms) {
+            for (double l : lat_ms)
+                intervalHists_[svc].add(l);
+        });
+
+    requests_ = manager_->initialRequests(config_.services.size(),
+                                          config_.machine);
+}
+
+const sim::ServiceProfile &
+Node::profile(std::size_t svc) const
+{
+    common::fatalIf(svc >= config_.services.size(),
+                    "Node::profile: bad index");
+    return config_.services[svc];
+}
+
+double
+Node::capacityWeight() const
+{
+    return static_cast<double>(config_.machine.numCores) *
+        config_.machine.dvfs.maxGhz;
+}
+
+void
+Node::setOfferedLoad(const std::vector<double> &rps)
+{
+    common::fatalIf(rps.size() != loads_.size(),
+                    "Node::setOfferedLoad: need one RPS per service "
+                    "(got ", rps.size(), ", have ", loads_.size(), ")");
+    for (std::size_t i = 0; i < rps.size(); ++i) {
+        common::fatalIf(rps[i] < 0.0,
+                        "Node::setOfferedLoad: negative RPS");
+        loads_[i]->set(rps[i]);
+    }
+    loadSet_ = true;
+}
+
+const sim::ServerIntervalStats &
+Node::stepInterval()
+{
+    common::fatalIf(!loadSet_,
+                    "Node::stepInterval: offered load never set");
+    for (auto &h : intervalHists_)
+        h.clear();
+    const auto assignments = mapper_.map(requests_);
+    lastStats_ = server_.runInterval(assignments);
+    requests_ = manager_->decide(lastStats_);
+    return lastStats_;
+}
+
+double
+Node::lastP99Ms(std::size_t svc) const
+{
+    if (lastStats_.services.size() <= svc)
+        return 0.0;
+    return lastStats_.services[svc].p99Ms;
+}
+
+const stats::Histogram &
+Node::intervalHistogram(std::size_t svc) const
+{
+    common::fatalIf(svc >= intervalHists_.size(),
+                    "Node::intervalHistogram: bad index");
+    return intervalHists_[svc];
+}
+
+} // namespace twig::cluster

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * One replica of the simulated fleet: a sim::Server plus its own task
+ * manager (Twig-C or a baseline) and mapper, stepped one control
+ * interval at a time by the ClusterManager.
+ *
+ * The node's services draw their offered load from RoutedLoad
+ * generators whose RPS the Router sets before every interval — the
+ * single-node simulator is reused unchanged; only the load source
+ * differs from the standalone harness. Each interval the node also
+ * fills one fixed-binning latency histogram per service (via the
+ * server's latency sink), so the ClusterManager can merge per-node
+ * histograms into exact fleet-wide tail latency without shipping raw
+ * samples.
+ *
+ * Determinism: a node's whole world (server, queues, manager) is
+ * seeded at construction and consumes randomness only inside
+ * stepInterval(). Nodes share no mutable state, so the ClusterManager
+ * may step them on any number of threads with bit-identical results.
+ */
+
+#ifndef TWIG_CLUSTER_NODE_HH
+#define TWIG_CLUSTER_NODE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/mapper.hh"
+#include "core/task_manager.hh"
+#include "sim/loadgen.hh"
+#include "sim/machine.hh"
+#include "sim/server.hh"
+#include "sim/service_profile.hh"
+#include "stats/histogram.hh"
+
+namespace twig::cluster {
+
+/** Load generator whose RPS is set externally before each interval. */
+class RoutedLoad : public sim::LoadGenerator
+{
+  public:
+    double rps(std::size_t) const override { return rps_; }
+    void set(double rps) { rps_ = rps; }
+
+  private:
+    double rps_ = 0.0;
+};
+
+/** Latency-histogram binning for one service. Must be identical on
+ * every node hosting the service or fleet-wide merging is rejected. */
+struct LatencyBinning
+{
+    double loMs = 0.0;
+    double hiMs = 100.0;
+    std::size_t bins = 1024;
+};
+
+/** Construction parameters of one node. */
+struct NodeConfig
+{
+    sim::MachineConfig machine;
+    /** Service replicas this node hosts (same order fleet-wide). */
+    std::vector<sim::ServiceProfile> services;
+    /** Per-service latency binning (same order; fleet-uniform). */
+    std::vector<LatencyBinning> latencyBins;
+};
+
+/** One fleet replica: server + manager + mapper + latency histograms. */
+class Node
+{
+  public:
+    /**
+     * @param cfg      machine, hosted services and histogram binning
+     * @param manager  the node's task manager (ownership transfers)
+     * @param seed     seeds the node's private simulation randomness
+     */
+    Node(const NodeConfig &cfg,
+         std::unique_ptr<core::TaskManager> manager, std::uint64_t seed);
+
+    std::size_t numServices() const { return config_.services.size(); }
+    const sim::MachineConfig &machine() const { return config_.machine; }
+    const sim::ServiceProfile &profile(std::size_t svc) const;
+
+    core::TaskManager &manager() { return *manager_; }
+    const core::TaskManager &manager() const { return *manager_; }
+
+    /** Relative serving capacity (for weighted routing): core count
+     * scaled by the machine's top frequency. */
+    double capacityWeight() const;
+
+    /** Set next interval's offered load, one RPS per service. */
+    void setOfferedLoad(const std::vector<double> &rps);
+
+    /**
+     * Advance one control interval: map the pending resource requests,
+     * run the server, then ask the manager for the next interval's
+     * requests. Offered load must have been set first.
+     */
+    const sim::ServerIntervalStats &stepInterval();
+
+    /** Telemetry of the most recent interval. */
+    const sim::ServerIntervalStats &lastStats() const { return lastStats_; }
+
+    /** Trailing-window p99 of service @p svc in the last interval
+     * (0 before the first step) — the router's latency feedback. */
+    double lastP99Ms(std::size_t svc) const;
+
+    /** Latency histogram of service @p svc over the *last interval
+     * only* (reset at the start of every stepInterval). */
+    const stats::Histogram &intervalHistogram(std::size_t svc) const;
+
+    std::size_t step() const { return server_.step(); }
+
+  private:
+    NodeConfig config_;
+    sim::Server server_;
+    std::unique_ptr<core::TaskManager> manager_;
+    core::Mapper mapper_;
+    /** Owned by server_; set by setOfferedLoad. */
+    std::vector<RoutedLoad *> loads_;
+    std::vector<core::ResourceRequest> requests_;
+    std::vector<stats::Histogram> intervalHists_;
+    sim::ServerIntervalStats lastStats_;
+    bool loadSet_ = false;
+};
+
+} // namespace twig::cluster
+
+#endif // TWIG_CLUSTER_NODE_HH

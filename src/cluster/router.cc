@@ -1,0 +1,182 @@
+#include "cluster/router.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace twig::cluster {
+
+namespace {
+
+/** Cap on the per-node QoS-excess cost term of the two-choices
+ * policy, in fair-shares of load (see routeP2c). */
+constexpr double kMaxQosPenalty = 2.0;
+
+} // namespace
+
+RoutingPolicy
+routingPolicyByName(const std::string &name)
+{
+    if (name == "static")
+        return RoutingPolicy::Static;
+    if (name == "wrr")
+        return RoutingPolicy::WeightedRoundRobin;
+    if (name == "p2c-latency")
+        return RoutingPolicy::PowerOfTwoLatency;
+    common::fatal("unknown routing policy: ", name,
+                  " (want static | wrr | p2c-latency)");
+}
+
+const char *
+routingPolicyName(RoutingPolicy policy)
+{
+    switch (policy) {
+    case RoutingPolicy::Static:
+        return "static";
+    case RoutingPolicy::WeightedRoundRobin:
+        return "wrr";
+    case RoutingPolicy::PowerOfTwoLatency:
+        return "p2c-latency";
+    }
+    common::panic("routingPolicyName: bad enum value");
+}
+
+Router::Router(const RouterConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed)
+{
+    common::fatalIf(cfg.quantaPerService == 0,
+                    "Router: need at least one load quantum");
+}
+
+std::vector<std::vector<double>>
+Router::route(const std::vector<double> &fleet_rps,
+              const std::vector<double> &weights,
+              const RouterFeedback &feedback)
+{
+    common::fatalIf(weights.empty(), "Router::route: no nodes");
+    for (double w : weights)
+        common::fatalIf(w <= 0.0, "Router::route: non-positive weight");
+    for (double rps : fleet_rps)
+        common::fatalIf(rps < 0.0, "Router::route: negative fleet RPS");
+
+    switch (cfg_.policy) {
+    case RoutingPolicy::Static:
+        return routeStatic(fleet_rps, weights.size());
+    case RoutingPolicy::WeightedRoundRobin:
+        return routeWrr(fleet_rps, weights);
+    case RoutingPolicy::PowerOfTwoLatency:
+        return routeP2c(fleet_rps, weights, feedback);
+    }
+    common::panic("Router::route: bad policy enum");
+}
+
+std::vector<std::vector<double>>
+Router::routeStatic(const std::vector<double> &fleet_rps,
+                    std::size_t nodes)
+{
+    std::vector<std::vector<double>> out(
+        nodes, std::vector<double>(fleet_rps.size(), 0.0));
+    for (std::size_t s = 0; s < fleet_rps.size(); ++s) {
+        const double share = fleet_rps[s] / static_cast<double>(nodes);
+        for (std::size_t n = 0; n < nodes; ++n)
+            out[n][s] = share;
+    }
+    return out;
+}
+
+std::vector<std::vector<double>>
+Router::routeWrr(const std::vector<double> &fleet_rps,
+                 const std::vector<double> &weights)
+{
+    const std::size_t nodes = weights.size();
+    if (wrrCredit_.size() != nodes)
+        wrrCredit_.assign(nodes, 0.0);
+    double weight_sum = 0.0;
+    for (double w : weights)
+        weight_sum += w;
+
+    std::vector<std::vector<double>> out(
+        nodes, std::vector<double>(fleet_rps.size(), 0.0));
+    for (std::size_t s = 0; s < fleet_rps.size(); ++s) {
+        const double quantum =
+            fleet_rps[s] / static_cast<double>(cfg_.quantaPerService);
+        // Smooth weighted round-robin (nginx-style): every quantum
+        // each node earns its weight in credit and the richest node
+        // is charged the total weight. Credits persist across
+        // intervals so the interleaving stays smooth at every scale.
+        for (std::size_t q = 0; q < cfg_.quantaPerService; ++q) {
+            std::size_t best = 0;
+            for (std::size_t n = 0; n < nodes; ++n) {
+                wrrCredit_[n] += weights[n];
+                if (wrrCredit_[n] > wrrCredit_[best])
+                    best = n;
+            }
+            wrrCredit_[best] -= weight_sum;
+            out[best][s] += quantum;
+        }
+    }
+    return out;
+}
+
+std::vector<std::vector<double>>
+Router::routeP2c(const std::vector<double> &fleet_rps,
+                 const std::vector<double> &weights,
+                 const RouterFeedback &feedback)
+{
+    const std::size_t nodes = weights.size();
+    std::vector<std::vector<double>> out(
+        nodes, std::vector<double>(fleet_rps.size(), 0.0));
+    if (nodes == 1) {
+        out[0] = fleet_rps;
+        return out;
+    }
+
+    double weight_sum = 0.0;
+    for (double w : weights)
+        weight_sum += w;
+
+    for (std::size_t s = 0; s < fleet_rps.size(); ++s) {
+        const double quantum =
+            fleet_rps[s] / static_cast<double>(cfg_.quantaPerService);
+        // QoS-excess part of the cost: how far above its target a
+        // node's previous-interval p99 sat, in units of the target
+        // (0 for meeting nodes and before any feedback exists),
+        // bounded so one terrible interval cannot starve a node into
+        // a load/idle oscillation.
+        std::vector<double> penalty(nodes, 0.0);
+        for (std::size_t n = 0;
+             n < std::min(nodes, feedback.p99MsByNode.size()); ++n) {
+            const auto &p99s = feedback.p99MsByNode[n];
+            if (s < p99s.size() && s < feedback.qosTargetsMs.size() &&
+                feedback.qosTargetsMs[s] > 0.0) {
+                const double tardiness =
+                    p99s[s] / feedback.qosTargetsMs[s];
+                penalty[n] =
+                    std::clamp(tardiness - 1.0, 0.0, kMaxQosPenalty);
+            }
+        }
+        // Fair share of this service's quanta per node (capacity-
+        // proportional); the dealt/fair ratio makes the load half of
+        // the cost dimensionless and comparable to the QoS half.
+        std::vector<double> fair(nodes, 0.0);
+        for (std::size_t n = 0; n < nodes; ++n)
+            fair[n] = static_cast<double>(cfg_.quantaPerService) *
+                weights[n] / weight_sum;
+        std::vector<double> dealtQuanta(nodes, 0.0);
+        for (std::size_t q = 0; q < cfg_.quantaPerService; ++q) {
+            const std::size_t a = rng_.uniformInt(nodes);
+            std::size_t b = rng_.uniformInt(nodes - 1);
+            if (b >= a)
+                ++b; // second choice distinct from the first
+            auto cost = [&](std::size_t n) {
+                return penalty[n] + dealtQuanta[n] / fair[n];
+            };
+            const std::size_t pick = cost(a) <= cost(b) ? a : b;
+            dealtQuanta[pick] += 1.0;
+            out[pick][s] += quantum;
+        }
+    }
+    return out;
+}
+
+} // namespace twig::cluster

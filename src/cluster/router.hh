@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Replica routing: splits each service's fleet-wide offered RPS across
+ * the nodes that host a replica, once per control interval.
+ *
+ * Three policies, in increasing awareness:
+ *
+ *  * Static — equal split, the naive front-end that knows nothing
+ *    about the fleet. Overloads small nodes in heterogeneous fleets.
+ *  * WeightedRoundRobin — smooth weighted round-robin over discrete
+ *    load quanta, weights proportional to node capacity. Capacity-
+ *    aware but latency-blind: it cannot react to interference or a
+ *    struggling manager.
+ *  * PowerOfTwoLatency — power-of-two-choices with latency feedback:
+ *    each quantum samples two candidate nodes and goes to the one
+ *    with the lower cost (previous-interval QoS tardiness plus the
+ *    capacity-relative load already dealt this interval). The classic
+ *    two-choices result gives near-best balance with O(1) state per
+ *    decision.
+ *
+ * Routing is a pure, serial function of (policy state, fleet load,
+ * feedback): it draws from its own seeded RNG and never depends on
+ * thread scheduling, so cluster runs stay bit-identical at any
+ * --jobs count.
+ */
+
+#ifndef TWIG_CLUSTER_ROUTER_HH
+#define TWIG_CLUSTER_ROUTER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace twig::cluster {
+
+/** Replica-selection policy of the fleet front-end. */
+enum class RoutingPolicy
+{
+    Static,
+    WeightedRoundRobin,
+    PowerOfTwoLatency,
+};
+
+/** Parse "static" | "wrr" | "p2c-latency" (FatalError otherwise). */
+RoutingPolicy routingPolicyByName(const std::string &name);
+
+/** Short name of @p policy (inverse of routingPolicyByName). */
+const char *routingPolicyName(RoutingPolicy policy);
+
+/** Router configuration. */
+struct RouterConfig
+{
+    RoutingPolicy policy = RoutingPolicy::Static;
+    /** Discrete load quanta dealt per service per interval by the
+     * quantum-based policies; more quanta = finer split (one quantum
+     * of per-node noise is 100/quanta percent of the service's load,
+     * so keep this large relative to the node count). */
+    std::size_t quantaPerService = 256;
+};
+
+/** Per-interval feedback the router sees from the fleet. */
+struct RouterFeedback
+{
+    /** p99MsByNode[node][service]: previous-interval tail latency;
+     * empty before the first interval. */
+    std::vector<std::vector<double>> p99MsByNode;
+    /** QoS target per service (tardiness normalisation). */
+    std::vector<double> qosTargetsMs;
+};
+
+/** Splits fleet load across replicas; owns the policy state. */
+class Router
+{
+  public:
+    Router(const RouterConfig &cfg, std::uint64_t seed);
+
+    const RouterConfig &config() const { return cfg_; }
+
+    /**
+     * Split each service's fleet RPS across @p weights.size() nodes.
+     *
+     * @param fleet_rps  offered fleet load per service
+     * @param weights    capacity weight per node (all > 0)
+     * @param feedback   latency feedback (PowerOfTwoLatency only)
+     * @return per-node, per-service RPS ([node][service]); each
+     *         service's column sums to its fleet RPS
+     */
+    std::vector<std::vector<double>>
+    route(const std::vector<double> &fleet_rps,
+          const std::vector<double> &weights,
+          const RouterFeedback &feedback);
+
+  private:
+    std::vector<std::vector<double>>
+    routeStatic(const std::vector<double> &fleet_rps, std::size_t nodes);
+    std::vector<std::vector<double>>
+    routeWrr(const std::vector<double> &fleet_rps,
+             const std::vector<double> &weights);
+    std::vector<std::vector<double>>
+    routeP2c(const std::vector<double> &fleet_rps,
+             const std::vector<double> &weights,
+             const RouterFeedback &feedback);
+
+    RouterConfig cfg_;
+    common::Rng rng_;
+    /** Smooth-WRR credit per node (persists across intervals). */
+    std::vector<double> wrrCredit_;
+};
+
+} // namespace twig::cluster
+
+#endif // TWIG_CLUSTER_ROUTER_HH

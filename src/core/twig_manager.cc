@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hh"
+#include "rl/checkpoint.hh"
 #include "sim/power.hh"
 
 namespace twig::core {
@@ -99,6 +100,18 @@ std::string
 TwigManager::name() const
 {
     return specs_.size() == 1 ? "Twig-S" : "Twig-C";
+}
+
+void
+TwigManager::saveCheckpoint(const std::string &path) const
+{
+    rl::saveCheckpoint(learner_, path);
+}
+
+void
+TwigManager::loadCheckpoint(const std::string &path)
+{
+    rl::loadCheckpoint(learner_, path);
 }
 
 std::vector<ResourceRequest>

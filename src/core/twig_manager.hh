@@ -100,6 +100,13 @@ class TwigManager : public TaskManager
     void saveModel(std::ostream &os) const { learner_.save(os); }
     void loadModel(std::istream &is) { learner_.load(is); }
 
+    /** Framed binary checkpoint file of the trained BDQ (validated
+     * architecture fingerprint, rl/checkpoint.hh). This is the
+     * cluster warm-start path: checkpoint one trained replica, restore
+     * into managers on newly added nodes. */
+    void saveCheckpoint(const std::string &path) const;
+    void loadCheckpoint(const std::string &path);
+
     /** Reward value of service @p idx in the last decide() (tests). */
     double lastReward(std::size_t idx) const;
 

@@ -1,0 +1,119 @@
+#include "nn/checkpoint.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hh"
+
+namespace twig::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'W', 'I', 'G', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is, const std::string &context)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    common::fatalIf(!is, context, ": truncated checkpoint header");
+    return v;
+}
+
+} // namespace
+
+void
+writeCheckpointHeader(std::ostream &os, const CheckpointHeader &hdr)
+{
+    os.write(kMagic, sizeof(kMagic));
+    writePod(os, kVersion);
+    writePod(os, hdr.kind);
+    writePod(os, static_cast<std::uint32_t>(hdr.shape.size()));
+    for (std::uint64_t dim : hdr.shape)
+        writePod(os, dim);
+    writePod(os, hdr.paramFloats);
+}
+
+CheckpointHeader
+readCheckpointHeader(std::istream &is, const std::string &context)
+{
+    char magic[sizeof(kMagic)];
+    is.read(magic, sizeof(magic));
+    common::fatalIf(!is || std::memcmp(magic, kMagic, sizeof(magic)) != 0,
+                    context, ": not a Twig checkpoint file");
+    const auto version = readPod<std::uint32_t>(is, context);
+    common::fatalIf(version != kVersion, context,
+                    ": unsupported checkpoint version ", version);
+    CheckpointHeader hdr;
+    hdr.kind = readPod<std::uint32_t>(is, context);
+    const auto shape_len = readPod<std::uint32_t>(is, context);
+    common::fatalIf(shape_len > 1024, context,
+                    ": implausible checkpoint shape length ", shape_len);
+    hdr.shape.reserve(shape_len);
+    for (std::uint32_t i = 0; i < shape_len; ++i)
+        hdr.shape.push_back(readPod<std::uint64_t>(is, context));
+    hdr.paramFloats = readPod<std::uint64_t>(is, context);
+    return hdr;
+}
+
+std::vector<std::uint64_t>
+mlpShape(const MlpConfig &cfg)
+{
+    std::vector<std::uint64_t> shape;
+    shape.push_back(cfg.inputDim);
+    shape.push_back(cfg.hidden.size());
+    for (std::size_t h : cfg.hidden)
+        shape.push_back(h);
+    shape.push_back(cfg.outputDim);
+    return shape;
+}
+
+void
+saveMlpCheckpoint(const Mlp &mlp, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    common::fatalIf(!os.is_open(),
+                    "cannot open checkpoint for writing: ", path);
+    CheckpointHeader hdr;
+    hdr.kind = kCheckpointKindMlp;
+    hdr.shape = mlpShape(mlp.config());
+    hdr.paramFloats = mlp.paramCount();
+    writeCheckpointHeader(os, hdr);
+    mlp.save(os);
+    common::fatalIf(!os, "write failed for checkpoint: ", path);
+}
+
+void
+loadMlpCheckpoint(Mlp &mlp, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    common::fatalIf(!is.is_open(), "cannot open checkpoint: ", path);
+    const CheckpointHeader hdr = readCheckpointHeader(is, path);
+    common::fatalIf(hdr.kind != kCheckpointKindMlp, path,
+                    ": checkpoint holds kind ", hdr.kind,
+                    ", expected an Mlp");
+    common::fatalIf(hdr.shape != mlpShape(mlp.config()), path,
+                    ": checkpoint architecture does not match this Mlp");
+    common::fatalIf(hdr.paramFloats != mlp.paramCount(), path,
+                    ": checkpoint holds ", hdr.paramFloats,
+                    " parameters, this Mlp has ", mlp.paramCount());
+    mlp.load(is);
+    // Reject trailing garbage: a longer file means it was not written
+    // for this architecture even if the prefix happened to parse.
+    is.peek();
+    common::fatalIf(!is.eof(), path,
+                    ": trailing bytes after checkpoint parameters");
+}
+
+} // namespace twig::nn

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Framed binary checkpoint files for trained networks.
+ *
+ * The in-memory save()/load() methods stream raw little-endian floats
+ * with no framing, which is fine between two identically-constructed
+ * objects in one process but unsafe on disk: loading a file produced
+ * by a different architecture silently scrambles every layer. The
+ * checkpoint format fixes that with a magic + version + architecture
+ * fingerprint header that is validated before any parameter is read:
+ *
+ *   "TWIGCKPT"            8-byte magic
+ *   u32 version           currently 1
+ *   u32 kind              network family (Mlp, BDQ learner, ...)
+ *   u32 shapeLen          architecture fingerprint length
+ *   u64 shape[shapeLen]   family-specific dimensions
+ *   u64 paramFloats       number of float32 parameters that follow
+ *   f32 params[...]       raw parameters (layer save() order)
+ *
+ * Used by the cluster warm-start path (src/cluster): train one Twig
+ * replica, checkpoint its BDQ, restore into every newly added node
+ * with the same machine shape and service count.
+ */
+
+#ifndef TWIG_NN_CHECKPOINT_HH
+#define TWIG_NN_CHECKPOINT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/mlp.hh"
+
+namespace twig::nn {
+
+/** Network families a checkpoint can hold. */
+constexpr std::uint32_t kCheckpointKindMlp = 1;
+constexpr std::uint32_t kCheckpointKindBdq = 2;
+
+/** Parsed checkpoint header (everything before the parameters). */
+struct CheckpointHeader
+{
+    std::uint32_t kind = 0;
+    std::vector<std::uint64_t> shape;
+    std::uint64_t paramFloats = 0;
+};
+
+/** Write the framing header. */
+void writeCheckpointHeader(std::ostream &os, const CheckpointHeader &hdr);
+
+/**
+ * Read and validate magic/version; returns the header. @p context is
+ * prepended to error messages (typically the file path).
+ */
+CheckpointHeader readCheckpointHeader(std::istream &is,
+                                      const std::string &context);
+
+/** Architecture fingerprint of an Mlp. */
+std::vector<std::uint64_t> mlpShape(const MlpConfig &cfg);
+
+/** Snapshot @p mlp's parameters to @p path (overwrites). */
+void saveMlpCheckpoint(const Mlp &mlp, const std::string &path);
+
+/**
+ * Restore parameters from @p path into @p mlp. The file must hold an
+ * Mlp checkpoint whose fingerprint matches @p mlp's architecture;
+ * mismatch, truncation or trailing garbage raise FatalError.
+ */
+void loadMlpCheckpoint(Mlp &mlp, const std::string &path);
+
+} // namespace twig::nn
+
+#endif // TWIG_NN_CHECKPOINT_HH

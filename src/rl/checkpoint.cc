@@ -1,0 +1,78 @@
+#include "rl/checkpoint.hh"
+
+#include <fstream>
+
+#include "common/error.hh"
+#include "nn/checkpoint.hh"
+
+namespace twig::rl {
+
+std::vector<std::uint64_t>
+bdqShape(const nn::BdqConfig &cfg)
+{
+    std::vector<std::uint64_t> shape;
+    shape.push_back(cfg.numAgents);
+    shape.push_back(cfg.stateDimPerAgent);
+    shape.push_back(cfg.trunkHidden.size());
+    for (std::size_t h : cfg.trunkHidden)
+        shape.push_back(h);
+    shape.push_back(cfg.agentHeadHidden);
+    shape.push_back(cfg.branchHidden);
+    shape.push_back(cfg.branchActions.size());
+    for (std::size_t n : cfg.branchActions)
+        shape.push_back(n);
+    return shape;
+}
+
+void
+saveCheckpoint(const BdqLearner &learner, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    common::fatalIf(!os.is_open(),
+                    "cannot open checkpoint for writing: ", path);
+    nn::CheckpointHeader hdr;
+    hdr.kind = nn::kCheckpointKindBdq;
+    hdr.shape = bdqShape(learner.onlineNetwork().config());
+    hdr.paramFloats = learner.onlineNetwork().paramCount();
+    nn::writeCheckpointHeader(os, hdr);
+    learner.save(os);
+    common::fatalIf(!os, "write failed for checkpoint: ", path);
+}
+
+void
+loadCheckpoint(BdqLearner &learner, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    common::fatalIf(!is.is_open(), "cannot open checkpoint: ", path);
+    const nn::CheckpointHeader hdr =
+        nn::readCheckpointHeader(is, path);
+    common::fatalIf(hdr.kind != nn::kCheckpointKindBdq, path,
+                    ": checkpoint holds kind ", hdr.kind,
+                    ", expected a BDQ learner");
+    const auto expected = bdqShape(learner.onlineNetwork().config());
+    common::fatalIf(
+        hdr.shape != expected, path,
+        ": checkpoint architecture does not match this learner "
+        "(machine shape / service count differ)");
+    common::fatalIf(hdr.paramFloats !=
+                        learner.onlineNetwork().paramCount(),
+                    path, ": checkpoint holds ", hdr.paramFloats,
+                    " parameters, this learner has ",
+                    learner.onlineNetwork().paramCount());
+
+    // Validate the payload size up front so a bad file never leaves
+    // the learner half-loaded.
+    const std::streampos params_begin = is.tellg();
+    is.seekg(0, std::ios::end);
+    const std::streampos file_end = is.tellg();
+    const auto payload =
+        static_cast<std::uint64_t>(file_end - params_begin);
+    common::fatalIf(payload != hdr.paramFloats * sizeof(float), path,
+                    ": checkpoint payload is ", payload,
+                    " bytes, expected ",
+                    hdr.paramFloats * sizeof(float));
+    is.seekg(params_begin);
+    learner.load(is);
+}
+
+} // namespace twig::rl

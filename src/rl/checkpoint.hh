@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Binary checkpoint files for the BDQ learner (framed format of
+ * nn/checkpoint.hh, kind = BDQ).
+ *
+ * A checkpoint snapshots the online network's parameters together with
+ * an architecture fingerprint (agents, state width, hidden sizes,
+ * action branches). Loading validates the fingerprint against the
+ * destination learner and then installs the parameters into both the
+ * online and target networks — exactly what the cluster warm-start
+ * path needs to clone a trained replica onto a new node with the same
+ * machine shape and service count.
+ */
+
+#ifndef TWIG_RL_CHECKPOINT_HH
+#define TWIG_RL_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/bdq.hh"
+#include "rl/bdq_learner.hh"
+
+namespace twig::rl {
+
+/** Architecture fingerprint of a BDQ network. */
+std::vector<std::uint64_t> bdqShape(const nn::BdqConfig &cfg);
+
+/** Snapshot @p learner's online-network weights to @p path. */
+void saveCheckpoint(const BdqLearner &learner, const std::string &path);
+
+/**
+ * Restore weights from @p path into @p learner (online and target
+ * networks). The checkpoint's fingerprint must match the learner's
+ * network architecture; mismatch, truncation or trailing garbage raise
+ * FatalError and leave the learner untouched.
+ */
+void loadCheckpoint(BdqLearner &learner, const std::string &path);
+
+} // namespace twig::rl
+
+#endif // TWIG_RL_CHECKPOINT_HH

@@ -1,6 +1,10 @@
 #include "sim/loadgen.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "common/error.hh"
 
@@ -62,6 +66,101 @@ DiurnalLoad::rps(std::size_t step) const
     const double mid = 0.5 * (low_ + high_);
     const double amp = 0.5 * (high_ - low_);
     return maxRps_ * (mid - amp * std::cos(phase));
+}
+
+std::vector<double>
+readCsvColumn(const std::string &path, const std::string &column)
+{
+    std::ifstream in(path);
+    common::fatalIf(!in.is_open(), "readCsvColumn: cannot open ", path);
+
+    auto split = [](const std::string &line) {
+        std::vector<std::string> cells;
+        std::stringstream ss(line);
+        std::string cell;
+        while (std::getline(ss, cell, ','))
+            cells.push_back(cell);
+        return cells;
+    };
+
+    std::string line;
+    common::fatalIf(!std::getline(in, line),
+                    "readCsvColumn: empty file ", path);
+    const auto header = split(line);
+    std::size_t col = header.size();
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == column)
+            col = i;
+    }
+    common::fatalIf(col == header.size(), "readCsvColumn: no column '",
+                    column, "' in ", path);
+
+    std::vector<double> values;
+    std::size_t row = 1;
+    while (std::getline(in, line)) {
+        ++row;
+        if (line.empty())
+            continue;
+        const auto cells = split(line);
+        common::fatalIf(cells.size() <= col, "readCsvColumn: row ", row,
+                        " of ", path, " has no column ", col);
+        char *end = nullptr;
+        const double v = std::strtod(cells[col].c_str(), &end);
+        common::fatalIf(end == cells[col].c_str(),
+                        "readCsvColumn: non-numeric cell '", cells[col],
+                        "' at row ", row, " of ", path);
+        values.push_back(v);
+    }
+    return values;
+}
+
+TraceLoad::TraceLoad(double max_rps, std::vector<double> values,
+                     double low_fraction, double high_fraction,
+                     std::size_t period_steps)
+    : maxRps_(max_rps),
+      period_(period_steps ? period_steps : values.size())
+{
+    common::fatalIf(values.size() < 2,
+                    "TraceLoad: need at least 2 trace points");
+    common::fatalIf(low_fraction < 0.0 || high_fraction > 1.0 ||
+                        low_fraction > high_fraction,
+                    "TraceLoad: fractions must satisfy "
+                    "0 <= low <= high <= 1");
+    const auto [lo_it, hi_it] =
+        std::minmax_element(values.begin(), values.end());
+    const double lo = *lo_it;
+    const double span = *hi_it - lo;
+    fractions_.reserve(values.size());
+    for (double v : values) {
+        const double t = span > 0.0 ? (v - lo) / span : 0.0;
+        fractions_.push_back(low_fraction +
+                             (high_fraction - low_fraction) * t);
+    }
+}
+
+std::unique_ptr<TraceLoad>
+TraceLoad::fromCsv(double max_rps, const std::string &path,
+                   const std::string &column, double low_fraction,
+                   double high_fraction, std::size_t period_steps)
+{
+    return std::make_unique<TraceLoad>(max_rps,
+                                       readCsvColumn(path, column),
+                                       low_fraction, high_fraction,
+                                       period_steps);
+}
+
+double
+TraceLoad::rps(std::size_t step) const
+{
+    // Position within one playback period, in trace-point units.
+    const std::size_t n = fractions_.size();
+    const double pos = static_cast<double>(step % period_) *
+        static_cast<double>(n) / static_cast<double>(period_);
+    const auto idx = static_cast<std::size_t>(pos);
+    const double frac_in = pos - static_cast<double>(idx);
+    const double a = fractions_[idx % n];
+    const double b = fractions_[(idx + 1) % n]; // wraps: cyclic trace
+    return maxRps_ * (a + (b - a) * frac_in);
 }
 
 } // namespace twig::sim

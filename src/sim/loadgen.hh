@@ -13,6 +13,8 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
+#include <vector>
 
 namespace twig::sim {
 
@@ -113,6 +115,60 @@ class DiurnalLoad : public LoadGenerator
     double maxRps_;
     double low_;
     double high_;
+    std::size_t period_;
+};
+
+/**
+ * Read one numeric column of a headered CSV file (e.g. the repo's
+ * fig01_*_pdf.csv shape files). Raises FatalError when the file, the
+ * column, or a numeric cell is missing.
+ */
+std::vector<double> readCsvColumn(const std::string &path,
+                                  const std::string &column);
+
+/**
+ * CSV trace playback: replays a recorded load *shape* as a cyclic RPS
+ * profile.
+ *
+ * The trace values are normalised — min maps to @p low_fraction of max
+ * load, max to @p high_fraction — so any recorded curve (a production
+ * RPS log, or the fig01 probability-density shapes reused as a diurnal
+ * day/night curve) drives the generator without unit bookkeeping. Steps
+ * between trace points are linearly interpolated when the trace is
+ * stretched over more steps than it has points, and the trace loops
+ * when the run is longer than one period. Playback is a pure function
+ * of (trace, step): two generators built from the same file produce
+ * bit-identical RPS sequences.
+ */
+class TraceLoad : public LoadGenerator
+{
+  public:
+    /**
+     * @param max_rps        service maximum load
+     * @param values         trace points (at least 2; any positive range)
+     * @param low_fraction   fraction of max the trace minimum maps to
+     * @param high_fraction  fraction of max the trace maximum maps to
+     * @param period_steps   steps one full playback of the trace spans
+     *                       (0 = one step per trace point)
+     */
+    TraceLoad(double max_rps, std::vector<double> values,
+              double low_fraction, double high_fraction,
+              std::size_t period_steps = 0);
+
+    /** Convenience: load the trace from a CSV column. */
+    static std::unique_ptr<TraceLoad>
+    fromCsv(double max_rps, const std::string &path,
+            const std::string &column, double low_fraction,
+            double high_fraction, std::size_t period_steps = 0);
+
+    double rps(std::size_t step) const override;
+
+    std::size_t periodSteps() const { return period_; }
+
+  private:
+    double maxRps_;
+    /** Trace normalised to fractions of max load. */
+    std::vector<double> fractions_;
     std::size_t period_;
 };
 

@@ -124,6 +124,9 @@ Server::runInterval(const std::vector<CoreAssignment> &assignments)
         const QueueIntervalResult qr = svc.queue->run(
             t0, dt, rps, asg, effects[i].serviceTimeInflation);
 
+        if (latencySink_)
+            latencySink_(i, qr.latenciesMs);
+
         ServiceIntervalStats &s = out.services[i];
         s.name = svc.profile.name;
         s.offeredRps = rps;

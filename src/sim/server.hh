@@ -12,6 +12,7 @@
 #define TWIG_SIM_SERVER_HH
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -96,6 +97,17 @@ class Server
     const Rapl &rapl() const { return rapl_; }
     const PowerModel &powerModel() const { return rapl_.model(); }
 
+    /**
+     * Observer of raw per-request latencies: called once per service
+     * per interval with the latencies (ms) of the requests that
+     * started service in that interval. Costs nothing when unset.
+     * The cluster layer uses this to fill per-node histograms whose
+     * merge yields exact fleet-wide tail latency (src/cluster).
+     */
+    using LatencySink = std::function<void(
+        std::size_t svc_idx, const std::vector<double> &latencies_ms)>;
+    void setLatencySink(LatencySink sink) { latencySink_ = std::move(sink); }
+
   private:
     struct Hosted
     {
@@ -115,6 +127,7 @@ class Server
      * split. */
     std::vector<double> prevBusy_;
     std::size_t step_ = 0;
+    LatencySink latencySink_;
 };
 
 } // namespace twig::sim

@@ -26,6 +26,56 @@ Histogram::add(double x)
     ++total_;
 }
 
+void
+Histogram::clear()
+{
+    std::fill(counts_.begin(), counts_.end(),
+              static_cast<std::size_t>(0));
+    total_ = 0;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    common::fatalIf(other.lo_ != lo_ || other.hi_ != hi_ ||
+                        other.counts_.size() != counts_.size(),
+                    "Histogram::merge: binning mismatch ([", other.lo_,
+                    ", ", other.hi_, ") x ", other.counts_.size(),
+                    " vs [", lo_, ", ", hi_, ") x ", counts_.size(), ")");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    common::fatalIf(q < 0.0 || q > 1.0,
+                    "Histogram::quantile: q out of [0, 1]");
+    if (total_ == 0)
+        return 0.0;
+    // Rank of the requested quantile among the samples (1-based,
+    // nearest-rank), then linear interpolation within the bin that
+    // contains it.
+    const double rank = q * static_cast<double>(total_);
+    std::size_t cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        const std::size_t next = cum + counts_[i];
+        if (static_cast<double>(next) >= rank) {
+            const double within = counts_[i] == 0
+                ? 0.0
+                : (rank - static_cast<double>(cum)) /
+                    static_cast<double>(counts_[i]);
+            return lo_ + (static_cast<double>(i) +
+                          std::clamp(within, 0.0, 1.0)) * binWidth_;
+        }
+        cum = next;
+    }
+    return hi_;
+}
+
 double
 Histogram::binCenter(std::size_t i) const
 {

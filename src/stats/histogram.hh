@@ -30,6 +30,28 @@ class Histogram
     /** Add one sample. */
     void add(double x);
 
+    /** Drop all samples, keeping the binning (per-interval reuse). */
+    void clear();
+
+    /**
+     * Merge another histogram into this one by summing bin counts.
+     * Both histograms must have identical binning (lo, hi, bins) —
+     * anything else would silently re-bin — or FatalError is raised.
+     * Merging then querying a quantile gives exactly the same answer
+     * as building one histogram over the concatenated samples, which
+     * is how fleet-wide tail latency is computed from per-node
+     * histograms (src/cluster).
+     */
+    void merge(const Histogram &other);
+
+    /**
+     * Approximate q-quantile (q in [0, 1]) with linear interpolation
+     * inside the containing bin; 0 when empty. Exact up to bin
+     * resolution, and — unlike a sorted-sample quantile — computable
+     * after merge() without keeping raw samples.
+     */
+    double quantile(double q) const;
+
     /** Total number of samples added. */
     std::size_t count() const { return total_; }
 

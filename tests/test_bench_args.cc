@@ -1,0 +1,96 @@
+/** @file Unit tests for the bench argument parser (bench_util.hh). */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+using twig::bench::BenchArgs;
+
+namespace {
+
+BenchArgs::ParseResult
+tryParse(std::vector<std::string> argv,
+         const std::vector<std::string> &extra = {})
+{
+    argv.insert(argv.begin(), "bench");
+    std::vector<char *> raw;
+    for (auto &arg : argv)
+        raw.push_back(arg.data());
+    return BenchArgs::tryParse(static_cast<int>(raw.size()), raw.data(),
+                               extra);
+}
+
+} // namespace
+
+TEST(BenchArgs, Defaults)
+{
+    const auto res = tryParse({});
+    ASSERT_TRUE(res.ok());
+    EXPECT_FALSE(res.args.full);
+    EXPECT_EQ(res.args.seed, 42u);
+    EXPECT_EQ(res.args.jobs, 1u);
+    EXPECT_TRUE(res.args.extra.empty());
+}
+
+TEST(BenchArgs, ParsesKnownFlags)
+{
+    const auto res = tryParse({"--full", "--seed", "7", "--jobs", "3"});
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(res.args.full);
+    EXPECT_EQ(res.args.seed, 7u);
+    EXPECT_EQ(res.args.jobs, 3u);
+}
+
+TEST(BenchArgs, RejectsZeroJobs)
+{
+    const auto res = tryParse({"--jobs", "0"});
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.error.find("--jobs"), std::string::npos);
+}
+
+TEST(BenchArgs, RejectsNegativeAndNonNumericCounts)
+{
+    EXPECT_FALSE(tryParse({"--jobs", "-2"}).ok());
+    EXPECT_FALSE(tryParse({"--seed", "-1"}).ok());
+    EXPECT_FALSE(tryParse({"--seed", "abc"}).ok());
+    EXPECT_FALSE(tryParse({"--jobs", "4x"}).ok());
+    EXPECT_FALSE(tryParse({"--jobs", ""}).ok());
+    // Way beyond 2^64: must fail, not silently wrap.
+    EXPECT_FALSE(tryParse({"--seed", "99999999999999999999999"}).ok());
+}
+
+TEST(BenchArgs, RejectsUnknownFlagsAndMissingValues)
+{
+    const auto unknown = tryParse({"--bogus"});
+    EXPECT_FALSE(unknown.ok());
+    EXPECT_NE(unknown.error.find("--bogus"), std::string::npos);
+
+    EXPECT_FALSE(tryParse({"--seed"}).ok());
+    EXPECT_FALSE(tryParse({"--jobs"}).ok());
+}
+
+TEST(BenchArgs, ExtraValueFlagsAreAllowlisted)
+{
+    // Not allowlisted: rejected like any unknown flag.
+    EXPECT_FALSE(tryParse({"--out", "x.json"}).ok());
+
+    const auto res = tryParse({"--out", "x.json", "--seed", "5"},
+                              {"--out"});
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.args.extra.at("--out"), "x.json");
+    EXPECT_EQ(res.args.seed, 5u);
+
+    EXPECT_FALSE(tryParse({"--out"}, {"--out"}).ok());
+}
+
+TEST(BenchArgs, HelpIsNotAnError)
+{
+    const auto help = tryParse({"--help"});
+    EXPECT_TRUE(help.helpRequested);
+    EXPECT_TRUE(help.error.empty());
+    EXPECT_FALSE(help.ok()); // callers must not run the bench
+    EXPECT_TRUE(tryParse({"-h"}).helpRequested);
+}

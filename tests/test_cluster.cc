@@ -1,0 +1,276 @@
+/** @file Unit tests for the fleet simulator (src/cluster/). */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/static_manager.hh"
+#include "cluster/cluster_manager.hh"
+#include "cluster/router.hh"
+#include "common/error.hh"
+#include "core/twig_manager.hh"
+#include "services/microbench.hh"
+#include "services/tailbench.hh"
+#include "sim/loadgen.hh"
+
+using namespace twig;
+using namespace twig::cluster;
+using twig::common::FatalError;
+
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+ClusterManager::ManagerFactory
+staticNodes()
+{
+    return [](const sim::MachineConfig &machine,
+              const std::vector<sim::ServiceProfile> &,
+              std::uint64_t) -> std::unique_ptr<core::TaskManager> {
+        return std::make_unique<baselines::StaticManager>(machine);
+    };
+}
+
+/** Twig nodes with a fixed (unprofiled) power model: the RL loop and
+ * its RNG run for real, only the Eq. 2 fit is canned for speed. */
+ClusterManager::ManagerFactory
+twigNodes(std::size_t horizon)
+{
+    return [horizon](const sim::MachineConfig &machine,
+                     const std::vector<sim::ServiceProfile> &svcs,
+                     std::uint64_t seed)
+        -> std::unique_ptr<core::TaskManager> {
+        const auto maxima = services::calibrateCounterMaxima(machine);
+        std::vector<core::TwigServiceSpec> specs;
+        for (const auto &p : svcs) {
+            core::TwigServiceSpec spec;
+            spec.name = p.name;
+            spec.qosTargetMs = p.qosTargetMs;
+            spec.maxLoadRps = p.maxLoadRps;
+            spec.powerModel = core::ServicePowerModel(10.0, 1.0, 2.0);
+            specs.push_back(spec);
+        }
+        return std::make_unique<core::TwigManager>(
+            core::TwigConfig::fast(horizon), machine, maxima,
+            std::move(specs), seed);
+    };
+}
+
+/** A small heterogeneous fleet under a diurnal load. */
+ClusterManager
+makeFleet(RoutingPolicy policy, std::size_t jobs, std::size_t nodes,
+          const ClusterManager::ManagerFactory &factory,
+          std::size_t steps)
+{
+    const auto masstree = services::masstree();
+    ClusterConfig cfg;
+    cfg.router.policy = policy;
+    cfg.jobs = jobs;
+    std::vector<std::unique_ptr<sim::LoadGenerator>> loads;
+    loads.push_back(std::make_unique<sim::DiurnalLoad>(
+        masstree.maxLoadRps * static_cast<double>(nodes), 0.15, 0.4,
+        steps / 2));
+    ClusterManager fleet(cfg, {masstree}, std::move(loads), 42);
+    for (std::size_t n = 0; n < nodes; ++n) {
+        sim::MachineConfig machine;
+        if (n % 2 == 1)
+            machine.numCores = 6;
+        fleet.addNode(machine, factory);
+    }
+    return fleet;
+}
+
+void
+expectIdenticalTraces(const FleetRunResult &a, const FleetRunResult &b)
+{
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t t = 0; t < a.trace.size(); ++t) {
+        const auto &fa = a.trace[t];
+        const auto &fb = b.trace[t];
+        // Bit-identical, not approximately equal: the thread count
+        // must not leak into any simulated quantity.
+        EXPECT_EQ(fa.offeredRps, fb.offeredRps) << "step " << t;
+        EXPECT_EQ(fa.fleetP99Ms, fb.fleetP99Ms) << "step " << t;
+        EXPECT_EQ(fa.totalPowerW, fb.totalPowerW) << "step " << t;
+        ASSERT_EQ(fa.nodes.size(), fb.nodes.size());
+        for (std::size_t n = 0; n < fa.nodes.size(); ++n) {
+            EXPECT_EQ(fa.nodes[n].socketPowerW,
+                      fb.nodes[n].socketPowerW)
+                << "step " << t << " node " << n;
+            ASSERT_EQ(fa.nodes[n].services.size(),
+                      fb.nodes[n].services.size());
+            for (std::size_t s = 0; s < fa.nodes[n].services.size();
+                 ++s) {
+                EXPECT_EQ(fa.nodes[n].services[s].p99Ms,
+                          fb.nodes[n].services[s].p99Ms)
+                    << "step " << t << " node " << n;
+            }
+        }
+    }
+    EXPECT_EQ(a.metrics.windowP99Ms, b.metrics.windowP99Ms);
+    EXPECT_EQ(a.metrics.meanPowerW, b.metrics.meanPowerW);
+}
+
+} // namespace
+
+TEST(Router, PolicyNamesRoundTrip)
+{
+    for (const char *name : {"static", "wrr", "p2c-latency"})
+        EXPECT_STREQ(routingPolicyName(routingPolicyByName(name)), name);
+    EXPECT_THROW(routingPolicyByName("round-robin"), FatalError);
+}
+
+TEST(Router, StaticSplitsEqually)
+{
+    Router router({RoutingPolicy::Static, 64}, 1);
+    const auto out =
+        router.route({900.0, 300.0}, {1.0, 2.0, 1.0}, {});
+    ASSERT_EQ(out.size(), 3u);
+    for (const auto &node : out) {
+        EXPECT_DOUBLE_EQ(node[0], 300.0); // weights ignored by design
+        EXPECT_DOUBLE_EQ(node[1], 100.0);
+    }
+}
+
+TEST(Router, WrrIsCapacityProportionalAndConserving)
+{
+    Router router({RoutingPolicy::WeightedRoundRobin, 300}, 1);
+    const auto out = router.route({600.0}, {2.0, 1.0}, {});
+    // 300 quanta at 2:1 weights split exactly 200:100.
+    EXPECT_NEAR(out[0][0], 400.0, 1e-9);
+    EXPECT_NEAR(out[1][0], 200.0, 1e-9);
+    EXPECT_NEAR(out[0][0] + out[1][0], 600.0, 1e-9);
+}
+
+TEST(Router, P2cConservesLoadAndAvoidsTardyNodes)
+{
+    Router router({RoutingPolicy::PowerOfTwoLatency, 256}, 7);
+    RouterFeedback feedback;
+    // Node 2 blew its tail-latency target by 3x last interval.
+    feedback.p99MsByNode = {{10.0}, {10.0}, {90.0}};
+    feedback.qosTargetsMs = {30.0};
+    const auto out =
+        router.route({900.0}, {1.0, 1.0, 1.0}, feedback);
+    EXPECT_NEAR(out[0][0] + out[1][0] + out[2][0], 900.0, 1e-9);
+    EXPECT_LT(out[2][0], out[0][0]);
+    EXPECT_LT(out[2][0], out[1][0]);
+}
+
+TEST(Router, Validation)
+{
+    Router router({RoutingPolicy::Static, 64}, 1);
+    EXPECT_THROW(router.route({100.0}, {}, {}), FatalError);
+    EXPECT_THROW(router.route({100.0}, {1.0, 0.0}, {}), FatalError);
+    EXPECT_THROW(router.route({-1.0}, {1.0}, {}), FatalError);
+    EXPECT_THROW(Router({RoutingPolicy::Static, 0}, 1), FatalError);
+}
+
+TEST(ClusterManager, ParallelSteppingIsBitIdenticalStaticNodes)
+{
+    auto serial = makeFleet(RoutingPolicy::PowerOfTwoLatency, 1, 3,
+                            staticNodes(), 30);
+    auto threaded = makeFleet(RoutingPolicy::PowerOfTwoLatency, 4, 3,
+                              staticNodes(), 30);
+    expectIdenticalTraces(serial.run(30, 10), threaded.run(30, 10));
+}
+
+TEST(ClusterManager, ParallelSteppingIsBitIdenticalTwigNodes)
+{
+    // Twig nodes exercise per-node learner RNG and training inside
+    // the worker threads; results must still match the serial run.
+    auto serial = makeFleet(RoutingPolicy::WeightedRoundRobin, 1, 2,
+                            twigNodes(20), 20);
+    auto threaded = makeFleet(RoutingPolicy::WeightedRoundRobin, 2, 2,
+                              twigNodes(20), 20);
+    expectIdenticalTraces(serial.run(20, 5), threaded.run(20, 5));
+}
+
+TEST(ClusterManager, MetricsCoverEveryService)
+{
+    auto fleet =
+        makeFleet(RoutingPolicy::Static, 1, 2, staticNodes(), 20);
+    const auto result = fleet.run(20, 8);
+    ASSERT_EQ(result.metrics.serviceNames.size(), 1u);
+    EXPECT_EQ(result.metrics.serviceNames[0], "masstree");
+    EXPECT_GT(result.metrics.windowP99Ms[0], 0.0);
+    EXPECT_GE(result.metrics.qosGuaranteePct[0], 0.0);
+    EXPECT_LE(result.metrics.qosGuaranteePct[0], 100.0);
+    EXPECT_GT(result.metrics.meanPowerW, 0.0);
+    EXPECT_EQ(result.metrics.windowSteps, 8u);
+    EXPECT_EQ(result.trace.size(), 20u);
+}
+
+TEST(ClusterManager, WarmStartRestoresDonorPolicy)
+{
+    const std::string path = tmpPath("cluster_donor.ckpt");
+    auto donor_fleet = makeFleet(RoutingPolicy::Static, 1, 1,
+                                 twigNodes(15), 15);
+    donor_fleet.run(15, 5);
+    auto *donor = dynamic_cast<core::TwigManager *>(
+        &donor_fleet.node(0).manager());
+    ASSERT_NE(donor, nullptr);
+    donor->saveCheckpoint(path);
+
+    const auto masstree = services::masstree();
+    ClusterConfig cfg;
+    std::vector<std::unique_ptr<sim::LoadGenerator>> loads;
+    loads.push_back(
+        std::make_unique<sim::FixedLoad>(masstree.maxLoadRps, 0.4));
+    ClusterManager fleet(cfg, {masstree}, std::move(loads), 99);
+    fleet.addNode(sim::MachineConfig{}, twigNodes(15), path);
+
+    auto *warm = dynamic_cast<core::TwigManager *>(
+        &fleet.node(0).manager());
+    ASSERT_NE(warm, nullptr);
+    const std::vector<float> state(
+        warm->learner().config().net.numAgents *
+            warm->learner().config().net.stateDimPerAgent,
+        0.3f);
+    EXPECT_EQ(donor->learner().greedyActions(state),
+              warm->learner().greedyActions(state));
+}
+
+TEST(ClusterManager, WarmStartRejectsNonTwigManagers)
+{
+    const auto masstree = services::masstree();
+    ClusterConfig cfg;
+    std::vector<std::unique_ptr<sim::LoadGenerator>> loads;
+    loads.push_back(
+        std::make_unique<sim::FixedLoad>(masstree.maxLoadRps, 0.4));
+    ClusterManager fleet(cfg, {masstree}, std::move(loads), 1);
+    EXPECT_THROW(fleet.addNode(sim::MachineConfig{}, staticNodes(),
+                               tmpPath("whatever.ckpt")),
+                 FatalError);
+}
+
+TEST(ClusterManager, Validation)
+{
+    const auto masstree = services::masstree();
+    ClusterConfig cfg;
+
+    // One load generator per service, no more, no less.
+    std::vector<std::unique_ptr<sim::LoadGenerator>> none;
+    EXPECT_THROW(ClusterManager(cfg, {masstree}, std::move(none), 1),
+                 FatalError);
+    std::vector<std::unique_ptr<sim::LoadGenerator>> loads;
+    loads.push_back(
+        std::make_unique<sim::FixedLoad>(masstree.maxLoadRps, 0.4));
+    EXPECT_THROW(ClusterManager(cfg, {}, std::move(loads), 1),
+                 FatalError);
+
+    std::vector<std::unique_ptr<sim::LoadGenerator>> one;
+    one.push_back(
+        std::make_unique<sim::FixedLoad>(masstree.maxLoadRps, 0.4));
+    ClusterManager fleet(cfg, {masstree}, std::move(one), 1);
+    EXPECT_THROW(fleet.step(), FatalError); // no nodes yet
+    fleet.addNode(sim::MachineConfig{}, staticNodes());
+    EXPECT_THROW(fleet.run(0, 1), FatalError);
+    EXPECT_THROW(fleet.run(10, 11), FatalError);
+    EXPECT_THROW(fleet.node(5), FatalError);
+}

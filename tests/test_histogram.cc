@@ -92,3 +92,69 @@ TEST(Histogram, InvalidConstruction)
     EXPECT_THROW(Histogram(2.0, 1.0, 4), twig::common::FatalError);
     EXPECT_THROW(Histogram(0.0, 1.0, 0), twig::common::FatalError);
 }
+
+TEST(Histogram, ClearKeepsBinningDropsSamples)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(3.0);
+    h.add(7.0);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.binCount(3), 0u);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+    h.add(5.5); // still usable with the same binning
+    EXPECT_EQ(h.binCount(5), 1u);
+}
+
+TEST(Histogram, MergeSumsBinCounts)
+{
+    Histogram a(0.0, 10.0, 10);
+    Histogram b(0.0, 10.0, 10);
+    a.add(1.5);
+    a.add(4.5);
+    b.add(4.5);
+    b.add(9.5);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.binCount(1), 1u);
+    EXPECT_EQ(a.binCount(4), 2u);
+    EXPECT_EQ(a.binCount(9), 1u);
+    EXPECT_EQ(b.count(), 2u); // the source is untouched
+}
+
+TEST(Histogram, MergeThenQuantileMatchesConcatenatedSamples)
+{
+    // The fleet-wide tail-latency contract: per-node histograms merged
+    // then queried must equal one histogram over all samples.
+    Histogram node_a(0.0, 50.0, 500);
+    Histogram node_b(0.0, 50.0, 500);
+    Histogram fleet(0.0, 50.0, 500);
+    for (int i = 0; i < 400; ++i) {
+        const double x = 0.1 * i; // 0..40, spread over both nodes
+        Histogram &node = (i % 3 == 0) ? node_a : node_b;
+        node.add(x);
+        fleet.add(x);
+    }
+    node_a.merge(node_b);
+    for (double q : {0.0, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(node_a.quantile(q), fleet.quantile(q));
+}
+
+TEST(Histogram, MergeRejectsMismatchedBinning)
+{
+    Histogram h(0.0, 10.0, 10);
+    Histogram other_lo(1.0, 10.0, 10);
+    Histogram other_hi(0.0, 20.0, 10);
+    Histogram other_bins(0.0, 10.0, 20);
+    EXPECT_THROW(h.merge(other_lo), twig::common::FatalError);
+    EXPECT_THROW(h.merge(other_hi), twig::common::FatalError);
+    EXPECT_THROW(h.merge(other_bins), twig::common::FatalError);
+}
+
+TEST(Histogram, QuantileValidatesRange)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.5);
+    EXPECT_THROW(h.quantile(-0.1), twig::common::FatalError);
+    EXPECT_THROW(h.quantile(1.1), twig::common::FatalError);
+}

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <string>
 
 #include "common/error.hh"
 #include "sim/loadgen.hh"
@@ -126,5 +128,90 @@ TEST(DiurnalLoad, Validation)
     EXPECT_THROW(DiurnalLoad(1000, 0.2, 0.8, 0),
                  twig::common::FatalError);
     EXPECT_THROW(DiurnalLoad(1000, 0.9, 0.2, 10),
+                 twig::common::FatalError);
+}
+
+namespace {
+
+std::string
+writeTempCsv(const std::string &name, const std::string &content)
+{
+    const std::string path = ::testing::TempDir() + "/" + name;
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+    return path;
+}
+
+} // namespace
+
+TEST(ReadCsvColumn, ReadsNamedColumn)
+{
+    const auto path = writeTempCsv("trace.csv",
+                                   "step,rps\n0,10\n1,30\n2,20\n");
+    const auto values = readCsvColumn(path, "rps");
+    ASSERT_EQ(values.size(), 3u);
+    EXPECT_DOUBLE_EQ(values[0], 10.0);
+    EXPECT_DOUBLE_EQ(values[1], 30.0);
+    EXPECT_DOUBLE_EQ(values[2], 20.0);
+}
+
+TEST(ReadCsvColumn, Validation)
+{
+    const auto path =
+        writeTempCsv("bad.csv", "step,rps\n0,10\n1,oops\n");
+    EXPECT_THROW(readCsvColumn(path, "rps"), twig::common::FatalError);
+    EXPECT_THROW(readCsvColumn(path, "nope"), twig::common::FatalError);
+    EXPECT_THROW(readCsvColumn("/no/such/file.csv", "rps"),
+                 twig::common::FatalError);
+    const auto empty = writeTempCsv("empty.csv", "");
+    EXPECT_THROW(readCsvColumn(empty, "rps"), twig::common::FatalError);
+}
+
+TEST(TraceLoad, NormalisesMinMaxToFractions)
+{
+    // Trace min maps to the low fraction, max to the high one, other
+    // points linearly in between.
+    TraceLoad load(1000.0, {1.0, 3.0, 2.0}, 0.2, 0.8);
+    EXPECT_NEAR(load.rps(0), 200.0, 1e-9);
+    EXPECT_NEAR(load.rps(1), 800.0, 1e-9);
+    EXPECT_NEAR(load.rps(2), 500.0, 1e-9);
+}
+
+TEST(TraceLoad, LoopsAndInterpolates)
+{
+    TraceLoad cyclic(1000.0, {1.0, 3.0, 2.0}, 0.2, 0.8);
+    for (std::size_t s = 0; s < 9; ++s)
+        EXPECT_DOUBLE_EQ(cyclic.rps(s), cyclic.rps(s + 3));
+
+    // Stretched over twice as many steps as trace points: odd steps
+    // land midway between two points.
+    TraceLoad stretched(1000.0, {1.0, 3.0, 2.0}, 0.2, 0.8, 6);
+    EXPECT_EQ(stretched.periodSteps(), 6u);
+    EXPECT_NEAR(stretched.rps(0), 200.0, 1e-9);
+    EXPECT_NEAR(stretched.rps(1), 500.0, 1e-9); // between 0.2 and 0.8
+    EXPECT_NEAR(stretched.rps(2), 800.0, 1e-9);
+}
+
+TEST(TraceLoad, PlaybackIsDeterministic)
+{
+    const auto path = writeTempCsv(
+        "diurnal.csv", "x,density\n0,0.1\n1,0.9\n2,0.5\n3,0.2\n");
+    const auto a = TraceLoad::fromCsv(500.0, path, "density", 0.1,
+                                      0.7, 40);
+    const auto b = TraceLoad::fromCsv(500.0, path, "density", 0.1,
+                                      0.7, 40);
+    for (std::size_t s = 0; s < 100; ++s)
+        EXPECT_DOUBLE_EQ(a->rps(s), b->rps(s));
+}
+
+TEST(TraceLoad, Validation)
+{
+    EXPECT_THROW(TraceLoad(1000.0, {1.0}, 0.2, 0.8),
+                 twig::common::FatalError);
+    EXPECT_THROW(TraceLoad(1000.0, {1.0, 2.0}, 0.8, 0.2),
+                 twig::common::FatalError);
+    EXPECT_THROW(TraceLoad(1000.0, {1.0, 2.0}, -0.1, 0.8),
+                 twig::common::FatalError);
+    EXPECT_THROW(TraceLoad(1000.0, {1.0, 2.0}, 0.2, 1.1),
                  twig::common::FatalError);
 }
