@@ -82,7 +82,7 @@ collect(const sim::ServiceProfile &profile, std::size_t samples,
     server.addService(profile, std::make_unique<RandomLoad>(
                                    profile.maxLoadRps, seed + 1));
     core::SystemMonitor monitor(1, maxima, 1); // raw normalisation
-    const core::Mapper mapper(machine);
+    core::Mapper mapper(machine);
     const auto assignment = mapper.map({core::ResourceRequest{
         machine.numCores, machine.dvfs.maxIndex()}});
 

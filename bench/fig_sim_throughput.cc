@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Simulation hot-path throughput bench: optimized vs reference
+ * (pre-optimization) per-interval loop.
+ *
+ * Every RequestQueueSim carries the seed algorithm behind
+ * setReferencePath, so the same binary measures both paths under the
+ * same seeds and asserts their telemetry checksums are bit-identical
+ * (ISSUE: the optimization must not change a single reported number).
+ * Three configurations:
+ *
+ *   single_high_rps  one masstree replica near saturation (per-request
+ *                    cost dominates: arrivals + dispatch + quantiles)
+ *   colocated_4svc   four Tailbench services on oversubscribed cores
+ *                    (shared-pool arbitration and interference on)
+ *   fleet_8node      8-node ClusterManager with static routing and
+ *                    static per-node managers (histogram merge path)
+ *
+ * For each path it reports steps/sec, heap allocations per step
+ * (global operator new/delete instrumented, as in tests/test_alloc.cc)
+ * and, for the optimized path, the per-phase cycle breakdown from
+ * harness::SimProfile. Emits a table plus BENCH_sim.json (--out PATH).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "baselines/static_manager.hh"
+#include "bench/bench_util.hh"
+#include "cluster/cluster_manager.hh"
+#include "core/mapper.hh"
+#include "harness/sim_profile.hh"
+#include "services/tailbench.hh"
+#include "sim/loadgen.hh"
+#include "sim/machine.hh"
+#include "sim/server.hh"
+
+namespace {
+
+std::atomic<long long> g_alloc_count{0};
+std::atomic<bool> g_counting{false};
+
+void *
+countedAlloc(std::size_t n)
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::malloc(n == 0 ? 1 : n);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+countedAllocAligned(std::size_t n, std::align_val_t al)
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t a = static_cast<std::size_t>(al);
+    void *p = std::aligned_alloc(a, (n + a - 1) / a * a);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+} // namespace
+
+void *operator new(std::size_t n) { return countedAlloc(n); }
+void *operator new[](std::size_t n) { return countedAlloc(n); }
+void *
+operator new(std::size_t n, std::align_val_t al)
+{
+    return countedAllocAligned(n, al);
+}
+void *
+operator new[](std::size_t n, std::align_val_t al)
+{
+    return countedAllocAligned(n, al);
+}
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::align_val_t) noexcept { std::free(p); }
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+using namespace twig;
+
+namespace {
+
+double
+nowSeconds()
+{
+    using namespace std::chrono;
+    return static_cast<double>(
+               duration_cast<nanoseconds>(
+                   steady_clock::now().time_since_epoch())
+                   .count()) *
+        1e-9;
+}
+
+/** Measured outcome of one (config, path) run. */
+struct PathResult
+{
+    double stepsPerSec = 0.0;
+    double allocsPerStep = 0.0;
+    double wallSeconds = 0.0;
+    /** Telemetry checksum over the timed steps (exact-compare). */
+    double checksum = 0.0;
+};
+
+struct ConfigResult
+{
+    std::string name;
+    std::size_t steps = 0;
+    PathResult optimized;
+    PathResult reference;
+    bool checksumsMatch = false;
+    /** Phase breakdown of the optimized timed region. */
+    harness::SimProfile profile;
+
+    double speedup() const
+    {
+        return reference.stepsPerSec > 0.0
+            ? optimized.stepsPerSec / reference.stepsPerSec
+            : 0.0;
+    }
+};
+
+/** Fold an interval's telemetry into a checksum that any behavioural
+ * divergence between the two paths must perturb. */
+double
+foldStats(const sim::ServerIntervalStats &stats)
+{
+    double sum = stats.socketPowerW + stats.energyJoules;
+    for (const auto &svc : stats.services) {
+        sum += svc.p99Ms + svc.p99InstantMs + svc.meanLatencyMs;
+        sum += static_cast<double>(svc.completed + svc.dropped +
+                                   svc.queuedAtEnd);
+        sum += svc.busyCoreSeconds + svc.attributedPowerW;
+    }
+    return sum;
+}
+
+/** Warm up, then time @p steps invocations of @p body, counting heap
+ * allocations and folding telemetry via @p body's return value. */
+template <typename Body>
+PathResult
+timeSteps(std::size_t warmup, std::size_t steps, Body &&body)
+{
+    PathResult res;
+    for (std::size_t i = 0; i < warmup; ++i)
+        body();
+    g_alloc_count.store(0);
+    g_counting.store(true);
+    const double start = nowSeconds();
+    for (std::size_t i = 0; i < steps; ++i)
+        res.checksum += body();
+    res.wallSeconds = nowSeconds() - start;
+    g_counting.store(false);
+    res.allocsPerStep = static_cast<double>(g_alloc_count.load()) /
+        static_cast<double>(steps);
+    res.stepsPerSec =
+        static_cast<double>(steps) / std::max(res.wallSeconds, 1e-12);
+    return res;
+}
+
+/** Single-server configs: services at a fixed load fraction under a
+ * fixed (possibly oversubscribed) core split. */
+PathResult
+runServerConfig(const std::vector<sim::ServiceProfile> &profiles,
+                double load_fraction,
+                const std::vector<core::ResourceRequest> &requests,
+                bool reference, std::size_t warmup, std::size_t steps,
+                std::uint64_t seed)
+{
+    sim::MachineConfig machine;
+    sim::Server server(machine, seed);
+    server.setReferenceSimPath(reference);
+    for (const auto &profile : profiles)
+        server.addService(profile, std::make_unique<sim::FixedLoad>(
+                                       profile.maxLoadRps,
+                                       load_fraction));
+    core::Mapper mapper(machine);
+    std::vector<sim::CoreAssignment> assignments;
+    mapper.mapInto(requests, assignments);
+
+    return timeSteps(warmup, steps, [&] {
+        return foldStats(server.runInterval(assignments));
+    });
+}
+
+/** 8-node fleet with static routing and static per-node managers. */
+PathResult
+runFleetConfig(bool reference, std::size_t nodes, std::size_t warmup,
+               std::size_t steps, std::uint64_t seed)
+{
+    const auto masstree = services::masstree();
+    const auto xapian = services::xapian();
+    cluster::ClusterConfig cfg;
+    cfg.router.policy = cluster::RoutingPolicy::Static;
+    cfg.jobs = 1; // serial: measure the hot path, not the thread pool
+    std::vector<std::unique_ptr<sim::LoadGenerator>> loads;
+    loads.push_back(std::make_unique<sim::FixedLoad>(
+        masstree.maxLoadRps * static_cast<double>(nodes), 0.5));
+    loads.push_back(std::make_unique<sim::FixedLoad>(
+        xapian.maxLoadRps * static_cast<double>(nodes), 0.5));
+    cluster::ClusterManager fleet(cfg, {masstree, xapian},
+                                  std::move(loads), seed);
+    const auto factory = [](const sim::MachineConfig &machine,
+                            const std::vector<sim::ServiceProfile> &,
+                            std::uint64_t)
+        -> std::unique_ptr<core::TaskManager> {
+        return std::make_unique<baselines::StaticManager>(machine);
+    };
+    for (std::size_t n = 0; n < nodes; ++n)
+        fleet.addNode(sim::MachineConfig{}, factory);
+    fleet.setReferenceSimPath(reference);
+
+    return timeSteps(warmup, steps, [&] {
+        const auto &fs = fleet.step();
+        double sum = fs.totalPowerW;
+        for (double p99 : fs.fleetP99Ms)
+            sum += p99;
+        for (const auto &node : fs.nodes)
+            sum += foldStats(node);
+        return sum;
+    });
+}
+
+template <typename Runner>
+ConfigResult
+benchConfig(const std::string &name, std::size_t steps,
+            const Runner &runner)
+{
+    ConfigResult res;
+    res.name = name;
+    res.steps = steps;
+
+    // Optimized pass under the phase profiler (cycle counters are
+    // negligible next to an interval's work).
+    harness::SimProfile::reset();
+    harness::SimProfile::enable();
+    const auto before = harness::SimProfile::snapshot();
+    res.optimized = runner(false);
+    res.profile = harness::SimProfile::snapshot().since(before);
+    harness::SimProfile::disable();
+
+    res.reference = runner(true);
+    res.checksumsMatch =
+        res.optimized.checksum == res.reference.checksum;
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto args = bench::BenchArgs::parse(argc, argv, {"--out"});
+    std::string out_path = "BENCH_sim.json";
+    if (auto it = args.extra.find("--out"); it != args.extra.end())
+        out_path = it->second;
+
+    bench::banner("Simulation hot-path throughput: optimized vs "
+                  "reference per-interval loop");
+
+    const std::size_t steps = args.full ? 2000 : 300;
+    const std::size_t warmup = 50;
+    const std::uint64_t seed = args.seed;
+
+    std::vector<ConfigResult> results;
+
+    results.push_back(benchConfig(
+        "single_high_rps", steps, [&](bool reference) {
+            const sim::MachineConfig machine;
+            return runServerConfig(
+                {services::masstree()}, 0.9,
+                {{machine.numCores, machine.dvfs.maxIndex()}},
+                reference, warmup, steps, seed);
+        }));
+
+    results.push_back(benchConfig(
+        "colocated_4svc", steps, [&](bool reference) {
+            const sim::MachineConfig machine;
+            const std::size_t top = machine.dvfs.maxIndex();
+            // 4 x 8 cores on an 18-core socket: heavy shared pool.
+            return runServerConfig(
+                {services::masstree(), services::xapian(),
+                 services::moses(), services::silo()},
+                0.6, {{8, top}, {8, top}, {8, top}, {8, top}},
+                reference, warmup, steps, seed);
+        }));
+
+    results.push_back(benchConfig(
+        "fleet_8node", steps / 2, [&](bool reference) {
+            return runFleetConfig(reference, 8, warmup, steps / 2,
+                                  seed);
+        }));
+
+    std::printf("%-16s %7s %14s %14s %9s %12s %12s %6s\n", "config",
+                "steps", "opt steps/s", "ref steps/s", "speedup",
+                "opt alloc/st", "ref alloc/st", "match");
+    for (const auto &r : results) {
+        std::printf("%-16s %7zu %14.1f %14.1f %8.2fx %12.1f %12.1f "
+                    "%6s\n",
+                    r.name.c_str(), r.steps, r.optimized.stepsPerSec,
+                    r.reference.stepsPerSec, r.speedup(),
+                    r.optimized.allocsPerStep,
+                    r.reference.allocsPerStep,
+                    r.checksumsMatch ? "yes" : "NO");
+    }
+
+    bool all_match = true;
+    bool zero_alloc = true;
+    for (const auto &r : results) {
+        all_match = all_match && r.checksumsMatch;
+        zero_alloc = zero_alloc && r.optimized.allocsPerStep == 0.0;
+        std::printf("\nphase breakdown (%s, optimized):\n",
+                    r.name.c_str());
+        r.profile.print(stdout);
+    }
+    if (!all_match) {
+        std::fprintf(stderr, "fig_sim_throughput: optimized and "
+                             "reference checksums diverge\n");
+        return 1;
+    }
+    if (!zero_alloc) {
+        std::fprintf(stderr, "fig_sim_throughput: optimized path "
+                             "allocated in steady state\n");
+        return 1;
+    }
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"configs\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"steps\": %zu,\n"
+            "     \"optimized_steps_per_sec\": %.1f,\n"
+            "     \"reference_steps_per_sec\": %.1f,\n"
+            "     \"speedup\": %.3f,\n"
+            "     \"optimized_allocs_per_step\": %.3f,\n"
+            "     \"reference_allocs_per_step\": %.3f,\n"
+            "     \"checksums_match\": %s,\n"
+            "     \"phases\":\n",
+            r.name.c_str(), r.steps, r.optimized.stepsPerSec,
+            r.reference.stepsPerSec, r.speedup(),
+            r.optimized.allocsPerStep, r.reference.allocsPerStep,
+            r.checksumsMatch ? "true" : "false");
+        r.profile.writeJson(f, "     ");
+        std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -111,7 +111,7 @@ colocationProbePasses(const sim::ServiceProfile &a,
                       std::uint64_t seed)
 {
     const sim::MachineConfig machine;
-    const core::Mapper mapper(machine);
+    core::Mapper mapper(machine);
     const auto full = mapper.map(
         {core::ResourceRequest{machine.numCores,
                                machine.dvfs.maxIndex()},

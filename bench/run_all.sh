@@ -33,6 +33,7 @@ fig13_twigc_fixed_load
 memx_memory_complexity
 abl_design_knobs
 perf_kernels
+fig_sim_throughput
 "
 
 failures=0

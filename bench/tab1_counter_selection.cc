@@ -39,7 +39,7 @@ main(int argc, char **argv)
     // DVFS states at a mid load, collecting all candidate counters.
     std::vector<std::vector<double>> columns(sim::kNumPmcs);
     std::vector<double> latency;
-    const core::Mapper mapper(machine);
+    core::Mapper mapper(machine);
 
     for (const auto &profile : services::tailbenchCatalogue()) {
         for (std::size_t cores = 6; cores <= machine.numCores;

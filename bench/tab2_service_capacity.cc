@@ -41,7 +41,7 @@ measureP99(const sim::ServiceProfile &profile, double rps,
     sim::Server server(machine, seed);
     server.addService(profile,
                       std::make_unique<sim::FixedLoad>(rps, 1.0));
-    const core::Mapper mapper(machine);
+    core::Mapper mapper(machine);
     const auto assignment = mapper.map({core::ResourceRequest{
         machine.numCores, machine.dvfs.maxIndex()}});
 

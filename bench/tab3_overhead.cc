@@ -122,7 +122,7 @@ BENCHMARK(BM_GatherPreprocessPmcs)->Unit(benchmark::kMicrosecond);
 void
 BM_CoreAllocationAndDvfs(benchmark::State &state)
 {
-    const core::Mapper mapper{sim::MachineConfig{}};
+    core::Mapper mapper{sim::MachineConfig{}};
     std::vector<core::ResourceRequest> reqs = {{14, 3}, {12, 7}};
     for (auto _ : state)
         benchmark::DoNotOptimize(mapper.map(reqs));

@@ -65,7 +65,7 @@ main()
     // 1. Derive capacity and QoS target with the paper's methodology:
     //    sweep the load at full allocation until latency blows up; set
     //    the target above the p99 observed near the knee.
-    const core::Mapper mapper(machine);
+    core::Mapper mapper(machine);
     const auto full = mapper.map({core::ResourceRequest{
         machine.numCores, machine.dvfs.maxIndex()}});
     const double capacity = 0.9 * static_cast<double>(machine.numCores) /

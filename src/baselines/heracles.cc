@@ -15,8 +15,9 @@ Heracles::Heracles(const HeraclesConfig &cfg,
 {
 }
 
-std::vector<core::ResourceRequest>
-Heracles::decide(const sim::ServerIntervalStats &stats)
+void
+Heracles::decideInto(const sim::ServerIntervalStats &stats,
+                     std::vector<core::ResourceRequest> &out)
 {
     common::fatalIf(stats.services.size() != 1,
                     "heracles manages exactly one service");
@@ -64,7 +65,7 @@ Heracles::decide(const sim::ServerIntervalStats &stats)
     if (cores_ != prev_cores)
         ++migrations_;
     ++step_;
-    return {core::ResourceRequest{cores_, dvfs_}};
+    out.assign(1, core::ResourceRequest{cores_, dvfs_});
 }
 
 } // namespace twig::baselines

@@ -56,8 +56,8 @@ class Heracles : public core::TaskManager
 
     std::string name() const override { return "heracles"; }
 
-    std::vector<core::ResourceRequest>
-    decide(const sim::ServerIntervalStats &stats) override;
+    void decideInto(const sim::ServerIntervalStats &stats,
+                    std::vector<core::ResourceRequest> &out) override;
 
     std::size_t migrations() const { return migrations_; }
 

@@ -81,8 +81,9 @@ Hipster::rewardFor(const sim::ServiceIntervalStats &svc,
     return 1.0 + (max_proxy - configs_[config_idx].powerProxy) / max_proxy;
 }
 
-std::vector<core::ResourceRequest>
-Hipster::decide(const sim::ServerIntervalStats &stats)
+void
+Hipster::decideInto(const sim::ServerIntervalStats &stats,
+                    std::vector<core::ResourceRequest> &out)
 {
     common::fatalIf(stats.services.size() != 1,
                     "hipster manages exactly one service");
@@ -127,8 +128,8 @@ Hipster::decide(const sim::ServerIntervalStats &stats)
     havePrev_ = true;
     ++step_;
 
-    return {core::ResourceRequest{configs_[chosen].cores,
-                                  configs_[chosen].dvfs}};
+    out.assign(1, core::ResourceRequest{configs_[chosen].cores,
+                                        configs_[chosen].dvfs});
 }
 
 } // namespace twig::baselines

@@ -55,8 +55,8 @@ class Hipster : public core::TaskManager
 
     std::string name() const override { return "hipster"; }
 
-    std::vector<core::ResourceRequest>
-    decide(const sim::ServerIntervalStats &stats) override;
+    void decideInto(const sim::ServerIntervalStats &stats,
+                    std::vector<core::ResourceRequest> &out) override;
 
     /** Number of (cores, DVFS) configurations in the table. */
     std::size_t numConfigs() const { return configs_.size(); }

@@ -52,17 +52,18 @@ Parties::downsize(std::size_t svc, Resource r)
     }
 }
 
-std::vector<core::ResourceRequest>
-Parties::decide(const sim::ServerIntervalStats &stats)
+void
+Parties::decideInto(const sim::ServerIntervalStats &stats,
+                    std::vector<core::ResourceRequest> &out)
 {
     common::fatalIf(stats.services.size() != specs_.size(),
                     "parties: telemetry/spec count mismatch");
 
     if (step_++ % cfg_.periodSteps != 0) {
-        std::vector<core::ResourceRequest> reqs(specs_.size());
+        out.resize(specs_.size());
         for (std::size_t i = 0; i < specs_.size(); ++i)
-            reqs[i] = {cores_[i], dvfs_[i]};
-        return reqs;
+            out[i] = {cores_[i], dvfs_[i]};
+        return;
     }
 
     std::vector<double> tardiness(specs_.size());
@@ -109,10 +110,9 @@ Parties::decide(const sim::ServerIntervalStats &stats)
             pending_.push_back({best, r, true});
     }
 
-    std::vector<core::ResourceRequest> reqs(specs_.size());
+    out.resize(specs_.size());
     for (std::size_t i = 0; i < specs_.size(); ++i)
-        reqs[i] = {cores_[i], dvfs_[i]};
-    return reqs;
+        out[i] = {cores_[i], dvfs_[i]};
 }
 
 } // namespace twig::baselines

@@ -46,8 +46,8 @@ class Parties : public core::TaskManager
 
     std::string name() const override { return "parties"; }
 
-    std::vector<core::ResourceRequest>
-    decide(const sim::ServerIntervalStats &stats) override;
+    void decideInto(const sim::ServerIntervalStats &stats,
+                    std::vector<core::ResourceRequest> &out) override;
 
     std::size_t migrations() const { return migrations_; }
 

@@ -30,13 +30,13 @@ class StaticManager : public core::TaskManager
 
     std::string name() const override { return "static"; }
 
-    std::vector<core::ResourceRequest>
-    decide(const sim::ServerIntervalStats &stats) override
+    void
+    decideInto(const sim::ServerIntervalStats &stats,
+               std::vector<core::ResourceRequest> &out) override
     {
-        return std::vector<core::ResourceRequest>(
-            stats.services.size(),
-            core::ResourceRequest{machine_.numCores,
-                                  machine_.dvfs.maxIndex()});
+        out.assign(stats.services.size(),
+                   core::ResourceRequest{machine_.numCores,
+                                         machine_.dvfs.maxIndex()});
     }
 
   private:

@@ -1,5 +1,6 @@
 #include "cluster/cluster_manager.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.hh"
@@ -98,7 +99,7 @@ ClusterManager::service(std::size_t s) const
     return services_[s];
 }
 
-FleetIntervalStats
+const FleetIntervalStats &
 ClusterManager::step()
 {
     common::fatalIf(nodes_.empty(), "ClusterManager::step: no nodes");
@@ -107,32 +108,34 @@ ClusterManager::step()
 
     // 1. Route: fleet offered load -> per-node shares (serial; the
     //    router's RNG must see the same draw sequence at any --jobs).
-    std::vector<double> fleet_rps(num_services, 0.0);
+    fleetRps_.resize(num_services);
     for (std::size_t s = 0; s < num_services; ++s)
-        fleet_rps[s] = fleetLoads_[s]->rps(step_);
+        fleetRps_[s] = fleetLoads_[s]->rps(step_);
 
-    std::vector<double> weights(num_nodes, 0.0);
+    weights_.resize(num_nodes);
     for (std::size_t n = 0; n < num_nodes; ++n)
-        weights[n] = nodes_[n]->capacityWeight();
+        weights_[n] = nodes_[n]->capacityWeight();
 
-    RouterFeedback feedback;
+    feedback_.qosTargetsMs.clear();
     if (step_ > 0) {
-        feedback.p99MsByNode.resize(num_nodes);
+        feedback_.p99MsByNode.resize(num_nodes);
         for (std::size_t n = 0; n < num_nodes; ++n) {
-            feedback.p99MsByNode[n].resize(num_services);
+            feedback_.p99MsByNode[n].resize(num_services);
             for (std::size_t s = 0; s < num_services; ++s)
-                feedback.p99MsByNode[n][s] = nodes_[n]->lastP99Ms(s);
+                feedback_.p99MsByNode[n][s] = nodes_[n]->lastP99Ms(s);
         }
         for (const auto &svc : services_)
-            feedback.qosTargetsMs.push_back(svc.qosTargetMs);
+            feedback_.qosTargetsMs.push_back(svc.qosTargetMs);
+    } else {
+        feedback_.p99MsByNode.clear();
     }
-    const auto shares = router_.route(fleet_rps, weights, feedback);
+    router_.routeInto(fleetRps_, weights_, feedback_, shares_);
 
     // 2. Step every node. Nodes are sealed seeded worlds, so the pool
     //    schedule cannot change any node's results — only the order
     //    they finish in, which the serial merge below ignores.
     for (std::size_t n = 0; n < num_nodes; ++n)
-        nodes_[n]->setOfferedLoad(shares[n]);
+        nodes_[n]->setOfferedLoad(shares_[n]);
     if (cfg_.jobs > 1 && num_nodes > 1) {
         if (!pool_)
             pool_ = std::make_unique<common::ThreadPool>(cfg_.jobs);
@@ -147,33 +150,44 @@ ClusterManager::step()
     // 3. Merge node telemetry in node order (deterministic).
     if (mergedScratch_.empty()) {
         const auto bins = binnings();
-        for (const auto &b : bins)
+        for (const auto &b : bins) {
             mergedScratch_.emplace_back(b.loMs, b.hiMs, b.bins);
+            trailingScratch_.emplace_back(b.loMs, b.hiMs, b.bins);
+        }
     }
     for (auto &h : mergedScratch_)
         h.clear();
 
-    FleetIntervalStats out;
+    FleetIntervalStats &out = fleetStats_;
     out.step = step_;
-    out.offeredRps = fleet_rps;
-    out.fleetP99Ms.resize(num_services, 0.0);
-    out.nodes.reserve(num_nodes);
+    out.offeredRps = fleetRps_;
+    out.fleetP99Ms.assign(num_services, 0.0);
+    out.totalPowerW = 0.0;
+    out.nodes.resize(num_nodes);
     for (std::size_t n = 0; n < num_nodes; ++n) {
         for (std::size_t s = 0; s < num_services; ++s)
             mergedScratch_[s].merge(nodes_[n]->intervalHistogram(s));
         out.totalPowerW += nodes_[n]->lastStats().socketPowerW;
-        out.nodes.push_back(nodes_[n]->lastStats());
+        out.nodes[n] = nodes_[n]->lastStats();
     }
     // Fleet p99 over a short trailing window of intervals (one
     // interval's p99 is a noisy order statistic at realistic rates).
     if (recent_.empty())
         recent_.resize(num_services);
+    const std::size_t window_len =
+        std::max<std::size_t>(cfg_.qosWindowIntervals, 1);
     for (std::size_t s = 0; s < num_services; ++s) {
         auto &window = recent_[s];
-        window.push_back(mergedScratch_[s]);
-        if (window.size() > std::max<std::size_t>(cfg_.qosWindowIntervals, 1))
-            window.erase(window.begin());
-        stats::Histogram trailing = window.front();
+        if (window.size() < window_len) {
+            window.push_back(mergedScratch_[s]);
+        } else {
+            // Evict the oldest interval without churning allocations:
+            // rotate, then overwrite the (now last) slot in place.
+            std::rotate(window.begin(), window.begin() + 1, window.end());
+            window.back() = mergedScratch_[s];
+        }
+        stats::Histogram &trailing = trailingScratch_[s];
+        trailing = window.front();
         for (std::size_t i = 1; i < window.size(); ++i)
             trailing.merge(window[i]);
         out.fleetP99Ms[s] = trailing.quantile(0.99);
@@ -208,7 +222,7 @@ ClusterManager::run(
     FleetRunResult result;
     result.trace.reserve(steps);
     for (std::size_t t = 0; t < steps; ++t) {
-        FleetIntervalStats fs = step();
+        const FleetIntervalStats &fs = step();
         if (t >= window_start) {
             for (std::size_t s = 0; s < num_services; ++s) {
                 for (std::size_t n = 0; n < nodes_.size(); ++n)
@@ -220,7 +234,7 @@ ClusterManager::run(
         }
         if (on_step)
             on_step(t, fs);
-        result.trace.push_back(std::move(fs));
+        result.trace.push_back(fs);
     }
 
     FleetRunMetrics &m = result.metrics;

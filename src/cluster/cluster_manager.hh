@@ -137,8 +137,20 @@ class ClusterManager
     Node &node(std::size_t i);
     const sim::ServiceProfile &service(std::size_t s) const;
 
-    /** Advance the whole fleet one control interval. */
-    FleetIntervalStats step();
+    /** Toggle the reference (pre-optimization) queue-simulator path on
+     * every current node — bit-identical results either way; used by
+     * the throughput benchmark. */
+    void
+    setReferenceSimPath(bool on)
+    {
+        for (auto &node : nodes_)
+            node->setReferenceSimPath(on);
+    }
+
+    /** Advance the whole fleet one control interval. The returned
+     * reference points at a member scratch that the next step
+     * overwrites; copy it if you need it to persist. */
+    const FleetIntervalStats &step();
 
     /**
      * Run @p steps intervals; metrics summarise the trailing
@@ -166,6 +178,16 @@ class ClusterManager
     /** Last qosWindowIntervals interval histograms per service
      * (recent_[svc] is ordered oldest first). */
     std::vector<std::vector<stats::Histogram>> recent_;
+
+    // Per-step scratch, reused so steady-state fleet stepping does not
+    // allocate (see tests/test_alloc.cc).
+    FleetIntervalStats fleetStats_;
+    std::vector<double> fleetRps_;
+    std::vector<double> weights_;
+    RouterFeedback feedback_;
+    std::vector<std::vector<double>> shares_;
+    /** Trailing-window merge accumulator per service. */
+    std::vector<stats::Histogram> trailingScratch_;
 };
 
 } // namespace twig::cluster

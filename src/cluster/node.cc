@@ -23,9 +23,9 @@ Node::Node(const NodeConfig &cfg,
     }
 
     server_.setLatencySink(
-        [this](std::size_t svc, const std::vector<double> &lat_ms) {
-            for (double l : lat_ms)
-                intervalHists_[svc].add(l);
+        [this](std::size_t svc, const double *lat_ms, std::size_t n) {
+            for (std::size_t j = 0; j < n; ++j)
+                intervalHists_[svc].add(lat_ms[j]);
         });
 
     requests_ = manager_->initialRequests(config_.services.size(),
@@ -68,18 +68,19 @@ Node::stepInterval()
                     "Node::stepInterval: offered load never set");
     for (auto &h : intervalHists_)
         h.clear();
-    const auto assignments = mapper_.map(requests_);
-    lastStats_ = server_.runInterval(assignments);
-    requests_ = manager_->decide(lastStats_);
-    return lastStats_;
+    mapper_.mapInto(requests_, assignments_);
+    const sim::ServerIntervalStats &stats = server_.runInterval(assignments_);
+    manager_->decideInto(stats, requests_);
+    return stats;
 }
 
 double
 Node::lastP99Ms(std::size_t svc) const
 {
-    if (lastStats_.services.size() <= svc)
+    const sim::ServerIntervalStats &stats = server_.lastStats();
+    if (stats.services.size() <= svc)
         return 0.0;
-    return lastStats_.services[svc].p99Ms;
+    return stats.services[svc].p99Ms;
 }
 
 const stats::Histogram &

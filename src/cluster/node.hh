@@ -100,8 +100,12 @@ class Node
      */
     const sim::ServerIntervalStats &stepInterval();
 
-    /** Telemetry of the most recent interval. */
-    const sim::ServerIntervalStats &lastStats() const { return lastStats_; }
+    /** Telemetry of the most recent interval (borrowed from the
+     * server's interval scratch; overwritten by the next step). */
+    const sim::ServerIntervalStats &lastStats() const
+    {
+        return server_.lastStats();
+    }
 
     /** Trailing-window p99 of service @p svc in the last interval
      * (0 before the first step) — the router's latency feedback. */
@@ -110,6 +114,11 @@ class Node
     /** Latency histogram of service @p svc over the *last interval
      * only* (reset at the start of every stepInterval). */
     const stats::Histogram &intervalHistogram(std::size_t svc) const;
+
+    /** Run this node's queue simulators on the original
+     * (pre-optimization) algorithm — bit-identical results; used by
+     * the throughput benchmark (see sim::Server::setReferenceSimPath). */
+    void setReferenceSimPath(bool on) { server_.setReferenceSimPath(on); }
 
     std::size_t step() const { return server_.step(); }
 
@@ -121,8 +130,8 @@ class Node
     /** Owned by server_; set by setOfferedLoad. */
     std::vector<RoutedLoad *> loads_;
     std::vector<core::ResourceRequest> requests_;
+    std::vector<sim::CoreAssignment> assignments_;
     std::vector<stats::Histogram> intervalHists_;
-    sim::ServerIntervalStats lastStats_;
     bool loadSet_ = false;
 };
 

@@ -53,40 +53,57 @@ Router::route(const std::vector<double> &fleet_rps,
               const std::vector<double> &weights,
               const RouterFeedback &feedback)
 {
+    std::vector<std::vector<double>> out;
+    routeInto(fleet_rps, weights, feedback, out);
+    return out;
+}
+
+void
+Router::routeInto(const std::vector<double> &fleet_rps,
+                  const std::vector<double> &weights,
+                  const RouterFeedback &feedback,
+                  std::vector<std::vector<double>> &out)
+{
     common::fatalIf(weights.empty(), "Router::route: no nodes");
     for (double w : weights)
         common::fatalIf(w <= 0.0, "Router::route: non-positive weight");
     for (double rps : fleet_rps)
         common::fatalIf(rps < 0.0, "Router::route: negative fleet RPS");
 
+    out.resize(weights.size());
+    for (auto &row : out)
+        row.assign(fleet_rps.size(), 0.0);
+
     switch (cfg_.policy) {
     case RoutingPolicy::Static:
-        return routeStatic(fleet_rps, weights.size());
+        routeStaticInto(fleet_rps, weights.size(), out);
+        return;
     case RoutingPolicy::WeightedRoundRobin:
-        return routeWrr(fleet_rps, weights);
+        routeWrrInto(fleet_rps, weights, out);
+        return;
     case RoutingPolicy::PowerOfTwoLatency:
-        return routeP2c(fleet_rps, weights, feedback);
+        routeP2cInto(fleet_rps, weights, feedback, out);
+        return;
     }
     common::panic("Router::route: bad policy enum");
 }
 
-std::vector<std::vector<double>>
-Router::routeStatic(const std::vector<double> &fleet_rps,
-                    std::size_t nodes)
+void
+Router::routeStaticInto(const std::vector<double> &fleet_rps,
+                        std::size_t nodes,
+                        std::vector<std::vector<double>> &out)
 {
-    std::vector<std::vector<double>> out(
-        nodes, std::vector<double>(fleet_rps.size(), 0.0));
     for (std::size_t s = 0; s < fleet_rps.size(); ++s) {
         const double share = fleet_rps[s] / static_cast<double>(nodes);
         for (std::size_t n = 0; n < nodes; ++n)
             out[n][s] = share;
     }
-    return out;
 }
 
-std::vector<std::vector<double>>
-Router::routeWrr(const std::vector<double> &fleet_rps,
-                 const std::vector<double> &weights)
+void
+Router::routeWrrInto(const std::vector<double> &fleet_rps,
+                     const std::vector<double> &weights,
+                     std::vector<std::vector<double>> &out)
 {
     const std::size_t nodes = weights.size();
     if (wrrCredit_.size() != nodes)
@@ -95,8 +112,6 @@ Router::routeWrr(const std::vector<double> &fleet_rps,
     for (double w : weights)
         weight_sum += w;
 
-    std::vector<std::vector<double>> out(
-        nodes, std::vector<double>(fleet_rps.size(), 0.0));
     for (std::size_t s = 0; s < fleet_rps.size(); ++s) {
         const double quantum =
             fleet_rps[s] / static_cast<double>(cfg_.quantaPerService);
@@ -115,20 +130,18 @@ Router::routeWrr(const std::vector<double> &fleet_rps,
             out[best][s] += quantum;
         }
     }
-    return out;
 }
 
-std::vector<std::vector<double>>
-Router::routeP2c(const std::vector<double> &fleet_rps,
-                 const std::vector<double> &weights,
-                 const RouterFeedback &feedback)
+void
+Router::routeP2cInto(const std::vector<double> &fleet_rps,
+                     const std::vector<double> &weights,
+                     const RouterFeedback &feedback,
+                     std::vector<std::vector<double>> &out)
 {
     const std::size_t nodes = weights.size();
-    std::vector<std::vector<double>> out(
-        nodes, std::vector<double>(fleet_rps.size(), 0.0));
     if (nodes == 1) {
         out[0] = fleet_rps;
-        return out;
+        return;
     }
 
     double weight_sum = 0.0;
@@ -143,7 +156,7 @@ Router::routeP2c(const std::vector<double> &fleet_rps,
         // (0 for meeting nodes and before any feedback exists),
         // bounded so one terrible interval cannot starve a node into
         // a load/idle oscillation.
-        std::vector<double> penalty(nodes, 0.0);
+        penalty_.assign(nodes, 0.0);
         for (std::size_t n = 0;
              n < std::min(nodes, feedback.p99MsByNode.size()); ++n) {
             const auto &p99s = feedback.p99MsByNode[n];
@@ -151,32 +164,31 @@ Router::routeP2c(const std::vector<double> &fleet_rps,
                 feedback.qosTargetsMs[s] > 0.0) {
                 const double tardiness =
                     p99s[s] / feedback.qosTargetsMs[s];
-                penalty[n] =
+                penalty_[n] =
                     std::clamp(tardiness - 1.0, 0.0, kMaxQosPenalty);
             }
         }
         // Fair share of this service's quanta per node (capacity-
         // proportional); the dealt/fair ratio makes the load half of
         // the cost dimensionless and comparable to the QoS half.
-        std::vector<double> fair(nodes, 0.0);
+        fair_.assign(nodes, 0.0);
         for (std::size_t n = 0; n < nodes; ++n)
-            fair[n] = static_cast<double>(cfg_.quantaPerService) *
+            fair_[n] = static_cast<double>(cfg_.quantaPerService) *
                 weights[n] / weight_sum;
-        std::vector<double> dealtQuanta(nodes, 0.0);
+        dealt_.assign(nodes, 0.0);
         for (std::size_t q = 0; q < cfg_.quantaPerService; ++q) {
             const std::size_t a = rng_.uniformInt(nodes);
             std::size_t b = rng_.uniformInt(nodes - 1);
             if (b >= a)
                 ++b; // second choice distinct from the first
             auto cost = [&](std::size_t n) {
-                return penalty[n] + dealtQuanta[n] / fair[n];
+                return penalty_[n] + dealt_[n] / fair_[n];
             };
             const std::size_t pick = cost(a) <= cost(b) ? a : b;
-            dealtQuanta[pick] += 1.0;
+            dealt_[pick] += 1.0;
             out[pick][s] += quantum;
         }
     }
-    return out;
 }
 
 } // namespace twig::cluster

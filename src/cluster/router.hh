@@ -93,21 +93,33 @@ class Router
           const std::vector<double> &weights,
           const RouterFeedback &feedback);
 
+    /** As route(), writing into @p out ([node][service], rewritten in
+     * full; no allocation once capacities are warm). */
+    void routeInto(const std::vector<double> &fleet_rps,
+                   const std::vector<double> &weights,
+                   const RouterFeedback &feedback,
+                   std::vector<std::vector<double>> &out);
+
   private:
-    std::vector<std::vector<double>>
-    routeStatic(const std::vector<double> &fleet_rps, std::size_t nodes);
-    std::vector<std::vector<double>>
-    routeWrr(const std::vector<double> &fleet_rps,
-             const std::vector<double> &weights);
-    std::vector<std::vector<double>>
-    routeP2c(const std::vector<double> &fleet_rps,
-             const std::vector<double> &weights,
-             const RouterFeedback &feedback);
+    void routeStaticInto(const std::vector<double> &fleet_rps,
+                         std::size_t nodes,
+                         std::vector<std::vector<double>> &out);
+    void routeWrrInto(const std::vector<double> &fleet_rps,
+                      const std::vector<double> &weights,
+                      std::vector<std::vector<double>> &out);
+    void routeP2cInto(const std::vector<double> &fleet_rps,
+                      const std::vector<double> &weights,
+                      const RouterFeedback &feedback,
+                      std::vector<std::vector<double>> &out);
 
     RouterConfig cfg_;
     common::Rng rng_;
     /** Smooth-WRR credit per node (persists across intervals). */
     std::vector<double> wrrCredit_;
+    // Per-interval scratch of the two-choices policy.
+    std::vector<double> penalty_;
+    std::vector<double> fair_;
+    std::vector<double> dealt_;
 };
 
 } // namespace twig::cluster

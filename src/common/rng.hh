@@ -165,6 +165,18 @@ class Rng
         return std::exp(normal(mu, std::sqrt(sigma2)));
     }
 
+    /**
+     * Log-normal from precomputed underlying-normal parameters:
+     * exactly lognormalMean's draw with the mu/sigma derivation
+     * hoisted out, so a caller sampling many values from one fixed
+     * distribution skips the per-call log/sqrt.
+     */
+    double
+    lognormal(double mu, double sigma)
+    {
+        return std::exp(normal(mu, sigma));
+    }
+
     /** Bernoulli trial with probability p of returning true. */
     bool
     bernoulli(double p)

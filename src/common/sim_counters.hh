@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Per-phase cycle counters for the simulation hot path.
+ *
+ * The simulator's per-interval work splits into five phases — arrival
+ * generation, FCFS dispatch, windowed-quantile maintenance,
+ * interference evaluation, and power accounting. Each phase brackets
+ * itself with a ScopedPhaseTimer; the accumulated cycles and call
+ * counts are read out and reported by harness::SimProfile
+ * (src/harness/sim_profile.hh), which is the user-facing facade.
+ *
+ * This low-level half lives in common so src/sim can depend on it
+ * without a sim -> harness dependency cycle.
+ *
+ * Counting is off by default. When disabled, a timer costs one relaxed
+ * atomic load and a branch; when enabled, two timestamp reads and two
+ * relaxed atomic adds. Counters are global and atomic so fleet nodes
+ * stepping on a thread pool aggregate into the same totals.
+ */
+
+#ifndef TWIG_COMMON_SIM_COUNTERS_HH
+#define TWIG_COMMON_SIM_COUNTERS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace twig::common::simprof {
+
+/** The instrumented phases of one simulated control interval. */
+enum class Phase : std::size_t
+{
+    Arrivals = 0,   ///< Poisson draw + arrival times + backlog append
+    Dispatch,       ///< FCFS dispatch onto the logical core set
+    Quantile,       ///< QoS window maintenance + p99 selection
+    Interference,   ///< shared-resource contention evaluation
+    Power,          ///< per-core bookkeeping + attribution + RAPL
+    NumPhases
+};
+
+inline constexpr std::size_t kNumPhases =
+    static_cast<std::size_t>(Phase::NumPhases);
+
+/** Short lowercase name of @p phase (JSON keys, table rows). */
+const char *phaseName(Phase phase);
+
+/** Cycle/call totals of one phase. */
+struct PhaseCounter
+{
+    std::atomic<std::uint64_t> cycles{0};
+    std::atomic<std::uint64_t> calls{0};
+};
+
+/** Global counter of @p phase. */
+PhaseCounter &counter(Phase phase);
+
+/** Whether timers record (off by default). */
+bool enabled();
+void setEnabled(bool on);
+
+/** Zero every phase counter. */
+void resetAll();
+
+/** Timestamp in cycles (TSC on x86-64, steady_clock ticks elsewhere). */
+inline std::uint64_t
+now()
+{
+#if defined(__x86_64__)
+    return __builtin_ia32_rdtsc();
+#else
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/** RAII bracket accumulating into one phase's counter. */
+class ScopedPhaseTimer
+{
+  public:
+    explicit ScopedPhaseTimer(Phase phase)
+        : active_(enabled()), phase_(phase),
+          start_(active_ ? now() : 0)
+    {
+    }
+
+    ~ScopedPhaseTimer()
+    {
+        if (!active_)
+            return;
+        PhaseCounter &c = counter(phase_);
+        c.cycles.fetch_add(now() - start_, std::memory_order_relaxed);
+        c.calls.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    ScopedPhaseTimer(const ScopedPhaseTimer &) = delete;
+    ScopedPhaseTimer &operator=(const ScopedPhaseTimer &) = delete;
+
+  private:
+    bool active_;
+    Phase phase_;
+    std::uint64_t start_;
+};
+
+} // namespace twig::common::simprof
+
+#endif // TWIG_COMMON_SIM_COUNTERS_HH

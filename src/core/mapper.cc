@@ -11,12 +11,12 @@ Mapper::Mapper(const sim::MachineConfig &machine) : machine_(machine)
     common::fatalIf(machine.numCores == 0, "mapper: zero cores");
 }
 
-std::vector<std::size_t>
-Mapper::allocateIds(std::size_t svc_idx, std::size_t num_services,
-                    std::size_t count, std::vector<bool> &used) const
+void
+Mapper::allocateIdsInto(std::size_t svc_idx, std::size_t num_services,
+                        std::size_t count, std::vector<std::size_t> &ids)
 {
     const std::size_t n = machine_.numCores;
-    std::vector<std::size_t> ids;
+    ids.clear();
     ids.reserve(count);
 
     // Start each service in its own region of the socket, then prefer
@@ -28,48 +28,60 @@ Mapper::allocateIds(std::size_t svc_idx, std::size_t num_services,
     for (std::size_t stride : {std::size_t{2}, std::size_t{1}}) {
         for (std::size_t j = 0; j < n && ids.size() < count; ++j) {
             const std::size_t id = (start + j * stride) % n;
-            if (!used[id]) {
-                used[id] = true;
+            if (!used_[id]) {
+                used_[id] = true;
                 ids.push_back(id);
             }
         }
     }
     common::panicIf(ids.size() != count,
                     "mapper: ran out of cores during ID assignment");
-    return ids;
 }
 
 std::vector<sim::CoreAssignment>
-Mapper::map(const std::vector<ResourceRequest> &requests) const
+Mapper::map(const std::vector<ResourceRequest> &requests)
+{
+    std::vector<sim::CoreAssignment> out;
+    mapInto(requests, out);
+    return out;
+}
+
+void
+Mapper::mapInto(const std::vector<ResourceRequest> &requests,
+                std::vector<sim::CoreAssignment> &out)
 {
     const std::size_t n = machine_.numCores;
     const std::size_t k = requests.size();
     common::fatalIf(k == 0, "mapper: no requests");
 
     // Clamp requests into the valid range.
-    std::vector<std::size_t> want(k), dvfs(k);
+    want_.resize(k);
+    dvfs_.resize(k);
     std::size_t total = 0;
     for (std::size_t i = 0; i < k; ++i) {
-        want[i] = std::clamp<std::size_t>(requests[i].numCores, 1, n);
-        dvfs[i] = std::min(requests[i].dvfsIndex,
-                           machine_.dvfs.maxIndex());
-        total += want[i];
+        want_[i] = std::clamp<std::size_t>(requests[i].numCores, 1, n);
+        dvfs_[i] = std::min(requests[i].dvfsIndex,
+                            machine_.dvfs.maxIndex());
+        total += want_[i];
     }
 
-    std::vector<sim::CoreAssignment> out(k);
+    out.resize(k);
     for (std::size_t i = 0; i < k; ++i) {
-        out[i].freqGhz = machine_.dvfs.freq(dvfs[i]);
+        out[i].dedicatedCores.clear();
+        out[i].sharedCores.clear();
+        out[i].freqGhz = machine_.dvfs.freq(dvfs_[i]);
         out[i].sharedFreqGhz = out[i].freqGhz;
         out[i].shareCount = 1;
+        out[i].sharedUsableCores = -1.0;
     }
 
-    std::vector<bool> used(n, false);
+    used_.assign(n, false);
 
     if (total <= n) {
         // No conflict: everyone gets dedicated cores.
         for (std::size_t i = 0; i < k; ++i)
-            out[i].dedicatedCores = allocateIds(i, k, want[i], used);
-        return out;
+            allocateIdsInto(i, k, want_[i], out[i].dedicatedCores);
+        return;
     }
 
     // Arbitration: find the smallest overlap v such that giving every
@@ -80,15 +92,15 @@ Mapper::map(const std::vector<ResourceRequest> &requests) const
     for (;; ++v) {
         dedicated_total = 0;
         for (std::size_t i = 0; i < k; ++i)
-            dedicated_total += want[i] > v ? want[i] - v : 0;
+            dedicated_total += want_[i] > v ? want_[i] - v : 0;
         if (dedicated_total + v <= n)
             break;
         common::panicIf(v > n, "mapper: arbitration failed to converge");
     }
 
-    std::vector<std::size_t> dedicated(k);
+    dedicated_.resize(k);
     for (std::size_t i = 0; i < k; ++i)
-        dedicated[i] = want[i] > v ? want[i] - v : 0;
+        dedicated_[i] = want_[i] > v ? want_[i] - v : 0;
 
     // Hand any leftover cores back, largest cut first.
     std::size_t leftover = n - v - dedicated_total;
@@ -96,7 +108,7 @@ Mapper::map(const std::vector<ResourceRequest> &requests) const
         std::size_t best = k;
         std::size_t best_cut = 0;
         for (std::size_t i = 0; i < k; ++i) {
-            const std::size_t cut = want[i] - dedicated[i];
+            const std::size_t cut = want_[i] - dedicated_[i];
             if (cut > best_cut) {
                 best_cut = cut;
                 best = i;
@@ -104,7 +116,7 @@ Mapper::map(const std::vector<ResourceRequest> &requests) const
         }
         if (best == k)
             break;
-        ++dedicated[best];
+        ++dedicated_[best];
         --leftover;
     }
 
@@ -113,34 +125,33 @@ Mapper::map(const std::vector<ResourceRequest> &requests) const
     std::size_t participants = 0;
     double shared_freq = machine_.dvfs.freq(0);
     for (std::size_t i = 0; i < k; ++i) {
-        if (dedicated[i] < want[i]) {
+        if (dedicated_[i] < want_[i]) {
             ++participants;
             shared_freq = std::max(shared_freq, out[i].freqGhz);
         }
     }
 
     for (std::size_t i = 0; i < k; ++i)
-        out[i].dedicatedCores = allocateIds(i, k, dedicated[i], used);
+        allocateIdsInto(i, k, dedicated_[i], out[i].dedicatedCores);
 
-    std::vector<std::size_t> shared_ids;
-    shared_ids.reserve(v);
-    for (std::size_t id = 0; id < n && shared_ids.size() < v; ++id) {
-        if (!used[id]) {
-            used[id] = true;
-            shared_ids.push_back(id);
+    sharedIds_.clear();
+    sharedIds_.reserve(v);
+    for (std::size_t id = 0; id < n && sharedIds_.size() < v; ++id) {
+        if (!used_[id]) {
+            used_[id] = true;
+            sharedIds_.push_back(id);
         }
     }
-    common::panicIf(shared_ids.size() != v,
+    common::panicIf(sharedIds_.size() != v,
                     "mapper: shared pool allocation failed");
 
     for (std::size_t i = 0; i < k; ++i) {
-        if (dedicated[i] < want[i]) {
-            out[i].sharedCores = shared_ids;
+        if (dedicated_[i] < want_[i]) {
+            out[i].sharedCores = sharedIds_;
             out[i].shareCount = participants;
             out[i].sharedFreqGhz = shared_freq;
         }
     }
-    return out;
 }
 
 } // namespace twig::core

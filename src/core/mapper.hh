@@ -37,16 +37,32 @@ class Mapper
      * indices.
      */
     std::vector<sim::CoreAssignment>
-    map(const std::vector<ResourceRequest> &requests) const;
+    map(const std::vector<ResourceRequest> &requests);
+
+    /**
+     * As map(), writing into @p out. Every field of every assignment
+     * is rewritten; once capacities are warm (stable service count),
+     * the call does not allocate.
+     */
+    void mapInto(const std::vector<ResourceRequest> &requests,
+                 std::vector<sim::CoreAssignment> &out);
 
   private:
     /** Allocate @p count unused core IDs for service @p svc_idx with the
-     * locality heuristic. */
-    std::vector<std::size_t>
-    allocateIds(std::size_t svc_idx, std::size_t num_services,
-                std::size_t count, std::vector<bool> &used) const;
+     * locality heuristic, appending to @p ids (cleared first). */
+    void allocateIdsInto(std::size_t svc_idx, std::size_t num_services,
+                         std::size_t count,
+                         std::vector<std::size_t> &ids);
 
     sim::MachineConfig machine_;
+
+    // Per-call scratch (reused so steady-state mapping is free of
+    // allocation; see tests/test_alloc.cc).
+    std::vector<bool> used_;
+    std::vector<std::size_t> want_;
+    std::vector<std::size_t> dvfs_;
+    std::vector<std::size_t> dedicated_;
+    std::vector<std::size_t> sharedIds_;
 };
 
 } // namespace twig::core

@@ -41,10 +41,21 @@ class TaskManager
      * Decide allocations for the next interval.
      *
      * @param stats  telemetry of the interval that just finished
-     * @return one request per service (same order as server indices)
+     * @param out    one request per service (same order as server
+     *               indices); rewritten in full, no allocation once its
+     *               capacity covers the service count
      */
-    virtual std::vector<ResourceRequest>
-    decide(const sim::ServerIntervalStats &stats) = 0;
+    virtual void decideInto(const sim::ServerIntervalStats &stats,
+                            std::vector<ResourceRequest> &out) = 0;
+
+    /** Convenience wrapper returning a fresh vector. */
+    std::vector<ResourceRequest>
+    decide(const sim::ServerIntervalStats &stats)
+    {
+        std::vector<ResourceRequest> out;
+        decideInto(stats, out);
+        return out;
+    }
 
     /** Initial requests before any telemetry exists (experiments start
      * with all cores at the highest DVFS state, paper §V-A). */

@@ -114,20 +114,20 @@ TwigManager::loadCheckpoint(const std::string &path)
     rl::loadCheckpoint(learner_, path);
 }
 
-std::vector<ResourceRequest>
-TwigManager::actionsToRequests(
-    const std::vector<nn::BranchActions> &actions) const
+void
+TwigManager::actionsToRequests(const std::vector<nn::BranchActions> &actions,
+                               std::vector<ResourceRequest> &out) const
 {
-    std::vector<ResourceRequest> reqs(actions.size());
+    out.resize(actions.size());
     for (std::size_t k = 0; k < actions.size(); ++k) {
-        reqs[k].numCores = actions[k][0] + 1; // branch 0: 0 -> 1 core
-        reqs[k].dvfsIndex = actions[k][1];    // branch 1: DVFS index
+        out[k].numCores = actions[k][0] + 1; // branch 0: 0 -> 1 core
+        out[k].dvfsIndex = actions[k][1];    // branch 1: DVFS index
     }
-    return reqs;
 }
 
-std::vector<ResourceRequest>
-TwigManager::decide(const sim::ServerIntervalStats &stats)
+void
+TwigManager::decideInto(const sim::ServerIntervalStats &stats,
+                        std::vector<ResourceRequest> &out)
 {
     common::fatalIf(stats.services.size() != specs_.size(),
                     "TwigManager: telemetry for ", stats.services.size(),
@@ -174,7 +174,7 @@ TwigManager::decide(const sim::ServerIntervalStats &stats)
         : learner_.selectActions(state);
     prevState_ = state;
     prevActions_ = actions;
-    return actionsToRequests(actions);
+    actionsToRequests(actions, out);
 }
 
 void

@@ -79,8 +79,8 @@ class TwigManager : public TaskManager
 
     std::string name() const override;
 
-    std::vector<ResourceRequest>
-    decide(const sim::ServerIntervalStats &stats) override;
+    void decideInto(const sim::ServerIntervalStats &stats,
+                    std::vector<ResourceRequest> &out) override;
 
     /**
      * Transfer learning (paper §IV): swap the spec of service @p idx
@@ -115,8 +115,8 @@ class TwigManager : public TaskManager
     const SystemMonitor &monitor() const { return monitor_; }
 
   private:
-    std::vector<ResourceRequest>
-    actionsToRequests(const std::vector<nn::BranchActions> &actions) const;
+    void actionsToRequests(const std::vector<nn::BranchActions> &actions,
+                           std::vector<ResourceRequest> &out) const;
 
     sim::MachineConfig machine_;
     std::vector<TwigServiceSpec> specs_;

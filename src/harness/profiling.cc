@@ -15,7 +15,7 @@ profileServicePower(const sim::ServiceProfile &profile,
                     std::uint64_t seed)
 {
     std::vector<core::PowerSample> samples;
-    const core::Mapper mapper(machine);
+    core::Mapper mapper(machine);
 
     for (double load : options.loadLevels) {
         for (std::size_t cores : options.coreCounts) {
@@ -40,7 +40,7 @@ profileServicePower(const sim::ServiceProfile &profile,
                 bool saturated = false;
                 for (std::size_t i = 0; i < options.intervalsPerConfig;
                      ++i) {
-                    const auto stats = server.runInterval(assignment);
+                    const auto &stats = server.runInterval(assignment);
                     const auto &svc = stats.services[0];
                     power += svc.attributedPowerW;
                     // An undersized configuration piles up a backlog;

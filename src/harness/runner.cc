@@ -37,9 +37,11 @@ ExperimentRunner::run(const RunOptions &options)
 
     auto requests =
         manager_.initialRequests(n_svc, server_.machine());
+    std::vector<sim::CoreAssignment> assignments;
+    std::vector<double> p99(n_svc);
     for (std::size_t step = 0; step < options.steps; ++step) {
-        const auto assignments = mapper_.map(requests);
-        const auto stats = server_.runInterval(assignments);
+        mapper_.mapInto(requests, assignments);
+        const auto &stats = server_.runInterval(assignments);
 
         if (options.recordTrace) {
             TraceRecord rec;
@@ -55,7 +57,6 @@ ExperimentRunner::run(const RunOptions &options)
         }
 
         if (step >= window_start) {
-            std::vector<double> p99(n_svc);
             for (std::size_t i = 0; i < n_svc; ++i)
                 p99[i] = stats.services[i].p99Ms;
             acc.add(p99, stats.socketPowerW,
@@ -65,7 +66,7 @@ ExperimentRunner::run(const RunOptions &options)
         if (options.onStep)
             options.onStep(step, stats);
 
-        requests = manager_.decide(stats);
+        manager_.decideInto(stats, requests);
     }
 
     result.metrics = acc.finish();

@@ -1,0 +1,76 @@
+#include "harness/sim_profile.hh"
+
+namespace twig::harness {
+
+namespace simprof = common::simprof;
+
+SimProfile
+SimProfile::snapshot()
+{
+    SimProfile prof;
+    for (std::size_t i = 0; i < simprof::kNumPhases; ++i) {
+        const simprof::PhaseCounter &c =
+            simprof::counter(static_cast<simprof::Phase>(i));
+        prof.totals_[i].cycles = c.cycles.load(std::memory_order_relaxed);
+        prof.totals_[i].calls = c.calls.load(std::memory_order_relaxed);
+    }
+    return prof;
+}
+
+SimProfile
+SimProfile::since(const SimProfile &earlier) const
+{
+    SimProfile delta;
+    for (std::size_t i = 0; i < simprof::kNumPhases; ++i) {
+        delta.totals_[i].cycles =
+            totals_[i].cycles - earlier.totals_[i].cycles;
+        delta.totals_[i].calls = totals_[i].calls - earlier.totals_[i].calls;
+    }
+    return delta;
+}
+
+std::uint64_t
+SimProfile::totalCycles() const
+{
+    std::uint64_t total = 0;
+    for (const PhaseTotals &t : totals_)
+        total += t.cycles;
+    return total;
+}
+
+void
+SimProfile::print(std::FILE *out) const
+{
+    const std::uint64_t total = totalCycles();
+    std::fprintf(out, "  %-14s %14s %10s %7s\n", "phase", "cycles", "calls",
+                 "share");
+    for (std::size_t i = 0; i < simprof::kNumPhases; ++i) {
+        const PhaseTotals &t = totals_[i];
+        const double share =
+            total > 0 ? 100.0 * static_cast<double>(t.cycles) /
+                            static_cast<double>(total)
+                      : 0.0;
+        std::fprintf(out, "  %-14s %14llu %10llu %6.2f%%\n",
+                     simprof::phaseName(static_cast<simprof::Phase>(i)),
+                     static_cast<unsigned long long>(t.cycles),
+                     static_cast<unsigned long long>(t.calls), share);
+    }
+}
+
+void
+SimProfile::writeJson(std::FILE *out, const std::string &indent) const
+{
+    std::fprintf(out, "%s{\n", indent.c_str());
+    for (std::size_t i = 0; i < simprof::kNumPhases; ++i) {
+        const PhaseTotals &t = totals_[i];
+        std::fprintf(out, "%s  \"%s\": {\"cycles\": %llu, \"calls\": %llu}%s\n",
+                     indent.c_str(),
+                     simprof::phaseName(static_cast<simprof::Phase>(i)),
+                     static_cast<unsigned long long>(t.cycles),
+                     static_cast<unsigned long long>(t.calls),
+                     i + 1 < simprof::kNumPhases ? "," : "");
+    }
+    std::fprintf(out, "%s}", indent.c_str());
+}
+
+} // namespace twig::harness

@@ -9,7 +9,17 @@ std::vector<InterferenceEffect>
 InterferenceModel::evaluate(
     const std::vector<InterferenceDemand> &demands) const
 {
-    std::vector<InterferenceEffect> effects(demands.size());
+    std::vector<InterferenceEffect> effects;
+    evaluateInto(demands, effects);
+    return effects;
+}
+
+void
+InterferenceModel::evaluateInto(
+    const std::vector<InterferenceDemand> &demands,
+    std::vector<InterferenceEffect> &effects) const
+{
+    effects.assign(demands.size(), InterferenceEffect{});
 
     // Aggregate demand on the shared resources.
     double total_bw = 0.0;
@@ -52,7 +62,6 @@ InterferenceModel::evaluate(
         e.memStallFraction =
             (e.serviceTimeInflation - 1.0) / e.serviceTimeInflation;
     }
-    return effects;
 }
 
 } // namespace twig::sim

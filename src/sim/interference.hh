@@ -64,6 +64,11 @@ class InterferenceModel
     std::vector<InterferenceEffect>
     evaluate(const std::vector<InterferenceDemand> &demands) const;
 
+    /** As evaluate(), writing into @p effects (no allocation once its
+     * capacity covers the service count). */
+    void evaluateInto(const std::vector<InterferenceDemand> &demands,
+                      std::vector<InterferenceEffect> &effects) const;
+
   private:
     MachineConfig machine_;
 };

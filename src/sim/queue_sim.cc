@@ -2,15 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
+#include "common/error.hh"
+#include "common/sim_counters.hh"
 #include "stats/summary.hh"
 
 namespace twig::sim {
 
 namespace {
 
-/** One logical server: next-free time plus a speed factor (< 1 for
- * time-shared cores). */
+using common::simprof::Phase;
+using common::simprof::ScopedPhaseTimer;
+
+/** One logical server of the reference path: next-free time plus a
+ * speed factor (< 1 for time-shared cores). */
 struct LogicalCore
 {
     double freeAt;
@@ -20,6 +26,81 @@ struct LogicalCore
     double occupancy;
 };
 
+/** Restore the min-heap property after heap[0] was overwritten. */
+void
+siftDownMin(std::vector<double> &heap)
+{
+    const std::size_t n = heap.size();
+    const double v = heap[0];
+    std::size_t i = 0;
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && heap[child + 1] < heap[child])
+            ++child;
+        if (heap[child] >= v)
+            break;
+        heap[i] = heap[child];
+        i = child;
+    }
+    heap[i] = v;
+}
+
+/**
+ * The seed's percentileOf: copy the samples, fully std::sort them,
+ * interpolate between closest ranks. The library percentileOf now
+ * selects instead of sorting, so the reference path keeps a private
+ * copy of the original algorithm — the benchmark baseline must be
+ * what the seed actually did, not a half-optimized hybrid. Sort and
+ * selection return identical values over the same multiset, so both
+ * paths stay bit-identical.
+ */
+double
+percentileSortRef(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    if (p <= 0.0)
+        return *std::min_element(values.begin(), values.end());
+    if (p >= 100.0)
+        return *std::max_element(values.begin(), values.end());
+
+    std::sort(values.begin(), values.end());
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= values.size())
+        return values.back();
+    return values[lo] + frac * (values[lo + 1] - values[lo]);
+}
+
+/** Reserve with headroom: growth doubles the requested capacity so a
+ * creeping high-water mark (Poisson maxima over a long run) settles
+ * after one growth instead of reallocating at every new maximum. */
+void
+reserveSlack(std::vector<double> &v, std::size_t n)
+{
+    if (v.capacity() < n)
+        v.reserve(2 * n);
+}
+
+/** Zero every field of @p res, keeping latenciesMs capacity. */
+void
+resetResult(QueueIntervalResult &res)
+{
+    res.latenciesMs.clear();
+    res.p99Ms = 0.0;
+    res.p99InstantMs = 0.0;
+    res.meanMs = 0.0;
+    res.completed = 0;
+    res.arrivals = 0;
+    res.dropped = 0;
+    res.queuedAtEnd = 0;
+    res.busyCoreSeconds = 0.0;
+    res.meanServiceTimeMs = 0.0;
+}
+
 } // namespace
 
 RequestQueueSim::RequestQueueSim(const ServiceProfile &profile,
@@ -28,7 +109,8 @@ RequestQueueSim::RequestQueueSim(const ServiceProfile &profile,
                                  std::size_t qos_window_intervals)
     : profile_(profile), rng_(rng), refFreqGhz_(ref_freq_ghz),
       maxPending_(max_pending),
-      qosWindow_(qos_window_intervals ? qos_window_intervals : 1)
+      qosWindow_(qos_window_intervals ? qos_window_intervals : 1),
+      window_(qos_window_intervals ? qos_window_intervals : 1)
 {
     common::fatalIf(profile.baseServiceTimeMs <= 0.0,
                     "service ", profile.name,
@@ -56,7 +138,106 @@ RequestQueueSim::poisson(double lambda)
     return k - 1;
 }
 
-QueueIntervalResult
+void
+RequestQueueSim::pendingPopFront()
+{
+    pendingHead_ = (pendingHead_ + 1) & (pendingBuf_.size() - 1);
+    --pendingCount_;
+}
+
+void
+RequestQueueSim::pendingPushBack(double arrival)
+{
+    if (pendingCount_ == pendingBuf_.size())
+        pendingGrow();
+    pendingBuf_[(pendingHead_ + pendingCount_) & (pendingBuf_.size() - 1)] =
+        arrival;
+    ++pendingCount_;
+}
+
+void
+RequestQueueSim::pendingGrow()
+{
+    const std::size_t new_cap =
+        pendingBuf_.empty() ? 1024 : pendingBuf_.size() * 2;
+    std::vector<double> grown(new_cap);
+    for (std::size_t i = 0; i < pendingCount_; ++i)
+        grown[i] = pendingBuf_[(pendingHead_ + i) & (pendingBuf_.size() - 1)];
+    pendingBuf_.swap(grown);
+    pendingHead_ = 0;
+}
+
+void
+RequestQueueSim::sortArrivals(double t0, double dt)
+{
+    const std::size_t n = newArrivals_.size();
+    if (n < 64) {
+        std::sort(newArrivals_.begin(), newArrivals_.end());
+        return;
+    }
+    // The arrival times are uniform over [t0, t0 + dt), so a bucket
+    // scatter leaves ~1 element per bucket and the insertion-sort pass
+    // below moves each element O(1) slots on average: expected O(n)
+    // for exactly the sequence std::sort produces.
+    const std::size_t nb = n;
+    bucketOffsets_.resize(nb + 1); // resize grows geometrically
+    std::fill(bucketOffsets_.begin(), bucketOffsets_.end(), 0u);
+    sortScratch_.resize(n);
+    const double scale = static_cast<double>(nb) / dt;
+    for (double a : newArrivals_) {
+        std::size_t b = static_cast<std::size_t>((a - t0) * scale);
+        if (b >= nb)
+            b = nb - 1;
+        ++bucketOffsets_[b + 1];
+    }
+    for (std::size_t b = 1; b <= nb; ++b)
+        bucketOffsets_[b] += bucketOffsets_[b - 1];
+    for (double a : newArrivals_) {
+        std::size_t b = static_cast<std::size_t>((a - t0) * scale);
+        if (b >= nb)
+            b = nb - 1;
+        sortScratch_[bucketOffsets_[b]++] = a;
+    }
+    for (std::size_t i = 1; i < n; ++i) {
+        const double v = sortScratch_[i];
+        std::size_t j = i;
+        while (j > 0 && sortScratch_[j - 1] > v) {
+            sortScratch_[j] = sortScratch_[j - 1];
+            --j;
+        }
+        sortScratch_[j] = v;
+    }
+    newArrivals_.swap(sortScratch_);
+}
+
+void
+RequestQueueSim::generateArrivals(double t0, double dt, double rps)
+{
+    ScopedPhaseTimer timer(Phase::Arrivals);
+
+    // New Poisson arrivals, uniform within the interval.
+    const std::size_t n_new = poisson(rps * dt);
+    result_.arrivals = n_new;
+    newArrivals_.resize(n_new);
+    for (auto &a : newArrivals_)
+        a = t0 + rng_.uniform() * dt;
+    // Same ascending sequence either way; the reference path keeps the
+    // seed's comparison sort so the measured speedup stays honest.
+    if (referencePath_)
+        std::sort(newArrivals_.begin(), newArrivals_.end());
+    else
+        sortArrivals(t0, dt);
+
+    for (double a : newArrivals_) {
+        if (pendingCount_ >= maxPending_) {
+            ++result_.dropped;
+            continue;
+        }
+        pendingPushBack(a);
+    }
+}
+
+const QueueIntervalResult &
 RequestQueueSim::run(double t0, double dt, double rps,
                      const CoreAssignment &assignment, double inflation)
 {
@@ -64,34 +245,209 @@ RequestQueueSim::run(double t0, double dt, double rps,
     common::fatalIf(inflation < 1.0, "queue sim: inflation must be >= 1");
     common::fatalIf(assignment.freqGhz <= 0.0,
                     "queue sim: frequency must be > 0");
+    return referencePath_ ? runReference(t0, dt, rps, assignment, inflation)
+                          : runOptimized(t0, dt, rps, assignment, inflation);
+}
 
-    QueueIntervalResult res;
+const QueueIntervalResult &
+RequestQueueSim::runOptimized(double t0, double dt, double rps,
+                              const CoreAssignment &assignment,
+                              double inflation)
+{
+    QueueIntervalResult &res = result_;
+    resetResult(res);
     const double t_end = t0 + dt;
 
-    // New Poisson arrivals, uniform within the interval.
-    const std::size_t n_new = poisson(rps * dt);
-    res.arrivals = n_new;
-    std::vector<double> new_arrivals(n_new);
-    for (auto &a : new_arrivals)
-        a = t0 + rng_.uniform() * dt;
-    std::sort(new_arrivals.begin(), new_arrivals.end());
+    generateArrivals(t0, dt, rps);
 
-    for (double a : new_arrivals) {
-        if (pending_.size() >= maxPending_) {
-            ++res.dropped;
-            continue;
-        }
-        pending_.push_back(a);
+    // Group the logical server set into at most three equal-speed
+    // classes. Within a class the cores are interchangeable, so FCFS
+    // dispatch only ever needs each class's earliest-free core — a
+    // min-heap per class replaces the reference path's linear scan.
+    const double shared_freq_gain = std::pow(
+        assignment.sharedFreqGhz / assignment.freqGhz,
+        profile_.freqExponent);
+    // Time-shared pool, work-conserving: the co-runners consume pool
+    // *capacity*, so this service sees `usable` full-speed cores (at
+    // the arbitrated frequency) plus at most one fractional core.
+    std::size_t n_shared_full = 0;
+    double usable = assignment.usableSharedCores();
+    while (usable >= 1.0) {
+        ++n_shared_full;
+        usable -= 1.0;
     }
+    const bool has_fraction = usable > 0.05;
+
+    classes_[0].speed = 1.0;
+    classes_[0].occupancy = 1.0;
+    classes_[0].freeAt.assign(assignment.dedicatedCores.size(), t0);
+    classes_[1].speed = shared_freq_gain;
+    classes_[1].occupancy = 1.0;
+    classes_[1].freeAt.assign(n_shared_full, t0);
+    classes_[2].speed = shared_freq_gain * usable;
+    classes_[2].occupancy = usable;
+    classes_[2].freeAt.assign(has_fraction ? 1 : 0, t0);
+
+    std::size_t n_cores = 0;
+    for (const CoreClass &c : classes_)
+        n_cores += c.freeAt.size();
+    if (n_cores == 0) {
+        // No cores this interval: everything just queues.
+        res.queuedAtEnd = pendingCount_;
+        res.p99Ms = pendingCount_ == 0
+            ? 0.0
+            : (t_end - pendingFront()) * 1000.0;
+        res.meanMs = res.p99Ms;
+        return res;
+    }
+
+    // Mean on-core time at this DVFS state, before interference.
+    const double freq_scale = std::pow(refFreqGhz_ / assignment.freqGhz,
+                                       profile_.freqExponent);
+    const double mean_service_s =
+        profile_.baseServiceTimeMs * 1e-3 * freq_scale * inflation;
+
+    // The on-core time distribution is fixed for the interval: derive
+    // the underlying-normal parameters once (exactly what
+    // Rng::lognormalMean computes per draw) instead of per request.
+    const double cv = profile_.serviceTimeCv;
+    const double lognormal_sigma2 = std::log(1.0 + cv * cv);
+    const double lognormal_mu =
+        std::log(mean_service_s) - 0.5 * lognormal_sigma2;
+    const double lognormal_sigma = std::sqrt(lognormal_sigma2);
+    for (CoreClass &c : classes_) {
+        if (!c.freeAt.empty())
+            c.svcTime = mean_service_s / c.speed;
+    }
+
+    // Welford mean of the drawn service times, without the variance /
+    // min / max bookkeeping RunningStats carries: only count and mean
+    // are reported, and this recurrence is RunningStats::add's mean
+    // update verbatim, so the result is bit-identical.
+    std::size_t n_started = 0;
+    double mean_service_drawn = 0.0;
+    reserveSlack(res.latenciesMs, pendingCount_);
+
+    {
+        ScopedPhaseTimer timer(Phase::Dispatch);
+
+        // FCFS dispatch: keep starting requests while a core frees up
+        // before the interval's end.
+        const double timeout_s = profile_.timeoutMs * 1e-3;
+        while (pendingCount_ > 0) {
+            const double arrival = pendingFront();
+            // Dispatch to the class whose earliest-free core gives the
+            // earliest *expected completion* (not merely earliest-free:
+            // a slow fractional pool core is often idle precisely
+            // because it is slow, and an earliest-free rule would
+            // funnel requests onto it). Strict `<` in class order
+            // dedicated -> shared-full -> fractional matches the
+            // reference path's first-wins linear scan.
+            CoreClass *best = nullptr;
+            double best_completion = 1e300;
+            for (CoreClass &c : classes_) {
+                if (c.freeAt.empty())
+                    continue;
+                const double s = std::max(arrival, c.freeAt.front());
+                const double completion = s + c.svcTime;
+                if (completion < best_completion) {
+                    best_completion = completion;
+                    best = &c;
+                }
+            }
+            const double start = std::max(arrival, best->freeAt.front());
+            if (start >= t_end)
+                break; // next slot is beyond this interval
+            pendingPopFront();
+
+            // Client abandons requests that waited past the timeout;
+            // the measured latency is censored at the timeout value.
+            if (timeout_s > 0.0 && start - arrival > timeout_s) {
+                ++res.dropped;
+                res.latenciesMs.push_back(profile_.timeoutMs);
+                continue;
+            }
+
+            const double raw =
+                rng_.lognormal(lognormal_mu, lognormal_sigma);
+            const double on_core = raw / best->speed;
+            const double completion = start + on_core;
+            // Replace-top: overwrite the earliest-free slot and sift
+            // down once (pop+push would sift twice). Only the heap's
+            // minimum is ever read, so the layout is free to differ
+            // from the reference path's.
+            best->freeAt.front() = completion;
+            siftDownMin(best->freeAt);
+
+            const double latency_ms = (completion - arrival) * 1000.0;
+            res.latenciesMs.push_back(latency_ms);
+            res.busyCoreSeconds += on_core * best->occupancy;
+            ++n_started;
+            mean_service_drawn +=
+                (raw - mean_service_drawn) / static_cast<double>(n_started);
+        }
+    }
+
+    res.completed = n_started;
+    res.queuedAtEnd = pendingCount_;
+    res.meanServiceTimeMs = mean_service_drawn * 1000.0;
+
+    {
+        ScopedPhaseTimer timer(Phase::Quantile);
+
+        // Measured QoS: p99 over the trailing window of intervals, kept
+        // as a flat sample buffer and answered by exact selection.
+        window_.beginInterval();
+        window_.reserve(res.latenciesMs.size());
+        window_.addBatch(res.latenciesMs.data(), res.latenciesMs.size());
+
+        if (!res.latenciesMs.empty())
+            res.p99InstantMs = window_.lastIntervalPercentile(99.0);
+
+        if (!window_.empty()) {
+            res.p99Ms = window_.percentile(99.0);
+            // Welford mean only (see the dispatch-loop note above).
+            std::size_t k = 0;
+            double mean_lat = 0.0;
+            for (double l : res.latenciesMs) {
+                ++k;
+                mean_lat += (l - mean_lat) / static_cast<double>(k);
+            }
+            res.meanMs = res.latenciesMs.empty() ? res.p99Ms : mean_lat;
+        } else if (pendingCount_ > 0) {
+            // Saturated and stalled: report the age of the oldest request
+            // so the tail latency keeps growing across intervals.
+            res.p99Ms = (t_end - pendingFront()) * 1000.0;
+            res.meanMs = res.p99Ms;
+        }
+        if (pendingCount_ > 0) {
+            // Never let a stale window mask a currently-growing backlog.
+            const double oldest_ms = (t_end - pendingFront()) * 1000.0;
+            res.p99Ms = std::max(res.p99Ms, oldest_ms);
+            res.p99InstantMs = std::max(res.p99InstantMs, oldest_ms);
+        }
+        if (res.latenciesMs.empty() && pendingCount_ == 0)
+            res.p99InstantMs = res.p99Ms;
+    }
+    return res;
+}
+
+const QueueIntervalResult &
+RequestQueueSim::runReference(double t0, double dt, double rps,
+                              const CoreAssignment &assignment,
+                              double inflation)
+{
+    QueueIntervalResult &res = result_;
+    resetResult(res);
+    const double t_end = t0 + dt;
+
+    generateArrivals(t0, dt, rps);
 
     // Build the logical server set for this interval.
     std::vector<LogicalCore> cores;
     cores.reserve(assignment.totalCoreIds());
     for (std::size_t i = 0; i < assignment.dedicatedCores.size(); ++i)
         cores.push_back({t0, 1.0, 1.0});
-    // Time-shared pool, work-conserving: the co-runners consume pool
-    // *capacity*, so this service sees `usable` full-speed cores (at
-    // the arbitrated frequency) plus at most one fractional core.
     const double shared_freq_gain = std::pow(
         assignment.sharedFreqGhz / assignment.freqGhz,
         profile_.freqExponent);
@@ -103,32 +459,26 @@ RequestQueueSim::run(double t0, double dt, double rps,
     if (usable > 0.05)
         cores.push_back({t0, shared_freq_gain * usable, usable});
     if (cores.empty()) {
-        // No cores this interval: everything just queues.
-        res.queuedAtEnd = pending_.size();
-        res.p99Ms = pending_.empty()
+        res.queuedAtEnd = pendingCount_;
+        res.p99Ms = pendingCount_ == 0
             ? 0.0
-            : (t_end - pending_.front()) * 1000.0;
+            : (t_end - pendingFront()) * 1000.0;
         res.meanMs = res.p99Ms;
         return res;
     }
 
-    // Mean on-core time at this DVFS state, before interference.
     const double freq_scale = std::pow(refFreqGhz_ / assignment.freqGhz,
                                        profile_.freqExponent);
     const double mean_service_s =
         profile_.baseServiceTimeMs * 1e-3 * freq_scale * inflation;
 
     stats::RunningStats service_times;
+    res.latenciesMs.reserve(pendingCount_);
 
-    // FCFS dispatch: keep starting requests while a core frees up
-    // before the interval's end.
+    // FCFS dispatch: linear scan over every logical core per request.
     const double timeout_s = profile_.timeoutMs * 1e-3;
-    while (!pending_.empty()) {
-        const double arrival = pending_.front();
-        // Dispatch to the core with the earliest *expected completion*
-        // (not merely earliest-free: a slow fractional pool core is
-        // often idle precisely because it is slow, and an
-        // earliest-free rule would funnel requests onto it).
+    while (pendingCount_ > 0) {
+        const double arrival = pendingFront();
         auto it = cores.begin();
         double best_completion = 1e300;
         for (auto c = cores.begin(); c != cores.end(); ++c) {
@@ -141,11 +491,9 @@ RequestQueueSim::run(double t0, double dt, double rps,
         }
         const double start = std::max(arrival, it->freeAt);
         if (start >= t_end)
-            break; // next slot is beyond this interval
-        pending_.pop_front();
+            break;
+        pendingPopFront();
 
-        // Client abandons requests that waited past the timeout; the
-        // measured latency is censored at the timeout value.
         if (timeout_s > 0.0 && start - arrival > timeout_s) {
             ++res.dropped;
             res.latenciesMs.push_back(profile_.timeoutMs);
@@ -165,10 +513,10 @@ RequestQueueSim::run(double t0, double dt, double rps,
     }
 
     res.completed = service_times.count();
-    res.queuedAtEnd = pending_.size();
+    res.queuedAtEnd = pendingCount_;
     res.meanServiceTimeMs = service_times.mean() * 1000.0;
 
-    // Measured QoS: p99 over the trailing window of intervals.
+    // Measured QoS: p99 over the trailing window, concatenate-then-sort.
     recentLatencies_.push_back(res.latenciesMs);
     while (recentLatencies_.size() > qosWindow_)
         recentLatencies_.pop_front();
@@ -177,35 +525,44 @@ RequestQueueSim::run(double t0, double dt, double rps,
         window.insert(window.end(), v.begin(), v.end());
 
     if (!res.latenciesMs.empty())
-        res.p99InstantMs = stats::percentileOf(res.latenciesMs, 99.0);
+        res.p99InstantMs = percentileSortRef(res.latenciesMs, 99.0);
 
     if (!window.empty()) {
-        res.p99Ms = stats::percentileOf(window, 99.0);
+        res.p99Ms = percentileSortRef(std::move(window), 99.0);
         stats::RunningStats lat;
         for (double l : res.latenciesMs)
             lat.add(l);
         res.meanMs = res.latenciesMs.empty() ? res.p99Ms : lat.mean();
-    } else if (!pending_.empty()) {
-        // Saturated and stalled: report the age of the oldest request so
-        // the tail latency keeps growing across intervals.
-        res.p99Ms = (t_end - pending_.front()) * 1000.0;
+    } else if (pendingCount_ > 0) {
+        res.p99Ms = (t_end - pendingFront()) * 1000.0;
         res.meanMs = res.p99Ms;
     }
-    if (!pending_.empty()) {
-        // Never let a stale window mask a currently-growing backlog.
-        const double oldest_ms = (t_end - pending_.front()) * 1000.0;
+    if (pendingCount_ > 0) {
+        const double oldest_ms = (t_end - pendingFront()) * 1000.0;
         res.p99Ms = std::max(res.p99Ms, oldest_ms);
         res.p99InstantMs = std::max(res.p99InstantMs, oldest_ms);
     }
-    if (res.latenciesMs.empty() && pending_.empty())
+    if (res.latenciesMs.empty() && pendingCount_ == 0)
         res.p99InstantMs = res.p99Ms;
     return res;
 }
 
 void
+RequestQueueSim::setReferencePath(bool on)
+{
+    if (on == referencePath_)
+        return;
+    referencePath_ = on;
+    window_.clear();
+    recentLatencies_.clear();
+}
+
+void
 RequestQueueSim::reset()
 {
-    pending_.clear();
+    pendingHead_ = 0;
+    pendingCount_ = 0;
+    window_.clear();
     recentLatencies_.clear();
 }
 

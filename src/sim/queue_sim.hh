@@ -13,18 +13,35 @@
  *
  * Time-shared cores (resource arbitration, paper §IV) are modelled as
  * cores running at 1/shareCount speed.
+ *
+ * Two interchangeable hot paths produce bit-identical results:
+ *
+ *  - The *optimized* path (default) is allocation-free in steady state:
+ *    the backlog lives in a flat ring buffer, cores are grouped into at
+ *    most three equal-speed classes each dispatched from an
+ *    earliest-free min-heap, and the QoS window is a flat
+ *    stats::WindowedQuantile answering p99 by exact selection instead
+ *    of a full sort.
+ *
+ *  - The *reference* path (setReferencePath(true)) keeps the original
+ *    concatenate-then-sort window and linear-scan dispatch. It exists
+ *    so tests and benchmarks can prove the equivalence and measure the
+ *    speedup; both paths consume the RNG stream in the same order.
  */
 
 #ifndef TWIG_SIM_QUEUE_SIM_HH
 #define TWIG_SIM_QUEUE_SIM_HH
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
 #include "common/rng.hh"
 #include "sim/machine.hh"
 #include "sim/service_profile.hh"
+#include "stats/windowed_quantile.hh"
 
 namespace twig::sim {
 
@@ -75,30 +92,90 @@ class RequestQueueSim
     /**
      * Simulate the interval [t0, t0+dt).
      *
+     * The returned reference points at a member scratch that the next
+     * run() overwrites; copy it if you need it to outlive the call.
+     *
      * @param rps        offered load
      * @param assignment cores granted this interval
      * @param inflation  interference service-time inflation (>= 1)
      */
-    QueueIntervalResult run(double t0, double dt, double rps,
-                            const CoreAssignment &assignment,
-                            double inflation);
+    const QueueIntervalResult &run(double t0, double dt, double rps,
+                                   const CoreAssignment &assignment,
+                                   double inflation);
 
     /** Clear the backlog (used when a service is swapped out). */
     void reset();
 
-    std::size_t backlog() const { return pending_.size(); }
+    /**
+     * Select the original (pre-optimization) algorithm. Both paths are
+     * bit-identical; switch before the first run() — switching clears
+     * the QoS window but keeps the backlog.
+     */
+    void setReferencePath(bool on);
+    bool referencePath() const { return referencePath_; }
+
+    std::size_t backlog() const { return pendingCount_; }
     const ServiceProfile &profile() const { return profile_; }
 
   private:
+    /** Cores of equal speed dispatched from an earliest-free min-heap. */
+    struct CoreClass
+    {
+        double speed = 1.0;
+        double occupancy = 1.0;
+        /** mean_service_s / speed, hoisted out of the dispatch loop. */
+        double svcTime = 0.0;
+        std::vector<double> freeAt; ///< min-heap on next-free time
+    };
+
     /** Draw a Poisson count (normal approximation above lambda = 64). */
     std::size_t poisson(double lambda);
+
+    const QueueIntervalResult &runOptimized(double t0, double dt, double rps,
+                                            const CoreAssignment &assignment,
+                                            double inflation);
+    const QueueIntervalResult &runReference(double t0, double dt, double rps,
+                                            const CoreAssignment &assignment,
+                                            double inflation);
+
+    /** Generate this interval's arrivals and append them to the backlog
+     * (shared by both paths; one RNG draw order). */
+    void generateArrivals(double t0, double dt, double rps);
+
+    /** Sort newArrivals_ ascending: bucket scatter + one insertion-sort
+     * pass, expected O(n) for uniform arrival times (same sequence
+     * std::sort produces). */
+    void sortArrivals(double t0, double dt);
+
+    // Backlog ring buffer (arrival times of unstarted requests, FIFO).
+    double pendingFront() const { return pendingBuf_[pendingHead_]; }
+    void pendingPopFront();
+    void pendingPushBack(double arrival);
+    void pendingGrow();
 
     ServiceProfile profile_;
     common::Rng rng_;
     double refFreqGhz_;
     std::size_t maxPending_;
     std::size_t qosWindow_;
-    std::deque<double> pending_; // arrival times of unstarted requests
+    bool referencePath_ = false;
+
+    /** Power-of-two ring buffer; head/count indexing, amortized growth. */
+    std::vector<double> pendingBuf_;
+    std::size_t pendingHead_ = 0;
+    std::size_t pendingCount_ = 0;
+
+    // --- optimized-path scratch (warm after the first few intervals) ---
+    QueueIntervalResult result_;
+    std::vector<double> newArrivals_;
+    /** Bucket-sort scratch: per-bucket offsets and scatter target. */
+    std::vector<std::uint32_t> bucketOffsets_;
+    std::vector<double> sortScratch_;
+    /** Dedicated / shared-full / shared-fractional speed classes. */
+    std::array<CoreClass, 3> classes_;
+    stats::WindowedQuantile window_;
+
+    // --- reference-path window (original representation) ---
     /** Latency samples of the most recent intervals (QoS window). */
     std::deque<std::vector<double>> recentLatencies_;
 };

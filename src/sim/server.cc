@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hh"
+#include "common/sim_counters.hh"
 
 namespace twig::sim {
 
@@ -25,6 +26,7 @@ Server::addService(const ServiceProfile &profile,
     h.queue = std::make_unique<RequestQueueSim>(
         profile, rng_.fork(), machine_.dvfs.maxGhz, 200000,
         machine_.qosWindowIntervals);
+    h.queue->setReferencePath(referenceSimPath_);
     services_.push_back(std::move(h));
     prevBusy_.push_back(0.0);
     return services_.size() - 1;
@@ -42,7 +44,16 @@ Server::replaceService(std::size_t idx, const ServiceProfile &profile,
     h.queue = std::make_unique<RequestQueueSim>(
         profile, rng_.fork(), machine_.dvfs.maxGhz, 200000,
         machine_.qosWindowIntervals);
+    h.queue->setReferencePath(referenceSimPath_);
     prevBusy_[idx] = 0.0;
+}
+
+void
+Server::setReferenceSimPath(bool on)
+{
+    referenceSimPath_ = on;
+    for (Hosted &svc : services_)
+        svc.queue->setReferencePath(on);
 }
 
 const ServiceProfile &
@@ -59,7 +70,7 @@ Server::offeredRps(std::size_t idx) const
     return services_[idx].load->rps(step_);
 }
 
-ServerIntervalStats
+const ServerIntervalStats &
 Server::runInterval(const std::vector<CoreAssignment> &assignments)
 {
     common::fatalIf(assignments.size() != services_.size(),
@@ -69,39 +80,43 @@ Server::runInterval(const std::vector<CoreAssignment> &assignments)
     const double dt = machine_.intervalSeconds;
     const double t0 = static_cast<double>(step_) * dt;
 
-    ServerIntervalStats out;
+    ServerIntervalStats &out = stats_;
     out.step = step_;
     out.services.resize(services_.size());
 
-    // Interference from this interval's joint demand.
-    std::vector<InterferenceDemand> demands;
-    demands.reserve(services_.size());
-    for (std::size_t i = 0; i < services_.size(); ++i) {
-        demands.push_back(
-            {&services_[i].profile, services_[i].load->rps(step_)});
+    {
+        common::simprof::ScopedPhaseTimer timer(
+            common::simprof::Phase::Interference);
+
+        // Interference from this interval's joint demand.
+        demands_.clear();
+        demands_.reserve(services_.size());
+        for (std::size_t i = 0; i < services_.size(); ++i) {
+            demands_.push_back(
+                {&services_[i].profile, services_[i].load->rps(step_)});
+        }
+        interference_.evaluateInto(demands_, effects_);
     }
-    const auto effects = interference_.evaluate(demands);
 
     // Per-core bookkeeping for the power model.
-    std::vector<CorePowerState> cores(
-        machine_.numCores,
-        CorePowerState{true, machine_.dvfs.minGhz, 0.0});
+    cores_.assign(machine_.numCores,
+                  CorePowerState{true, machine_.dvfs.minGhz, 0.0});
 
     // Work-conserving shared-pool split: co-runners consume pool
     // capacity (estimated from the previous interval's busy time that
     // did not fit on their dedicated cores); each participant keeps at
     // least its fair share of the pool.
-    std::vector<CoreAssignment> shaped = assignments;
+    shaped_ = assignments;
     std::size_t participants = 0;
-    for (const auto &a : shaped)
+    for (const auto &a : shaped_)
         participants += a.sharedCores.empty() ? 0 : 1;
-    for (std::size_t i = 0; i < shaped.size(); ++i) {
-        if (shaped[i].sharedCores.empty())
+    for (std::size_t i = 0; i < shaped_.size(); ++i) {
+        if (shaped_[i].sharedCores.empty())
             continue;
         const auto pool = static_cast<double>(
-            shaped[i].sharedCores.size());
+            shaped_[i].sharedCores.size());
         double co_demand = 0.0;
-        for (std::size_t j = 0; j < shaped.size(); ++j) {
+        for (std::size_t j = 0; j < shaped_.size(); ++j) {
             if (j == i || assignments[j].sharedCores.empty())
                 continue;
             const double ded_capacity = dt *
@@ -112,20 +127,20 @@ Server::runInterval(const std::vector<CoreAssignment> &assignments)
         }
         const double fair = pool /
             static_cast<double>(std::max<std::size_t>(participants, 1));
-        shaped[i].sharedUsableCores =
+        shaped_[i].sharedUsableCores =
             std::clamp(pool - co_demand, fair, pool);
     }
 
     for (std::size_t i = 0; i < services_.size(); ++i) {
         Hosted &svc = services_[i];
-        const CoreAssignment &asg = shaped[i];
-        const double rps = demands[i].offeredRps;
+        const CoreAssignment &asg = shaped_[i];
+        const double rps = demands_[i].offeredRps;
 
-        const QueueIntervalResult qr = svc.queue->run(
-            t0, dt, rps, asg, effects[i].serviceTimeInflation);
+        const QueueIntervalResult &qr = svc.queue->run(
+            t0, dt, rps, asg, effects_[i].serviceTimeInflation);
 
         if (latencySink_)
-            latencySink_(i, qr.latenciesMs);
+            latencySink_(i, qr.latenciesMs.data(), qr.latenciesMs.size());
 
         ServiceIntervalStats &s = out.services[i];
         s.name = svc.profile.name;
@@ -145,7 +160,7 @@ Server::runInterval(const std::vector<CoreAssignment> &assignments)
         exec.completedRequests = qr.completed;
         exec.busyCoreSeconds = qr.busyCoreSeconds;
         exec.freqGhz = asg.freqGhz;
-        exec.llcMissFactor = effects[i].llcMissFactor;
+        exec.llcMissFactor = effects_[i].llcMissFactor;
         s.pmcs = pmcModel_.synthesize(svc.profile, exec);
 
         // Spread the service's busy time uniformly over its cores and
@@ -157,10 +172,10 @@ Server::runInterval(const std::vector<CoreAssignment> &assignments)
             common::fatalIf(core >= machine_.numCores,
                             "assignment references core ", core,
                             " beyond socket");
-            cores[core].freqGhz = std::max(cores[core].freqGhz,
-                                           asg.freqGhz);
-            cores[core].utilization =
-                std::clamp(cores[core].utilization + util, 0.0, 1.0);
+            cores_[core].freqGhz = std::max(cores_[core].freqGhz,
+                                            asg.freqGhz);
+            cores_[core].utilization =
+                std::clamp(cores_[core].utilization + util, 0.0, 1.0);
         }
         const double share = asg.sharedCores.empty()
             ? 0.0
@@ -170,18 +185,21 @@ Server::runInterval(const std::vector<CoreAssignment> &assignments)
             common::fatalIf(core >= machine_.numCores,
                             "assignment references core ", core,
                             " beyond socket");
-            cores[core].freqGhz = std::max(cores[core].freqGhz,
-                                           asg.sharedFreqGhz);
-            cores[core].utilization = std::clamp(
-                cores[core].utilization + util * share, 0.0, 1.0);
+            cores_[core].freqGhz = std::max(cores_[core].freqGhz,
+                                            asg.sharedFreqGhz);
+            cores_[core].utilization = std::clamp(
+                cores_[core].utilization + util * share, 0.0, 1.0);
         }
         prevBusy_[i] = qr.busyCoreSeconds;
     }
 
+    common::simprof::ScopedPhaseTimer power_timer(
+        common::simprof::Phase::Power);
+
     // Ground-truth attribution of dynamic power (diagnostics only).
     const PowerModel &pm = rapl_.model();
     for (std::size_t i = 0; i < services_.size(); ++i) {
-        const CoreAssignment &asg = shaped[i];
+        const CoreAssignment &asg = shaped_[i];
         const ServiceIntervalStats &s = out.services[i];
         const double eff = std::max(asg.effectiveCores(), 1e-9);
         const double util =
@@ -203,7 +221,7 @@ Server::runInterval(const std::vector<CoreAssignment> &assignments)
         out.services[i].attributedPowerW = p;
     }
 
-    rapl_.integrate(cores, dt);
+    rapl_.integrate(cores_, dt);
     out.socketPowerW = rapl_.lastPowerW();
     out.energyJoules = rapl_.energyJoules();
 

@@ -89,9 +89,22 @@ class Server
     /**
      * Advance one control interval with the given per-service core
      * assignments (same order as service indices).
+     *
+     * The returned reference points at a member scratch that the next
+     * interval overwrites; copy it if you need it to persist.
      */
-    ServerIntervalStats
+    const ServerIntervalStats &
     runInterval(const std::vector<CoreAssignment> &assignments);
+
+    /** Stats of the most recent interval (same object runInterval
+     * returns). */
+    const ServerIntervalStats &lastStats() const { return stats_; }
+
+    /** Run every hosted queue simulator on its original
+     * (pre-optimization) algorithm; applies to services added later
+     * too. Bit-identical results — used by equivalence tests and the
+     * throughput benchmark. */
+    void setReferenceSimPath(bool on);
 
     std::size_t step() const { return step_; }
     const Rapl &rapl() const { return rapl_; }
@@ -100,12 +113,14 @@ class Server
     /**
      * Observer of raw per-request latencies: called once per service
      * per interval with the latencies (ms) of the requests that
-     * started service in that interval. Costs nothing when unset.
-     * The cluster layer uses this to fill per-node histograms whose
-     * merge yields exact fleet-wide tail latency (src/cluster).
+     * started service in that interval, as a borrowed span (valid only
+     * for the duration of the call — no copy is made for the sink).
+     * Costs nothing when unset. The cluster layer uses this to fill
+     * per-node histograms whose merge yields exact fleet-wide tail
+     * latency (src/cluster).
      */
     using LatencySink = std::function<void(
-        std::size_t svc_idx, const std::vector<double> &latencies_ms)>;
+        std::size_t svc_idx, const double *latencies_ms, std::size_t n)>;
     void setLatencySink(LatencySink sink) { latencySink_ = std::move(sink); }
 
   private:
@@ -128,6 +143,15 @@ class Server
     std::vector<double> prevBusy_;
     std::size_t step_ = 0;
     LatencySink latencySink_;
+    bool referenceSimPath_ = false;
+
+    // Interval scratch, reused so steady-state intervals do not
+    // allocate (see tests/test_alloc.cc).
+    ServerIntervalStats stats_;
+    std::vector<InterferenceDemand> demands_;
+    std::vector<InterferenceEffect> effects_;
+    std::vector<CorePowerState> cores_;
+    std::vector<CoreAssignment> shaped_;
 };
 
 } // namespace twig::sim

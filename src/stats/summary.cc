@@ -71,22 +71,43 @@ PercentileEstimator::percentile(double p) const
 }
 
 double
-percentileOf(std::vector<double> values, double p)
+percentileSelect(double *data, std::size_t n, double p)
 {
-    if (values.empty())
+    if (n == 0)
         return 0.0;
-    if (p <= 0.0)
-        return *std::min_element(values.begin(), values.end());
-    if (p >= 100.0)
-        return *std::max_element(values.begin(), values.end());
-
-    std::sort(values.begin(), values.end());
-    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    // Clamping folds the old p <= 0 / p >= 100 min/max scans into the
+    // same selection: rank 0 selects the minimum, rank n-1 the maximum.
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank = p / 100.0 * static_cast<double>(n - 1);
     const auto lo = static_cast<std::size_t>(rank);
     const double frac = rank - static_cast<double>(lo);
-    if (lo + 1 >= values.size())
-        return values.back();
-    return values[lo] + frac * (values[lo + 1] - values[lo]);
+    std::nth_element(data, data + lo, data + n);
+    const double lo_val = data[lo];
+    if (frac == 0.0 || lo + 1 >= n)
+        return lo_val;
+    // After nth_element everything right of lo is >= data[lo], so the
+    // (lo+1)-th order statistic is the minimum of that suffix.
+    const double hi_val = *std::min_element(data + lo + 1, data + n);
+    return lo_val + frac * (hi_val - lo_val);
+}
+
+double
+percentileInPlace(std::vector<double> &values, double p)
+{
+    return percentileSelect(values.data(), values.size(), p);
+}
+
+double
+percentileOf(const std::vector<double> &values, double p)
+{
+    std::vector<double> scratch(values);
+    return percentileSelect(scratch.data(), scratch.size(), p);
+}
+
+double
+percentileOf(std::vector<double> &&values, double p)
+{
+    return percentileSelect(values.data(), values.size(), p);
 }
 
 } // namespace twig::stats

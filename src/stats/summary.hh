@@ -78,8 +78,24 @@ class PercentileEstimator
     std::vector<double> samples_;
 };
 
-/** p-th percentile (linear interpolation) of an unsorted vector. */
-double percentileOf(std::vector<double> values, double p);
+/**
+ * p-th percentile (linear interpolation between closest ranks) of the
+ * unsorted range [data, data + n); 0 when n == 0 and p clamped into
+ * [0, 100] (so p <= 0 is the minimum and p >= 100 the maximum, with no
+ * separate scan). Reorders the range via nth_element — O(n) expected,
+ * zero allocations — and returns exactly what a sort-then-interpolate
+ * percentile over the same values returns.
+ */
+double percentileSelect(double *data, std::size_t n, double p);
+
+/** percentileSelect over a vector (reorders @p values, no copy). */
+double percentileInPlace(std::vector<double> &values, double p);
+
+/** p-th percentile of an unsorted vector; copies once, then selects. */
+double percentileOf(const std::vector<double> &values, double p);
+
+/** Rvalue overload: selects directly in the temporary, no copy. */
+double percentileOf(std::vector<double> &&values, double p);
 
 } // namespace twig::stats
 

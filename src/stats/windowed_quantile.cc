@@ -1,0 +1,136 @@
+#include "stats/windowed_quantile.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "stats/summary.hh"
+
+namespace twig::stats {
+
+namespace {
+
+/** Restore the min-heap property after heap[0] was overwritten. */
+void
+siftDownMin(std::vector<double> &heap)
+{
+    const std::size_t n = heap.size();
+    const double v = heap[0];
+    std::size_t i = 0;
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && heap[child + 1] < heap[child])
+            ++child;
+        if (heap[child] >= v)
+            break;
+        heap[i] = heap[child];
+        i = child;
+    }
+    heap[i] = v;
+}
+
+/**
+ * Percentile via a top-tail scan: keep the m = n - lo largest samples
+ * in a min-heap while streaming over @p data once, then read the
+ * lo-th and (lo+1)-th order statistics off the heap. Exact order
+ * statistics with percentileSelect's interpolation formula, so the
+ * result is bit-identical to selection or sort — but the input is
+ * never copied or reordered, and for high percentiles (small m) the
+ * scan is one predictable compare per sample.
+ */
+double
+percentileTopTail(const double *data, std::size_t n, double rank,
+                  std::size_t lo, std::vector<double> &heap)
+{
+    const std::size_t m = n - lo;
+    if (heap.capacity() < m)
+        heap.reserve(2 * m); // headroom: see WindowedQuantile::reserve
+    heap.assign(data, data + m);
+    std::make_heap(heap.begin(), heap.end(), std::greater<double>{});
+    for (std::size_t i = m; i < n; ++i) {
+        if (data[i] > heap[0]) {
+            heap[0] = data[i];
+            siftDownMin(heap);
+        }
+    }
+    const double lo_val = heap[0];
+    const double frac = rank - static_cast<double>(lo);
+    if (frac == 0.0 || lo + 1 >= n)
+        return lo_val;
+    // m >= 2 here; the (lo+1)-th order statistic is the heap's second
+    // smallest, i.e. the smaller of the root's children.
+    double hi_val = heap[1];
+    if (m >= 3 && heap[2] < hi_val)
+        hi_val = heap[2];
+    return lo_val + frac * (hi_val - lo_val);
+}
+
+/** percentileSelect semantics over a const range: top-tail scan for
+ * high percentiles, copy-then-select otherwise. */
+double
+percentileConst(const double *data, std::size_t n, double p,
+                std::vector<double> &scratch)
+{
+    if (n == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank = p / 100.0 * static_cast<double>(n - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    if ((n - lo) * 8 <= n)
+        return percentileTopTail(data, n, rank, lo, scratch);
+    if (scratch.capacity() < n)
+        scratch.reserve(2 * n); // headroom: see WindowedQuantile::reserve
+    scratch.assign(data, data + n);
+    return percentileSelect(scratch.data(), n, p);
+}
+
+} // namespace
+
+WindowedQuantile::WindowedQuantile(std::size_t window_intervals)
+    : window_(window_intervals)
+{
+    common::fatalIf(window_ == 0,
+                    "WindowedQuantile: window must be >= 1 intervals");
+    counts_.reserve(window_);
+}
+
+void
+WindowedQuantile::beginInterval()
+{
+    if (counts_.size() == window_) {
+        // Evict the oldest interval: compact the flat buffer. O(window
+        // samples) of moves, no allocation — cheaper than the sort the
+        // quantile query saves, and it keeps every segment contiguous.
+        const std::size_t evicted = counts_.front();
+        samples_.erase(samples_.begin(),
+                       samples_.begin() +
+                           static_cast<std::ptrdiff_t>(evicted));
+        counts_.erase(counts_.begin());
+    }
+    counts_.push_back(0);
+}
+
+double
+WindowedQuantile::percentile(double p) const
+{
+    return percentileConst(samples_.data(), samples_.size(), p, scratch_);
+}
+
+double
+WindowedQuantile::lastIntervalPercentile(double p) const
+{
+    const std::size_t n = lastIntervalCount();
+    return percentileConst(samples_.data() + (samples_.size() - n), n, p,
+                           scratch_);
+}
+
+void
+WindowedQuantile::clear()
+{
+    samples_.clear();
+    counts_.clear();
+    scratch_.clear();
+}
+
+} // namespace twig::stats

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Exact streaming quantiles over a trailing window of intervals.
+ *
+ * The QoS measure the simulator reports each control interval is the
+ * p99 over the completions of the last W intervals. The seed
+ * implementation kept one vector per interval and rebuilt the whole
+ * window by concatenation before sorting it — O(W·n log(W·n)) plus
+ * several allocations per interval. WindowedQuantile keeps the window
+ * as one flat buffer of samples (oldest interval first) plus the
+ * per-interval sample counts, and answers quantile queries with an
+ * nth_element selection over a reused scratch buffer: O(W·n) per
+ * interval, zero steady-state allocations, and — because selection
+ * over the same multiset returns exactly what sort-then-interpolate
+ * returns — bit-identical results.
+ *
+ * Not thread-safe: one instance belongs to one simulated queue.
+ */
+
+#ifndef TWIG_STATS_WINDOWED_QUANTILE_HH
+#define TWIG_STATS_WINDOWED_QUANTILE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace twig::stats {
+
+/** Flat trailing-window sample store with exact selection quantiles. */
+class WindowedQuantile
+{
+  public:
+    /** @param window_intervals  trailing window length (>= 1). */
+    explicit WindowedQuantile(std::size_t window_intervals);
+
+    /**
+     * Open a new interval, evicting the oldest one when the window is
+     * full. Samples added afterwards belong to the new interval.
+     */
+    void beginInterval();
+
+    /** Add one sample to the current interval. */
+    void
+    add(double x)
+    {
+        samples_.push_back(x);
+        ++counts_.back();
+    }
+
+    /** Append @p n samples to the current interval in one shot. */
+    void
+    addBatch(const double *data, std::size_t n)
+    {
+        samples_.insert(samples_.end(), data, data + n);
+        counts_.back() += n;
+    }
+
+    /** Grow the sample buffer ahead of @p n add() calls (no-op when
+     * capacity already suffices). Growth doubles the needed capacity
+     * so a slowly creeping per-interval maximum (Poisson highs over a
+     * long run) settles after one growth instead of reallocating at
+     * every new high-water mark. */
+    void
+    reserve(std::size_t n)
+    {
+        const std::size_t need = samples_.size() + n;
+        if (samples_.capacity() < need)
+            samples_.reserve(2 * need);
+    }
+
+    /** Samples currently in the window. */
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    /** Samples in the current (most recently begun) interval. */
+    std::size_t
+    lastIntervalCount() const
+    {
+        return counts_.empty() ? 0 : counts_.back();
+    }
+
+    /** Number of intervals currently held (<= window length). */
+    std::size_t intervals() const { return counts_.size(); }
+
+    /**
+     * p-th percentile (p in [0, 100], linear interpolation) over every
+     * sample in the window; 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** p-th percentile over the current interval's samples only. */
+    double lastIntervalPercentile(double p) const;
+
+    /** Drop everything (capacity kept). */
+    void clear();
+
+  private:
+    std::size_t window_;
+    /** Window samples, oldest interval first, intervals contiguous. */
+    std::vector<double> samples_;
+    /** Per-interval sample counts, oldest first (size <= window_). */
+    std::vector<std::size_t> counts_;
+    /** Selection scratch: percentile() must not reorder samples_ (the
+     * per-interval segment boundaries would be lost). */
+    mutable std::vector<double> scratch_;
+};
+
+} // namespace twig::stats
+
+#endif // TWIG_STATS_WINDOWED_QUANTILE_HH

@@ -14,11 +14,18 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <new>
 
+#include "baselines/static_manager.hh"
+#include "cluster/cluster_manager.hh"
 #include "common/rng.hh"
+#include "core/mapper.hh"
 #include "nn/mlp.hh"
 #include "rl/bdq_learner.hh"
+#include "services/tailbench.hh"
+#include "sim/loadgen.hh"
+#include "sim/server.hh"
 
 namespace {
 
@@ -200,4 +207,70 @@ TEST(Alloc, MlpPredictSteadyStateIsAllocationFree)
             mlp.predict(x, y);
     });
     EXPECT_EQ(n, 0) << "steady-state Mlp::predict allocated";
+}
+
+TEST(Alloc, ServerRunIntervalSteadyStateIsAllocationFree)
+{
+    // Two colocated services so the shared pool, interference model and
+    // per-service latency paths are all exercised.
+    sim::MachineConfig machine;
+    sim::Server server(machine, 21);
+    const auto masstree = twig::services::masstree();
+    const auto xapian = twig::services::xapian();
+    server.addService(masstree, std::make_unique<sim::FixedLoad>(
+                                    masstree.maxLoadRps, 0.5));
+    server.addService(xapian, std::make_unique<sim::FixedLoad>(
+                                  xapian.maxLoadRps, 0.5));
+
+    core::Mapper mapper(machine);
+    std::vector<core::ResourceRequest> requests = {
+        {machine.numCores / 2, machine.dvfs.numStates() - 1},
+        {machine.numCores / 2, machine.dvfs.numStates() - 1}};
+    std::vector<sim::CoreAssignment> assignments;
+    mapper.mapInto(requests, assignments);
+
+    // Warm up: sizes the arrival scratch, latency vectors, QoS window
+    // and power/interference buffers to their steady-state high-water
+    // marks (Poisson arrivals are deterministic for a fixed seed, so
+    // the counted intervals below never exceed them).
+    for (int i = 0; i < 50; ++i)
+        server.runInterval(assignments);
+
+    const long long n = countAllocations([&] {
+        for (int i = 0; i < 5; ++i)
+            server.runInterval(assignments);
+    });
+    EXPECT_EQ(n, 0) << "steady-state Server::runInterval allocated";
+}
+
+TEST(Alloc, ClusterManagerStepSteadyStateIsAllocationFree)
+{
+    const auto masstree = twig::services::masstree();
+    cluster::ClusterConfig cfg;
+    cfg.router.policy = cluster::RoutingPolicy::Static;
+    cfg.jobs = 1;
+    std::vector<std::unique_ptr<sim::LoadGenerator>> loads;
+    loads.push_back(
+        std::make_unique<sim::FixedLoad>(masstree.maxLoadRps * 2.0, 0.5));
+    cluster::ClusterManager fleet(cfg, {masstree}, std::move(loads), 42);
+
+    const auto factory = [](const sim::MachineConfig &machine,
+                            const std::vector<sim::ServiceProfile> &,
+                            std::uint64_t)
+        -> std::unique_ptr<core::TaskManager> {
+        return std::make_unique<baselines::StaticManager>(machine);
+    };
+    fleet.addNode(sim::MachineConfig{}, factory);
+    fleet.addNode(sim::MachineConfig{}, factory);
+
+    // Warm up past the trailing QoS window so the per-service
+    // histogram ring and every merge scratch reaches steady state.
+    for (int i = 0; i < 50; ++i)
+        fleet.step();
+
+    const long long n = countAllocations([&] {
+        for (int i = 0; i < 5; ++i)
+            fleet.step();
+    });
+    EXPECT_EQ(n, 0) << "steady-state ClusterManager::step allocated";
 }

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.hh"
 #include "stats/summary.hh"
+#include "stats/windowed_quantile.hh"
 
 using namespace twig::stats;
 
@@ -156,3 +158,158 @@ TEST_P(PercentileSweep, MonotoneInP)
 INSTANTIATE_TEST_SUITE_P(Grid, PercentileSweep,
                          ::testing::Values(0.0, 10.0, 25.0, 50.0, 75.0,
                                            90.0, 95.0));
+
+TEST(PercentileSelect, EmptyReturnsZero)
+{
+    std::vector<double> v;
+    EXPECT_EQ(percentileInPlace(v, 50.0), 0.0);
+    EXPECT_EQ(percentileSelect(nullptr, 0, 99.0), 0.0);
+}
+
+TEST(PercentileSelect, SingleValueAtAnyP)
+{
+    for (double p : {-10.0, 0.0, 50.0, 99.0, 100.0, 250.0}) {
+        std::vector<double> v = {7.5};
+        EXPECT_DOUBLE_EQ(percentileInPlace(v, p), 7.5);
+    }
+}
+
+TEST(PercentileSelect, ClampFoldsExtremesIntoSelection)
+{
+    // p <= 0 must be the minimum and p >= 100 the maximum without a
+    // separate scan — the clamp inside the selection helper handles it.
+    std::vector<double> v = {5.0, 1.0, 9.0, -2.0};
+    EXPECT_DOUBLE_EQ(percentileInPlace(v, -5.0), -2.0);
+    EXPECT_DOUBLE_EQ(percentileInPlace(v, 0.0), -2.0);
+    EXPECT_DOUBLE_EQ(percentileInPlace(v, 100.0), 9.0);
+    EXPECT_DOUBLE_EQ(percentileInPlace(v, 120.0), 9.0);
+}
+
+TEST(PercentileSelect, MatchesSortBasedPercentileExactly)
+{
+    // Selection over the same multiset must return bit-identical
+    // results to sort-then-interpolate: the simulator's QoS numbers
+    // rely on this equivalence.
+    twig::common::Rng rng(123);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<double> v;
+        const int n = 1 + static_cast<int>(rng.uniformInt(400));
+        for (int i = 0; i < n; ++i)
+            v.push_back(rng.lognormalMean(2.0, 0.8));
+
+        std::vector<double> sorted = v;
+        std::sort(sorted.begin(), sorted.end());
+        for (double p : {0.0, 12.5, 50.0, 90.0, 99.0, 100.0}) {
+            const double rank =
+                std::clamp(p, 0.0, 100.0) / 100.0 *
+                static_cast<double>(sorted.size() - 1);
+            const std::size_t lo = static_cast<std::size_t>(rank);
+            const std::size_t hi =
+                std::min(lo + 1, sorted.size() - 1);
+            const double frac = rank - static_cast<double>(lo);
+            const double expect =
+                sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+
+            std::vector<double> scratch = v;
+            EXPECT_EQ(percentileInPlace(scratch, p), expect)
+                << "trial " << trial << " p " << p;
+            EXPECT_EQ(percentileOf(v, p), expect);
+        }
+    }
+}
+
+TEST(PercentileSelect, ConstRefOverloadLeavesInputUntouched)
+{
+    const std::vector<double> v = {3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentileOf(v, 50.0), 2.0);
+    EXPECT_EQ(v[0], 3.0);
+    EXPECT_EQ(v[1], 1.0);
+    EXPECT_EQ(v[2], 2.0);
+}
+
+TEST(WindowedQuantile, EmptyReturnsZero)
+{
+    WindowedQuantile w(3);
+    EXPECT_TRUE(w.empty());
+    EXPECT_EQ(w.percentile(99.0), 0.0);
+    EXPECT_EQ(w.lastIntervalPercentile(99.0), 0.0);
+    EXPECT_EQ(w.lastIntervalCount(), 0u);
+}
+
+TEST(WindowedQuantile, TracksCountsPerInterval)
+{
+    WindowedQuantile w(3);
+    w.beginInterval();
+    w.add(1.0);
+    w.add(2.0);
+    EXPECT_EQ(w.count(), 2u);
+    EXPECT_EQ(w.lastIntervalCount(), 2u);
+    EXPECT_EQ(w.intervals(), 1u);
+
+    w.beginInterval();
+    w.add(3.0);
+    EXPECT_EQ(w.count(), 3u);
+    EXPECT_EQ(w.lastIntervalCount(), 1u);
+    EXPECT_EQ(w.intervals(), 2u);
+}
+
+TEST(WindowedQuantile, EvictsOldestIntervalWhenFull)
+{
+    WindowedQuantile w(2);
+    w.beginInterval();
+    w.add(100.0); // will be evicted
+    w.beginInterval();
+    w.add(1.0);
+    w.beginInterval();
+    w.add(2.0);
+    w.add(3.0);
+    // Window now holds {1} and {2, 3}; 100 is gone.
+    EXPECT_EQ(w.count(), 3u);
+    EXPECT_EQ(w.intervals(), 2u);
+    EXPECT_DOUBLE_EQ(w.percentile(100.0), 3.0);
+    EXPECT_DOUBLE_EQ(w.percentile(0.0), 1.0);
+}
+
+TEST(WindowedQuantile, MatchesConcatenatedPercentileOf)
+{
+    // Bit-identity with the seed's concatenate-then-sort window.
+    twig::common::Rng rng(9);
+    WindowedQuantile w(3);
+    std::vector<std::vector<double>> recent;
+    for (int interval = 0; interval < 10; ++interval) {
+        w.beginInterval();
+        std::vector<double> batch;
+        const int n = static_cast<int>(rng.uniformInt(50));
+        for (int i = 0; i < n; ++i) {
+            const double x = rng.lognormalMean(5.0, 1.0);
+            w.add(x);
+            batch.push_back(x);
+        }
+        recent.push_back(std::move(batch));
+        if (recent.size() > 3)
+            recent.erase(recent.begin());
+
+        std::vector<double> window;
+        for (const auto &b : recent)
+            window.insert(window.end(), b.begin(), b.end());
+        for (double p : {0.0, 50.0, 99.0, 100.0}) {
+            EXPECT_EQ(w.percentile(p), percentileOf(window, p))
+                << "interval " << interval << " p " << p;
+        }
+        EXPECT_EQ(w.lastIntervalPercentile(99.0),
+                  percentileOf(recent.back(), 99.0));
+    }
+}
+
+TEST(WindowedQuantile, ClearEmptiesButKeepsWorking)
+{
+    WindowedQuantile w(2);
+    w.beginInterval();
+    w.add(5.0);
+    w.clear();
+    EXPECT_TRUE(w.empty());
+    EXPECT_EQ(w.intervals(), 0u);
+    w.beginInterval();
+    w.add(4.0);
+    EXPECT_DOUBLE_EQ(w.percentile(50.0), 4.0);
+}

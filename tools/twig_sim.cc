@@ -23,6 +23,9 @@
  *   --seed N          RNG seed (default 42)
  *   --trace FILE      write a per-step CSV trace
  *   --paper           use the paper's full hyper-parameters for Twig
+ *   --sim-profile     print the per-phase simulator cycle breakdown
+ *                     (arrivals / dispatch / quantile / interference /
+ *                     power) after the run
  */
 
 #include <cstdio>
@@ -34,6 +37,7 @@
 #include "bench/managers.hh"
 #include "common/csv.hh"
 #include "harness/runner.hh"
+#include "harness/sim_profile.hh"
 #include "services/tailbench.hh"
 #include "sim/loadgen.hh"
 #include "sim/server.hh"
@@ -53,6 +57,7 @@ struct Options
     std::uint64_t seed = 42;
     std::string trace;
     bool paper = false;
+    bool simProfile = false;
 };
 
 [[noreturn]] void
@@ -62,7 +67,7 @@ usage(const char *argv0)
                 "  [--manager twig|static|hipster|heracles|parties]\n"
                 "  [--load F] [--pattern fixed|diurnal|step|ramp]\n"
                 "  [--steps N] [--window N] [--seed N]\n"
-                "  [--trace FILE] [--paper]\n",
+                "  [--trace FILE] [--paper] [--sim-profile]\n",
                 argv0);
     std::exit(2);
 }
@@ -96,6 +101,8 @@ parse(int argc, char **argv)
             opt.trace = next();
         else if (arg == "--paper")
             opt.paper = true;
+        else if (arg == "--sim-profile")
+            opt.simProfile = true;
         else
             usage(argv[0]);
     }
@@ -170,7 +177,16 @@ main(int argc, char **argv)
     run.steps = opt.steps;
     run.summaryWindow = opt.window;
     run.recordTrace = !opt.trace.empty();
+    if (opt.simProfile) {
+        harness::SimProfile::reset();
+        harness::SimProfile::enable();
+    }
     const auto result = runner.run(run);
+    if (opt.simProfile) {
+        std::printf("simulator phase breakdown (%zu steps):\n", opt.steps);
+        harness::SimProfile::snapshot().print(stdout);
+        harness::SimProfile::disable();
+    }
 
     if (!opt.trace.empty()) {
         common::CsvWriter csv(opt.trace);
