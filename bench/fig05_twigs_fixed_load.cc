@@ -6,6 +6,9 @@
  * Reports the QoS guarantee and the energy usage normalised to the
  * static mapping, summarised over the trailing window after the
  * learning phase (paper: after the first 10 000 s, over 300 s).
+ * Every cell is one harness::ScenarioSpec run through the scenario
+ * engine — the same run `twig_sim --scenario scenarios/fig05.json`
+ * performs.
  *
  * Expected shape: all managers keep a similar (high) QoS guarantee;
  * Twig-S uses the least energy, Hipster is in between, Heracles burns
@@ -14,16 +17,14 @@
  */
 
 #include <cstdio>
-#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.hh"
 #include "bench/managers.hh"
-#include "harness/runner.hh"
+#include "harness/engine.hh"
 #include "harness/sweep.hh"
 #include "services/tailbench.hh"
-#include "sim/loadgen.hh"
-#include "sim/server.hh"
 
 using namespace twig;
 
@@ -35,22 +36,6 @@ struct Cell
     double energyJ = 0.0;
 };
 
-Cell
-runOne(core::TaskManager &mgr, const sim::ServiceProfile &profile,
-       double load, const bench::Schedule &schedule, std::uint64_t seed)
-{
-    sim::Server server(sim::MachineConfig{}, seed);
-    server.addService(profile, std::make_unique<sim::FixedLoad>(
-                                   profile.maxLoadRps, load));
-    harness::ExperimentRunner runner(server, mgr);
-    harness::RunOptions opt;
-    opt.steps = schedule.steps;
-    opt.summaryWindow = schedule.summaryWindow;
-    const auto result = runner.run(opt);
-    return {result.metrics.services[0].qosGuaranteePct,
-            result.metrics.energyJoules};
-}
-
 } // namespace
 
 int
@@ -58,7 +43,6 @@ main(int argc, char **argv)
 {
     const auto args = bench::BenchArgs::parse(argc, argv);
     const auto schedule = bench::Schedule::pick(args.full, 2000, 300);
-    const sim::MachineConfig machine;
 
     bench::banner("Fig. 5: Twig-S vs Hipster/Heracles/static, fixed "
                   "loads (QoS %, energy normalised to static)");
@@ -69,7 +53,8 @@ main(int argc, char **argv)
     // is independent, so the whole figure fans across --jobs threads.
     const auto catalogue = services::tailbenchCatalogue();
     const std::vector<double> loads = {0.2, 0.5, 0.8};
-    constexpr std::size_t kManagers = 4; // static/heracles/hipster/twig
+    const std::vector<std::string> managers = {"static", "heracles",
+                                               "hipster", "twig"};
 
     harness::SweepOptions sweep_opts;
     sweep_opts.jobs = args.jobs;
@@ -77,36 +62,33 @@ main(int argc, char **argv)
     const harness::ParallelSweep sweep(sweep_opts);
 
     const std::size_t count =
-        catalogue.size() * loads.size() * kManagers;
+        catalogue.size() * loads.size() * managers.size();
     const auto cells = sweep.map<Cell>(
         count, [&](std::size_t idx, std::uint64_t run_seed) {
-            const std::size_t mgr_kind = idx % kManagers;
-            const std::size_t pair = idx / kManagers;
-            const auto &profile = catalogue[pair / loads.size()];
-            const double load = loads[pair % loads.size()];
+            const std::size_t mgr_kind = idx % managers.size();
+            const std::size_t pair = idx / managers.size();
+
+            harness::ScenarioSpec spec;
+            spec.name = "fig05";
+            harness::ServiceLoadSpec svc;
+            svc.service = catalogue[pair / loads.size()].name;
+            svc.fraction = loads[pair % loads.size()];
+            spec.services.push_back(svc);
+            spec.manager = managers[mgr_kind];
+            spec.paper = args.full;
+            spec.managerSeed = run_seed;
+            spec.steps = schedule.steps;
+            spec.window = schedule.summaryWindow;
+            spec.horizon = schedule.horizon;
             // All managers of one (service, load) pair face the same
             // workload: the server seed depends on the pair alone;
             // the manager is seeded from the per-run seed.
-            const std::uint64_t server_seed =
-                harness::sweepSeed(args.seed, pair);
-            std::unique_ptr<core::TaskManager> mgr;
-            switch (mgr_kind) {
-            case 0:
-                mgr = std::make_unique<baselines::StaticManager>(machine);
-                break;
-            case 1:
-                mgr = bench::makeHeracles(machine, profile, args.full);
-                break;
-            case 2:
-                mgr = bench::makeHipster(machine, profile, schedule,
-                                         args.full, run_seed);
-                break;
-            default:
-                mgr = bench::makeTwig(machine, {profile}, schedule,
-                                      args.full, run_seed);
-                break;
-            }
-            return runOne(*mgr, profile, load, schedule, server_seed);
+            spec.seed = harness::sweepSeed(args.seed, pair);
+
+            const auto result = harness::Engine().run(spec);
+            return Cell{
+                result.single.metrics.services[0].qosGuaranteePct,
+                result.single.metrics.energyJoules};
         });
 
     struct Avg
@@ -119,10 +101,10 @@ main(int argc, char **argv)
     for (std::size_t svc = 0; svc < catalogue.size(); ++svc) {
         for (std::size_t li = 0; li < loads.size(); ++li) {
             const std::size_t pair = svc * loads.size() + li;
-            const Cell &s = cells[pair * kManagers + 0];
-            const Cell &h = cells[pair * kManagers + 1];
-            const Cell &hi = cells[pair * kManagers + 2];
-            const Cell &t = cells[pair * kManagers + 3];
+            const Cell &s = cells[pair * managers.size() + 0];
+            const Cell &h = cells[pair * managers.size() + 1];
+            const Cell &hi = cells[pair * managers.size() + 2];
+            const Cell &t = cells[pair * managers.size() + 3];
 
             auto cell = [&](const Cell &c) {
                 std::printf("%5.1f%% / E=%.2f   ", c.qosPct,

@@ -2,7 +2,8 @@
  * @file
  * Fig. 6 reproduction: core-mapping decisions and QoS-tardiness
  * histogram for Heracles, Hipster and Twig-S managing Masstree at 50 %
- * of its maximum load.
+ * of its maximum load. Each manager's run is one ScenarioSpec executed
+ * by the scenario engine with trace recording on.
  *
  * Expected shape (paper): Heracles oscillates between ~12-13 cores at
  * 2 GHz holding latency at ~85 % of the target; Hipster sits at fewer
@@ -11,16 +12,16 @@
  * energy, with 2.3x fewer migrations than Hipster.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hh"
 #include "bench/managers.hh"
-#include "harness/runner.hh"
+#include "harness/engine.hh"
 #include "services/tailbench.hh"
-#include "sim/loadgen.hh"
-#include "sim/server.hh"
 #include "stats/histogram.hh"
 
 using namespace twig;
@@ -77,34 +78,37 @@ main(int argc, char **argv)
 {
     const auto args = bench::BenchArgs::parse(argc, argv);
     const auto schedule = bench::Schedule::pick(args.full, 2000, 300);
-    const sim::MachineConfig machine;
     const auto profile = services::masstree();
 
     bench::banner("Fig. 6: core mapping + tardiness histogram, "
                   "Masstree @ 50% load");
 
-    auto run = [&](core::TaskManager &mgr) {
-        sim::Server server(machine, args.seed);
-        server.addService(profile, std::make_unique<sim::FixedLoad>(
-                                       profile.maxLoadRps, 0.5));
-        harness::ExperimentRunner runner(server, mgr);
-        harness::RunOptions opt;
-        opt.steps = schedule.steps;
-        opt.summaryWindow = schedule.summaryWindow;
-        opt.recordTrace = true;
-        return runner.run(opt);
+    auto run = [&](const std::string &manager,
+                   std::uint64_t manager_seed) {
+        harness::ScenarioSpec spec;
+        spec.name = "fig06";
+        harness::ServiceLoadSpec svc;
+        svc.service = profile.name;
+        svc.fraction = 0.5;
+        spec.services.push_back(svc);
+        spec.manager = manager;
+        spec.paper = args.full;
+        spec.managerSeed = manager_seed;
+        spec.steps = schedule.steps;
+        spec.window = schedule.summaryWindow;
+        spec.horizon = schedule.horizon;
+        spec.seed = args.seed; // every manager watches the same workload
+
+        harness::EngineOptions opts;
+        opts.recordTrace = true;
+        return harness::Engine(opts).run(spec).single;
     };
 
-    auto heracles = bench::makeHeracles(machine, profile, args.full);
-    report("Heracles", run(*heracles), profile,
+    report("Heracles", run("heracles", args.seed), profile,
            schedule.summaryWindow);
-
-    auto hipster = bench::makeHipster(machine, profile, schedule,
-                                      args.full, args.seed + 1);
-    report("Hipster", run(*hipster), profile, schedule.summaryWindow);
-
-    auto twig = bench::makeTwig(machine, {profile}, schedule, args.full,
-                                args.seed + 2);
-    report("Twig-S", run(*twig), profile, schedule.summaryWindow);
+    report("Hipster", run("hipster", args.seed + 1), profile,
+           schedule.summaryWindow);
+    report("Twig-S", run("twig", args.seed + 2), profile,
+           schedule.summaryWindow);
     return 0;
 }

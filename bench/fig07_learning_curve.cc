@@ -1,7 +1,9 @@
 /**
  * @file
  * Fig. 7 reproduction: learning-time complexity — QoS guarantee over
- * time for Masstree under Twig-S and Hipster.
+ * time for Masstree under Twig-S and Hipster. Each curve is one
+ * ScenarioSpec run through the scenario engine with a bucketing
+ * RecordSink observing every step.
  *
  * Paper setup: Twig's epsilon anneals to 0.1 by 5000 s and Hipster's
  * learning phase ends at 5000 s; each point averages 500 s. Expected
@@ -11,47 +13,49 @@
  */
 
 #include <cstdio>
-#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.hh"
 #include "bench/managers.hh"
-#include "harness/runner.hh"
+#include "harness/engine.hh"
 #include "harness/sweep.hh"
 #include "services/tailbench.hh"
-#include "sim/loadgen.hh"
-#include "sim/server.hh"
 
 using namespace twig;
 
 namespace {
 
-std::vector<double>
-learningCurve(core::TaskManager &mgr, const sim::ServiceProfile &profile,
-              std::size_t steps, std::size_t bucket, std::uint64_t seed)
+/** Buckets the per-step QoS outcome into guarantee percentages. */
+class CurveSink : public harness::RecordSink
 {
-    sim::Server server(sim::MachineConfig{}, seed);
-    server.addService(profile, std::make_unique<sim::FixedLoad>(
-                                   profile.maxLoadRps, 0.5));
-    harness::ExperimentRunner runner(server, mgr);
+  public:
+    CurveSink(double target_ms, std::size_t bucket)
+        : target_(target_ms), bucket_(bucket)
+    {
+    }
 
-    std::vector<double> curve;
-    std::size_t met = 0, n = 0;
-    harness::RunOptions opt;
-    opt.steps = steps;
-    opt.summaryWindow = steps;
-    opt.onStep = [&](std::size_t, const sim::ServerIntervalStats &s) {
-        met += s.services[0].p99Ms <= profile.qosTargetMs ? 1 : 0;
-        if (++n == bucket) {
-            curve.push_back(100.0 * static_cast<double>(met) /
-                            static_cast<double>(n));
-            met = 0;
-            n = 0;
+    void
+    record(const harness::StepRecord &rec) override
+    {
+        met_ += rec.p99Ms[0] <= target_ ? 1 : 0;
+        if (++n_ == bucket_) {
+            curve_.push_back(100.0 * static_cast<double>(met_) /
+                             static_cast<double>(n_));
+            met_ = 0;
+            n_ = 0;
         }
-    };
-    runner.run(opt);
-    return curve;
-}
+    }
+
+    const std::vector<double> &curve() const { return curve_; }
+
+  private:
+    double target_;
+    std::size_t bucket_;
+    std::vector<double> curve_;
+    std::size_t met_ = 0;
+    std::size_t n_ = 0;
+};
 
 } // namespace
 
@@ -63,16 +67,10 @@ main(int argc, char **argv)
     // same fractions of a 1500-step run.
     const std::size_t steps = args.full ? 10000 : 1500;
     const std::size_t bucket = args.full ? 500 : 75;
-    const sim::MachineConfig machine;
     const auto profile = services::masstree();
 
     bench::banner("Fig. 7: QoS guarantee over time while learning "
                   "(Masstree @ 50%)");
-
-    bench::Schedule half;
-    half.steps = steps;
-    half.summaryWindow = steps;
-    half.horizon = steps / 2; // epsilon ~0.1 by mid-run, as in Fig. 7
 
     // The two curves are independent experiments; fan them across
     // --jobs threads. Both managers watch the same workload (server
@@ -83,15 +81,25 @@ main(int argc, char **argv)
     const harness::ParallelSweep sweep(sweep_opts);
     const auto curves = sweep.map<std::vector<double>>(
         2, [&](std::size_t idx, std::uint64_t run_seed) {
-            std::unique_ptr<core::TaskManager> mgr =
-                idx == 0 ? bench::makeTwig(machine, {profile}, half,
-                                           args.full, run_seed)
-                         : std::unique_ptr<core::TaskManager>(
-                               bench::makeHipster(machine, profile,
-                                                  half, args.full,
-                                                  run_seed));
-            return learningCurve(*mgr, profile, steps, bucket,
-                                 args.seed);
+            harness::ScenarioSpec spec;
+            spec.name = "fig07";
+            harness::ServiceLoadSpec svc;
+            svc.service = profile.name;
+            svc.fraction = 0.5;
+            spec.services.push_back(svc);
+            spec.manager = idx == 0 ? "twig" : "hipster";
+            spec.paper = args.full;
+            spec.managerSeed = run_seed;
+            spec.steps = steps;
+            spec.window = steps;
+            spec.horizon = steps / 2; // epsilon ~0.1 by mid-run
+            spec.seed = args.seed;
+
+            CurveSink sink(profile.qosTargetMs, bucket);
+            harness::EngineOptions opts;
+            opts.sinks.push_back(&sink);
+            harness::Engine(opts).run(spec);
+            return sink.curve();
         });
     const auto &twig_curve = curves[0];
     const auto &hip_curve = curves[1];

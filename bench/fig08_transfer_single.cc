@@ -6,21 +6,20 @@
  * weights (re-initialising the specialised output layers) to Moses,
  * Img-dnn and Xapian in consecutive experiments, each at 50 % of max
  * load, and compare QoS guarantee / tardiness against learning from
- * scratch. Expected shape: transfer reaches a high QoS guarantee
- * ~1/3 sooner while ending at similar tardiness (it still learns to
- * minimise energy, not just to over-provision).
+ * scratch. The learn-then-swap sequence is a ScenarioSpec event
+ * (transfer + new service mix); the scratch run is a plain spec.
+ * Expected shape: transfer reaches a high QoS guarantee ~1/3 sooner
+ * while ending at similar tardiness (it still learns to minimise
+ * energy, not just to over-provision).
  */
 
 #include <cstdio>
-#include <memory>
 #include <vector>
 
 #include "bench/bench_util.hh"
 #include "bench/managers.hh"
-#include "harness/runner.hh"
+#include "harness/engine.hh"
 #include "services/tailbench.hh"
-#include "sim/loadgen.hh"
-#include "sim/server.hh"
 
 using namespace twig;
 
@@ -32,33 +31,48 @@ struct Curve
     std::vector<double> tardiness;
 };
 
-Curve
-watch(core::TaskManager &mgr, const sim::ServiceProfile &profile,
-      std::size_t steps, std::size_t bucket, std::uint64_t seed)
+/** Buckets per-step QoS / tardiness of the watched service. */
+class CurveSink : public harness::RecordSink
 {
-    sim::Server server(sim::MachineConfig{}, seed);
-    server.addService(profile, std::make_unique<sim::FixedLoad>(
-                                   profile.maxLoadRps, 0.5));
-    harness::ExperimentRunner runner(server, mgr);
+  public:
+    CurveSink(double target_ms, std::size_t bucket)
+        : target_(target_ms), bucket_(bucket)
+    {
+    }
 
-    Curve curve;
-    std::size_t met = 0, n = 0;
-    double tard = 0.0;
-    harness::RunOptions opt;
-    opt.steps = steps;
-    opt.summaryWindow = steps;
-    opt.onStep = [&](std::size_t, const sim::ServerIntervalStats &s) {
-        met += s.services[0].p99Ms <= profile.qosTargetMs ? 1 : 0;
-        tard += s.services[0].p99Ms / profile.qosTargetMs;
-        if (++n == bucket) {
-            curve.qosPct.push_back(100.0 * met / n);
-            curve.tardiness.push_back(tard / n);
-            met = n = 0;
-            tard = 0.0;
+    void
+    record(const harness::StepRecord &rec) override
+    {
+        met_ += rec.p99Ms[0] <= target_ ? 1 : 0;
+        tard_ += rec.p99Ms[0] / target_;
+        if (++n_ == bucket_) {
+            curve_.qosPct.push_back(100.0 * met_ / n_);
+            curve_.tardiness.push_back(tard_ / n_);
+            met_ = n_ = 0;
+            tard_ = 0.0;
         }
-    };
-    runner.run(opt);
-    return curve;
+    }
+
+    const Curve &curve() const { return curve_; }
+
+  private:
+    double target_;
+    std::size_t bucket_;
+    Curve curve_;
+    std::size_t met_ = 0;
+    std::size_t n_ = 0;
+    double tard_ = 0.0;
+};
+
+Curve
+runSpec(const harness::ScenarioSpec &spec, double target_ms,
+        std::size_t bucket)
+{
+    CurveSink sink(target_ms, bucket);
+    harness::EngineOptions opts;
+    opts.sinks.push_back(&sink);
+    harness::Engine(opts).run(spec);
+    return sink.curve();
 }
 
 std::size_t
@@ -71,6 +85,15 @@ stepsTo(const Curve &c, double pct, std::size_t bucket)
     return c.qosPct.size() * bucket;
 }
 
+harness::ServiceLoadSpec
+halfLoad(const std::string &service)
+{
+    harness::ServiceLoadSpec svc;
+    svc.service = service;
+    svc.fraction = 0.5;
+    return svc;
+}
+
 } // namespace
 
 int
@@ -80,62 +103,70 @@ main(int argc, char **argv)
     const std::size_t learn_steps = args.full ? 10000 : 1500;
     const std::size_t adapt_steps = args.full ? 3000 : 600;
     const std::size_t bucket = args.full ? 300 : 60;
-    const sim::MachineConfig machine;
 
     bench::banner("Fig. 8: Twig-S transfer learning "
                   "(Masstree -> Moses/Img-dnn/Xapian @ 50%)");
-
-    bench::Schedule learn_sched{learn_steps, learn_steps, learn_steps};
 
     for (const char *target : {"moses", "img-dnn", "xapian"}) {
         const auto target_profile = services::byName(target);
 
         // (a) Transfer: pre-train on masstree, swap service, keep the
         //     trunk, re-anneal epsilon over a short window.
-        auto twig = bench::makeTwig(machine, {services::masstree()},
-                                    learn_sched, args.full, args.seed);
-        {
-            sim::Server server(machine, args.seed + 1);
-            const auto mt = services::masstree();
-            server.addService(mt, std::make_unique<sim::FixedLoad>(
-                                      mt.maxLoadRps, 0.5));
-            harness::ExperimentRunner runner(server, *twig);
-            harness::RunOptions opt;
-            opt.steps = learn_steps;
-            opt.summaryWindow = learn_steps;
-            runner.run(opt);
-        }
-        twig->transferService(
-            0,
-            harness::makeTwigSpec(target_profile, machine,
-                                  args.seed ^ 5),
-            adapt_steps / 6);
-        const auto transfer = watch(*twig, target_profile, adapt_steps,
-                                    bucket, args.seed + 2);
+        harness::ScenarioSpec spec;
+        spec.name = "fig08";
+        spec.services.push_back(halfLoad("masstree"));
+        spec.manager = "twig";
+        spec.paper = args.full;
+        spec.managerSeed = args.seed;
+        spec.steps = adapt_steps;
+        spec.window = adapt_steps;
+        spec.horizon = learn_steps;
+        spec.seed = args.seed + 1; // learning-phase server
+
+        harness::ScenarioEvent swap;
+        swap.afterSteps = learn_steps;
+        harness::TransferSpec transfer;
+        transfer.serviceIndex = 0;
+        transfer.service = target;
+        transfer.specSeed = args.seed ^ 5;
+        transfer.reexploreSteps = adapt_steps / 6;
+        swap.transfers.push_back(transfer);
+        swap.services.push_back(halfLoad(target));
+        swap.serverSeed = args.seed + 2; // watched-phase server
+        spec.events.push_back(swap);
+
+        const auto transfer_curve =
+            runSpec(spec, target_profile.qosTargetMs, bucket);
 
         // (b) Scratch: a fresh Twig given the same adaptation budget.
-        bench::Schedule scratch_sched{adapt_steps, adapt_steps,
-                                      adapt_steps};
-        auto fresh = bench::makeTwig(machine, {target_profile},
-                                     scratch_sched, args.full,
-                                     args.seed + 3);
-        const auto scratch = watch(*fresh, target_profile, adapt_steps,
-                                   bucket, args.seed + 2);
+        harness::ScenarioSpec scratch_spec;
+        scratch_spec.name = "fig08-scratch";
+        scratch_spec.services.push_back(halfLoad(target));
+        scratch_spec.manager = "twig";
+        scratch_spec.paper = args.full;
+        scratch_spec.managerSeed = args.seed + 3;
+        scratch_spec.steps = adapt_steps;
+        scratch_spec.window = adapt_steps;
+        scratch_spec.horizon = adapt_steps;
+        scratch_spec.seed = args.seed + 2; // same watched workload
+
+        const auto scratch =
+            runSpec(scratch_spec, target_profile.qosTargetMs, bucket);
 
         std::printf("\n--- masstree -> %s ---\n", target);
         std::printf("%-10s %18s %18s\n", "steps",
                     "transfer QoS/tard", "scratch QoS/tard");
-        for (std::size_t i = 0; i < transfer.qosPct.size(); ++i) {
+        for (std::size_t i = 0; i < transfer_curve.qosPct.size(); ++i) {
             std::printf("%-10zu %10.1f%%/%5.2f %10.1f%%/%5.2f\n",
-                        (i + 1) * bucket, transfer.qosPct[i],
-                        transfer.tardiness[i],
+                        (i + 1) * bucket, transfer_curve.qosPct[i],
+                        transfer_curve.tardiness[i],
                         i < scratch.qosPct.size() ? scratch.qosPct[i]
                                                   : 0.0,
                         i < scratch.tardiness.size()
                             ? scratch.tardiness[i]
                             : 0.0);
         }
-        const auto t80 = stepsTo(transfer, 80.0, bucket);
+        const auto t80 = stepsTo(transfer_curve, 80.0, bucket);
         const auto s80 = stepsTo(scratch, 80.0, bucket);
         std::printf("steps to 80%% guarantee: transfer %zu vs scratch "
                     "%zu (%.0f%% faster; paper: ~33%%)\n",

@@ -4,21 +4,20 @@
  *
  * Paper setup: learn with (Moses @ 50%, Masstree @ 20%) colocated,
  * then swap Moses for Xapian (@ 50%) after the learning phase, with
- * and without transfer learning. Expected shape: without transfer the
- * QoS guarantee drops and energy spikes until the agent re-learns;
- * with transfer it adapts within tens of steps.
+ * and without transfer learning. The swap is a ScenarioSpec event;
+ * the no-transfer arm is a plain spec on the post-swap mix. Expected
+ * shape: without transfer the QoS guarantee drops and energy spikes
+ * until the agent re-learns; with transfer it adapts within tens of
+ * steps.
  */
 
 #include <cstdio>
-#include <memory>
 #include <vector>
 
 #include "bench/bench_util.hh"
 #include "bench/managers.hh"
-#include "harness/runner.hh"
+#include "harness/engine.hh"
 #include "services/tailbench.hh"
-#include "sim/loadgen.hh"
-#include "sim/server.hh"
 
 using namespace twig;
 
@@ -31,40 +30,61 @@ struct Curve
     std::vector<double> powerW;
 };
 
-Curve
-adaptPhase(core::TwigManager &twig, std::size_t steps,
-           std::size_t bucket, std::uint64_t seed)
+/** Buckets per-step QoS of both services and socket power. */
+class PairSink : public harness::RecordSink
 {
-    const sim::MachineConfig machine;
-    sim::Server server(machine, seed);
-    const auto xa = services::xapian();
-    const auto mt = services::masstree();
-    server.addService(xa, std::make_unique<sim::FixedLoad>(
-                              xa.maxLoadRps, 0.5));
-    server.addService(mt, std::make_unique<sim::FixedLoad>(
-                              mt.maxLoadRps, 0.2));
-    harness::ExperimentRunner runner(server, twig);
+  public:
+    PairSink(double target0_ms, double target1_ms, std::size_t bucket)
+        : target0_(target0_ms), target1_(target1_ms), bucket_(bucket)
+    {
+    }
 
-    Curve curve;
-    std::size_t met_x = 0, met_m = 0, n = 0;
-    double power = 0.0;
-    harness::RunOptions opt;
-    opt.steps = steps;
-    opt.summaryWindow = steps;
-    opt.onStep = [&](std::size_t, const sim::ServerIntervalStats &s) {
-        met_x += s.services[0].p99Ms <= xa.qosTargetMs ? 1 : 0;
-        met_m += s.services[1].p99Ms <= mt.qosTargetMs ? 1 : 0;
-        power += s.socketPowerW;
-        if (++n == bucket) {
-            curve.qosXapian.push_back(100.0 * met_x / n);
-            curve.qosMasstree.push_back(100.0 * met_m / n);
-            curve.powerW.push_back(power / n);
-            met_x = met_m = n = 0;
-            power = 0.0;
+    void
+    record(const harness::StepRecord &rec) override
+    {
+        met0_ += rec.p99Ms[0] <= target0_ ? 1 : 0;
+        met1_ += rec.p99Ms[1] <= target1_ ? 1 : 0;
+        power_ += rec.powerW;
+        if (++n_ == bucket_) {
+            curve_.qosXapian.push_back(100.0 * met0_ / n_);
+            curve_.qosMasstree.push_back(100.0 * met1_ / n_);
+            curve_.powerW.push_back(power_ / n_);
+            met0_ = met1_ = n_ = 0;
+            power_ = 0.0;
         }
-    };
-    runner.run(opt);
-    return curve;
+    }
+
+    const Curve &curve() const { return curve_; }
+
+  private:
+    double target0_;
+    double target1_;
+    std::size_t bucket_;
+    Curve curve_;
+    std::size_t met0_ = 0;
+    std::size_t met1_ = 0;
+    std::size_t n_ = 0;
+    double power_ = 0.0;
+};
+
+harness::ServiceLoadSpec
+fixedLoad(const std::string &service, double fraction)
+{
+    harness::ServiceLoadSpec svc;
+    svc.service = service;
+    svc.fraction = fraction;
+    return svc;
+}
+
+Curve
+runSpec(const harness::ScenarioSpec &spec, std::size_t bucket)
+{
+    PairSink sink(services::xapian().qosTargetMs,
+                  services::masstree().qosTargetMs, bucket);
+    harness::EngineOptions opts;
+    opts.sinks.push_back(&sink);
+    harness::Engine(opts).run(spec);
+    return sink.curve();
 }
 
 } // namespace
@@ -76,47 +96,54 @@ main(int argc, char **argv)
     const std::size_t learn_steps = args.full ? 10000 : 1500;
     const std::size_t adapt_steps = args.full ? 3000 : 600;
     const std::size_t bucket = args.full ? 300 : 60;
-    const sim::MachineConfig machine;
 
     bench::banner("Fig. 9: Twig-C transfer learning "
                   "((moses,masstree) -> (xapian,masstree))");
 
-    // Phase 1: learn with moses + masstree.
-    bench::Schedule sched{learn_steps, learn_steps, learn_steps};
-    auto twig = bench::makeTwig(
-        machine, {services::moses(), services::masstree()}, sched,
-        args.full, args.seed);
-    {
-        sim::Server server(machine, args.seed + 1);
-        const auto mo = services::moses();
-        const auto mt = services::masstree();
-        server.addService(mo, std::make_unique<sim::FixedLoad>(
-                                  mo.maxLoadRps, 0.5));
-        server.addService(mt, std::make_unique<sim::FixedLoad>(
-                                  mt.maxLoadRps, 0.2));
-        harness::ExperimentRunner runner(server, *twig);
-        harness::RunOptions opt;
-        opt.steps = learn_steps;
-        opt.summaryWindow = learn_steps;
-        runner.run(opt);
-    }
+    // With transfer: learn with moses + masstree, then swap moses ->
+    // xapian keeping the trunk weights.
+    harness::ScenarioSpec spec;
+    spec.name = "fig09";
+    spec.services.push_back(fixedLoad("moses", 0.5));
+    spec.services.push_back(fixedLoad("masstree", 0.2));
+    spec.manager = "twig";
+    spec.paper = args.full;
+    spec.managerSeed = args.seed;
+    spec.steps = adapt_steps;
+    spec.window = adapt_steps;
+    spec.horizon = learn_steps;
+    spec.seed = args.seed + 1; // learning-phase server
 
-    // Phase 2a: swap moses -> xapian WITH transfer learning.
-    twig->transferService(0,
-                          harness::makeTwigSpec(services::xapian(),
-                                                machine, args.seed ^ 9),
-                          adapt_steps / 6);
-    const auto with_tl =
-        adaptPhase(*twig, adapt_steps, bucket, args.seed + 2);
+    harness::ScenarioEvent swap;
+    swap.afterSteps = learn_steps;
+    harness::TransferSpec transfer;
+    transfer.serviceIndex = 0;
+    transfer.service = "xapian";
+    transfer.specSeed = args.seed ^ 9;
+    transfer.reexploreSteps = adapt_steps / 6;
+    swap.transfers.push_back(transfer);
+    swap.services.push_back(fixedLoad("xapian", 0.5));
+    swap.services.push_back(fixedLoad("masstree", 0.2));
+    swap.serverSeed = args.seed + 2; // adaptation-phase server
+    spec.events.push_back(swap);
 
-    // Phase 2b: no transfer — a fresh Twig-C learns the pair from
-    // scratch over the same window.
-    bench::Schedule scratch{adapt_steps, adapt_steps, adapt_steps};
-    auto fresh = bench::makeTwig(
-        machine, {services::xapian(), services::masstree()}, scratch,
-        args.full, args.seed + 3);
-    const auto without =
-        adaptPhase(*fresh, adapt_steps, bucket, args.seed + 2);
+    const auto with_tl = runSpec(spec, bucket);
+
+    // No transfer — a fresh Twig-C learns the pair from scratch over
+    // the same window.
+    harness::ScenarioSpec scratch;
+    scratch.name = "fig09-scratch";
+    scratch.services.push_back(fixedLoad("xapian", 0.5));
+    scratch.services.push_back(fixedLoad("masstree", 0.2));
+    scratch.manager = "twig";
+    scratch.paper = args.full;
+    scratch.managerSeed = args.seed + 3;
+    scratch.steps = adapt_steps;
+    scratch.window = adapt_steps;
+    scratch.horizon = adapt_steps;
+    scratch.seed = args.seed + 2; // same adaptation workload
+
+    const auto without = runSpec(scratch, bucket);
 
     std::printf("%-8s | %-26s | %-26s\n", "steps",
                 "with transfer (xap/mas/W)",

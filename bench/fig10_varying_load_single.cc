@@ -1,7 +1,9 @@
 /**
  * @file
  * Fig. 10 reproduction: resource allocation under varying load for
- * Img-dnn with Twig-S, Hipster and Heracles.
+ * Img-dnn with Twig-S, Hipster and Heracles. Each manager's run is
+ * one ScenarioSpec (step-wise load pattern) executed by the scenario
+ * engine with trace recording on.
  *
  * Load profile (paper): step-wise monotonic, change factor 20 %,
  * changing every 200 s from the minimum up to max load and back.
@@ -14,15 +16,14 @@
 
 #include <cstdio>
 #include <map>
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hh"
 #include "bench/managers.hh"
-#include "harness/runner.hh"
+#include "harness/engine.hh"
 #include "harness/sweep.hh"
 #include "services/tailbench.hh"
-#include "sim/loadgen.hh"
-#include "sim/server.hh"
 
 using namespace twig;
 
@@ -39,21 +40,10 @@ struct Outcome
 };
 
 Outcome
-run(core::TaskManager &mgr, const sim::ServiceProfile &profile,
-    std::size_t steps, std::size_t window, std::size_t period,
-    std::uint64_t seed)
+analyse(const harness::RunResult &result,
+        const sim::ServiceProfile &profile, std::size_t steps,
+        std::size_t window)
 {
-    sim::Server server(sim::MachineConfig{}, seed);
-    server.addService(profile,
-                      std::make_unique<sim::StepwiseMonotonicLoad>(
-                          profile.maxLoadRps, 0.2, 0.2, period));
-    harness::ExperimentRunner runner(server, mgr);
-    harness::RunOptions opt;
-    opt.steps = steps;
-    opt.summaryWindow = window;
-    opt.recordTrace = true;
-    const auto result = runner.run(opt);
-
     Outcome out{};
     out.qosPct = result.metrics.services[0].qosGuaranteePct;
     out.energyJ = result.metrics.energyJoules;
@@ -98,9 +88,7 @@ main(int argc, char **argv)
     const std::size_t period = args.full ? 200 : 40;
     const std::size_t steps = args.full ? 12000 : 2600;
     const std::size_t window = args.full ? 2000 : 640; // full up/down
-    const sim::MachineConfig machine;
     const auto profile = services::imgdnn();
-    const bench::Schedule sched{steps, window, steps - window};
 
     bench::banner("Fig. 10: varying load (img-dnn), Twig-S vs Hipster "
                   "vs Heracles");
@@ -108,28 +96,35 @@ main(int argc, char **argv)
     // Three independent (manager, same-workload) runs; fan across
     // --jobs threads. Every manager sees the identical load trace
     // (server seeded by args.seed + 1, as before).
+    const std::vector<std::string> managers = {"twig", "hipster",
+                                               "heracles"};
     harness::SweepOptions sweep_opts;
     sweep_opts.jobs = args.jobs;
     sweep_opts.baseSeed = args.seed;
     const harness::ParallelSweep sweep(sweep_opts);
     const auto outcomes = sweep.map<Outcome>(
-        3, [&](std::size_t idx, std::uint64_t run_seed) {
-            std::unique_ptr<core::TaskManager> mgr;
-            switch (idx) {
-            case 0:
-                mgr = bench::makeTwig(machine, {profile}, sched,
-                                      args.full, run_seed);
-                break;
-            case 1:
-                mgr = bench::makeHipster(machine, profile, sched,
-                                         args.full, run_seed);
-                break;
-            default:
-                mgr = bench::makeHeracles(machine, profile, args.full);
-                break;
-            }
-            return run(*mgr, profile, steps, window, period,
-                       args.seed + 1);
+        managers.size(), [&](std::size_t idx, std::uint64_t run_seed) {
+            harness::ScenarioSpec spec;
+            spec.name = "fig10";
+            harness::ServiceLoadSpec svc;
+            svc.service = profile.name;
+            svc.pattern = "step";
+            svc.fraction = 1.0; // climbs from the floor to max load
+            svc.lowFraction = 0.2;
+            svc.periodSteps = period;
+            spec.services.push_back(svc);
+            spec.manager = managers[idx];
+            spec.paper = args.full;
+            spec.managerSeed = run_seed;
+            spec.steps = steps;
+            spec.window = window;
+            spec.horizon = steps - window;
+            spec.seed = args.seed + 1;
+
+            harness::EngineOptions opts;
+            opts.recordTrace = true;
+            const auto result = harness::Engine(opts).run(spec);
+            return analyse(result.single, profile, steps, window);
         });
     const Outcome &t = outcomes[0];
     const Outcome &h = outcomes[1];

@@ -1,7 +1,9 @@
 /**
  * @file
  * Fig. 11 reproduction: Twig-C under dynamic load — Moses ramps from
- * 20 % to 100 % of max load while Masstree holds at 20 %.
+ * 20 % to 100 % of max load while Masstree holds at 20 %. The
+ * learn-on-diurnal / evaluate-on-ramp sequence is one ScenarioSpec
+ * with a load-change event between the two segments.
  *
  * Expected shape: after learning, Twig-C jumps directly to the core
  * configuration appropriate for each load level (no gradual walk like
@@ -10,14 +12,11 @@
  */
 
 #include <cstdio>
-#include <memory>
 
 #include "bench/bench_util.hh"
 #include "bench/managers.hh"
-#include "harness/runner.hh"
+#include "harness/engine.hh"
 #include "services/tailbench.hh"
-#include "sim/loadgen.hh"
-#include "sim/server.hh"
 
 using namespace twig;
 
@@ -27,7 +26,6 @@ main(int argc, char **argv)
     const auto args = bench::BenchArgs::parse(argc, argv);
     const std::size_t learn_steps = args.full ? 10000 : 2200;
     const std::size_t ramp_steps = args.full ? 2000 : 400;
-    const sim::MachineConfig machine;
     const auto mo = services::moses();
     const auto mt = services::masstree();
     // The ramp tops out at the pair's colocated max (paper §V-B2).
@@ -37,37 +35,58 @@ main(int argc, char **argv)
     bench::banner("Fig. 11: Twig-C with Moses ramping 20->100% while "
                   "Masstree holds 20%");
 
-    // Learn on a diurnal Moses load so the agent has seen every level.
-    const bench::Schedule sched{learn_steps, learn_steps, learn_steps};
-    auto twig = bench::makeTwig(machine, {mo, mt}, sched, args.full,
-                                args.seed);
+    // Learn on a diurnal Moses load so the agent has seen every level,
+    // then switch to the evaluation ramp.
+    harness::ScenarioSpec spec;
+    spec.name = "fig11";
     {
-        sim::Server server(machine, args.seed + 1);
-        server.addService(mo, std::make_unique<sim::DiurnalLoad>(
-                                  mo.maxLoadRps * coloc, 0.2, 1.0,
-                                  learn_steps / 6));
-        server.addService(mt, std::make_unique<sim::FixedLoad>(
-                                  mt.maxLoadRps * coloc, 0.2));
-        harness::ExperimentRunner runner(server, *twig);
-        harness::RunOptions opt;
-        opt.steps = learn_steps;
-        opt.summaryWindow = learn_steps;
-        runner.run(opt);
-    }
+        harness::ServiceLoadSpec moses;
+        moses.service = mo.name;
+        moses.pattern = "diurnal";
+        moses.fraction = 1.0;
+        moses.lowFraction = 0.2;
+        moses.periodSteps = learn_steps / 6;
+        moses.maxScale = coloc;
+        spec.services.push_back(moses);
 
-    // Evaluate on the ramp.
-    sim::Server server(machine, args.seed + 2);
-    server.addService(mo, std::make_unique<sim::RampLoad>(
-                              mo.maxLoadRps * coloc, 0.2, 1.0,
-                              ramp_steps));
-    server.addService(mt, std::make_unique<sim::FixedLoad>(
-                              mt.maxLoadRps * coloc, 0.2));
-    harness::ExperimentRunner runner(server, *twig);
-    harness::RunOptions opt;
-    opt.steps = ramp_steps;
-    opt.summaryWindow = ramp_steps;
-    opt.recordTrace = true;
-    const auto result = runner.run(opt);
+        harness::ServiceLoadSpec masstree;
+        masstree.service = mt.name;
+        masstree.fraction = 0.2;
+        masstree.maxScale = coloc;
+        spec.services.push_back(masstree);
+    }
+    spec.manager = "twig";
+    spec.paper = args.full;
+    spec.managerSeed = args.seed;
+    spec.steps = ramp_steps;
+    spec.window = ramp_steps;
+    spec.horizon = learn_steps;
+    spec.seed = args.seed + 1; // learning-phase server
+
+    harness::ScenarioEvent ramp;
+    ramp.afterSteps = learn_steps;
+    {
+        harness::ServiceLoadSpec moses;
+        moses.service = mo.name;
+        moses.pattern = "ramp";
+        moses.fraction = 1.0;
+        moses.lowFraction = 0.2;
+        moses.periodSteps = ramp_steps;
+        moses.maxScale = coloc;
+        ramp.services.push_back(moses);
+
+        harness::ServiceLoadSpec masstree;
+        masstree.service = mt.name;
+        masstree.fraction = 0.2;
+        masstree.maxScale = coloc;
+        ramp.services.push_back(masstree);
+    }
+    ramp.serverSeed = args.seed + 2; // evaluation server
+    spec.events.push_back(ramp);
+
+    harness::EngineOptions opts;
+    opts.recordTrace = true;
+    const auto result = harness::Engine(opts).run(spec).single;
 
     const std::size_t stride = ramp_steps / 16;
     std::printf("%-7s %10s | %-18s | %-18s | %7s\n", "step",

@@ -2,10 +2,12 @@
  * @file
  * Cluster scale-out experiment (src/cluster): fleet tail latency and
  * total power vs replica count under a diurnal load trace, for the
- * three routing policies.
+ * three routing policies. Every fleet (and each donor-training run)
+ * is one cluster-topology ScenarioSpec executed by the scenario
+ * engine.
  *
  * The fleet is deliberately heterogeneous — even nodes are full
- * 18-core sockets, odd nodes are cut-down 12-core parts — so the
+ * 18-core sockets, odd nodes are cut-down 6-core parts — so the
  * routing policy matters: a static equal split overloads the small
  * nodes while the capacity/latency-aware policies keep every replica
  * inside its sustainable envelope. Every node runs its own Twig-C
@@ -28,17 +30,13 @@
 
 #include <cstdio>
 #include <fstream>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.hh"
 #include "bench/managers.hh"
-#include "common/error.hh"
-#include "cluster/cluster_manager.hh"
-#include "core/twig_manager.hh"
+#include "harness/engine.hh"
 #include "services/tailbench.hh"
-#include "sim/loadgen.hh"
 
 using namespace twig;
 
@@ -58,80 +56,44 @@ constexpr double kHighFraction = 0.50;
 constexpr double kDonorLowFraction = 0.20;
 constexpr double kDonorHighFraction = 0.62;
 
-/** Even nodes: full 18-core sockets; odd nodes: cut-down 6-core parts.
- * An equal split hands the small nodes 2x their fair share, which is
- * past their envelope at the diurnal peak; capacity-aware splits keep
- * them at the fleet-relative operating point. */
-sim::MachineConfig
-machineForNode(std::size_t index)
-{
-    sim::MachineConfig m;
-    if (index % 2 == 1)
-        m.numCores = 6;
-    return m;
-}
+/** Donor checkpoint path for one core count; "{cores}" is the
+ * engine's per-node-shape placeholder. */
+constexpr const char *kDonorPattern = "fig12_twig_donor_{cores}c.ckpt";
 
-/** Donor checkpoint path for one machine shape. */
 std::string
-donorPath(const sim::MachineConfig &machine)
+donorPath(std::size_t cores)
 {
-    return "fig12_twig_donor_" + std::to_string(machine.numCores) +
-        "c.ckpt";
-}
-
-/** Twig-C factory for fleet nodes (fast preset over @p horizon). */
-cluster::ClusterManager::ManagerFactory
-twigFactory(std::size_t horizon, bool exploit_only)
-{
-    return [horizon, exploit_only](
-               const sim::MachineConfig &machine,
-               const std::vector<sim::ServiceProfile> &profiles,
-               std::uint64_t seed) -> std::unique_ptr<core::TaskManager> {
-        const auto maxima = services::calibrateCounterMaxima(machine);
-        std::vector<core::TwigServiceSpec> specs;
-        for (const auto &p : profiles)
-            specs.push_back(harness::makeTwigSpec(p, machine, seed ^ 77));
-        auto cfg = core::TwigConfig::fast(horizon);
-        cfg.exploitOnly = exploit_only;
-        return std::make_unique<core::TwigManager>(
-            cfg, machine, maxima, std::move(specs), seed);
-    };
+    return "fig12_twig_donor_" + std::to_string(cores) + "c.ckpt";
 }
 
 /**
- * Fleet-wide offered load for one service: the diurnal day/night curve
- * replayed from the fig01 trace shape when the repo data file is
- * around, a synthetic sinusoid otherwise. @p fleet_max_rps is the
- * fleet's aggregate sustainable rate for the service.
+ * Fleet-wide offered load entry for one service: the diurnal
+ * day/night curve replayed from the fig01 trace shape when the repo
+ * data file is around, a synthetic sinusoid otherwise. The engine
+ * scales the per-service peak by maxScale (the colocated max) times
+ * the fleet's aggregate capacity relative to one full-size node.
  */
-std::unique_ptr<sim::LoadGenerator>
-makeFleetLoad(double fleet_max_rps, double low, double high,
-              std::size_t period)
+harness::ServiceLoadSpec
+fleetLoadSpec(const std::string &service, double coloc_fraction,
+              double low, double high, std::size_t period)
 {
+    harness::ServiceLoadSpec spec;
+    spec.service = service;
+    spec.maxScale = coloc_fraction;
+    spec.fraction = high;
+    spec.lowFraction = low;
+    spec.periodSteps = period;
+    spec.pattern = "diurnal";
 #ifdef TWIG_SOURCE_DIR
     const std::string trace =
         std::string(TWIG_SOURCE_DIR) + "/fig01_memcached_pdf.csv";
-    if (std::ifstream(trace).good())
-        return sim::TraceLoad::fromCsv(fleet_max_rps, trace,
-                                       "pmc_density", low, high, period);
-#endif
-    return std::make_unique<sim::DiurnalLoad>(fleet_max_rps, low, high,
-                                              period);
-}
-
-/** Aggregate sustainable RPS of service @p svc across the fleet:
- * per-node colocated max scaled by each node's core count. */
-double
-fleetMaxRps(const sim::ServiceProfile &svc, double coloc_fraction,
-            std::size_t nodes)
-{
-    double sum = 0.0;
-    for (std::size_t n = 0; n < nodes; ++n) {
-        const auto machine = machineForNode(n);
-        sum += svc.maxLoadRps * coloc_fraction *
-            static_cast<double>(machine.numCores) / 18.0;
+    if (std::ifstream(trace).good()) {
+        spec.pattern = "trace";
+        spec.tracePath = trace;
+        spec.traceColumn = "pmc_density";
     }
-    return sum;
+#endif
+    return spec;
 }
 
 struct FleetSetup
@@ -145,39 +107,31 @@ struct FleetSetup
     std::uint64_t seed = 42;
 };
 
-/** All cores at max DVFS on every node: the no-intelligence fleet. */
-std::unique_ptr<core::TaskManager>
-staticFactory(const sim::MachineConfig &machine,
-              const std::vector<sim::ServiceProfile> &,
-              std::uint64_t)
+/** Scenario for one fleet of the sweep. Twig fleets always use the
+ * fast preset over the horizon (spec.paper stays false), as the
+ * original experiment did at any --full setting. */
+harness::ScenarioSpec
+fleetScenario(const FleetSetup &setup, std::size_t nodes,
+              const std::string &policy, bool twig, bool warm)
 {
-    return std::make_unique<baselines::StaticManager>(machine);
-}
-
-cluster::ClusterManager
-buildFleet(const FleetSetup &setup, std::size_t nodes,
-           cluster::RoutingPolicy policy,
-           const cluster::ClusterManager::ManagerFactory &factory,
-           bool warm)
-{
-    cluster::ClusterConfig cfg;
-    cfg.router.policy = policy;
-    cfg.jobs = setup.jobs;
-
-    std::vector<std::unique_ptr<sim::LoadGenerator>> loads;
+    harness::ScenarioSpec spec;
+    spec.name = "fig12-cluster";
+    spec.topology = "cluster";
     for (const auto &svc : setup.services)
-        loads.push_back(makeFleetLoad(
-            fleetMaxRps(svc, setup.colocFraction, nodes), kLowFraction,
-            kHighFraction, setup.steps));
-
-    cluster::ClusterManager fleet(cfg, setup.services, std::move(loads),
-                                  setup.seed);
-    for (std::size_t n = 0; n < nodes; ++n) {
-        const auto machine = machineForNode(n);
-        fleet.addNode(machine, factory,
-                      warm ? donorPath(machine) : std::string());
-    }
-    return fleet;
+        spec.services.push_back(
+            fleetLoadSpec(svc.name, setup.colocFraction, kLowFraction,
+                          kHighFraction, setup.steps));
+    spec.manager = twig ? "twig" : "static";
+    spec.steps = setup.steps;
+    spec.window = setup.window;
+    spec.horizon = setup.horizon;
+    spec.seed = setup.seed;
+    spec.nodes = nodes;
+    spec.hetero = true; // even: 18-core, odd: 6-core
+    spec.policy = policy;
+    if (warm)
+        spec.checkpoint = kDonorPattern; // also flips to exploit-only
+    return spec;
 }
 
 /** Train one donor Twig-C per machine shape and checkpoint it. */
@@ -185,27 +139,28 @@ void
 trainDonors(const FleetSetup &setup, std::size_t donor_steps)
 {
     for (std::size_t shape = 0; shape < 2; ++shape) {
-        const auto machine = machineForNode(shape);
-        cluster::ClusterConfig cfg; // single node, policy irrelevant
-        std::vector<std::unique_ptr<sim::LoadGenerator>> loads;
+        const std::size_t cores = shape == 0 ? 18 : 6;
+        harness::ScenarioSpec spec;
+        spec.name = "fig12-donor";
+        spec.topology = "cluster";
+        spec.machineCores = cores;
         for (const auto &svc : setup.services)
-            loads.push_back(makeFleetLoad(
-                svc.maxLoadRps * setup.colocFraction *
-                    static_cast<double>(machine.numCores) / 18.0,
-                kDonorLowFraction, kDonorHighFraction, donor_steps));
-        cluster::ClusterManager solo(cfg, setup.services,
-                                     std::move(loads),
-                                     setup.seed ^ (0xd0 + shape));
-        solo.addNode(machine, twigFactory(donor_steps, false));
-        for (std::size_t t = 0; t < donor_steps; ++t)
-            solo.step();
-        auto *twig =
-            dynamic_cast<core::TwigManager *>(&solo.node(0).manager());
-        common::fatalIf(!twig, "donor manager is not a TwigManager");
-        twig->saveCheckpoint(donorPath(machine));
+            spec.services.push_back(fleetLoadSpec(
+                svc.name, setup.colocFraction, kDonorLowFraction,
+                kDonorHighFraction, donor_steps));
+        spec.manager = "twig";
+        spec.steps = donor_steps;
+        spec.window = donor_steps;
+        spec.horizon = donor_steps;
+        spec.seed = setup.seed ^ (0xd0 + shape);
+        spec.nodes = 1;
+        spec.policy = "static"; // single node: routing is irrelevant
+
+        harness::EngineOptions opts;
+        opts.saveCheckpoint = donorPath(cores);
+        harness::Engine(opts).run(spec);
         std::printf("donor (%zu cores): trained %zu steps -> %s\n",
-                    machine.numCores, donor_steps,
-                    donorPath(machine).c_str());
+                    cores, donor_steps, donorPath(cores).c_str());
     }
 }
 
@@ -233,7 +188,7 @@ convergenceStep(const cluster::FleetRunResult &result,
 struct FleetKind
 {
     const char *label;
-    cluster::RoutingPolicy policy;
+    const char *policy;
     bool twig; ///< warm-started Twig-C nodes; else StaticManager nodes
 };
 
@@ -324,18 +279,20 @@ main(int argc, char **argv)
 
     trainDonors(setup, donor_schedule.steps);
 
+    harness::EngineOptions engine_opts;
+    engine_opts.jobs = setup.jobs;
+    const harness::Engine engine(engine_opts);
+
     // --- Scale-out sweep: fleet kinds x node counts ------------------
     // The static fleet (equal split onto all-cores-max nodes) is the
     // no-intelligence baseline; the Twig fleets differ only in router.
     const std::vector<std::size_t> node_counts = {1, 2, 4, 8};
     const std::vector<FleetKind> kinds = {
-        {"static", cluster::RoutingPolicy::Static, false},
-        {"static+twig", cluster::RoutingPolicy::Static, true},
-        {"wrr+twig", cluster::RoutingPolicy::WeightedRoundRobin, true},
-        {"p2c+twig", cluster::RoutingPolicy::PowerOfTwoLatency, true},
+        {"static", "static", false},
+        {"static+twig", "static", true},
+        {"wrr+twig", "wrr", true},
+        {"p2c+twig", "p2c-latency", true},
     };
-    const auto twig_factory =
-        twigFactory(setup.horizon, /*exploit_only=*/true);
 
     std::printf("\n%-12s %5s | %9s %9s | %6s %8s %6s %10s\n", "fleet",
                 "nodes", "p99[0]ms", "p99[1]ms", "QoS%", "power W",
@@ -343,23 +300,18 @@ main(int argc, char **argv)
     std::vector<PolicyRow> rows;
     for (const auto &kind : kinds) {
         for (const std::size_t nodes : node_counts) {
-            auto fleet = buildFleet(
-                setup, nodes, kind.policy,
-                kind.twig ? twig_factory
-                          : cluster::ClusterManager::ManagerFactory(
-                                staticFactory),
-                /*warm=*/kind.twig);
-            const auto result =
-                fleet.run(setup.steps, setup.window);
+            const auto result = engine.run(
+                fleetScenario(setup, nodes, kind.policy, kind.twig,
+                              /*warm=*/kind.twig));
             PolicyRow row;
-            row.policy = cluster::routingPolicyName(kind.policy);
+            row.policy = kind.policy;
             row.manager = kind.twig ? "twig-warm" : "static";
             row.nodes = nodes;
-            row.p99Ms = result.metrics.windowP99Ms;
-            row.qosPct = result.metrics.avgQosGuaranteePct();
-            row.powerW = result.metrics.meanPowerW;
-            row.energyJ = result.metrics.energyJoules;
-            countServed(result, setup.window, row);
+            row.p99Ms = result.fleet.metrics.windowP99Ms;
+            row.qosPct = result.fleet.metrics.avgQosGuaranteePct();
+            row.powerW = result.fleet.metrics.meanPowerW;
+            row.energyJ = result.fleet.metrics.energyJoules;
+            countServed(result.fleet, setup.window, row);
             rows.push_back(row);
             std::printf("%-12s %5zu | %9.2f %9.2f | %5.1f%% %8.1f "
                         "%5.1f%% %10.0f\n",
@@ -372,20 +324,17 @@ main(int argc, char **argv)
     // --- Warm-start vs cold convergence (largest fleet, p2c) ---------
     const std::size_t conv_nodes = node_counts.back();
     const std::size_t stable = 10;
-    auto cold_fleet = buildFleet(
-        setup, conv_nodes, cluster::RoutingPolicy::PowerOfTwoLatency,
-        twigFactory(setup.horizon, /*exploit_only=*/false),
-        /*warm=*/false);
-    const auto cold =
-        cold_fleet.run(setup.steps, setup.window);
-    const std::size_t cold_step = convergenceStep(cold, qos_targets, stable);
+    const auto cold = engine.run(
+        fleetScenario(setup, conv_nodes, "p2c-latency", /*twig=*/true,
+                      /*warm=*/false));
+    const std::size_t cold_step =
+        convergenceStep(cold.fleet, qos_targets, stable);
 
-    auto warm_fleet = buildFleet(
-        setup, conv_nodes, cluster::RoutingPolicy::PowerOfTwoLatency,
-        twig_factory, /*warm=*/true);
-    const auto warm =
-        warm_fleet.run(setup.steps, setup.window);
-    const std::size_t warm_step = convergenceStep(warm, qos_targets, stable);
+    const auto warm = engine.run(
+        fleetScenario(setup, conv_nodes, "p2c-latency", /*twig=*/true,
+                      /*warm=*/true));
+    const std::size_t warm_step =
+        convergenceStep(warm.fleet, qos_targets, stable);
 
     std::printf("\nwarm-start (%zu nodes, p2c-latency, %zu-step stable "
                 "window):\n  cold converges at step %zu, warm at step "

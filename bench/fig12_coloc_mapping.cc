@@ -2,7 +2,8 @@
  * @file
  * Fig. 12 reproduction: core-mapping distribution for PARTIES and
  * Twig-C with Masstree at 20 % and Moses at 80 % of max load,
- * summarised over 600 s.
+ * summarised over 600 s. Each manager's run is one ScenarioSpec
+ * executed by the scenario engine with trace recording on.
  *
  * Expected shape: PARTIES continuously nudges allocations (ping-pong,
  * one resource at a time) while Twig-C holds a stable mapping using
@@ -12,14 +13,12 @@
 
 #include <cstdio>
 #include <map>
-#include <memory>
+#include <string>
 
 #include "bench/bench_util.hh"
 #include "bench/managers.hh"
-#include "harness/runner.hh"
+#include "harness/engine.hh"
 #include "services/tailbench.hh"
-#include "sim/loadgen.hh"
-#include "sim/server.hh"
 
 using namespace twig;
 
@@ -71,10 +70,8 @@ main(int argc, char **argv)
     // every 2 s).
     const std::size_t window = args.full ? 600 : 300;
     const std::size_t steps = args.full ? 10600 : 2300;
-    const sim::MachineConfig machine;
     const auto mt = services::masstree();
     const auto mo = services::moses();
-    const bench::Schedule sched{steps, window, steps - window};
     // 20% / 80% apply to the pair's colocated max load (paper §V-B2).
     const double coloc =
         bench::colocatedMaxFraction(mt, mo, args.seed ^ 3);
@@ -82,27 +79,35 @@ main(int argc, char **argv)
     bench::banner("Fig. 12: mapping distribution, PARTIES vs Twig-C "
                   "(masstree 20% + moses 80%)");
 
-    auto run = [&](core::TaskManager &mgr) {
-        sim::Server server(machine, args.seed);
-        server.addService(mt, std::make_unique<sim::FixedLoad>(
-                                  mt.maxLoadRps * coloc, 0.2));
-        server.addService(mo, std::make_unique<sim::FixedLoad>(
-                                  mo.maxLoadRps * coloc, 0.8));
-        harness::ExperimentRunner runner(server, mgr);
-        harness::RunOptions opt;
-        opt.steps = steps;
-        opt.summaryWindow = window;
-        opt.recordTrace = true;
-        return runner.run(opt);
+    auto run = [&](const std::string &manager,
+                   std::uint64_t manager_seed) {
+        harness::ScenarioSpec spec;
+        spec.name = "fig12";
+        harness::ServiceLoadSpec masstree;
+        masstree.service = mt.name;
+        masstree.fraction = 0.2;
+        masstree.maxScale = coloc;
+        spec.services.push_back(masstree);
+        harness::ServiceLoadSpec moses;
+        moses.service = mo.name;
+        moses.fraction = 0.8;
+        moses.maxScale = coloc;
+        spec.services.push_back(moses);
+        spec.manager = manager;
+        spec.paper = args.full;
+        spec.managerSeed = manager_seed;
+        spec.steps = steps;
+        spec.window = window;
+        spec.horizon = steps - window;
+        spec.seed = args.seed; // both managers watch the same workload
+
+        harness::EngineOptions opts;
+        opts.recordTrace = true;
+        return harness::Engine(opts).run(spec).single;
     };
 
-    auto parties =
-        bench::makeParties(machine, {mt, mo}, args.seed + 1);
-    report("PARTIES", run(*parties), window);
-
-    auto twig = bench::makeTwig(machine, {mt, mo}, sched, args.full,
-                                args.seed + 2);
-    report("Twig-C", run(*twig), window);
+    report("PARTIES", run("parties", args.seed + 1), window);
+    report("Twig-C", run("twig", args.seed + 2), window);
 
     std::printf("\npaper shape: PARTIES makes continuous minor mapping "
                 "changes; Twig-C is stable and\nuses fewer resources "

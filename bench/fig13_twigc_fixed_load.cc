@@ -2,7 +2,8 @@
  * @file
  * Fig. 13 reproduction: Twig-C vs PARTIES vs static for all six
  * pairs of the four Tailbench services at low/mid/high colocated
- * loads.
+ * loads. Each cell is one ScenarioSpec run through the scenario
+ * engine (managers built by the registry).
  *
  * Colocated services run at a fraction of the max load each can
  * sustain *when colocated* (paper: typically ~60 % of solo max,
@@ -13,15 +14,13 @@
  */
 
 #include <cstdio>
-#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.hh"
 #include "bench/managers.hh"
-#include "harness/runner.hh"
+#include "harness/engine.hh"
 #include "services/tailbench.hh"
-#include "sim/loadgen.hh"
-#include "sim/server.hh"
 
 using namespace twig;
 
@@ -34,23 +33,31 @@ struct Cell
 };
 
 Cell
-runPair(core::TaskManager &mgr, const sim::ServiceProfile &a,
+runPair(const std::string &manager, const sim::ServiceProfile &a,
         const sim::ServiceProfile &b, double load,
         double coloc_fraction, const bench::Schedule &schedule,
-        std::uint64_t seed)
+        bool full, std::uint64_t server_seed, std::uint64_t manager_seed)
 {
-    sim::Server server(sim::MachineConfig{}, seed);
-    server.addService(a, std::make_unique<sim::FixedLoad>(
-                             a.maxLoadRps * coloc_fraction, load));
-    server.addService(b, std::make_unique<sim::FixedLoad>(
-                             b.maxLoadRps * coloc_fraction, load));
-    harness::ExperimentRunner runner(server, mgr);
-    harness::RunOptions opt;
-    opt.steps = schedule.steps;
-    opt.summaryWindow = schedule.summaryWindow;
-    const auto result = runner.run(opt);
-    return {result.metrics.avgQosGuaranteePct(),
-            result.metrics.energyJoules};
+    harness::ScenarioSpec spec;
+    spec.name = "fig13";
+    for (const auto *p : {&a, &b}) {
+        harness::ServiceLoadSpec svc;
+        svc.service = p->name;
+        svc.fraction = load;
+        svc.maxScale = coloc_fraction;
+        spec.services.push_back(std::move(svc));
+    }
+    spec.manager = manager;
+    spec.paper = full;
+    spec.managerSeed = manager_seed;
+    spec.steps = schedule.steps;
+    spec.window = schedule.summaryWindow;
+    spec.horizon = schedule.horizon;
+    spec.seed = server_seed;
+
+    const auto result = harness::Engine().run(spec);
+    return {result.single.metrics.avgQosGuaranteePct(),
+            result.single.metrics.energyJoules};
 }
 
 } // namespace
@@ -60,7 +67,6 @@ main(int argc, char **argv)
 {
     const auto args = bench::BenchArgs::parse(argc, argv);
     const auto schedule = bench::Schedule::pick(args.full, 2000, 300);
-    const sim::MachineConfig machine;
     const auto catalogue = services::tailbenchCatalogue();
 
     bench::banner("Fig. 13: Twig-C vs PARTIES vs static, colocated "
@@ -89,19 +95,14 @@ main(int argc, char **argv)
                     (i * 131 + j * 17 +
                      static_cast<std::uint64_t>(load * 100));
 
-                baselines::StaticManager static_mgr(machine);
-                const Cell s = runPair(static_mgr, a, b, load,
-                                       coloc, schedule, seed);
-
-                auto parties =
-                    bench::makeParties(machine, {a, b}, seed + 1);
-                const Cell p = runPair(*parties, a, b, load, coloc,
-                                       schedule, seed);
-
-                auto twig = bench::makeTwig(machine, {a, b}, schedule,
-                                            args.full, seed + 2);
-                const Cell t = runPair(*twig, a, b, load, coloc,
-                                       schedule, seed);
+                const Cell s = runPair("static", a, b, load, coloc,
+                                       schedule, args.full, seed, seed);
+                const Cell p = runPair("parties", a, b, load, coloc,
+                                       schedule, args.full, seed,
+                                       seed + 1);
+                const Cell t = runPair("twig", a, b, load, coloc,
+                                       schedule, args.full, seed,
+                                       seed + 2);
 
                 std::printf("%-10s+%-11s %4.0f%% |", a.name.c_str(),
                             b.name.c_str(), 100 * load * coloc);

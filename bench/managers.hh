@@ -1,183 +1,28 @@
 /**
  * @file
- * Shared manager construction for the comparison benches: builds Twig
- * and the baselines with schedules compressed to the bench horizon
- * (--full restores the paper's time constants).
+ * Forwarding header: shared manager construction moved into the
+ * harness (src/harness/managers.hh) so tools, benches and the scenario
+ * engine use one construction path. Kept so existing bench includes
+ * and the familiar bench:: spellings keep working.
  */
 
 #ifndef TWIG_BENCH_MANAGERS_HH
 #define TWIG_BENCH_MANAGERS_HH
 
-#include <memory>
-#include <vector>
-
-#include "baselines/heracles.hh"
-#include "baselines/hipster.hh"
-#include "baselines/parties.hh"
-#include "baselines/static_manager.hh"
-#include "core/mapper.hh"
-#include "core/twig_manager.hh"
+#include "harness/managers.hh"
 #include "harness/profiling.hh"
-#include "harness/sweep.hh"
 #include "services/microbench.hh"
-#include "sim/loadgen.hh"
-#include "sim/machine.hh"
-#include "sim/server.hh"
-#include "sim/service_profile.hh"
 
 namespace twig::bench {
 
-/** Schedule lengths for one comparison experiment. */
-struct Schedule
-{
-    std::size_t steps;         ///< total run length
-    std::size_t summaryWindow; ///< trailing window for metrics
-    std::size_t horizon;       ///< learning-schedule horizon
+using Schedule = harness::Schedule;
 
-    /** Compressed default or paper-length (--full). */
-    static Schedule
-    pick(bool full, std::size_t fast_steps = 900,
-         std::size_t fast_window = 150)
-    {
-        if (full) {
-            // Paper: results summarised after the first 10000 s over
-            // the last 300 s (600 s for the PARTIES comparison).
-            return {10300, 300, 10000};
-        }
-        return {fast_steps, fast_window, fast_steps};
-    }
-};
-
-/** Twig manager with per-service Eq. 2 models fit by profiling. */
-inline std::unique_ptr<core::TwigManager>
-makeTwig(const sim::MachineConfig &machine,
-         const std::vector<sim::ServiceProfile> &profiles,
-         const Schedule &schedule, bool full, std::uint64_t seed)
-{
-    const auto maxima = services::calibrateCounterMaxima(machine);
-    std::vector<core::TwigServiceSpec> specs;
-    for (const auto &p : profiles)
-        specs.push_back(harness::makeTwigSpec(p, machine, seed ^ 77));
-    const auto cfg = full ? core::TwigConfig::paper()
-                          : core::TwigConfig::fast(schedule.horizon);
-    return std::make_unique<core::TwigManager>(cfg, machine, maxima,
-                                               std::move(specs), seed);
-}
-
-/** Hipster with its learning phase compressed to the horizon. */
-inline std::unique_ptr<baselines::Hipster>
-makeHipster(const sim::MachineConfig &machine,
-            const sim::ServiceProfile &profile,
-            const Schedule &schedule, bool full, std::uint64_t seed)
-{
-    baselines::HipsterConfig cfg;
-    cfg.learningPhaseSteps = full ? 7500 : schedule.horizon / 2;
-    return std::make_unique<baselines::Hipster>(
-        cfg, machine, harness::makeBaselineSpec(profile), seed);
-}
-
-/** Heracles (paper-configured thresholds; lockout compressed). */
-inline std::unique_ptr<baselines::Heracles>
-makeHeracles(const sim::MachineConfig &machine,
-             const sim::ServiceProfile &profile, bool full)
-{
-    baselines::HeraclesConfig cfg;
-    cfg.lockoutSteps = full ? 300 : 60;
-    return std::make_unique<baselines::Heracles>(
-        cfg, machine, harness::makeBaselineSpec(profile));
-}
-
-/** PARTIES (paper-configured). */
-inline std::unique_ptr<baselines::Parties>
-makeParties(const sim::MachineConfig &machine,
-            const std::vector<sim::ServiceProfile> &profiles,
-            std::uint64_t seed)
-{
-    std::vector<baselines::BaselineServiceSpec> specs;
-    for (const auto &p : profiles)
-        specs.push_back(harness::makeBaselineSpec(p));
-    return std::make_unique<baselines::Parties>(
-        baselines::PartiesConfig{}, machine, std::move(specs), seed);
-}
-
-/**
- * One probe of the offline colocation sweep: does load fraction @p f
- * meet both QoS targets under the full static mapping? Each probe is
- * an independent simulation, so the sweep over fractions can fan out.
- */
-inline bool
-colocationProbePasses(const sim::ServiceProfile &a,
-                      const sim::ServiceProfile &b, double f,
-                      std::uint64_t seed)
-{
-    const sim::MachineConfig machine;
-    core::Mapper mapper(machine);
-    const auto full = mapper.map(
-        {core::ResourceRequest{machine.numCores,
-                               machine.dvfs.maxIndex()},
-         core::ResourceRequest{machine.numCores,
-                               machine.dvfs.maxIndex()}});
-    sim::Server server(machine, seed);
-    server.addService(a, std::make_unique<sim::FixedLoad>(
-                             a.maxLoadRps * f, 0.8));
-    server.addService(b, std::make_unique<sim::FixedLoad>(
-                             b.maxLoadRps * f, 0.8));
-    std::size_t met = 0, n = 0;
-    for (int i = 0; i < 18; ++i) {
-        const auto s = server.runInterval(full);
-        if (i < 3)
-            continue;
-        ++n;
-        met += (s.services[0].p99Ms <= a.qosTargetMs &&
-                s.services[1].p99Ms <= b.qosTargetMs)
-            ? 1
-            : 0;
-    }
-    return met * 10 >= n * 9; // >= 90% of probe intervals clean
-}
-
-/**
- * The paper's offline colocation sweep: the maximum load fraction (of
- * solo max) each service of a pair can run at when colocated, found by
- * lowering the fraction in 5% steps until the static mapping meets
- * both QoS targets at the pair's "high" (80%) operating point.
- *
- * With @p jobs > 1 every fraction is probed concurrently and the
- * largest passing one is returned — the probes use identical per-
- * fraction seeds either way, so the answer matches the serial walk.
- */
-inline double
-colocatedMaxFraction(const sim::ServiceProfile &a,
-                     const sim::ServiceProfile &b, std::uint64_t seed,
-                     std::size_t jobs = 1)
-{
-    std::vector<double> fractions;
-    for (int pct = 60; pct >= 30; pct -= 5)
-        fractions.push_back(pct / 100.0);
-
-    if (jobs <= 1) {
-        for (double f : fractions) {
-            if (colocationProbePasses(a, b, f, seed))
-                return f;
-        }
-        return fractions.back();
-    }
-
-    harness::SweepOptions opts;
-    opts.jobs = jobs;
-    opts.baseSeed = seed;
-    const harness::ParallelSweep sweep(opts);
-    const auto passed = sweep.map<int>(
-        fractions.size(), [&](std::size_t i, std::uint64_t) {
-            return colocationProbePasses(a, b, fractions[i], seed) ? 1
-                                                                   : 0;
-        });
-    for (std::size_t i = 0; i < fractions.size(); ++i) {
-        if (passed[i])
-            return fractions[i]; // largest passing, as in the walk
-    }
-    return fractions.back();
-}
+using harness::colocatedMaxFraction;
+using harness::colocationProbePasses;
+using harness::makeHeracles;
+using harness::makeHipster;
+using harness::makeParties;
+using harness::makeTwig;
 
 } // namespace twig::bench
 

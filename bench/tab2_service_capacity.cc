@@ -7,51 +7,64 @@
  * exponentially, with the server pinned to all cores on a socket at the
  * highest DVFS setting and no external interference. The maximum load
  * is the knee; the QoS target is the p99 just below the knee (plus a
- * small margin).
+ * small margin). Each measurement point is a ScenarioSpec (absolute
+ * max_rps, static manager = all cores at max DVFS) run through the
+ * scenario engine with a median-p99 sink.
  */
 
 #include <cstdio>
-#include <memory>
 #include <vector>
 
 #include "bench/bench_util.hh"
-#include "core/mapper.hh"
+#include "harness/engine.hh"
 #include "harness/sweep.hh"
 #include "services/tailbench.hh"
-#include "sim/loadgen.hh"
-#include "sim/server.hh"
 #include "stats/summary.hh"
 
 using namespace twig;
 
 namespace {
 
-struct SweepPoint
+/** Median interval p99, skipping the first two warmup intervals. */
+class MedianP99Sink : public harness::RecordSink
 {
-    double rps;
-    double p99Ms;
+  public:
+    void
+    record(const harness::StepRecord &rec) override
+    {
+        if (n_++ >= 2) // warmup
+            p99s_.add(rec.p99Ms[0]);
+    }
+
+    double median() { return p99s_.percentile(50.0); }
+
+  private:
+    stats::PercentileEstimator p99s_;
+    std::size_t n_ = 0;
 };
 
 /** p99 at a fixed load, all cores, max DVFS. */
 double
 measureP99(const sim::ServiceProfile &profile, double rps,
-           const sim::MachineConfig &machine, std::uint64_t seed,
-           std::size_t intervals)
+           std::uint64_t seed, std::size_t intervals)
 {
-    sim::Server server(machine, seed);
-    server.addService(profile,
-                      std::make_unique<sim::FixedLoad>(rps, 1.0));
-    core::Mapper mapper(machine);
-    const auto assignment = mapper.map({core::ResourceRequest{
-        machine.numCores, machine.dvfs.maxIndex()}});
+    harness::ScenarioSpec spec;
+    spec.name = "tab2";
+    harness::ServiceLoadSpec svc;
+    svc.service = profile.name;
+    svc.fraction = 1.0;
+    svc.maxRps = rps; // absolute, bypasses the profile's max
+    spec.services.push_back(svc);
+    spec.manager = "static"; // all cores at the highest DVFS state
+    spec.steps = intervals;
+    spec.window = intervals;
+    spec.seed = seed;
 
-    stats::PercentileEstimator p99s;
-    for (std::size_t i = 0; i < intervals; ++i) {
-        const auto stats_i = server.runInterval(assignment);
-        if (i >= 2) // warmup
-            p99s.add(stats_i.services[0].p99Ms);
-    }
-    return p99s.percentile(50.0); // median interval p99
+    MedianP99Sink sink;
+    harness::EngineOptions opts;
+    opts.sinks.push_back(&sink);
+    harness::Engine(opts).run(spec);
+    return sink.median();
 }
 
 } // namespace
@@ -60,7 +73,6 @@ int
 main(int argc, char **argv)
 {
     const auto args = bench::BenchArgs::parse(argc, argv);
-    const sim::MachineConfig machine;
     const std::size_t intervals = args.full ? 40 : 12;
 
     bench::banner("Table II: services from TailBench "
@@ -99,8 +111,8 @@ main(int argc, char **argv)
             const double frac = fractions[idx % fractions.size()];
             const std::uint64_t seed =
                 frac == 0.50 ? args.seed : args.seed + 1;
-            return measureP99(profile, profile.maxLoadRps * frac,
-                              machine, seed, intervals);
+            return measureP99(profile, profile.maxLoadRps * frac, seed,
+                              intervals);
         });
 
     for (std::size_t s = 0; s < catalogue.size(); ++s) {

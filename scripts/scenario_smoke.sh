@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Smoke-run every shipped scenario file at reduced step counts.
+#
+# Usage: scripts/scenario_smoke.sh [BUILD_DIR] [STEPS]
+#
+# Each scenarios/*.json is run through twig_sim --scenario (twig_sim
+# executes both single-node and cluster topologies), overriding the
+# file's schedule with a small --steps so the whole sweep finishes in
+# seconds. A run fails the smoke if it exits non-zero or if its output
+# carries no metrics (no QoS line).
+set -u
+
+cd "$(dirname "$0")/.."
+build_dir=${1:-build}
+steps=${2:-60}
+sim="$build_dir/tools/twig_sim"
+
+if [[ ! -x "$sim" ]]; then
+    echo "scenario_smoke: $sim not found -- build the project first" >&2
+    exit 1
+fi
+
+failures=0
+for scenario in scenarios/*.json; do
+    printf '== %s (steps=%s)\n' "$scenario" "$steps"
+    if ! out=$("$sim" --scenario "$scenario" --steps "$steps" 2>&1); then
+        printf '%s\n' "$out"
+        echo "scenario_smoke: FAIL $scenario (non-zero exit)" >&2
+        failures=$((failures + 1))
+        continue
+    fi
+    printf '%s\n' "$out"
+    if ! grep -q "QoS" <<<"$out"; then
+        echo "scenario_smoke: FAIL $scenario (no metrics in output)" >&2
+        failures=$((failures + 1))
+    fi
+done
+
+if [[ $failures -gt 0 ]]; then
+    echo "scenario_smoke: $failures scenario(s) failed" >&2
+    exit 1
+fi
+echo "scenario_smoke: all scenarios OK"

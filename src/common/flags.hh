@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Strict command-line flag parser for the tools (twig_sim,
+ * twig_cluster), in the same spirit as bench::BenchArgs::tryParse:
+ * unknown flags, missing values and malformed numbers are hard errors
+ * with a message, never silently ignored or defaulted.
+ *
+ * Flags are registered up front with a typed destination; parse()
+ * fills the destinations and returns either success, an error string,
+ * or a help request. Repeatable string flags append to a vector
+ * (e.g. --service NAME --service NAME).
+ */
+
+#ifndef TWIG_COMMON_FLAGS_HH
+#define TWIG_COMMON_FLAGS_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace twig::common {
+
+/** Typed flag registry + strict parser. */
+class FlagParser
+{
+  public:
+    struct Result
+    {
+        /** Empty on success; otherwise what is wrong with the line. */
+        std::string error;
+        bool helpRequested = false;
+
+        bool ok() const { return error.empty() && !helpRequested; }
+    };
+
+    /** --flag (no value): sets @p dest to true. */
+    void
+    addBool(const std::string &flag, bool *dest, const std::string &help)
+    {
+        flags_.push_back({flag, help + " (flag)",
+                          [dest](const std::string &) -> std::string {
+                              *dest = true;
+                              return {};
+                          },
+                          /*takesValue=*/false});
+    }
+
+    /** --flag VALUE: any string. */
+    void
+    addString(const std::string &flag, std::string *dest,
+              const std::string &help)
+    {
+        flags_.push_back({flag, help,
+                          [dest](const std::string &v) -> std::string {
+                              *dest = v;
+                              return {};
+                          },
+                          true});
+    }
+
+    /** --flag VALUE, repeatable: appends to @p dest. */
+    void
+    addStringList(const std::string &flag, std::vector<std::string> *dest,
+                  const std::string &help)
+    {
+        flags_.push_back({flag, help + " (repeatable)",
+                          [dest](const std::string &v) -> std::string {
+                              dest->push_back(v);
+                              return {};
+                          },
+                          true});
+    }
+
+    /** --flag N: non-negative integer. */
+    void
+    addCount(const std::string &flag, std::size_t *dest,
+             const std::string &help)
+    {
+        flags_.push_back(
+            {flag, help, [flag, dest](const std::string &v) -> std::string {
+                 std::uint64_t out = 0;
+                 if (!parseCount(v, out))
+                     return flag + " wants a non-negative integer, got '" +
+                         v + "'";
+                 *dest = static_cast<std::size_t>(out);
+                 return {};
+             },
+             true});
+    }
+
+    /** --flag N: 64-bit seed. */
+    void
+    addSeed(const std::string &flag, std::uint64_t *dest,
+            const std::string &help)
+    {
+        flags_.push_back(
+            {flag, help, [flag, dest](const std::string &v) -> std::string {
+                 std::uint64_t out = 0;
+                 if (!parseCount(v, out))
+                     return flag + " wants a non-negative integer, got '" +
+                         v + "'";
+                 *dest = out;
+                 return {};
+             },
+             true});
+    }
+
+    /** --flag F: finite double. */
+    void
+    addDouble(const std::string &flag, double *dest,
+              const std::string &help)
+    {
+        flags_.push_back(
+            {flag, help, [flag, dest](const std::string &v) -> std::string {
+                 errno = 0;
+                 char *end = nullptr;
+                 const double d = std::strtod(v.c_str(), &end);
+                 if (errno != 0 || end == v.c_str() || *end != '\0')
+                     return flag + " wants a number, got '" + v + "'";
+                 *dest = d;
+                 return {};
+             },
+             true});
+    }
+
+    /**
+     * Strict parse: every argv entry must be a registered flag (with
+     * its value when the flag takes one) or --help/-h. The first
+     * problem aborts the parse with Result::error set.
+     */
+    Result
+    parse(int argc, char **argv) const
+    {
+        Result res;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                res.helpRequested = true;
+                return res;
+            }
+            const Flag *flag = nullptr;
+            for (const auto &f : flags_) {
+                if (f.name == arg) {
+                    flag = &f;
+                    break;
+                }
+            }
+            if (flag == nullptr) {
+                res.error = "unknown flag '" + arg + "' (see --help)";
+                return res;
+            }
+            std::string value;
+            if (flag->takesValue) {
+                if (i + 1 >= argc) {
+                    res.error = arg + " is missing its value";
+                    return res;
+                }
+                value = argv[++i];
+            }
+            res.error = flag->apply(value);
+            if (!res.error.empty())
+                return res;
+        }
+        return res;
+    }
+
+    /** One "  --flag  help" line per registered flag. */
+    std::string
+    usageLines() const
+    {
+        std::string out;
+        for (const auto &f : flags_) {
+            out += "  " + f.name;
+            if (f.takesValue)
+                out += " V";
+            if (out.size() < 22)
+                out.append(22 - out.size() - (out.rfind('\n') == std::string::npos
+                                                  ? 0
+                                                  : out.rfind('\n') + 1),
+                           ' ');
+            out += "  " + f.help + "\n";
+        }
+        return out;
+    }
+
+  private:
+    struct Flag
+    {
+        std::string name;
+        std::string help;
+        /** Returns an error message, empty on success. */
+        std::function<std::string(const std::string &)> apply;
+        bool takesValue = true;
+    };
+
+    static bool
+    parseCount(const std::string &text, std::uint64_t &out)
+    {
+        if (text.empty() || text[0] == '-' || text[0] == '+')
+            return false;
+        errno = 0;
+        char *end = nullptr;
+        out = std::strtoull(text.c_str(), &end, 10);
+        return errno == 0 && end != text.c_str() && *end == '\0';
+    }
+
+    std::vector<Flag> flags_;
+};
+
+} // namespace twig::common
+
+#endif // TWIG_COMMON_FLAGS_HH

@@ -1,0 +1,441 @@
+#include "harness/engine.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hh"
+#include "core/twig_manager.hh"
+#include "harness/profiling.hh"
+#include "harness/sim_profile.hh"
+#include "services/tailbench.hh"
+#include "sim/loadgen.hh"
+#include "sim/server.hh"
+
+namespace twig::harness {
+
+namespace {
+
+/** Peak RPS of one service-load entry. @p capacity_factor scales
+ * relative peaks on the cluster topology (1.0 on single nodes);
+ * absolute max_rps overrides skip it. */
+double
+effectiveMaxRps(const ServiceLoadSpec &spec,
+                const sim::ServiceProfile &profile,
+                double capacity_factor)
+{
+    if (spec.maxRps > 0.0)
+        return spec.maxRps;
+    return profile.maxLoadRps * spec.maxScale * capacity_factor;
+}
+
+/** Build the load generator of one entry. @p segment_steps feeds the
+ * conventional per-pattern defaults (see ServiceLoadSpec). */
+std::unique_ptr<sim::LoadGenerator>
+makeLoadFromSpec(const ServiceLoadSpec &spec, double max_rps,
+                 std::size_t segment_steps)
+{
+    const double high = spec.fraction;
+    if (spec.pattern == "fixed")
+        return std::make_unique<sim::FixedLoad>(max_rps, high);
+    if (spec.pattern == "diurnal") {
+        const double low =
+            spec.lowFraction >= 0.0 ? spec.lowFraction : high * 0.4;
+        const std::size_t period = spec.periodSteps
+            ? spec.periodSteps
+            : segment_steps / 4;
+        return std::make_unique<sim::DiurnalLoad>(max_rps, low, high,
+                                                  period);
+    }
+    if (spec.pattern == "step") {
+        const double low = spec.lowFraction >= 0.0
+            ? spec.lowFraction
+            : std::max(0.1, high * 0.4);
+        const std::size_t period = spec.periodSteps
+            ? spec.periodSteps
+            : std::max<std::size_t>(segment_steps / 50, 1);
+        return std::make_unique<sim::StepwiseMonotonicLoad>(
+            max_rps, low, spec.changeFactor, period);
+    }
+    if (spec.pattern == "ramp") {
+        const double low =
+            spec.lowFraction >= 0.0 ? spec.lowFraction : high * 0.25;
+        const std::size_t duration =
+            spec.periodSteps ? spec.periodSteps : segment_steps;
+        return std::make_unique<sim::RampLoad>(max_rps, low, high,
+                                               duration);
+    }
+    if (spec.pattern == "trace") {
+        const double low =
+            spec.lowFraction >= 0.0 ? spec.lowFraction : high * 0.4;
+        const std::size_t period =
+            spec.periodSteps ? spec.periodSteps : segment_steps;
+        return sim::TraceLoad::fromCsv(max_rps, spec.tracePath,
+                                       spec.traceColumn, low, high,
+                                       period);
+    }
+    common::fatal("unknown load pattern: ", spec.pattern);
+}
+
+std::vector<sim::ServiceProfile>
+profilesFor(const std::vector<ServiceLoadSpec> &loads)
+{
+    std::vector<sim::ServiceProfile> out;
+    out.reserve(loads.size());
+    for (const auto &s : loads)
+        out.push_back(services::byName(s.service));
+    return out;
+}
+
+/** "{cores}" in a checkpoint path expands to the node's core count
+ * (per-machine-shape donor checkpoints). */
+std::string
+expandCheckpoint(const std::string &path, std::size_t cores)
+{
+    const std::string placeholder = "{cores}";
+    std::string out = path;
+    for (std::size_t pos = out.find(placeholder);
+         pos != std::string::npos; pos = out.find(placeholder, pos)) {
+        const std::string n = std::to_string(cores);
+        out.replace(pos, placeholder.size(), n);
+        pos += n.size();
+    }
+    return out;
+}
+
+} // namespace
+
+// --- CsvTraceSink ----------------------------------------------------
+
+void
+CsvTraceSink::begin(const ScenarioSpec &spec,
+                    const std::vector<sim::ServiceProfile> &profiles)
+{
+    singleTopology_ = spec.topology != "cluster";
+    numServices_ = profiles.size();
+    csv_ = std::make_unique<common::CsvWriter>(path_);
+    std::vector<std::string> header = {"step", "power_w"};
+    for (const auto &p : profiles) {
+        if (singleTopology_) {
+            header.push_back(p.name + "_cores");
+            header.push_back(p.name + "_dvfs_ghz");
+            header.push_back(p.name + "_p99_ms");
+            header.push_back(p.name + "_rps");
+        } else {
+            header.push_back(p.name + "_fleet_rps");
+            header.push_back(p.name + "_fleet_p99_ms");
+        }
+    }
+    csv_->header(header);
+}
+
+void
+CsvTraceSink::record(const StepRecord &rec)
+{
+    row_.clear();
+    row_.push_back(static_cast<double>(rec.step));
+    row_.push_back(rec.powerW);
+    for (std::size_t i = 0; i < numServices_; ++i) {
+        if (singleTopology_) {
+            row_.push_back(static_cast<double>(rec.cores[i]));
+            row_.push_back(1.2 +
+                           0.1 * static_cast<double>(rec.dvfs[i]));
+            row_.push_back(rec.p99Ms[i]);
+            row_.push_back(rec.offeredRps[i]);
+        } else {
+            row_.push_back(rec.offeredRps[i]);
+            row_.push_back(rec.p99Ms[i]);
+        }
+    }
+    csv_->rowVec(row_);
+    ++records_;
+}
+
+// --- MetricsSink -----------------------------------------------------
+
+void
+MetricsSink::begin(const ScenarioSpec &spec,
+                   const std::vector<sim::ServiceProfile> &profiles)
+{
+    std::vector<std::string> names;
+    std::vector<double> targets;
+    for (const auto &p : profiles) {
+        names.push_back(p.name);
+        targets.push_back(p.qosTargetMs);
+    }
+    acc_ = std::make_unique<MetricsAccumulator>(std::move(names),
+                                                std::move(targets));
+    const std::size_t window = spec.resolvedWindow();
+    windowStart_ = spec.steps > window ? spec.steps - window : 0;
+    intervalSeconds_ = sim::MachineConfig{}.intervalSeconds;
+}
+
+void
+MetricsSink::record(const StepRecord &rec)
+{
+    if (rec.step >= windowStart_)
+        acc_->add(rec.p99Ms, rec.powerW, intervalSeconds_);
+}
+
+void
+MetricsSink::end()
+{
+    metrics_ = acc_->finish();
+}
+
+// --- SimProfileSink --------------------------------------------------
+
+void
+SimProfileSink::begin(const ScenarioSpec &spec,
+                      const std::vector<sim::ServiceProfile> &)
+{
+    steps_ = spec.steps;
+    SimProfile::reset();
+    SimProfile::enable();
+}
+
+void
+SimProfileSink::end()
+{
+    std::printf("simulator phase breakdown (%zu steps):\n", steps_);
+    SimProfile::snapshot().print(stdout);
+    SimProfile::disable();
+}
+
+// --- EngineResult ----------------------------------------------------
+
+double
+EngineResult::meanPowerW() const
+{
+    return cluster ? fleet.metrics.meanPowerW : single.metrics.meanPowerW;
+}
+
+double
+EngineResult::energyJoules() const
+{
+    return cluster ? fleet.metrics.energyJoules
+                   : single.metrics.energyJoules;
+}
+
+std::size_t
+EngineResult::windowSteps() const
+{
+    return cluster ? fleet.metrics.windowSteps
+                   : single.metrics.windowSteps;
+}
+
+double
+EngineResult::avgQosGuaranteePct() const
+{
+    if (!cluster)
+        return single.metrics.avgQosGuaranteePct();
+    return fleet.metrics.avgQosGuaranteePct();
+}
+
+// --- Engine ----------------------------------------------------------
+
+EngineResult
+Engine::run(const ScenarioSpec &spec) const
+{
+    const ManagerRegistry &registry = options_.registry
+        ? *options_.registry
+        : ManagerRegistry::builtin();
+    const std::string err = spec.validate(registry);
+    common::fatalIf(!err.empty(), "scenario '", spec.name, "': ", err);
+    if (spec.topology == "cluster")
+        return runCluster(spec, registry);
+    return runSingle(spec, registry);
+}
+
+EngineResult
+Engine::runSingle(const ScenarioSpec &spec,
+                  const ManagerRegistry &registry) const
+{
+    sim::MachineConfig machine;
+    machine.numCores = spec.machineCores;
+    const auto initial_profiles = profilesFor(spec.services);
+    const Schedule sched{spec.steps, spec.resolvedWindow(),
+                         spec.resolvedHorizon()};
+
+    std::unique_ptr<core::TaskManager> owned;
+    core::TaskManager *manager = options_.managerOverride;
+    if (manager == nullptr) {
+        ManagerContext ctx;
+        ctx.machine = machine;
+        ctx.profiles = initial_profiles;
+        ctx.schedule = sched;
+        ctx.full = spec.paper;
+        ctx.seed = spec.managerSeed ? *spec.managerSeed : spec.seed + 1;
+        ctx.knobs = spec.knobs;
+        owned = registry.make(spec.manager, ctx);
+        manager = owned.get();
+    }
+
+    const auto final_profiles = profilesFor(spec.finalServices());
+    for (auto *sink : options_.sinks)
+        sink->begin(spec, final_profiles);
+
+    auto build_server = [&](const std::vector<ServiceLoadSpec> &loads,
+                            std::uint64_t seed,
+                            std::size_t segment_steps) {
+        auto server = std::make_unique<sim::Server>(machine, seed);
+        for (const auto &s : loads) {
+            const auto profile = services::byName(s.service);
+            server->addService(
+                profile,
+                makeLoadFromSpec(s, effectiveMaxRps(s, profile, 1.0),
+                                 segment_steps));
+        }
+        return server;
+    };
+
+    // Event segments: each runs on its own server, metrics discarded.
+    const std::vector<ServiceLoadSpec> *current = &spec.services;
+    std::uint64_t server_seed = spec.seed;
+    for (const auto &event : spec.events) {
+        auto server =
+            build_server(*current, server_seed, event.afterSteps);
+        ExperimentRunner runner(*server, *manager);
+        RunOptions run;
+        run.steps = event.afterSteps;
+        run.summaryWindow = event.afterSteps;
+        runner.run(run);
+
+        for (const auto &t : event.transfers) {
+            auto *twig = dynamic_cast<core::TwigManager *>(manager);
+            common::fatalIf(twig == nullptr,
+                            "transfer event needs a TwigManager");
+            twig->transferService(
+                t.serviceIndex,
+                makeTwigSpec(services::byName(t.service), machine,
+                             t.specSeed),
+                t.reexploreSteps);
+        }
+        if (!event.services.empty())
+            current = &event.services;
+        server_seed =
+            event.serverSeed ? *event.serverSeed : spec.seed;
+    }
+
+    // Final (measured) segment.
+    auto server = build_server(*current, server_seed, spec.steps);
+    ExperimentRunner runner(*server, *manager);
+    RunOptions run;
+    run.steps = spec.steps;
+    run.summaryWindow = sched.summaryWindow;
+    run.recordTrace = options_.recordTrace || !options_.sinks.empty();
+
+    EngineResult result;
+    result.managerName = manager->name();
+    result.single = runner.run(run);
+
+    StepRecord rec;
+    for (const auto &tr : result.single.trace) {
+        rec.step = tr.step;
+        rec.powerW = tr.socketPowerW;
+        rec.offeredRps = tr.offeredRps;
+        rec.p99Ms = tr.p99Ms;
+        rec.cores = tr.cores;
+        rec.dvfs = tr.dvfs;
+        for (auto *sink : options_.sinks)
+            sink->record(rec);
+    }
+    for (auto *sink : options_.sinks)
+        sink->end();
+    if (!options_.recordTrace)
+        result.single.trace.clear();
+    return result;
+}
+
+EngineResult
+Engine::runCluster(const ScenarioSpec &spec,
+                   const ManagerRegistry &registry) const
+{
+    const auto profiles = profilesFor(spec.services);
+    const sim::MachineConfig reference;
+    auto node_machine = [&](std::size_t index) {
+        sim::MachineConfig m;
+        m.numCores = spec.hetero && index % 2 == 1 ? 6
+                                                   : spec.machineCores;
+        return m;
+    };
+
+    // --load keeps its meaning at any node count: relative peaks scale
+    // with total fleet capacity vs one reference node.
+    double capacity_factor = 0.0;
+    for (std::size_t n = 0; n < spec.nodes; ++n) {
+        capacity_factor +=
+            static_cast<double>(node_machine(n).numCores) /
+            static_cast<double>(reference.numCores);
+    }
+
+    const std::size_t window = spec.resolvedWindow();
+    std::vector<std::unique_ptr<sim::LoadGenerator>> loads;
+    for (std::size_t s = 0; s < spec.services.size(); ++s) {
+        loads.push_back(makeLoadFromSpec(
+            spec.services[s],
+            effectiveMaxRps(spec.services[s], profiles[s],
+                            capacity_factor),
+            spec.steps));
+    }
+
+    cluster::ClusterConfig cfg;
+    cfg.router.policy = cluster::routingPolicyByName(spec.policy);
+    cfg.jobs = options_.jobs;
+    cluster::ClusterManager fleet(cfg, profiles, std::move(loads),
+                                  spec.seed);
+
+    const Schedule sched{spec.steps, window, spec.resolvedHorizon()};
+    const bool warm = !spec.checkpoint.empty();
+    const cluster::ClusterManager::ManagerFactory factory =
+        [&](const sim::MachineConfig &machine,
+            const std::vector<sim::ServiceProfile> &svcs,
+            std::uint64_t seed) -> std::unique_ptr<core::TaskManager> {
+        ManagerContext ctx;
+        ctx.machine = machine;
+        ctx.profiles = svcs;
+        ctx.schedule = sched;
+        ctx.full = spec.paper;
+        ctx.seed = seed;
+        ctx.knobs = spec.knobs;
+        if (warm)
+            ctx.knobs.exploitOnly = true; // deployed, trained policy
+        return registry.make(spec.manager, ctx);
+    };
+
+    for (std::size_t n = 0; n < spec.nodes; ++n) {
+        const auto machine = node_machine(n);
+        fleet.addNode(machine, factory,
+                      expandCheckpoint(spec.checkpoint,
+                                       machine.numCores));
+    }
+
+    for (auto *sink : options_.sinks)
+        sink->begin(spec, profiles);
+
+    EngineResult result;
+    result.cluster = true;
+    result.fleet = fleet.run(spec.steps, window);
+
+    StepRecord rec;
+    for (const auto &fs : result.fleet.trace) {
+        rec.step = fs.step;
+        rec.powerW = fs.totalPowerW;
+        rec.offeredRps = fs.offeredRps;
+        rec.p99Ms = fs.fleetP99Ms;
+        for (auto *sink : options_.sinks)
+            sink->record(rec);
+    }
+    for (auto *sink : options_.sinks)
+        sink->end();
+
+    if (!options_.saveCheckpoint.empty()) {
+        auto *twig = dynamic_cast<core::TwigManager *>(
+            &fleet.node(0).manager());
+        common::fatalIf(twig == nullptr,
+                        "save-checkpoint needs a TwigManager on node 0");
+        twig->saveCheckpoint(options_.saveCheckpoint);
+    }
+    return result;
+}
+
+} // namespace twig::harness

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Scenario engine: executes a ScenarioSpec on either topology —
+ * a single sim::Server driven through ExperimentRunner, or an N-node
+ * cluster::ClusterManager fleet — building the manager through the
+ * ManagerRegistry and emitting per-step records through composable
+ * RecordSinks (CSV trace, recomputed metrics, simulator cycle
+ * profile). Every tool and comparison bench funnels through here, so
+ * a scenario file, a CLI invocation and a bench cell are the same run.
+ */
+
+#ifndef TWIG_HARNESS_ENGINE_HH
+#define TWIG_HARNESS_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_manager.hh"
+#include "common/csv.hh"
+#include "harness/metrics.hh"
+#include "harness/registry.hh"
+#include "harness/runner.hh"
+#include "harness/scenario.hh"
+
+namespace twig::harness {
+
+/** One per-step record, topology-independent. */
+struct StepRecord
+{
+    std::size_t step = 0;
+    /** Socket power (single) / summed fleet power (cluster), W. */
+    double powerW = 0.0;
+    std::vector<double> offeredRps;
+    std::vector<double> p99Ms;
+    /** Requested cores / DVFS indices; empty on the cluster topology
+     * (resource decisions are per-node there). */
+    std::vector<std::size_t> cores;
+    std::vector<std::size_t> dvfs;
+};
+
+/** Observer of the final (measured) segment's per-step records. */
+class RecordSink
+{
+  public:
+    virtual ~RecordSink() = default;
+
+    /** Called once before the run, with the final segment's service
+     * profiles. */
+    virtual void
+    begin(const ScenarioSpec &spec,
+          const std::vector<sim::ServiceProfile> &profiles)
+    {
+        (void)spec;
+        (void)profiles;
+    }
+
+    virtual void record(const StepRecord &rec) = 0;
+
+    /** Called once after the last record. */
+    virtual void end() {}
+};
+
+/** CSV trace writer: the twig_sim per-step layout on the single
+ * topology (cores/DVFS/p99/RPS per service), the twig_cluster fleet
+ * layout (RPS/p99 per service) on the cluster. */
+class CsvTraceSink : public RecordSink
+{
+  public:
+    explicit CsvTraceSink(std::string path) : path_(std::move(path)) {}
+
+    void begin(const ScenarioSpec &spec,
+               const std::vector<sim::ServiceProfile> &profiles) override;
+    void record(const StepRecord &rec) override;
+
+    const std::string &path() const { return path_; }
+    /** Rows written so far. */
+    std::size_t records() const { return records_; }
+
+  private:
+    std::string path_;
+    std::unique_ptr<common::CsvWriter> csv_;
+    bool singleTopology_ = true;
+    std::size_t numServices_ = 0;
+    std::size_t records_ = 0;
+    std::vector<double> row_;
+};
+
+/** Recomputes RunMetrics from the record stream over the trailing
+ * window — a cross-check of the runner's internal accumulator and the
+ * metrics surface for fleet runs. */
+class MetricsSink : public RecordSink
+{
+  public:
+    void begin(const ScenarioSpec &spec,
+               const std::vector<sim::ServiceProfile> &profiles) override;
+    void record(const StepRecord &rec) override;
+    void end() override;
+
+    /** Valid after end(). */
+    const RunMetrics &metrics() const { return metrics_; }
+
+  private:
+    std::unique_ptr<MetricsAccumulator> acc_;
+    std::size_t windowStart_ = 0;
+    double intervalSeconds_ = 1.0;
+    RunMetrics metrics_;
+};
+
+/** Wraps the run in the per-phase simulator cycle counters and prints
+ * the breakdown at end() (tools' --sim-profile). */
+class SimProfileSink : public RecordSink
+{
+  public:
+    void begin(const ScenarioSpec &spec,
+               const std::vector<sim::ServiceProfile> &profiles) override;
+    void record(const StepRecord &rec) override { (void)rec; }
+    void end() override;
+
+  private:
+    std::size_t steps_ = 0;
+};
+
+/** Engine execution options (runtime concerns that are not part of
+ * the experiment's identity, so they live outside the spec). */
+struct EngineOptions
+{
+    /** Node-stepping threads on the cluster topology (bit-identical
+     * at any value). */
+    std::size_t jobs = 1;
+    /** Keep the single-topology per-step trace in the result. */
+    bool recordTrace = false;
+    /** Observers of the final segment (not owned). */
+    std::vector<RecordSink *> sinks;
+    /** Run this manager instead of building one from the spec
+     * (single topology only; for pre-built or ablated managers). */
+    core::TaskManager *managerOverride = nullptr;
+    /** Cluster: write node 0's trained BDQ checkpoint here after the
+     * run (the manager must be a TwigManager). */
+    std::string saveCheckpoint;
+    /** Manager registry (default: ManagerRegistry::builtin()). */
+    const ManagerRegistry *registry = nullptr;
+};
+
+/** Result of one scenario run. */
+struct EngineResult
+{
+    bool cluster = false;
+    /** TaskManager::name() of the manager that ran (single only). */
+    std::string managerName;
+    /** Single topology: final-segment metrics (+ trace when
+     * EngineOptions::recordTrace). */
+    RunResult single;
+    /** Cluster topology: fleet metrics + always-on fleet trace. */
+    cluster::FleetRunResult fleet;
+
+    /** Topology-independent view of the headline numbers. */
+    double meanPowerW() const;
+    double energyJoules() const;
+    std::size_t windowSteps() const;
+    double avgQosGuaranteePct() const;
+};
+
+/** Executes ScenarioSpecs. */
+class Engine
+{
+  public:
+    explicit Engine(EngineOptions options = {})
+        : options_(std::move(options))
+    {
+    }
+
+    /** Run @p spec (fatal on a spec that fails validate()). */
+    EngineResult run(const ScenarioSpec &spec) const;
+
+  private:
+    EngineResult runSingle(const ScenarioSpec &spec,
+                           const ManagerRegistry &registry) const;
+    EngineResult runCluster(const ScenarioSpec &spec,
+                            const ManagerRegistry &registry) const;
+
+    EngineOptions options_;
+};
+
+} // namespace twig::harness
+
+#endif // TWIG_HARNESS_ENGINE_HH

@@ -1,0 +1,335 @@
+#include "harness/scenario.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace twig::harness {
+
+using common::Json;
+
+// --- ServiceLoadSpec -------------------------------------------------
+
+Json
+ServiceLoadSpec::toJson() const
+{
+    Json j = Json::object();
+    j.set("service", service);
+    j.set("pattern", pattern);
+    j.set("fraction", fraction);
+    if (maxScale != 1.0)
+        j.set("max_scale", maxScale);
+    if (maxRps > 0.0)
+        j.set("max_rps", maxRps);
+    if (lowFraction >= 0.0)
+        j.set("low_fraction", lowFraction);
+    if (periodSteps != 0)
+        j.set("period_steps", periodSteps);
+    if (changeFactor != 0.2)
+        j.set("change_factor", changeFactor);
+    if (!tracePath.empty())
+        j.set("trace_path", tracePath);
+    if (!traceColumn.empty())
+        j.set("trace_column", traceColumn);
+    return j;
+}
+
+ServiceLoadSpec
+ServiceLoadSpec::fromJson(const Json &j)
+{
+    ServiceLoadSpec s;
+    s.service = j.at("service").asString();
+    s.pattern = j.stringOr("pattern", s.pattern);
+    s.fraction = j.numberOr("fraction", s.fraction);
+    s.maxScale = j.numberOr("max_scale", s.maxScale);
+    s.maxRps = j.numberOr("max_rps", s.maxRps);
+    s.lowFraction = j.numberOr("low_fraction", s.lowFraction);
+    s.periodSteps = static_cast<std::size_t>(
+        j.indexOr("period_steps", s.periodSteps));
+    s.changeFactor = j.numberOr("change_factor", s.changeFactor);
+    s.tracePath = j.stringOr("trace_path", s.tracePath);
+    s.traceColumn = j.stringOr("trace_column", s.traceColumn);
+    return s;
+}
+
+// --- TransferSpec ----------------------------------------------------
+
+Json
+TransferSpec::toJson() const
+{
+    Json j = Json::object();
+    j.set("service_index", serviceIndex);
+    j.set("service", service);
+    j.set("spec_seed", specSeed);
+    j.set("reexplore_steps", reexploreSteps);
+    return j;
+}
+
+TransferSpec
+TransferSpec::fromJson(const Json &j)
+{
+    TransferSpec t;
+    t.serviceIndex = static_cast<std::size_t>(
+        j.indexOr("service_index", t.serviceIndex));
+    t.service = j.at("service").asString();
+    t.specSeed = j.indexOr("spec_seed", t.specSeed);
+    t.reexploreSteps = static_cast<std::size_t>(
+        j.indexOr("reexplore_steps", t.reexploreSteps));
+    return t;
+}
+
+// --- ScenarioEvent ---------------------------------------------------
+
+Json
+ScenarioEvent::toJson() const
+{
+    Json j = Json::object();
+    j.set("after_steps", afterSteps);
+    if (!transfers.empty()) {
+        Json arr = Json::array();
+        for (const auto &t : transfers)
+            arr.push(t.toJson());
+        j.set("transfers", std::move(arr));
+    }
+    if (!services.empty()) {
+        Json arr = Json::array();
+        for (const auto &s : services)
+            arr.push(s.toJson());
+        j.set("services", std::move(arr));
+    }
+    if (serverSeed)
+        j.set("server_seed", *serverSeed);
+    return j;
+}
+
+ScenarioEvent
+ScenarioEvent::fromJson(const Json &j)
+{
+    ScenarioEvent e;
+    e.afterSteps =
+        static_cast<std::size_t>(j.at("after_steps").asIndex());
+    if (const Json *arr = j.find("transfers")) {
+        for (std::size_t i = 0; i < arr->size(); ++i)
+            e.transfers.push_back(TransferSpec::fromJson(arr->at(i)));
+    }
+    if (const Json *arr = j.find("services")) {
+        for (std::size_t i = 0; i < arr->size(); ++i)
+            e.services.push_back(ServiceLoadSpec::fromJson(arr->at(i)));
+    }
+    if (const Json *seed = j.find("server_seed"))
+        e.serverSeed = seed->asIndex();
+    return e;
+}
+
+// --- ScenarioSpec ----------------------------------------------------
+
+std::size_t
+ScenarioSpec::resolvedWindow() const
+{
+    if (window != 0)
+        return std::min(window, steps);
+    if (topology == "cluster")
+        return std::min(std::max<std::size_t>(steps / 4, 1), steps);
+    return std::max<std::size_t>(steps / 6, 1);
+}
+
+const std::vector<ServiceLoadSpec> &
+ScenarioSpec::finalServices() const
+{
+    for (auto it = events.rbegin(); it != events.rend(); ++it) {
+        if (!it->services.empty())
+            return it->services;
+    }
+    return services;
+}
+
+std::string
+ScenarioSpec::validate(const ManagerRegistry &registry) const
+{
+    if (topology != "single" && topology != "cluster")
+        return "unknown topology '" + topology +
+            "' (want single | cluster)";
+    if (services.empty())
+        return "scenario hosts no services";
+    if (steps == 0)
+        return "scenario has zero steps";
+    if (machineCores == 0)
+        return "scenario machine has zero cores";
+
+    auto checkLoads =
+        [](const std::vector<ServiceLoadSpec> &loads) -> std::string {
+        for (const auto &s : loads) {
+            if (s.service.empty())
+                return "service entry without a name";
+            if (s.pattern != "fixed" && s.pattern != "diurnal" &&
+                s.pattern != "step" && s.pattern != "ramp" &&
+                s.pattern != "trace") {
+                return "unknown load pattern '" + s.pattern +
+                    "' (want fixed | diurnal | step | ramp | trace)";
+            }
+            if (s.pattern == "trace" &&
+                (s.tracePath.empty() || s.traceColumn.empty()))
+                return "trace pattern needs trace_path and trace_column";
+        }
+        return {};
+    };
+    if (auto err = checkLoads(services); !err.empty())
+        return err;
+
+    // The manager is built for the initial mix; event segments must
+    // keep the service count (the manager's branching is fixed).
+    const std::size_t n_svc = services.size();
+    if (auto err = registry.validate(manager, n_svc); !err.empty())
+        return err;
+    for (const auto &e : events) {
+        if (e.afterSteps == 0)
+            return "event with zero after_steps";
+        if (auto err = checkLoads(e.services); !err.empty())
+            return err;
+        if (!e.services.empty() && e.services.size() != n_svc)
+            return "event changes the service count (manager "
+                   "architecture is fixed at construction)";
+        for (const auto &t : e.transfers) {
+            if (t.serviceIndex >= n_svc)
+                return "transfer service_index out of range";
+            if (t.service.empty())
+                return "transfer without a target service";
+            if (manager != "twig")
+                return "transfers need the twig manager";
+        }
+    }
+
+    if (topology == "cluster") {
+        if (nodes == 0)
+            return "cluster scenario with zero nodes";
+        if (policy != "static" && policy != "wrr" &&
+            policy != "p2c-latency")
+            return "unknown routing policy '" + policy +
+                "' (want static | wrr | p2c-latency)";
+        if (!checkpoint.empty() && manager != "twig")
+            return "checkpoint warm-start needs the twig manager";
+        if (!events.empty())
+            return "events are only supported on the single topology";
+    }
+    return {};
+}
+
+Json
+ScenarioSpec::toJson() const
+{
+    Json j = Json::object();
+    j.set("name", name);
+    if (!description.empty())
+        j.set("description", description);
+    j.set("topology", topology);
+    if (machineCores != 18)
+        j.set("machine_cores", machineCores);
+
+    Json svcs = Json::array();
+    for (const auto &s : services)
+        svcs.push(s.toJson());
+    j.set("services", std::move(svcs));
+
+    Json mgr = Json::object();
+    mgr.set("name", manager);
+    if (paper)
+        mgr.set("paper", true);
+    if (managerSeed)
+        mgr.set("seed", *managerSeed);
+    if (knobs.any()) {
+        Json k = Json::object();
+        if (knobs.theta)
+            k.set("theta", *knobs.theta);
+        if (knobs.eta)
+            k.set("eta", *knobs.eta);
+        if (knobs.alpha)
+            k.set("alpha", *knobs.alpha);
+        if (knobs.exploitOnly)
+            k.set("exploit_only", true);
+        mgr.set("knobs", std::move(k));
+    }
+    j.set("manager", std::move(mgr));
+
+    j.set("steps", steps);
+    if (window != 0)
+        j.set("window", window);
+    if (horizon != 0)
+        j.set("horizon", horizon);
+    j.set("seed", seed);
+
+    if (!events.empty()) {
+        Json arr = Json::array();
+        for (const auto &e : events)
+            arr.push(e.toJson());
+        j.set("events", std::move(arr));
+    }
+
+    if (topology == "cluster") {
+        Json c = Json::object();
+        c.set("nodes", nodes);
+        if (hetero)
+            c.set("hetero", true);
+        c.set("policy", policy);
+        if (!checkpoint.empty())
+            c.set("checkpoint", checkpoint);
+        j.set("cluster", std::move(c));
+    }
+    return j;
+}
+
+ScenarioSpec
+ScenarioSpec::fromJson(const Json &j)
+{
+    ScenarioSpec s;
+    s.name = j.stringOr("name", "");
+    s.description = j.stringOr("description", "");
+    s.topology = j.stringOr("topology", s.topology);
+    s.machineCores = static_cast<std::size_t>(
+        j.indexOr("machine_cores", s.machineCores));
+
+    const Json &svcs = j.at("services");
+    for (std::size_t i = 0; i < svcs.size(); ++i)
+        s.services.push_back(ServiceLoadSpec::fromJson(svcs.at(i)));
+
+    if (const Json *mgr = j.find("manager")) {
+        s.manager = mgr->stringOr("name", s.manager);
+        s.paper = mgr->boolOr("paper", false);
+        if (const Json *seed = mgr->find("seed"))
+            s.managerSeed = seed->asIndex();
+        if (const Json *k = mgr->find("knobs")) {
+            if (const Json *v = k->find("theta"))
+                s.knobs.theta = v->asNumber();
+            if (const Json *v = k->find("eta"))
+                s.knobs.eta = static_cast<std::size_t>(v->asIndex());
+            if (const Json *v = k->find("alpha"))
+                s.knobs.alpha = v->asNumber();
+            s.knobs.exploitOnly = k->boolOr("exploit_only", false);
+        }
+    }
+
+    s.steps = static_cast<std::size_t>(j.indexOr("steps", s.steps));
+    s.window = static_cast<std::size_t>(j.indexOr("window", 0));
+    s.horizon = static_cast<std::size_t>(j.indexOr("horizon", 0));
+    s.seed = j.indexOr("seed", s.seed);
+
+    if (const Json *arr = j.find("events")) {
+        for (std::size_t i = 0; i < arr->size(); ++i)
+            s.events.push_back(ScenarioEvent::fromJson(arr->at(i)));
+    }
+
+    if (const Json *c = j.find("cluster")) {
+        s.nodes = static_cast<std::size_t>(c->indexOr("nodes", s.nodes));
+        s.hetero = c->boolOr("hetero", false);
+        s.policy = c->stringOr("policy", s.policy);
+        s.checkpoint = c->stringOr("checkpoint", "");
+    }
+    return s;
+}
+
+ScenarioSpec
+ScenarioSpec::fromFile(const std::string &path)
+{
+    return fromJson(Json::parseFile(path));
+}
+
+} // namespace twig::harness

@@ -116,6 +116,52 @@ TEST(Runner, OnStepHookFires)
     EXPECT_EQ(calls, 7u);
 }
 
+TEST(Runner, OnStepOrderingAndTraceContentsAgree)
+{
+    sim::MachineConfig machine;
+    sim::Server server(machine, 24);
+    const auto p = services::masstree();
+    server.addService(p,
+                      std::make_unique<sim::FixedLoad>(p.maxLoadRps, 0.4));
+    baselines::StaticManager mgr(machine);
+    ExperimentRunner runner(server, mgr);
+
+    // The hook fires once per interval, in step order, with the stats
+    // of the interval that just ran.
+    std::vector<std::size_t> hook_steps;
+    std::vector<double> hook_p99, hook_rps, hook_power;
+    RunOptions opt;
+    opt.steps = 9;
+    opt.summaryWindow = 9;
+    opt.recordTrace = true;
+    opt.onStep = [&](std::size_t step,
+                     const sim::ServerIntervalStats &stats) {
+        hook_steps.push_back(step);
+        ASSERT_EQ(stats.services.size(), 1u);
+        hook_p99.push_back(stats.services[0].p99Ms);
+        hook_rps.push_back(stats.services[0].offeredRps);
+        hook_power.push_back(stats.socketPowerW);
+    };
+    const auto result = runner.run(opt);
+
+    ASSERT_EQ(hook_steps.size(), 9u);
+    ASSERT_EQ(result.trace.size(), 9u);
+    for (std::size_t i = 0; i < 9; ++i) {
+        EXPECT_EQ(hook_steps[i], i);
+        const auto &rec = result.trace[i];
+        EXPECT_EQ(rec.step, i);
+        // Trace rows and the hook observe the same interval.
+        EXPECT_DOUBLE_EQ(rec.p99Ms[0], hook_p99[i]);
+        EXPECT_DOUBLE_EQ(rec.offeredRps[0], hook_rps[i]);
+        EXPECT_DOUBLE_EQ(rec.socketPowerW, hook_power[i]);
+        // The static manager requests everything, every interval.
+        ASSERT_EQ(rec.cores.size(), 1u);
+        ASSERT_EQ(rec.dvfs.size(), 1u);
+        EXPECT_EQ(rec.cores[0], machine.numCores);
+        EXPECT_EQ(rec.dvfs[0], machine.dvfs.maxIndex());
+    }
+}
+
 TEST(Runner, SummaryWindowLargerThanRunIsWholeRun)
 {
     sim::MachineConfig machine;

@@ -1,0 +1,459 @@
+/** @file
+ * Tests for the declarative scenario layer: ScenarioSpec JSON
+ * round-trips, registry/spec validation errors, and fixed-seed golden
+ * runs proving the engine reproduces hand-built harness runs on both
+ * topologies (the refactored benches rely on this equivalence).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "baselines/static_manager.hh"
+#include "cluster/cluster_manager.hh"
+#include "common/error.hh"
+#include "harness/engine.hh"
+#include "harness/managers.hh"
+#include "harness/runner.hh"
+#include "services/tailbench.hh"
+#include "sim/loadgen.hh"
+#include "sim/server.hh"
+
+using namespace twig;
+using namespace twig::harness;
+
+namespace {
+
+ScenarioSpec
+richSpec()
+{
+    ScenarioSpec spec;
+    spec.name = "round-trip";
+    spec.description = "every optional field set";
+    spec.services.push_back([] {
+        ServiceLoadSpec s;
+        s.service = "masstree";
+        s.pattern = "diurnal";
+        s.fraction = 0.8;
+        s.maxScale = 0.6;
+        s.lowFraction = 0.2;
+        s.periodSteps = 50;
+        return s;
+    }());
+    spec.services.push_back([] {
+        ServiceLoadSpec s;
+        s.service = "moses";
+        s.pattern = "step";
+        s.fraction = 1.0;
+        s.changeFactor = 0.3;
+        s.maxRps = 1234.5;
+        return s;
+    }());
+    spec.manager = "twig";
+    spec.knobs.theta = 0.25;
+    spec.knobs.eta = 9;
+    spec.knobs.alpha = 0.6;
+    spec.paper = true;
+    spec.managerSeed = 4082637488651899829ULL; // > 2^53: exactness
+    spec.steps = 2000;
+    spec.window = 300;
+    spec.horizon = 1500;
+    spec.seed = 7297471543603743092ULL;
+    ScenarioEvent event;
+    event.afterSteps = 700;
+    event.transfers.push_back([] {
+        TransferSpec t;
+        t.serviceIndex = 1;
+        t.service = "xapian";
+        t.specSeed = 47;
+        t.reexploreSteps = 100;
+        return t;
+    }());
+    event.services.push_back(spec.services[0]);
+    event.services.push_back(spec.services[1]);
+    event.serverSeed = 99;
+    spec.events.push_back(event);
+    return spec;
+}
+
+} // namespace
+
+TEST(ScenarioSpec, JsonRoundTripIsByteIdentical)
+{
+    const ScenarioSpec spec = richSpec();
+    const std::string once = spec.toJson().dump(2);
+    const ScenarioSpec back =
+        ScenarioSpec::fromJson(common::Json::parse(once));
+    EXPECT_EQ(back.toJson().dump(2), once);
+
+    // Spot-check fields that have non-trivial encodings.
+    EXPECT_EQ(back.name, spec.name);
+    EXPECT_EQ(back.services.size(), 2u);
+    EXPECT_EQ(back.services[0].pattern, "diurnal");
+    EXPECT_DOUBLE_EQ(back.services[1].maxRps, 1234.5);
+    ASSERT_TRUE(back.managerSeed.has_value());
+    EXPECT_EQ(*back.managerSeed, 4082637488651899829ULL);
+    EXPECT_EQ(back.seed, 7297471543603743092ULL);
+    EXPECT_DOUBLE_EQ(*back.knobs.theta, 0.25);
+    EXPECT_EQ(*back.knobs.eta, 9u);
+    ASSERT_EQ(back.events.size(), 1u);
+    EXPECT_EQ(back.events[0].transfers[0].service, "xapian");
+    EXPECT_EQ(*back.events[0].serverSeed, 99u);
+}
+
+TEST(ScenarioSpec, ClusterFieldsRoundTrip)
+{
+    ScenarioSpec spec;
+    spec.name = "fleet";
+    spec.topology = "cluster";
+    spec.machineCores = 12;
+    ServiceLoadSpec s;
+    s.service = "masstree";
+    spec.services.push_back(s);
+    spec.nodes = 8;
+    spec.hetero = true;
+    spec.policy = "wrr";
+    spec.checkpoint = "donor_{cores}c.ckpt";
+
+    const std::string once = spec.toJson().dump();
+    const ScenarioSpec back =
+        ScenarioSpec::fromJson(common::Json::parse(once));
+    EXPECT_EQ(back.toJson().dump(), once);
+    EXPECT_EQ(back.machineCores, 12u);
+    EXPECT_EQ(back.nodes, 8u);
+    EXPECT_TRUE(back.hetero);
+    EXPECT_EQ(back.policy, "wrr");
+    EXPECT_EQ(back.checkpoint, "donor_{cores}c.ckpt");
+}
+
+#ifdef TWIG_SOURCE_DIR
+TEST(ScenarioSpec, ShippedFig05FileCarriesTheSweepCellSeeds)
+{
+    const auto spec = ScenarioSpec::fromFile(
+        std::string(TWIG_SOURCE_DIR) + "/scenarios/fig05.json");
+    EXPECT_EQ(spec.name, "fig05");
+    EXPECT_EQ(spec.manager, "twig");
+    ASSERT_EQ(spec.services.size(), 1u);
+    EXPECT_EQ(spec.services[0].service, "masstree");
+    EXPECT_DOUBLE_EQ(spec.services[0].fraction, 0.5);
+    // sweepSeed(42, pair=1) / sweepSeed(42, idx=7) of the fig05 sweep.
+    EXPECT_EQ(spec.seed, 7297471543603743092ULL);
+    ASSERT_TRUE(spec.managerSeed.has_value());
+    EXPECT_EQ(*spec.managerSeed, 4082637488651899829ULL);
+    const ManagerRegistry &registry = ManagerRegistry::builtin();
+    EXPECT_EQ(spec.validate(registry), "");
+}
+#endif
+
+TEST(Registry, UnknownManagerListsValidNames)
+{
+    const ManagerRegistry &registry = ManagerRegistry::builtin();
+    EXPECT_EQ(registry.validate("nope", 1),
+              "unknown manager 'nope', valid managers are: twig, "
+              "static, hipster, heracles, parties");
+    EXPECT_EQ(registry.validate("hipster", 2),
+              "manager 'hipster' only supports a single service (2 "
+              "requested)");
+    EXPECT_EQ(registry.validate("heracles", 3),
+              "manager 'heracles' only supports a single service (3 "
+              "requested)");
+    EXPECT_EQ(registry.validate("twig", 2), "");
+}
+
+TEST(ScenarioSpec, ValidateCatchesStructuralErrors)
+{
+    const ManagerRegistry &registry = ManagerRegistry::builtin();
+    ScenarioSpec spec;
+    spec.services.push_back([] {
+        ServiceLoadSpec s;
+        s.service = "masstree";
+        return s;
+    }());
+
+    EXPECT_EQ(spec.validate(registry), "");
+
+    auto broken = spec;
+    broken.topology = "mesh";
+    EXPECT_EQ(broken.validate(registry),
+              "unknown topology 'mesh' (want single | cluster)");
+
+    broken = spec;
+    broken.steps = 0;
+    EXPECT_EQ(broken.validate(registry), "scenario has zero steps");
+
+    broken = spec;
+    broken.services.clear();
+    EXPECT_EQ(broken.validate(registry), "scenario hosts no services");
+
+    broken = spec;
+    broken.services[0].pattern = "sawtooth";
+    EXPECT_EQ(broken.validate(registry),
+              "unknown load pattern 'sawtooth' (want fixed | diurnal | "
+              "step | ramp | trace)");
+
+    broken = spec;
+    broken.services[0].pattern = "trace";
+    EXPECT_EQ(broken.validate(registry),
+              "trace pattern needs trace_path and trace_column");
+
+    broken = spec;
+    ScenarioEvent event;
+    event.afterSteps = 10;
+    event.services.push_back(broken.services[0]);
+    event.services.push_back(broken.services[0]);
+    broken.events.push_back(event);
+    EXPECT_EQ(broken.validate(registry),
+              "event changes the service count (manager architecture "
+              "is fixed at construction)");
+
+    broken = spec;
+    broken.manager = "static";
+    ScenarioEvent swap;
+    swap.afterSteps = 10;
+    swap.transfers.push_back([] {
+        TransferSpec t;
+        t.serviceIndex = 0;
+        t.service = "moses";
+        return t;
+    }());
+    broken.events.push_back(swap);
+    EXPECT_EQ(broken.validate(registry),
+              "transfers need the twig manager");
+
+    broken = spec;
+    broken.topology = "cluster";
+    broken.policy = "fastest";
+    EXPECT_EQ(broken.validate(registry),
+              "unknown routing policy 'fastest' (want static | wrr | "
+              "p2c-latency)");
+}
+
+// --- golden runs: the engine reproduces hand-built harness runs ------
+
+TEST(Engine, Fig05StaticCellMatchesHandBuiltRunner)
+{
+    ScenarioSpec spec;
+    spec.name = "golden-static";
+    ServiceLoadSpec svc;
+    svc.service = "masstree";
+    svc.fraction = 0.5;
+    spec.services.push_back(svc);
+    spec.manager = "static";
+    spec.steps = 120;
+    spec.window = 30;
+    spec.seed = 7;
+    const auto engine_run = Engine().run(spec);
+
+    const sim::MachineConfig machine;
+    const auto profile = services::masstree();
+    sim::Server server(machine, 7);
+    server.addService(profile, std::make_unique<sim::FixedLoad>(
+                                   profile.maxLoadRps, 0.5));
+    baselines::StaticManager manager(machine);
+    ExperimentRunner runner(server, manager);
+    RunOptions opt;
+    opt.steps = 120;
+    opt.summaryWindow = 30;
+    const auto direct = runner.run(opt);
+
+    EXPECT_DOUBLE_EQ(engine_run.single.metrics.energyJoules,
+                     direct.metrics.energyJoules);
+    EXPECT_DOUBLE_EQ(engine_run.single.metrics.meanPowerW,
+                     direct.metrics.meanPowerW);
+    EXPECT_DOUBLE_EQ(
+        engine_run.single.metrics.services[0].qosGuaranteePct,
+        direct.metrics.services[0].qosGuaranteePct);
+    EXPECT_EQ(engine_run.managerName, "static");
+}
+
+TEST(Engine, Fig05TwigCellMatchesHandBuiltRunner)
+{
+    ScenarioSpec spec;
+    spec.name = "golden-twig";
+    ServiceLoadSpec svc;
+    svc.service = "masstree";
+    svc.fraction = 0.5;
+    spec.services.push_back(svc);
+    spec.manager = "twig";
+    spec.managerSeed = 101;
+    spec.steps = 150;
+    spec.window = 40;
+    spec.horizon = 150;
+    spec.seed = 55;
+    const auto engine_run = Engine().run(spec);
+
+    const sim::MachineConfig machine;
+    const auto profile = services::masstree();
+    const Schedule schedule{150, 40, 150};
+    auto manager =
+        makeTwig(machine, {profile}, schedule, /*full=*/false, 101);
+    sim::Server server(machine, 55);
+    server.addService(profile, std::make_unique<sim::FixedLoad>(
+                                   profile.maxLoadRps, 0.5));
+    ExperimentRunner runner(server, *manager);
+    RunOptions opt;
+    opt.steps = 150;
+    opt.summaryWindow = 40;
+    const auto direct = runner.run(opt);
+
+    EXPECT_DOUBLE_EQ(engine_run.single.metrics.energyJoules,
+                     direct.metrics.energyJoules);
+    EXPECT_DOUBLE_EQ(
+        engine_run.single.metrics.services[0].qosGuaranteePct,
+        direct.metrics.services[0].qosGuaranteePct);
+    EXPECT_DOUBLE_EQ(
+        engine_run.single.metrics.services[0].meanTardiness,
+        direct.metrics.services[0].meanTardiness);
+}
+
+TEST(Engine, Fig12ColocCellMatchesHandBuiltRunner)
+{
+    const double coloc = 0.6;
+    ScenarioSpec spec;
+    spec.name = "golden-coloc";
+    ServiceLoadSpec mt;
+    mt.service = "masstree";
+    mt.fraction = 0.2;
+    mt.maxScale = coloc;
+    spec.services.push_back(mt);
+    ServiceLoadSpec mo;
+    mo.service = "moses";
+    mo.fraction = 0.8;
+    mo.maxScale = coloc;
+    spec.services.push_back(mo);
+    spec.manager = "twig";
+    spec.managerSeed = 9;
+    spec.steps = 160;
+    spec.window = 40;
+    spec.horizon = 120;
+    spec.seed = 11;
+    const auto engine_run = Engine().run(spec);
+
+    const sim::MachineConfig machine;
+    const auto mt_p = services::masstree();
+    const auto mo_p = services::moses();
+    const Schedule schedule{160, 40, 120};
+    auto manager =
+        makeTwig(machine, {mt_p, mo_p}, schedule, /*full=*/false, 9);
+    sim::Server server(machine, 11);
+    server.addService(mt_p, std::make_unique<sim::FixedLoad>(
+                                mt_p.maxLoadRps * coloc, 0.2));
+    server.addService(mo_p, std::make_unique<sim::FixedLoad>(
+                                mo_p.maxLoadRps * coloc, 0.8));
+    ExperimentRunner runner(server, *manager);
+    RunOptions opt;
+    opt.steps = 160;
+    opt.summaryWindow = 40;
+    const auto direct = runner.run(opt);
+
+    EXPECT_DOUBLE_EQ(engine_run.single.metrics.energyJoules,
+                     direct.metrics.energyJoules);
+    EXPECT_DOUBLE_EQ(engine_run.single.metrics.avgQosGuaranteePct(),
+                     direct.metrics.avgQosGuaranteePct());
+}
+
+TEST(Engine, ClusterGoldenRunMatchesHandBuiltFleet)
+{
+    ScenarioSpec spec;
+    spec.name = "golden-cluster";
+    spec.topology = "cluster";
+    ServiceLoadSpec svc;
+    svc.service = "masstree";
+    svc.fraction = 0.5;
+    spec.services.push_back(svc);
+    spec.manager = "static";
+    spec.steps = 40;
+    spec.window = 10;
+    spec.seed = 5;
+    spec.nodes = 2;
+    spec.hetero = false;
+    spec.policy = "static";
+    const auto engine_run = Engine().run(spec);
+    EXPECT_TRUE(engine_run.cluster);
+
+    const sim::MachineConfig machine;
+    const auto profile = services::masstree();
+    cluster::ClusterConfig cfg;
+    cfg.router.policy = cluster::RoutingPolicy::Static;
+    std::vector<std::unique_ptr<sim::LoadGenerator>> loads;
+    // Two full-size nodes: fleet capacity is 2x one reference node.
+    loads.push_back(std::make_unique<sim::FixedLoad>(
+        profile.maxLoadRps * 2.0, 0.5));
+    cluster::ClusterManager fleet(cfg, {profile}, std::move(loads), 5);
+    for (std::size_t n = 0; n < 2; ++n) {
+        fleet.addNode(
+            machine,
+            [](const sim::MachineConfig &m,
+               const std::vector<sim::ServiceProfile> &,
+               std::uint64_t) -> std::unique_ptr<core::TaskManager> {
+                return std::make_unique<baselines::StaticManager>(m);
+            });
+    }
+    const auto direct = fleet.run(40, 10);
+
+    EXPECT_DOUBLE_EQ(engine_run.fleet.metrics.energyJoules,
+                     direct.metrics.energyJoules);
+    EXPECT_DOUBLE_EQ(engine_run.fleet.metrics.meanPowerW,
+                     direct.metrics.meanPowerW);
+    ASSERT_EQ(engine_run.fleet.metrics.windowP99Ms.size(), 1u);
+    EXPECT_DOUBLE_EQ(engine_run.fleet.metrics.windowP99Ms[0],
+                     direct.metrics.windowP99Ms[0]);
+
+    // Determinism: the same spec reproduces the same metrics.
+    const auto again = Engine().run(spec);
+    EXPECT_DOUBLE_EQ(again.fleet.metrics.energyJoules,
+                     engine_run.fleet.metrics.energyJoules);
+}
+
+TEST(Engine, SinksSeeEveryMeasuredStepInOrder)
+{
+    class CountingSink : public RecordSink
+    {
+      public:
+        void
+        begin(const ScenarioSpec &spec,
+              const std::vector<sim::ServiceProfile> &profiles) override
+        {
+            beginCalls++;
+            services = profiles.size();
+        }
+        void
+        record(const StepRecord &rec) override
+        {
+            EXPECT_EQ(rec.step, steps); // strictly ordered from 0
+            EXPECT_EQ(rec.p99Ms.size(), services);
+            EXPECT_EQ(rec.cores.size(), services);
+            steps++;
+        }
+        void end() override { endCalls++; }
+
+        std::size_t beginCalls = 0, endCalls = 0, steps = 0;
+        std::size_t services = 0;
+    };
+
+    ScenarioSpec spec;
+    spec.name = "sink-order";
+    ServiceLoadSpec svc;
+    svc.service = "masstree";
+    svc.fraction = 0.5;
+    spec.services.push_back(svc);
+    spec.manager = "static";
+    spec.steps = 25;
+    spec.window = 10;
+    spec.seed = 3;
+
+    CountingSink sink;
+    EngineOptions opts;
+    opts.sinks.push_back(&sink);
+    Engine(opts).run(spec);
+    EXPECT_EQ(sink.beginCalls, 1u);
+    EXPECT_EQ(sink.endCalls, 1u);
+    EXPECT_EQ(sink.steps, 25u);
+}
+
+TEST(Engine, InvalidSpecIsFatal)
+{
+    ScenarioSpec spec; // no services
+    EXPECT_THROW(Engine().run(spec), common::FatalError);
+}

@@ -6,7 +6,10 @@
  * Spins up N replica nodes, each a full single-node simulation with
  * its own task manager, routes a fleet-level offered load across them
  * with the chosen policy, and reports fleet tail latency / QoS /
- * power from the merged per-node histograms.
+ * power from the merged per-node histograms. Like twig_sim, the run
+ * is a harness::ScenarioSpec executed by the harness::Engine — built
+ * from the flags or loaded with --scenario (the file must use the
+ * cluster topology; single-node scenarios belong to twig_sim).
  *
  * Examples:
  *   twig_cluster --service masstree --nodes 4
@@ -15,152 +18,141 @@
  *   twig_cluster --service masstree --nodes 1 --steps 700 \
  *       --save-checkpoint donor.ckpt
  *   twig_cluster --service masstree --nodes 4 --checkpoint donor.ckpt
- *
- * Options:
- *   --service NAME      catalogue service (repeatable)
- *   --nodes N           replica count (default 4)
- *   --policy NAME       static | wrr | p2c-latency (default p2c-latency)
- *   --manager NAME      twig | static (default twig)
- *   --hetero            alternate full-size and 6-core nodes
- *   --load F            peak fleet load as a fraction of fleet
- *                       capacity (default 0.5)
- *   --pattern NAME      fixed | diurnal (default diurnal)
- *   --steps N           control steps (default 400)
- *   --window N          metrics window (default steps/4)
- *   --jobs N            node-stepping threads; results are
- *                       bit-identical at any value (default 1)
- *   --seed N            RNG seed (default 42)
- *   --checkpoint FILE   warm-start every Twig node from this BDQ
- *                       checkpoint and run it exploit-only
- *   --save-checkpoint FILE  save node 0's trained BDQ after the run
- *   --trace FILE        write a per-step fleet CSV trace
+ *   twig_cluster --scenario scenarios/fig12_cluster.json --jobs 8
  */
 
-#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "baselines/static_manager.hh"
-#include "bench/managers.hh"
-#include "cluster/cluster_manager.hh"
-#include "common/csv.hh"
-#include "common/error.hh"
-#include "services/tailbench.hh"
-#include "sim/loadgen.hh"
+#include "common/flags.hh"
+#include "harness/engine.hh"
+#include "harness/registry.hh"
+#include "harness/scenario.hh"
 
 using namespace twig;
 
 namespace {
 
+constexpr std::uint64_t kSeedUnset = ~0ull;
+
 struct Options
 {
+    std::string scenario;
     std::vector<std::string> services;
-    std::size_t nodes = 4;
+    std::size_t nodes = 0; ///< 0 = default / keep the scenario's
     std::string policy = "p2c-latency";
     std::string manager = "twig";
     bool hetero = false;
     double load = 0.5;
     std::string pattern = "diurnal";
-    std::size_t steps = 400;
+    std::size_t steps = 0;
     std::size_t window = 0;
     std::size_t jobs = 1;
-    std::uint64_t seed = 42;
+    std::uint64_t seed = kSeedUnset;
     std::string checkpoint;
     std::string saveCheckpoint;
     std::string trace;
 };
 
-[[noreturn]] void
-usage(const char *argv0)
+common::FlagParser
+makeParser(Options &opt)
 {
-    std::printf("usage: %s --service NAME [--service NAME ...]\n"
-                "  [--nodes N] [--policy static|wrr|p2c-latency]\n"
-                "  [--manager twig|static] [--hetero]\n"
-                "  [--load F] [--pattern fixed|diurnal]\n"
-                "  [--steps N] [--window N] [--jobs N] [--seed N]\n"
-                "  [--checkpoint FILE] [--save-checkpoint FILE]\n"
-                "  [--trace FILE]\n",
-                argv0);
-    std::exit(2);
+    common::FlagParser parser;
+    parser.addString("--scenario", &opt.scenario,
+                     "cluster scenario file (flags below override it)");
+    parser.addStringList("--service", &opt.services,
+                         "catalogue service");
+    parser.addCount("--nodes", &opt.nodes,
+                    "replica count (default 4)");
+    parser.addString("--policy", &opt.policy,
+                     "static | wrr | p2c-latency (default p2c-latency)");
+    parser.addString("--manager", &opt.manager,
+                     "per-node task manager (default twig)");
+    parser.addBool("--hetero", &opt.hetero,
+                   "alternate full-size and 6-core nodes");
+    parser.addDouble("--load", &opt.load,
+                     "peak fleet load as a fraction of fleet capacity "
+                     "(default 0.5)");
+    parser.addString("--pattern", &opt.pattern,
+                     "fixed | diurnal (default diurnal)");
+    parser.addCount("--steps", &opt.steps,
+                    "control steps (default 400)");
+    parser.addCount("--window", &opt.window,
+                    "metrics window (default steps/4)");
+    parser.addCount("--jobs", &opt.jobs,
+                    "node-stepping threads; results are bit-identical "
+                    "at any value (default 1)");
+    parser.addSeed("--seed", &opt.seed, "RNG seed (default 42)");
+    parser.addString("--checkpoint", &opt.checkpoint,
+                     "warm-start every Twig node from this BDQ "
+                     "checkpoint and run it exploit-only");
+    parser.addString("--save-checkpoint", &opt.saveCheckpoint,
+                     "save node 0's trained BDQ after the run");
+    parser.addString("--trace", &opt.trace,
+                     "write a per-step fleet CSV trace");
+    return parser;
 }
 
-Options
-parse(int argc, char **argv)
+void
+printUsage(const char *argv0, const common::FlagParser &parser)
 {
-    Options opt;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc)
-                usage(argv[0]);
-            return argv[++i];
-        };
-        if (arg == "--service")
-            opt.services.push_back(next());
-        else if (arg == "--nodes")
-            opt.nodes = std::strtoul(next(), nullptr, 10);
-        else if (arg == "--policy")
-            opt.policy = next();
-        else if (arg == "--manager")
-            opt.manager = next();
-        else if (arg == "--hetero")
-            opt.hetero = true;
-        else if (arg == "--load")
-            opt.load = std::strtod(next(), nullptr);
-        else if (arg == "--pattern")
-            opt.pattern = next();
-        else if (arg == "--steps")
-            opt.steps = std::strtoul(next(), nullptr, 10);
-        else if (arg == "--window")
-            opt.window = std::strtoul(next(), nullptr, 10);
-        else if (arg == "--jobs")
-            opt.jobs = std::strtoul(next(), nullptr, 10);
-        else if (arg == "--seed")
-            opt.seed = std::strtoull(next(), nullptr, 10);
-        else if (arg == "--checkpoint")
-            opt.checkpoint = next();
-        else if (arg == "--save-checkpoint")
-            opt.saveCheckpoint = next();
-        else if (arg == "--trace")
-            opt.trace = next();
-        else
-            usage(argv[0]);
+    std::printf("usage: %s --service NAME [--service NAME ...] "
+                "[options]\n       %s --scenario FILE [overrides]\n%s",
+                argv0, argv0, parser.usageLines().c_str());
+}
+
+harness::ScenarioSpec
+buildSpec(const Options &opt, const char *argv0)
+{
+    harness::ScenarioSpec spec;
+    if (!opt.scenario.empty()) {
+        spec = harness::ScenarioSpec::fromFile(opt.scenario);
+        if (spec.topology != "cluster") {
+            std::fprintf(stderr,
+                         "%s: scenario '%s' uses the %s topology "
+                         "(run it with twig_sim)\n",
+                         argv0, spec.name.c_str(),
+                         spec.topology.c_str());
+            std::exit(2);
+        }
+        if (opt.steps != 0) {
+            spec.steps = opt.steps;
+            if (spec.window > spec.steps)
+                spec.window = 0;
+        }
+        if (opt.window != 0)
+            spec.window = opt.window;
+        if (opt.seed != kSeedUnset)
+            spec.seed = opt.seed;
+        return spec;
     }
-    if (opt.services.empty() || opt.nodes == 0 || opt.steps == 0 ||
-        opt.jobs == 0)
-        usage(argv[0]);
-    if (opt.window == 0)
-        opt.window = std::max<std::size_t>(opt.steps / 4, 1);
-    opt.window = std::min(opt.window, opt.steps);
-    return opt;
-}
 
-sim::MachineConfig
-machineForNode(const Options &opt, std::size_t index)
-{
-    sim::MachineConfig machine;
-    if (opt.hetero && index % 2 == 1)
-        machine.numCores = 6;
-    return machine;
-}
-
-std::unique_ptr<sim::LoadGenerator>
-makeFleetLoad(const Options &opt, const sim::ServiceProfile &p,
-              double capacity_factor)
-{
-    // Fleet peak scales with total fleet capacity relative to one
-    // full-size node, so --load keeps its meaning at any --nodes.
-    const double fleet_max = p.maxLoadRps * capacity_factor;
-    if (opt.pattern == "fixed")
-        return std::make_unique<sim::FixedLoad>(fleet_max, opt.load);
-    if (opt.pattern == "diurnal") {
-        return std::make_unique<sim::DiurnalLoad>(
-            fleet_max, opt.load * 0.4, opt.load, opt.steps / 4);
+    if (opt.services.empty()) {
+        std::fprintf(stderr,
+                     "%s: need --service NAME or --scenario FILE "
+                     "(see --help)\n",
+                     argv0);
+        std::exit(2);
     }
-    common::fatal("unknown load pattern: ", opt.pattern);
+    spec.name = "cli";
+    spec.topology = "cluster";
+    for (const auto &name : opt.services) {
+        harness::ServiceLoadSpec s;
+        s.service = name;
+        s.pattern = opt.pattern;
+        s.fraction = opt.load;
+        spec.services.push_back(std::move(s));
+    }
+    spec.manager = opt.manager;
+    spec.steps = opt.steps != 0 ? opt.steps : 400;
+    spec.window = opt.window;
+    spec.seed = opt.seed != kSeedUnset ? opt.seed : 42;
+    spec.nodes = opt.nodes != 0 ? opt.nodes : 4;
+    spec.hetero = opt.hetero;
+    spec.policy = opt.policy;
+    spec.checkpoint = opt.checkpoint;
+    return spec;
 }
 
 } // namespace
@@ -168,97 +160,51 @@ makeFleetLoad(const Options &opt, const sim::ServiceProfile &p,
 int
 main(int argc, char **argv)
 {
-    const Options opt = parse(argc, argv);
-
-    std::vector<sim::ServiceProfile> profiles;
-    for (const auto &name : opt.services)
-        profiles.push_back(services::byName(name));
-
-    const sim::MachineConfig reference;
-    double capacity_factor = 0.0;
-    for (std::size_t n = 0; n < opt.nodes; ++n) {
-        capacity_factor +=
-            static_cast<double>(machineForNode(opt, n).numCores) /
-            static_cast<double>(reference.numCores);
+    Options opt;
+    const auto parser = makeParser(opt);
+    const auto parsed = parser.parse(argc, argv);
+    if (parsed.helpRequested) {
+        printUsage(argv[0], parser);
+        return 0;
+    }
+    if (!parsed.error.empty()) {
+        std::fprintf(stderr, "%s: %s\n", argv[0],
+                     parsed.error.c_str());
+        return 2;
     }
 
-    std::vector<std::unique_ptr<sim::LoadGenerator>> loads;
-    for (const auto &p : profiles)
-        loads.push_back(makeFleetLoad(opt, p, capacity_factor));
-
-    cluster::ClusterConfig cfg;
-    cfg.router.policy = cluster::routingPolicyByName(opt.policy);
-    cfg.jobs = opt.jobs;
-    cluster::ClusterManager fleet(cfg, profiles, std::move(loads),
-                                  opt.seed);
-
-    const bench::Schedule sched{opt.steps, opt.window, opt.steps};
-    cluster::ClusterManager::ManagerFactory factory;
-    if (opt.manager == "twig") {
-        factory = [&](const sim::MachineConfig &machine,
-                      const std::vector<sim::ServiceProfile> &svcs,
-                      std::uint64_t seed)
-            -> std::unique_ptr<core::TaskManager> {
-            auto mgr =
-                bench::makeTwig(machine, svcs, sched, false, seed);
-            if (!opt.checkpoint.empty())
-                mgr->setExploitOnly(true); // deployed, trained policy
-            return mgr;
-        };
-    } else if (opt.manager == "static") {
-        common::fatalIf(!opt.checkpoint.empty(),
-                        "--checkpoint needs --manager twig");
-        factory = [](const sim::MachineConfig &machine,
-                     const std::vector<sim::ServiceProfile> &,
-                     std::uint64_t) -> std::unique_ptr<core::TaskManager> {
-            return std::make_unique<baselines::StaticManager>(machine);
-        };
-    } else {
-        common::fatal("unknown manager: ", opt.manager,
-                      " (want twig | static)");
+    const auto spec = buildSpec(opt, argv[0]);
+    const auto &registry = harness::ManagerRegistry::builtin();
+    if (const auto err = spec.validate(registry); !err.empty()) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+        return 2;
     }
 
-    for (std::size_t n = 0; n < opt.nodes; ++n)
-        fleet.addNode(machineForNode(opt, n), factory, opt.checkpoint);
+    harness::EngineOptions engine_opts;
+    engine_opts.jobs = opt.jobs;
+    engine_opts.saveCheckpoint = opt.saveCheckpoint;
+    harness::CsvTraceSink trace(opt.trace);
+    if (!opt.trace.empty())
+        engine_opts.sinks.push_back(&trace);
 
-    const auto result = fleet.run(opt.steps, opt.window);
+    const harness::Engine engine(engine_opts);
+    const auto result = engine.run(spec);
 
     if (!opt.trace.empty()) {
-        common::CsvWriter csv(opt.trace);
-        std::vector<std::string> header = {"step", "power_w"};
-        for (const auto &p : profiles) {
-            header.push_back(p.name + "_fleet_rps");
-            header.push_back(p.name + "_fleet_p99_ms");
-        }
-        csv.header(header);
-        for (const auto &fs : result.trace) {
-            std::vector<double> row = {static_cast<double>(fs.step),
-                                       fs.totalPowerW};
-            for (std::size_t s = 0; s < profiles.size(); ++s) {
-                row.push_back(fs.offeredRps[s]);
-                row.push_back(fs.fleetP99Ms[s]);
-            }
-            csv.rowVec(row);
-        }
         std::printf("trace written to %s (%zu steps)\n",
-                    opt.trace.c_str(), result.trace.size());
+                    opt.trace.c_str(), trace.records());
     }
-
     if (!opt.saveCheckpoint.empty()) {
-        auto *twig =
-            dynamic_cast<core::TwigManager *>(&fleet.node(0).manager());
-        common::fatalIf(!twig,
-                        "--save-checkpoint needs --manager twig");
-        twig->saveCheckpoint(opt.saveCheckpoint);
         std::printf("node 0 BDQ checkpoint written to %s\n",
                     opt.saveCheckpoint.c_str());
     }
 
-    const auto &m = result.metrics;
+    const auto &m = result.fleet.metrics;
     std::printf("%zu-node fleet (%s routing, %s nodes%s) over the last "
                 "%zu of %zu steps:\n",
-                opt.nodes, opt.policy.c_str(), opt.manager.c_str(),
-                opt.hetero ? ", hetero" : "", m.windowSteps, opt.steps);
+                spec.nodes, spec.policy.c_str(), spec.manager.c_str(),
+                spec.hetero ? ", hetero" : "", m.windowSteps,
+                spec.steps);
     for (std::size_t s = 0; s < m.serviceNames.size(); ++s) {
         std::printf("  %-11s fleet p99 %7.2f ms  QoS %5.1f%%\n",
                     m.serviceNames[s].c_str(), m.windowP99Ms[s],

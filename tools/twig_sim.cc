@@ -2,136 +2,177 @@
  * @file
  * twig_sim — command-line driver for the Twig simulator.
  *
- * Runs any catalogue service mix under any task manager and load
- * pattern and reports the QoS/energy outcome, optionally dumping a
- * per-step CSV trace for plotting.
+ * Runs any catalogue service mix under any registered task manager and
+ * load pattern and reports the QoS/energy outcome, optionally dumping
+ * a per-step CSV trace for plotting. The run is described by a
+ * harness::ScenarioSpec — built from the flags, or loaded from a
+ * scenario file (--scenario) with one file per paper figure shipped in
+ * scenarios/ — and executed by the harness::Engine, so a CLI
+ * invocation, a scenario file and a bench cell are the same run.
  *
  * Examples:
  *   twig_sim --service masstree --load 0.5
  *   twig_sim --service masstree --service moses --manager parties
  *   twig_sim --service img-dnn --pattern diurnal --manager heracles
  *   twig_sim --service xapian --steps 4000 --trace run.csv
- *
- * Options:
- *   --service NAME    catalogue service (repeatable; twig/static/
- *                     parties accept several, hipster/heracles one)
- *   --manager NAME    twig | static | hipster | heracles | parties
- *   --load F          load fraction of max (default 0.5)
- *   --pattern NAME    fixed | diurnal | step | ramp (default fixed)
- *   --steps N         control steps (default 2000)
- *   --window N        metrics window (default steps/6)
- *   --seed N          RNG seed (default 42)
- *   --trace FILE      write a per-step CSV trace
- *   --paper           use the paper's full hyper-parameters for Twig
- *   --sim-profile     print the per-phase simulator cycle breakdown
- *                     (arrivals / dispatch / quantile / interference /
- *                     power) after the run
+ *   twig_sim --scenario scenarios/fig05.json
+ *   twig_sim --scenario scenarios/fig12_cluster.json --steps 60
  */
 
 #include <cstdio>
-#include <cstring>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "bench/managers.hh"
-#include "common/csv.hh"
-#include "harness/runner.hh"
-#include "harness/sim_profile.hh"
-#include "services/tailbench.hh"
-#include "sim/loadgen.hh"
-#include "sim/server.hh"
+#include "common/flags.hh"
+#include "harness/engine.hh"
+#include "harness/registry.hh"
+#include "harness/scenario.hh"
 
 using namespace twig;
 
 namespace {
 
+constexpr std::uint64_t kSeedUnset = ~0ull;
+
 struct Options
 {
+    std::string scenario;
     std::vector<std::string> services;
     std::string manager = "twig";
     double load = 0.5;
     std::string pattern = "fixed";
-    std::size_t steps = 2000;
+    std::size_t steps = 0; ///< 0 = default / keep the scenario's
     std::size_t window = 0;
-    std::uint64_t seed = 42;
+    std::uint64_t seed = kSeedUnset;
+    std::size_t jobs = 1;
     std::string trace;
     bool paper = false;
     bool simProfile = false;
 };
 
-[[noreturn]] void
-usage(const char *argv0)
+common::FlagParser
+makeParser(Options &opt)
 {
-    std::printf("usage: %s --service NAME [--service NAME ...]\n"
-                "  [--manager twig|static|hipster|heracles|parties]\n"
-                "  [--load F] [--pattern fixed|diurnal|step|ramp]\n"
-                "  [--steps N] [--window N] [--seed N]\n"
-                "  [--trace FILE] [--paper] [--sim-profile]\n",
-                argv0);
-    std::exit(2);
+    common::FlagParser parser;
+    parser.addString("--scenario", &opt.scenario,
+                     "scenario file to run (flags below override it)");
+    parser.addStringList("--service", &opt.services,
+                         "catalogue service");
+    parser.addString("--manager", &opt.manager,
+                     "task manager (see the error text for valid names)");
+    parser.addDouble("--load", &opt.load,
+                     "load fraction of max (default 0.5)");
+    parser.addString("--pattern", &opt.pattern,
+                     "fixed | diurnal | step | ramp (default fixed)");
+    parser.addCount("--steps", &opt.steps,
+                    "control steps (default 2000)");
+    parser.addCount("--window", &opt.window,
+                    "metrics window (default steps/6)");
+    parser.addSeed("--seed", &opt.seed, "RNG seed (default 42)");
+    parser.addCount("--jobs", &opt.jobs,
+                    "node-stepping threads for cluster scenarios");
+    parser.addString("--trace", &opt.trace,
+                     "write a per-step CSV trace");
+    parser.addBool("--paper", &opt.paper,
+                   "use the paper's full hyper-parameters");
+    parser.addBool("--sim-profile", &opt.simProfile,
+                   "print the per-phase simulator cycle breakdown");
+    return parser;
 }
 
-Options
-parse(int argc, char **argv)
+void
+printUsage(const char *argv0, const common::FlagParser &parser)
 {
-    Options opt;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc)
-                usage(argv[0]);
-            return argv[++i];
-        };
-        if (arg == "--service")
-            opt.services.push_back(next());
-        else if (arg == "--manager")
-            opt.manager = next();
-        else if (arg == "--load")
-            opt.load = std::strtod(next(), nullptr);
-        else if (arg == "--pattern")
-            opt.pattern = next();
-        else if (arg == "--steps")
-            opt.steps = std::strtoul(next(), nullptr, 10);
-        else if (arg == "--window")
-            opt.window = std::strtoul(next(), nullptr, 10);
-        else if (arg == "--seed")
-            opt.seed = std::strtoull(next(), nullptr, 10);
-        else if (arg == "--trace")
-            opt.trace = next();
-        else if (arg == "--paper")
-            opt.paper = true;
-        else if (arg == "--sim-profile")
-            opt.simProfile = true;
-        else
-            usage(argv[0]);
-    }
-    if (opt.services.empty())
-        usage(argv[0]);
-    if (opt.window == 0)
-        opt.window = std::max<std::size_t>(opt.steps / 6, 1);
-    return opt;
+    std::printf("usage: %s --service NAME [--service NAME ...] "
+                "[options]\n       %s --scenario FILE [overrides]\n%s",
+                argv0, argv0, parser.usageLines().c_str());
 }
 
-std::unique_ptr<sim::LoadGenerator>
-makeLoad(const Options &opt, const sim::ServiceProfile &p)
+/** Build the spec this invocation describes; exits 2 on bad input. */
+harness::ScenarioSpec
+buildSpec(const Options &opt, const char *argv0)
 {
-    if (opt.pattern == "fixed")
-        return std::make_unique<sim::FixedLoad>(p.maxLoadRps, opt.load);
-    if (opt.pattern == "diurnal") {
-        return std::make_unique<sim::DiurnalLoad>(
-            p.maxLoadRps, opt.load * 0.4, opt.load, opt.steps / 4);
+    harness::ScenarioSpec spec;
+    if (!opt.scenario.empty()) {
+        spec = harness::ScenarioSpec::fromFile(opt.scenario);
+        // Command-line overrides of the scenario's schedule/seed (the
+        // CI smoke runs every shipped scenario at reduced steps).
+        if (opt.steps != 0) {
+            spec.steps = opt.steps;
+            if (spec.window > spec.steps)
+                spec.window = 0;
+            for (auto &event : spec.events)
+                event.afterSteps =
+                    std::min(event.afterSteps, opt.steps);
+        }
+        if (opt.window != 0)
+            spec.window = opt.window;
+        if (opt.seed != kSeedUnset)
+            spec.seed = opt.seed;
+        return spec;
     }
-    if (opt.pattern == "step") {
-        return std::make_unique<sim::StepwiseMonotonicLoad>(
-            p.maxLoadRps, std::max(0.1, opt.load * 0.4), 0.2,
-            std::max<std::size_t>(opt.steps / 50, 1));
+
+    if (opt.services.empty()) {
+        std::fprintf(stderr,
+                     "%s: need --service NAME or --scenario FILE "
+                     "(see --help)\n",
+                     argv0);
+        std::exit(2);
     }
-    if (opt.pattern == "ramp") {
-        return std::make_unique<sim::RampLoad>(
-            p.maxLoadRps, opt.load * 0.25, opt.load, opt.steps);
+    spec.name = "cli";
+    for (const auto &name : opt.services) {
+        harness::ServiceLoadSpec s;
+        s.service = name;
+        s.pattern = opt.pattern;
+        s.fraction = opt.load;
+        spec.services.push_back(std::move(s));
     }
-    common::fatal("unknown load pattern: ", opt.pattern);
+    spec.manager = opt.manager;
+    spec.paper = opt.paper;
+    spec.steps = opt.steps != 0 ? opt.steps : 2000;
+    spec.window = opt.window;
+    spec.seed = opt.seed != kSeedUnset ? opt.seed : 42;
+    return spec;
+}
+
+void
+printSingleSummary(const harness::ScenarioSpec &spec,
+                   const harness::EngineResult &result)
+{
+    std::printf("%s over the last %zu of %zu steps "
+                "(pattern %s, load %.0f%%):\n",
+                result.managerName.c_str(),
+                result.single.metrics.windowSteps, spec.steps,
+                spec.services[0].pattern.c_str(),
+                100 * spec.services[0].fraction);
+    for (const auto &svc : result.single.metrics.services) {
+        std::printf("  %-11s QoS %5.1f%%  mean tardiness %.2f  "
+                    "(target met when <= 1)\n",
+                    svc.name.c_str(), svc.qosGuaranteePct,
+                    svc.meanTardiness);
+    }
+    std::printf("  mean power %.1f W, energy %.0f J\n",
+                result.single.metrics.meanPowerW,
+                result.single.metrics.energyJoules);
+}
+
+void
+printClusterSummary(const harness::ScenarioSpec &spec,
+                    const harness::EngineResult &result)
+{
+    const auto &m = result.fleet.metrics;
+    std::printf("%zu-node fleet (%s routing, %s nodes%s) over the last "
+                "%zu of %zu steps:\n",
+                spec.nodes, spec.policy.c_str(), spec.manager.c_str(),
+                spec.hetero ? ", hetero" : "", m.windowSteps,
+                spec.steps);
+    for (std::size_t s = 0; s < m.serviceNames.size(); ++s) {
+        std::printf("  %-11s fleet p99 %7.2f ms  QoS %5.1f%%\n",
+                    m.serviceNames[s].c_str(), m.windowP99Ms[s],
+                    m.qosGuaranteePct[s]);
+    }
+    std::printf("  fleet mean power %.1f W, energy %.0f J\n",
+                m.meanPowerW, m.energyJoules);
 }
 
 } // namespace
@@ -139,92 +180,53 @@ makeLoad(const Options &opt, const sim::ServiceProfile &p)
 int
 main(int argc, char **argv)
 {
-    const Options opt = parse(argc, argv);
-    const sim::MachineConfig machine;
-
-    std::vector<sim::ServiceProfile> profiles;
-    for (const auto &name : opt.services)
-        profiles.push_back(services::byName(name));
-
-    sim::Server server(machine, opt.seed);
-    for (const auto &p : profiles)
-        server.addService(p, makeLoad(opt, p));
-
-    const bench::Schedule sched{opt.steps, opt.window, opt.steps};
-    std::unique_ptr<core::TaskManager> manager;
-    if (opt.manager == "twig") {
-        manager = bench::makeTwig(machine, profiles, sched, opt.paper,
-                                  opt.seed + 1);
-    } else if (opt.manager == "static") {
-        manager = std::make_unique<baselines::StaticManager>(machine);
-    } else if (opt.manager == "hipster") {
-        common::fatalIf(profiles.size() != 1,
-                        "hipster manages exactly one service");
-        manager = bench::makeHipster(machine, profiles[0], sched,
-                                     opt.paper, opt.seed + 1);
-    } else if (opt.manager == "heracles") {
-        common::fatalIf(profiles.size() != 1,
-                        "heracles manages exactly one service");
-        manager = bench::makeHeracles(machine, profiles[0], opt.paper);
-    } else if (opt.manager == "parties") {
-        manager = bench::makeParties(machine, profiles, opt.seed + 1);
-    } else {
-        common::fatal("unknown manager: ", opt.manager);
+    Options opt;
+    const auto parser = makeParser(opt);
+    const auto parsed = parser.parse(argc, argv);
+    if (parsed.helpRequested) {
+        printUsage(argv[0], parser);
+        return 0;
+    }
+    if (!parsed.error.empty()) {
+        std::fprintf(stderr, "%s: %s\n", argv[0],
+                     parsed.error.c_str());
+        return 2;
     }
 
-    harness::ExperimentRunner runner(server, *manager);
-    harness::RunOptions run;
-    run.steps = opt.steps;
-    run.summaryWindow = opt.window;
-    run.recordTrace = !opt.trace.empty();
-    if (opt.simProfile) {
-        harness::SimProfile::reset();
-        harness::SimProfile::enable();
+    const auto spec = buildSpec(opt, argv[0]);
+
+    // Reject bad manager/mix combinations before the run starts.
+    const auto &registry = harness::ManagerRegistry::builtin();
+    if (const auto err =
+            registry.validate(spec.manager, spec.services.size());
+        !err.empty()) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+        return 2;
     }
-    const auto result = runner.run(run);
-    if (opt.simProfile) {
-        std::printf("simulator phase breakdown (%zu steps):\n", opt.steps);
-        harness::SimProfile::snapshot().print(stdout);
-        harness::SimProfile::disable();
+    if (const auto err = spec.validate(registry); !err.empty()) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
+        return 2;
     }
+
+    harness::EngineOptions engine_opts;
+    engine_opts.jobs = opt.jobs;
+    harness::SimProfileSink sim_profile;
+    harness::CsvTraceSink trace(opt.trace);
+    if (opt.simProfile)
+        engine_opts.sinks.push_back(&sim_profile);
+    if (!opt.trace.empty())
+        engine_opts.sinks.push_back(&trace);
+
+    const harness::Engine engine(engine_opts);
+    const auto result = engine.run(spec);
 
     if (!opt.trace.empty()) {
-        common::CsvWriter csv(opt.trace);
-        std::vector<std::string> header = {"step", "power_w"};
-        for (const auto &p : profiles) {
-            header.push_back(p.name + "_cores");
-            header.push_back(p.name + "_dvfs_ghz");
-            header.push_back(p.name + "_p99_ms");
-            header.push_back(p.name + "_rps");
-        }
-        csv.header(header);
-        for (const auto &r : result.trace) {
-            std::vector<double> row = {static_cast<double>(r.step),
-                                       r.socketPowerW};
-            for (std::size_t i = 0; i < profiles.size(); ++i) {
-                row.push_back(static_cast<double>(r.cores[i]));
-                row.push_back(1.2 + 0.1 *
-                              static_cast<double>(r.dvfs[i]));
-                row.push_back(r.p99Ms[i]);
-                row.push_back(r.offeredRps[i]);
-            }
-            csv.rowVec(row);
-        }
         std::printf("trace written to %s (%zu steps)\n",
-                    opt.trace.c_str(), result.trace.size());
+                    opt.trace.c_str(), trace.records());
     }
-
-    std::printf("%s over the last %zu of %zu steps "
-                "(pattern %s, load %.0f%%):\n",
-                manager->name().c_str(), result.metrics.windowSteps,
-                opt.steps, opt.pattern.c_str(), 100 * opt.load);
-    for (const auto &svc : result.metrics.services) {
-        std::printf("  %-11s QoS %5.1f%%  mean tardiness %.2f  "
-                    "(target met when <= 1)\n",
-                    svc.name.c_str(), svc.qosGuaranteePct,
-                    svc.meanTardiness);
-    }
-    std::printf("  mean power %.1f W, energy %.0f J\n",
-                result.metrics.meanPowerW, result.metrics.energyJoules);
+    if (result.cluster)
+        printClusterSummary(spec, result);
+    else
+        printSingleSummary(spec, result);
     return 0;
 }
