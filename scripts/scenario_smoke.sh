@@ -7,7 +7,9 @@
 # executes both single-node and cluster topologies), overriding the
 # file's schedule with a small --steps so the whole sweep finishes in
 # seconds. A run fails the smoke if it exits non-zero or if its output
-# carries no metrics (no QoS line).
+# carries no metrics (no QoS line). Fault scenarios (faults_*.json)
+# additionally must report a fault-event summary, proving the schedule
+# actually fired within the reduced step budget.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -33,7 +35,16 @@ for scenario in scenarios/*.json; do
     if ! grep -q "QoS" <<<"$out"; then
         echo "scenario_smoke: FAIL $scenario (no metrics in output)" >&2
         failures=$((failures + 1))
+        continue
     fi
+    case "$scenario" in
+    scenarios/faults_*.json)
+        if ! grep -Eq 'fault events: [1-9]' <<<"$out"; then
+            echo "scenario_smoke: FAIL $scenario (fault schedule did not fire)" >&2
+            failures=$((failures + 1))
+        fi
+        ;;
+    esac
 done
 
 if [[ $failures -gt 0 ]]; then

@@ -1,6 +1,8 @@
 #include "cluster/cluster_manager.hh"
 
 #include <algorithm>
+#include <cstring>
+#include <sstream>
 #include <utility>
 
 #include "common/error.hh"
@@ -8,6 +10,23 @@
 #include "harness/sweep.hh"
 
 namespace twig::cluster {
+
+namespace {
+
+/** FNV-1a over a checkpoint payload: the frame checksum that lets a
+ * warm restore detect a corrupted frame before touching the learner. */
+std::uint64_t
+fnv1a(const char *data, std::size_t n)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace
 
 double
 FleetRunMetrics::avgQosGuaranteePct() const
@@ -81,7 +100,213 @@ ClusterManager::addNode(const sim::MachineConfig &machine,
     NodeConfig node_cfg{machine, services_, binnings()};
     nodes_.push_back(
         std::make_unique<Node>(node_cfg, std::move(manager), node_seed));
+    // Remember the rebuild recipe: a crashed replica is reborn from
+    // the same machine and factory (not from the donor checkpoint —
+    // recovery semantics come from the periodic frames).
+    slots_.push_back(NodeSlot{machine, factory});
     return index;
+}
+
+void
+ClusterManager::setFaults(const faults::FaultSpec &spec)
+{
+    common::fatalIf(nodes_.empty(),
+                    "ClusterManager::setFaults: add every replica "
+                    "first (the schedule is validated against the "
+                    "fleet shape)");
+    const std::string err = spec.validate(nodes_.size(), services_.size());
+    common::fatalIf(!err.empty(), "ClusterManager::setFaults: ", err);
+    // The injector's derived seed stream is independent of both the
+    // router's and the nodes', so arming an empty schedule perturbs
+    // nothing.
+    injector_ = std::make_unique<faults::FaultInjector>(
+        spec, harness::sweepSeed(seed_, 0xfa017));
+    nodeUp_.assign(nodes_.size(), 1);
+    frames_.assign(nodes_.size(), std::string());
+    surgeMult_.assign(services_.size(), 1.0);
+    faultLog_.clear();
+}
+
+void
+ClusterManager::saveCheckpointFrames()
+{
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        if (!isNodeUp(n))
+            continue;
+        auto *twig =
+            dynamic_cast<core::TwigManager *>(&nodes_[n]->manager());
+        if (!twig)
+            continue; // baselines are stateless; cold restart is exact
+        std::ostringstream os(std::ios::binary);
+        twig->saveCheckpointStream(
+            os, "node " + std::to_string(n) + " checkpoint frame");
+        const std::string payload = std::move(os).str();
+        const std::uint64_t sum = fnv1a(payload.data(), payload.size());
+        std::string &frame = frames_[n];
+        frame.resize(sizeof(sum) + payload.size());
+        std::memcpy(frame.data(), &sum, sizeof(sum));
+        std::memcpy(frame.data() + sizeof(sum), payload.data(),
+                    payload.size());
+        faults::FaultEvent ev;
+        ev.step = step_;
+        ev.kind = faults::FaultEventKind::CheckpointSaved;
+        ev.node = static_cast<std::int64_t>(n);
+        ev.value = static_cast<double>(payload.size());
+        stepEvents_.push_back(std::move(ev));
+    }
+}
+
+void
+ClusterManager::rebuildNode(std::size_t n, const std::string &recovery)
+{
+    NodeSlot &slot = slots_[n];
+    // The reborn replica gets a fresh derived seed: same fleet, node
+    // and incarnation => same world, independent of thread schedule.
+    ++slot.incarnation;
+    const std::uint64_t node_seed =
+        harness::sweepSeed(seed_, (slot.incarnation << 20) + n + 1);
+    auto manager = slot.factory(slot.machine, services_, node_seed);
+    common::fatalIf(!manager,
+                    "ClusterManager::rebuildNode: factory returned null");
+
+    const std::string context =
+        "node " + std::to_string(n) + " checkpoint frame";
+    bool warm = false;
+    std::string cold_reason = "scheduled cold recovery";
+    if (recovery == "warm") {
+        auto *twig = dynamic_cast<core::TwigManager *>(manager.get());
+        const std::string &frame = frames_[n];
+        if (!twig) {
+            cold_reason = "manager holds no restorable policy";
+        } else if (frame.size() <= sizeof(std::uint64_t)) {
+            cold_reason = "no checkpoint frame yet";
+        } else {
+            std::uint64_t stored = 0;
+            std::memcpy(&stored, frame.data(), sizeof(stored));
+            const char *payload = frame.data() + sizeof(stored);
+            const std::size_t payload_len = frame.size() - sizeof(stored);
+            if (stored != fnv1a(payload, payload_len)) {
+                faults::FaultEvent bad;
+                bad.step = step_;
+                bad.kind = faults::FaultEventKind::CorruptDetected;
+                bad.node = static_cast<std::int64_t>(n);
+                bad.note = context + ": checksum mismatch";
+                stepEvents_.push_back(std::move(bad));
+                cold_reason = "corrupt checkpoint frame";
+            } else {
+                try {
+                    std::istringstream is(
+                        std::string(payload, payload_len),
+                        std::ios::binary);
+                    twig->loadCheckpointStream(is, context);
+                    // Resume the deployed policy: pure exploitation,
+                    // no re-exploration (paper §V overhead mode).
+                    twig->setExploitOnly(true);
+                    warm = true;
+                } catch (const common::FatalError &err) {
+                    faults::FaultEvent bad;
+                    bad.step = step_;
+                    bad.kind = faults::FaultEventKind::CorruptDetected;
+                    bad.node = static_cast<std::int64_t>(n);
+                    bad.note = err.what();
+                    stepEvents_.push_back(std::move(bad));
+                    cold_reason = "corrupt checkpoint frame";
+                }
+            }
+        }
+    }
+
+    faults::FaultEvent outcome;
+    outcome.step = step_;
+    outcome.node = static_cast<std::int64_t>(n);
+    if (warm) {
+        outcome.kind = faults::FaultEventKind::WarmRestore;
+        outcome.value =
+            static_cast<double>(frames_[n].size() - sizeof(std::uint64_t));
+    } else {
+        outcome.kind = faults::FaultEventKind::ColdRestart;
+        outcome.note = cold_reason;
+    }
+    stepEvents_.push_back(std::move(outcome));
+
+    NodeConfig node_cfg{slot.machine, services_, binnings()};
+    nodes_[n] =
+        std::make_unique<Node>(node_cfg, std::move(manager), node_seed);
+    // Environmental faults outlive the process that crashed: the rack
+    // is still hot, the monitor is still flaky.
+    if (slot.throttled)
+        nodes_[n]->setDvfsCap(slot.dvfsCap);
+    if (slot.telemetryFault)
+        nodes_[n]->setTelemetryFault(slot.faultSigma, slot.faultStaleProb,
+                                     slot.faultSeed);
+}
+
+void
+ClusterManager::applyFaultEvents()
+{
+    const std::size_t first = stepEvents_.size();
+    injector_->eventsAt(step_, stepEvents_);
+    const std::size_t last = stepEvents_.size();
+    // Index loop with by-value copies: handlers append recovery
+    // outcomes to stepEvents_, which may reallocate.
+    for (std::size_t i = first; i < last; ++i) {
+        const faults::FaultEvent ev = stepEvents_[i];
+        const auto n = static_cast<std::size_t>(ev.node);
+        switch (ev.kind) {
+        case faults::FaultEventKind::NodeCrash:
+            router_.evict(n);
+            nodeUp_[n] = 0;
+            break;
+        case faults::FaultEventKind::NodeRestart:
+            rebuildNode(n, ev.note);
+            router_.readmit(n);
+            nodeUp_[n] = 1;
+            break;
+        case faults::FaultEventKind::ThrottleStart:
+            slots_[n].throttled = true;
+            slots_[n].dvfsCap = static_cast<std::size_t>(ev.value);
+            if (isNodeUp(n))
+                nodes_[n]->setDvfsCap(slots_[n].dvfsCap);
+            break;
+        case faults::FaultEventKind::ThrottleEnd:
+            slots_[n].throttled = false;
+            if (isNodeUp(n))
+                nodes_[n]->clearDvfsCap();
+            break;
+        case faults::FaultEventKind::PmcNoiseStart:
+            slots_[n].telemetryFault = true;
+            slots_[n].faultSigma = ev.value;
+            slots_[n].faultStaleProb = ev.aux;
+            slots_[n].faultSeed = ev.seed;
+            if (isNodeUp(n))
+                nodes_[n]->setTelemetryFault(ev.value, ev.aux, ev.seed);
+            break;
+        case faults::FaultEventKind::PmcNoiseEnd:
+            slots_[n].telemetryFault = false;
+            if (isNodeUp(n))
+                nodes_[n]->clearTelemetryFault();
+            break;
+        case faults::FaultEventKind::SurgeStart:
+            surgeMult_[static_cast<std::size_t>(ev.service)] = ev.value;
+            break;
+        case faults::FaultEventKind::SurgeEnd:
+            surgeMult_[static_cast<std::size_t>(ev.service)] = 1.0;
+            break;
+        case faults::FaultEventKind::CheckpointCorrupt:
+            // Flip one bit in the stored payload (checksum untouched),
+            // so the next warm restore must notice.
+            if (frames_[n].size() > sizeof(std::uint64_t)) {
+                const std::size_t at = frames_[n].size() / 2;
+                frames_[n][at] =
+                    static_cast<char>(frames_[n][at] ^ 0x40);
+            }
+            break;
+        default:
+            common::panic("ClusterManager::applyFaultEvents: ",
+                          faults::faultEventKindName(ev.kind),
+                          " is not a schedule transition");
+        }
+    }
 }
 
 Node &
@@ -106,11 +331,28 @@ ClusterManager::step()
     const std::size_t num_nodes = nodes_.size();
     const std::size_t num_services = services_.size();
 
+    // 0. Faults: apply the schedule transitions due this step, then
+    //    the periodic checkpoint, all serially — recovery and frame
+    //    contents never depend on --jobs. Without an armed schedule
+    //    this whole block is skipped and the step is byte-identical
+    //    to the fault-free code.
+    if (injector_) {
+        stepEvents_.clear();
+        applyFaultEvents();
+        const std::size_t every = injector_->spec().checkpointEverySteps;
+        if (every > 0 && step_ > 0 && step_ % every == 0)
+            saveCheckpointFrames();
+    }
+
     // 1. Route: fleet offered load -> per-node shares (serial; the
     //    router's RNG must see the same draw sequence at any --jobs).
     fleetRps_.resize(num_services);
     for (std::size_t s = 0; s < num_services; ++s)
         fleetRps_[s] = fleetLoads_[s]->rps(step_);
+    if (injector_) {
+        for (std::size_t s = 0; s < num_services; ++s)
+            fleetRps_[s] *= surgeMult_[s];
+    }
 
     weights_.resize(num_nodes);
     for (std::size_t n = 0; n < num_nodes; ++n)
@@ -129,22 +371,40 @@ ClusterManager::step()
     } else {
         feedback_.p99MsByNode.clear();
     }
-    router_.routeInto(fleetRps_, weights_, feedback_, shares_);
+    const bool routed =
+        router_.routeInto(fleetRps_, weights_, feedback_, shares_);
+    double shed_rps = 0.0;
+    if (!routed) {
+        // Every replica is down: the interval's whole offered load is
+        // shed (a well-defined record, not NaN shares).
+        for (double rps : fleetRps_)
+            shed_rps += rps;
+        faults::FaultEvent ev;
+        ev.step = step_;
+        ev.kind = faults::FaultEventKind::LoadShed;
+        ev.value = shed_rps;
+        stepEvents_.push_back(std::move(ev));
+    }
 
-    // 2. Step every node. Nodes are sealed seeded worlds, so the pool
-    //    schedule cannot change any node's results — only the order
-    //    they finish in, which the serial merge below ignores.
-    for (std::size_t n = 0; n < num_nodes; ++n)
-        nodes_[n]->setOfferedLoad(shares_[n]);
+    // 2. Step every serving node. Nodes are sealed seeded worlds, so
+    //    the pool schedule cannot change any node's results — only the
+    //    order they finish in, which the serial merge below ignores.
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+        if (isNodeUp(n))
+            nodes_[n]->setOfferedLoad(shares_[n]);
+    }
     if (cfg_.jobs > 1 && num_nodes > 1) {
         if (!pool_)
             pool_ = std::make_unique<common::ThreadPool>(cfg_.jobs);
         pool_->parallelFor(0, num_nodes, [this](std::size_t n) {
-            nodes_[n]->stepInterval();
+            if (isNodeUp(n))
+                nodes_[n]->stepInterval();
         });
     } else {
-        for (std::size_t n = 0; n < num_nodes; ++n)
-            nodes_[n]->stepInterval();
+        for (std::size_t n = 0; n < num_nodes; ++n) {
+            if (isNodeUp(n))
+                nodes_[n]->stepInterval();
+        }
     }
 
     // 3. Merge node telemetry in node order (deterministic).
@@ -164,12 +424,21 @@ ClusterManager::step()
     out.fleetP99Ms.assign(num_services, 0.0);
     out.totalPowerW = 0.0;
     out.nodes.resize(num_nodes);
+    out.nodeUp.resize(num_nodes);
+    out.shedRps = shed_rps;
     for (std::size_t n = 0; n < num_nodes; ++n) {
+        out.nodeUp[n] = isNodeUp(n) ? 1 : 0;
+        if (!isNodeUp(n))
+            continue; // crashed: no samples, no power this interval
         for (std::size_t s = 0; s < num_services; ++s)
             mergedScratch_[s].merge(nodes_[n]->intervalHistogram(s));
         out.totalPowerW += nodes_[n]->lastStats().socketPowerW;
         out.nodes[n] = nodes_[n]->lastStats();
     }
+    out.faultEvents = stepEvents_;
+    if (injector_)
+        faultLog_.insert(faultLog_.end(), stepEvents_.begin(),
+                         stepEvents_.end());
     // Fleet p99 over a short trailing window of intervals (one
     // interval's p99 is a noisy order statistic at realistic rates).
     if (recent_.empty())
@@ -225,8 +494,11 @@ ClusterManager::run(
         const FleetIntervalStats &fs = step();
         if (t >= window_start) {
             for (std::size_t s = 0; s < num_services; ++s) {
-                for (std::size_t n = 0; n < nodes_.size(); ++n)
+                for (std::size_t n = 0; n < nodes_.size(); ++n) {
+                    if (!isNodeUp(n))
+                        continue; // a down node's histogram is stale
                     window_hists[s].merge(nodes_[n]->intervalHistogram(s));
+                }
                 if (fs.fleetP99Ms[s] <= services_[s].qosTargetMs)
                     ++qos_ok[s];
             }

@@ -33,6 +33,8 @@
 #include "cluster/node.hh"
 #include "cluster/router.hh"
 #include "common/thread_pool.hh"
+#include "faults/fault_injector.hh"
+#include "faults/fault_spec.hh"
 #include "sim/loadgen.hh"
 #include "sim/machine.hh"
 #include "sim/service_profile.hh"
@@ -68,10 +70,19 @@ struct FleetIntervalStats
     /** p99 per service over the fleet-wide completions of the last
      * qosWindowIntervals intervals (merged per-node histograms). */
     std::vector<double> fleetP99Ms;
-    /** Sum of node socket powers, W. */
+    /** Sum of node socket powers, W (crashed replicas contribute 0). */
     double totalPowerW = 0.0;
-    /** Per-node telemetry (node order is stable). */
+    /** Per-node telemetry (node order is stable). A crashed node's
+     * entry is its last serving interval; check nodeUp. */
     std::vector<sim::ServerIntervalStats> nodes;
+    /** Health per node this interval (1 = served it). */
+    std::vector<std::uint8_t> nodeUp;
+    /** Fleet RPS dropped because no replica was in rotation (0 unless
+     * every node is down — the well-defined "shed" record). */
+    double shedRps = 0.0;
+    /** Fault-subsystem events that fired this interval, in application
+     * order (empty without a fault schedule). */
+    std::vector<faults::FaultEvent> faultEvents;
 };
 
 /** Fleet outcome over a run's trailing summary window. */
@@ -137,6 +148,29 @@ class ClusterManager
     Node &node(std::size_t i);
     const sim::ServiceProfile &service(std::size_t s) const;
 
+    /**
+     * Arm a fault schedule (src/faults). Must be called after every
+     * replica has been added — the spec is validated against the fleet
+     * shape (FatalError on a bad schedule). The schedule's transitions
+     * are applied serially at the top of each step(); recovery
+     * outcomes and periodic checkpoints appear on the fault-event
+     * stream (FleetIntervalStats::faultEvents and faultLog()).
+     */
+    void setFaults(const faults::FaultSpec &spec);
+
+    /** All fault events so far, in application order. */
+    const std::vector<faults::FaultEvent> &faultLog() const
+    {
+        return faultLog_;
+    }
+
+    /** Whether replica @p n is currently serving (always true without
+     * a fault schedule). */
+    bool isNodeUp(std::size_t n) const
+    {
+        return n >= nodeUp_.size() || nodeUp_[n] != 0;
+    }
+
     /** Toggle the reference (pre-optimization) queue-simulator path on
      * every current node — bit-identical results either way; used by
      * the throughput benchmark. */
@@ -162,7 +196,32 @@ class ClusterManager
             &on_step = {});
 
   private:
+    /** Everything needed to rebuild a replica after a crash. */
+    struct NodeSlot
+    {
+        sim::MachineConfig machine;
+        ManagerFactory factory;
+        /** Rebuild count; salts the reborn node's derived seed. */
+        std::size_t incarnation = 0;
+        // Environmental fault state that survives a node rebuild (a
+        // restarted node is still in the hot rack / behind the same
+        // flaky monitor).
+        bool throttled = false;
+        std::size_t dvfsCap = 0;
+        bool telemetryFault = false;
+        double faultSigma = 0.0;
+        double faultStaleProb = 0.0;
+        std::uint64_t faultSeed = 0;
+    };
+
     std::vector<LatencyBinning> binnings() const;
+    /** Apply the schedule transitions due at the current step. */
+    void applyFaultEvents();
+    /** Periodic checksummed in-memory BDQ frames of serving replicas. */
+    void saveCheckpointFrames();
+    /** Rebuild replica @p n after a crash; @p recovery is "warm" or
+     * "cold". Emits the recovery-outcome events. */
+    void rebuildNode(std::size_t n, const std::string &recovery);
 
     ClusterConfig cfg_;
     std::vector<sim::ServiceProfile> services_;
@@ -188,6 +247,24 @@ class ClusterManager
     std::vector<std::vector<double>> shares_;
     /** Trailing-window merge accumulator per service. */
     std::vector<stats::Histogram> trailingScratch_;
+
+    // --- fault subsystem (src/faults) --------------------------------
+    /** Armed schedule (null without faults; the no-fault step path is
+     * byte-identical to the pre-fault code). */
+    std::unique_ptr<faults::FaultInjector> injector_;
+    /** Rebuild recipes, one per node (recorded by addNode). */
+    std::vector<NodeSlot> slots_;
+    /** Health per node (1 = serving); sized by setFaults. */
+    std::vector<std::uint8_t> nodeUp_;
+    /** Last periodic checkpoint frame per node: u64 FNV-1a checksum
+     * followed by the framed BDQ checkpoint ("" = none yet). */
+    std::vector<std::string> frames_;
+    /** Active load-surge multiplier per service (1.0 = none). */
+    std::vector<double> surgeMult_;
+    /** Events fired during the current step (scratch). */
+    std::vector<faults::FaultEvent> stepEvents_;
+    /** Full event stream across the run. */
+    std::vector<faults::FaultEvent> faultLog_;
 };
 
 } // namespace twig::cluster

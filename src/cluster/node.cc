@@ -1,5 +1,8 @@
 #include "cluster/node.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/error.hh"
 
 namespace twig::cluster {
@@ -7,7 +10,8 @@ namespace twig::cluster {
 Node::Node(const NodeConfig &cfg,
            std::unique_ptr<core::TaskManager> manager, std::uint64_t seed)
     : config_(cfg), server_(cfg.machine, seed),
-      manager_(std::move(manager)), mapper_(cfg.machine)
+      manager_(std::move(manager)), mapper_(cfg.machine),
+      dvfsCap_(cfg.machine.dvfs.maxIndex())
 {
     common::fatalIf(config_.services.empty(), "Node: hosts no services");
     common::fatalIf(!manager_, "Node: null task manager");
@@ -61,6 +65,36 @@ Node::setOfferedLoad(const std::vector<double> &rps)
     loadSet_ = true;
 }
 
+void
+Node::setDvfsCap(std::size_t max_index)
+{
+    dvfsCap_ = std::min(max_index, machine().dvfs.maxIndex());
+}
+
+void
+Node::clearDvfsCap()
+{
+    dvfsCap_ = machine().dvfs.maxIndex();
+}
+
+void
+Node::setTelemetryFault(double sigma, double stale_prob,
+                        std::uint64_t seed)
+{
+    common::fatalIf(sigma < 0.0 || stale_prob < 0.0 || stale_prob > 1.0,
+                    "Node::setTelemetryFault: bad parameters");
+    telemetryFault_ = true;
+    faultSigma_ = sigma;
+    faultStaleProb_ = stale_prob;
+    faultRng_.reseed(seed);
+}
+
+void
+Node::clearTelemetryFault()
+{
+    telemetryFault_ = false;
+}
+
 const sim::ServerIntervalStats &
 Node::stepInterval()
 {
@@ -68,9 +102,39 @@ Node::stepInterval()
                     "Node::stepInterval: offered load never set");
     for (auto &h : intervalHists_)
         h.clear();
+    // Thermal throttle: the hardware saturates whatever DVFS state
+    // the manager asked for. Clamp at map time so the cap also covers
+    // the initial all-cores-max requests.
+    if (dvfsCapped()) {
+        for (auto &req : requests_)
+            req.dvfsIndex = std::min(req.dvfsIndex, dvfsCap_);
+    }
     mapper_.mapInto(requests_, assignments_);
     const sim::ServerIntervalStats &stats = server_.runInterval(assignments_);
-    manager_->decideInto(stats, requests_);
+    if (telemetryFault_) {
+        perturbed_ = stats;
+        for (std::size_t s = 0; s < perturbed_.services.size(); ++s) {
+            auto &pmcs = perturbed_.services[s].pmcs;
+            if (havePrevPmcs_ && s < prevPmcs_.size() &&
+                faultRng_.bernoulli(faultStaleProb_)) {
+                pmcs = prevPmcs_[s]; // dropout: stale reading
+            } else if (faultSigma_ > 0.0) {
+                for (auto &counter : pmcs)
+                    counter *= std::exp(
+                        faultRng_.normal(0.0, faultSigma_));
+            }
+        }
+        manager_->decideInto(perturbed_, requests_);
+    } else {
+        manager_->decideInto(stats, requests_);
+    }
+    // Remember the truthful counters as the next interval's stale-
+    // reading source (cheap fixed-size copies).
+    if (prevPmcs_.size() != stats.services.size())
+        prevPmcs_.resize(stats.services.size());
+    for (std::size_t s = 0; s < stats.services.size(); ++s)
+        prevPmcs_[s] = stats.services[s].pmcs;
+    havePrevPmcs_ = true;
     return stats;
 }
 

@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/rng.hh"
 #include "core/mapper.hh"
 #include "core/task_manager.hh"
 #include "sim/loadgen.hh"
@@ -94,6 +95,31 @@ class Node
     void setOfferedLoad(const std::vector<double> &rps);
 
     /**
+     * Thermal throttle: cap the hardware's DVFS ladder at index
+     * @p max_index (clamped to the ladder) until clearDvfsCap(). The
+     * manager keeps requesting whatever it wants; the delivered
+     * frequency silently saturates — exactly how firmware-level
+     * thermal management looks to software.
+     */
+    void setDvfsCap(std::size_t max_index);
+    void clearDvfsCap();
+    bool dvfsCapped() const { return dvfsCap_ < machine().dvfs.maxIndex(); }
+
+    /**
+     * Telemetry fault: until clearTelemetryFault(), the PMC vectors
+     * the *manager* observes carry multiplicative log-normal noise
+     * (per-counter factor exp(N(0, sigma^2))) and, with probability
+     * @p stale_prob per service per interval, are replaced by the
+     * previous interval's readings. Ground truth (latency histograms,
+     * power, router feedback) is untouched. Draws come from a node-
+     * private RNG seeded with @p seed, so runs stay bit-identical at
+     * any --jobs count.
+     */
+    void setTelemetryFault(double sigma, double stale_prob,
+                           std::uint64_t seed);
+    void clearTelemetryFault();
+
+    /**
      * Advance one control interval: map the pending resource requests,
      * run the server, then ask the manager for the next interval's
      * requests. Offered load must have been set first.
@@ -133,6 +159,20 @@ class Node
     std::vector<sim::CoreAssignment> assignments_;
     std::vector<stats::Histogram> intervalHists_;
     bool loadSet_ = false;
+
+    // --- fault surfaces (src/faults) ---------------------------------
+    /** Highest DVFS index the hardware delivers (default: no cap). */
+    std::size_t dvfsCap_;
+    bool telemetryFault_ = false;
+    double faultSigma_ = 0.0;
+    double faultStaleProb_ = 0.0;
+    common::Rng faultRng_;
+    /** Last truthful PMC vectors (stale-reading source). */
+    std::vector<sim::PmcVector> prevPmcs_;
+    bool havePrevPmcs_ = false;
+    /** Manager-visible copy of the interval stats under a telemetry
+     * fault (the returned ground truth stays exact). */
+    sim::ServerIntervalStats perturbed_;
 };
 
 } // namespace twig::cluster

@@ -48,6 +48,46 @@ Router::Router(const RouterConfig &cfg, std::uint64_t seed)
                     "Router: need at least one load quantum");
 }
 
+void
+Router::evict(std::size_t n)
+{
+    syncHealth(n + 1);
+    up_[n] = 0;
+    // A drained node's credit is stale by the time it comes back;
+    // readmitting at zero keeps the interleaving smooth.
+    if (n < wrrCredit_.size())
+        wrrCredit_[n] = 0.0;
+}
+
+void
+Router::readmit(std::size_t n)
+{
+    syncHealth(n + 1);
+    up_[n] = 1;
+}
+
+bool
+Router::isUp(std::size_t n) const
+{
+    return n >= up_.size() || up_[n] != 0;
+}
+
+void
+Router::syncHealth(std::size_t nodes)
+{
+    if (up_.size() < nodes)
+        up_.resize(nodes, 1);
+}
+
+std::size_t
+Router::upCount(std::size_t nodes) const
+{
+    std::size_t count = 0;
+    for (std::size_t n = 0; n < nodes; ++n)
+        count += isUp(n) ? 1 : 0;
+    return count;
+}
+
 std::vector<std::vector<double>>
 Router::route(const std::vector<double> &fleet_rps,
               const std::vector<double> &weights,
@@ -58,15 +98,17 @@ Router::route(const std::vector<double> &fleet_rps,
     return out;
 }
 
-void
+bool
 Router::routeInto(const std::vector<double> &fleet_rps,
                   const std::vector<double> &weights,
                   const RouterFeedback &feedback,
                   std::vector<std::vector<double>> &out)
 {
     common::fatalIf(weights.empty(), "Router::route: no nodes");
-    for (double w : weights)
-        common::fatalIf(w <= 0.0, "Router::route: non-positive weight");
+    syncHealth(weights.size());
+    for (std::size_t n = 0; n < weights.size(); ++n)
+        common::fatalIf(weights[n] <= 0.0 && isUp(n),
+                        "Router::route: non-positive weight");
     for (double rps : fleet_rps)
         common::fatalIf(rps < 0.0, "Router::route: negative fleet RPS");
 
@@ -74,29 +116,36 @@ Router::routeInto(const std::vector<double> &fleet_rps,
     for (auto &row : out)
         row.assign(fleet_rps.size(), 0.0);
 
+    // Every replica down: nothing to divide the load by. Leave the
+    // shares zeroed and report it so the caller records a shed
+    // interval instead of routing NaN RPS.
+    const std::size_t up = upCount(weights.size());
+    if (up == 0)
+        return false;
+
     switch (cfg_.policy) {
     case RoutingPolicy::Static:
-        routeStaticInto(fleet_rps, weights.size(), out);
-        return;
+        routeStaticInto(fleet_rps, weights.size(), up, out);
+        return true;
     case RoutingPolicy::WeightedRoundRobin:
         routeWrrInto(fleet_rps, weights, out);
-        return;
+        return true;
     case RoutingPolicy::PowerOfTwoLatency:
         routeP2cInto(fleet_rps, weights, feedback, out);
-        return;
+        return true;
     }
     common::panic("Router::route: bad policy enum");
 }
 
 void
 Router::routeStaticInto(const std::vector<double> &fleet_rps,
-                        std::size_t nodes,
+                        std::size_t nodes, std::size_t up,
                         std::vector<std::vector<double>> &out)
 {
     for (std::size_t s = 0; s < fleet_rps.size(); ++s) {
-        const double share = fleet_rps[s] / static_cast<double>(nodes);
+        const double share = fleet_rps[s] / static_cast<double>(up);
         for (std::size_t n = 0; n < nodes; ++n)
-            out[n][s] = share;
+            out[n][s] = isUp(n) ? share : 0.0;
     }
 }
 
@@ -107,10 +156,13 @@ Router::routeWrrInto(const std::vector<double> &fleet_rps,
 {
     const std::size_t nodes = weights.size();
     if (wrrCredit_.size() != nodes)
-        wrrCredit_.assign(nodes, 0.0);
+        wrrCredit_.resize(nodes, 0.0);
+    // Only in-rotation nodes earn credit or count toward the total
+    // weight — evicting a replica re-normalises the split across the
+    // survivors automatically.
     double weight_sum = 0.0;
-    for (double w : weights)
-        weight_sum += w;
+    for (std::size_t n = 0; n < nodes; ++n)
+        weight_sum += isUp(n) ? weights[n] : 0.0;
 
     for (std::size_t s = 0; s < fleet_rps.size(); ++s) {
         const double quantum =
@@ -120,10 +172,12 @@ Router::routeWrrInto(const std::vector<double> &fleet_rps,
         // is charged the total weight. Credits persist across
         // intervals so the interleaving stays smooth at every scale.
         for (std::size_t q = 0; q < cfg_.quantaPerService; ++q) {
-            std::size_t best = 0;
+            std::size_t best = nodes;
             for (std::size_t n = 0; n < nodes; ++n) {
+                if (!isUp(n))
+                    continue;
                 wrrCredit_[n] += weights[n];
-                if (wrrCredit_[n] > wrrCredit_[best])
+                if (best == nodes || wrrCredit_[n] > wrrCredit_[best])
                     best = n;
             }
             wrrCredit_[best] -= weight_sum;
@@ -139,14 +193,21 @@ Router::routeP2cInto(const std::vector<double> &fleet_rps,
                      std::vector<std::vector<double>> &out)
 {
     const std::size_t nodes = weights.size();
-    if (nodes == 1) {
-        out[0] = fleet_rps;
+    upIdx_.clear();
+    for (std::size_t n = 0; n < nodes; ++n) {
+        if (isUp(n))
+            upIdx_.push_back(n);
+    }
+    // A single surviving replica takes everything: two-choices needs
+    // two candidates, and uniformInt(0) below would be undefined.
+    if (upIdx_.size() == 1) {
+        out[upIdx_[0]] = fleet_rps;
         return;
     }
 
     double weight_sum = 0.0;
-    for (double w : weights)
-        weight_sum += w;
+    for (std::size_t n : upIdx_)
+        weight_sum += weights[n];
 
     for (std::size_t s = 0; s < fleet_rps.size(); ++s) {
         const double quantum =
@@ -169,18 +230,26 @@ Router::routeP2cInto(const std::vector<double> &fleet_rps,
             }
         }
         // Fair share of this service's quanta per node (capacity-
-        // proportional); the dealt/fair ratio makes the load half of
-        // the cost dimensionless and comparable to the QoS half.
+        // proportional among the survivors); the dealt/fair ratio
+        // makes the load half of the cost dimensionless and
+        // comparable to the QoS half.
         fair_.assign(nodes, 0.0);
-        for (std::size_t n = 0; n < nodes; ++n)
+        for (std::size_t n : upIdx_)
             fair_[n] = static_cast<double>(cfg_.quantaPerService) *
                 weights[n] / weight_sum;
         dealt_.assign(nodes, 0.0);
+        const std::size_t up = upIdx_.size();
         for (std::size_t q = 0; q < cfg_.quantaPerService; ++q) {
-            const std::size_t a = rng_.uniformInt(nodes);
-            std::size_t b = rng_.uniformInt(nodes - 1);
-            if (b >= a)
-                ++b; // second choice distinct from the first
+            const std::size_t a = upIdx_[rng_.uniformInt(up)];
+            std::size_t bi = rng_.uniformInt(up - 1);
+            // Second choice distinct from the first (by up-index, so
+            // the draw sequence with every node up matches the
+            // pre-health router bit for bit).
+            std::size_t b = upIdx_[bi];
+            if (b >= a) {
+                ++bi;
+                b = upIdx_[bi];
+            }
             auto cost = [&](std::size_t n) {
                 return penalty_[n] + dealt_[n] / fair_[n];
             };

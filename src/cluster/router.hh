@@ -22,6 +22,13 @@
  * feedback): it draws from its own seeded RNG and never depends on
  * thread scheduling, so cluster runs stay bit-identical at any
  * --jobs count.
+ *
+ * Node health: the router tracks which replicas are in rotation.
+ * evict(n) drains a node (it receives no quanta and its weight drops
+ * out of every normalisation, so surviving replicas absorb the load);
+ * readmit(n) puts it back. When every node is down the router routes
+ * nothing and reports it, so the caller can record a well-defined
+ * "shed" interval instead of dividing by zero.
  */
 
 #ifndef TWIG_CLUSTER_ROUTER_HH
@@ -80,13 +87,29 @@ class Router
     const RouterConfig &config() const { return cfg_; }
 
     /**
+     * Take node @p n out of rotation (crash / drain). Idempotent; its
+     * smooth-WRR credit resets so a readmitted node re-enters the
+     * interleaving without a stale credit advantage.
+     */
+    void evict(std::size_t n);
+
+    /** Put node @p n back into rotation. Idempotent. */
+    void readmit(std::size_t n);
+
+    /** Whether node @p n is in rotation (nodes the router has never
+     * seen are up). */
+    bool isUp(std::size_t n) const;
+
+    /**
      * Split each service's fleet RPS across @p weights.size() nodes.
      *
      * @param fleet_rps  offered fleet load per service
-     * @param weights    capacity weight per node (all > 0)
+     * @param weights    capacity weight per node (all > 0 for nodes
+     *                   in rotation; evicted nodes' weights ignored)
      * @param feedback   latency feedback (PowerOfTwoLatency only)
      * @return per-node, per-service RPS ([node][service]); each
-     *         service's column sums to its fleet RPS
+     *         service's column sums to its fleet RPS. All-zero (with
+     *         routeInto returning false) when every node is evicted.
      */
     std::vector<std::vector<double>>
     route(const std::vector<double> &fleet_rps,
@@ -94,15 +117,21 @@ class Router
           const RouterFeedback &feedback);
 
     /** As route(), writing into @p out ([node][service], rewritten in
-     * full; no allocation once capacities are warm). */
-    void routeInto(const std::vector<double> &fleet_rps,
+     * full; no allocation once capacities are warm). Returns false —
+     * with @p out zero-filled — when every node is out of rotation
+     * and the interval's load must be shed. */
+    bool routeInto(const std::vector<double> &fleet_rps,
                    const std::vector<double> &weights,
                    const RouterFeedback &feedback,
                    std::vector<std::vector<double>> &out);
 
   private:
+    /** Health mask resized (new nodes up) to @p nodes. */
+    void syncHealth(std::size_t nodes);
+    std::size_t upCount(std::size_t nodes) const;
+
     void routeStaticInto(const std::vector<double> &fleet_rps,
-                         std::size_t nodes,
+                         std::size_t nodes, std::size_t up,
                          std::vector<std::vector<double>> &out);
     void routeWrrInto(const std::vector<double> &fleet_rps,
                       const std::vector<double> &weights,
@@ -114,12 +143,16 @@ class Router
 
     RouterConfig cfg_;
     common::Rng rng_;
+    /** Health per node (1 = in rotation); grown on demand. */
+    std::vector<std::uint8_t> up_;
     /** Smooth-WRR credit per node (persists across intervals). */
     std::vector<double> wrrCredit_;
     // Per-interval scratch of the two-choices policy.
     std::vector<double> penalty_;
     std::vector<double> fair_;
     std::vector<double> dealt_;
+    /** Indices of in-rotation nodes (two-choices sampling scratch). */
+    std::vector<std::size_t> upIdx_;
 };
 
 } // namespace twig::cluster

@@ -115,6 +115,20 @@ TwigManager::loadCheckpoint(const std::string &path)
 }
 
 void
+TwigManager::saveCheckpointStream(std::ostream &os,
+                                  const std::string &context) const
+{
+    rl::saveCheckpoint(learner_, os, context);
+}
+
+void
+TwigManager::loadCheckpointStream(std::istream &is,
+                                  const std::string &context)
+{
+    rl::loadCheckpoint(learner_, is, context);
+}
+
+void
 TwigManager::actionsToRequests(const std::vector<nn::BranchActions> &actions,
                                std::vector<ResourceRequest> &out) const
 {

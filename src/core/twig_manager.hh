@@ -107,6 +107,14 @@ class TwigManager : public TaskManager
     void saveCheckpoint(const std::string &path) const;
     void loadCheckpoint(const std::string &path);
 
+    /** Framed checkpoint to/from a stream instead of a file — the
+     * cluster failover path keeps the periodic frames in memory.
+     * @p context prefixes error messages (e.g. "node 2 frame"). */
+    void saveCheckpointStream(std::ostream &os,
+                              const std::string &context) const;
+    void loadCheckpointStream(std::istream &is,
+                              const std::string &context);
+
     /** Reward value of service @p idx in the last decide() (tests). */
     double lastReward(std::size_t idx) const;
 

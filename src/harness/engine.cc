@@ -150,6 +150,25 @@ CsvTraceSink::record(const StepRecord &rec)
     ++records_;
 }
 
+// --- FaultCsvSink ----------------------------------------------------
+
+void
+FaultCsvSink::begin(const ScenarioSpec &,
+                    const std::vector<sim::ServiceProfile> &)
+{
+    csv_ = std::make_unique<common::CsvWriter>(path_);
+    csv_->header(
+        {"step", "event", "node", "service", "value", "aux", "note"});
+}
+
+void
+FaultCsvSink::fault(const faults::FaultEvent &ev)
+{
+    csv_->row(ev.step, faults::faultEventKindName(ev.kind), ev.node,
+              ev.service, ev.value, ev.aux, ev.note);
+    ++events_;
+}
+
 // --- MetricsSink -----------------------------------------------------
 
 void
@@ -408,6 +427,8 @@ Engine::runCluster(const ScenarioSpec &spec,
                       expandCheckpoint(spec.checkpoint,
                                        machine.numCores));
     }
+    if (!spec.faults.empty())
+        fleet.setFaults(spec.faults);
 
     for (auto *sink : options_.sinks)
         sink->begin(spec, profiles);
@@ -422,8 +443,11 @@ Engine::runCluster(const ScenarioSpec &spec,
         rec.powerW = fs.totalPowerW;
         rec.offeredRps = fs.offeredRps;
         rec.p99Ms = fs.fleetP99Ms;
-        for (auto *sink : options_.sinks)
+        for (auto *sink : options_.sinks) {
+            for (const auto &ev : fs.faultEvents)
+                sink->fault(ev);
             sink->record(rec);
+        }
     }
     for (auto *sink : options_.sinks)
         sink->end();

@@ -58,6 +58,10 @@ class RecordSink
 
     virtual void record(const StepRecord &rec) = 0;
 
+    /** Called for every fault event of a step, before that step's
+     * record() (cluster topology with a fault schedule only). */
+    virtual void fault(const faults::FaultEvent &ev) { (void)ev; }
+
     /** Called once after the last record. */
     virtual void end() {}
 };
@@ -85,6 +89,30 @@ class CsvTraceSink : public RecordSink
     std::size_t numServices_ = 0;
     std::size_t records_ = 0;
     std::vector<double> row_;
+};
+
+/** Writes the fault-event stream as CSV (tools' --fault-trace): one
+ * row per event with the kind name and the kind-specific scalars. */
+class FaultCsvSink : public RecordSink
+{
+  public:
+    explicit FaultCsvSink(std::string path) : path_(std::move(path)) {}
+
+    void begin(const ScenarioSpec &spec,
+               const std::vector<sim::ServiceProfile> &profiles) override;
+    void record(const StepRecord &rec) override { (void)rec; }
+    void fault(const faults::FaultEvent &ev) override;
+    /** Close the file so the event stream is complete on disk. */
+    void end() override { csv_.reset(); }
+
+    const std::string &path() const { return path_; }
+    /** Events written so far. */
+    std::size_t events() const { return events_; }
+
+  private:
+    std::string path_;
+    std::unique_ptr<common::CsvWriter> csv_;
+    std::size_t events_ = 0;
 };
 
 /** Recomputes RunMetrics from the record stream over the trailing

@@ -210,6 +210,10 @@ ScenarioSpec::validate(const ManagerRegistry &registry) const
             return "checkpoint warm-start needs the twig manager";
         if (!events.empty())
             return "events are only supported on the single topology";
+        if (auto err = faults.validate(nodes, n_svc); !err.empty())
+            return err;
+    } else if (!faults.empty()) {
+        return "faults are only supported on the cluster topology";
     }
     return {};
 }
@@ -274,6 +278,8 @@ ScenarioSpec::toJson() const
             c.set("checkpoint", checkpoint);
         j.set("cluster", std::move(c));
     }
+    if (!faults.empty())
+        j.set("faults", faults.toJson());
     return j;
 }
 
@@ -323,6 +329,8 @@ ScenarioSpec::fromJson(const Json &j)
         s.policy = c->stringOr("policy", s.policy);
         s.checkpoint = c->stringOr("checkpoint", "");
     }
+    if (const Json *f = j.find("faults"))
+        s.faults = faults::FaultSpec::fromJson(*f);
     return s;
 }
 

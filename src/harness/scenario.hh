@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "faults/fault_spec.hh"
 #include "harness/registry.hh"
 
 namespace twig::harness {
@@ -144,6 +145,9 @@ struct ScenarioSpec
      * the node's core count (per-shape donors). Implies exploit-only
      * twig nodes. */
     std::string checkpoint;
+    /** Fault schedule the run must survive (src/faults); empty = no
+     * faults and a step loop byte-identical to a fault-free run. */
+    faults::FaultSpec faults;
 
     /** Effective metrics window / learning horizon. */
     std::size_t resolvedWindow() const;

@@ -31,6 +31,21 @@ readPod(std::istream &is, const std::string &context)
     return v;
 }
 
+/** Hex rendering of raw magic bytes for mismatch diagnostics. */
+std::string
+hexBytes(const char *bytes, std::size_t n)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto b = static_cast<unsigned char>(bytes[i]);
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0x0f]);
+    }
+    return out;
+}
+
 } // namespace
 
 void
@@ -50,8 +65,11 @@ readCheckpointHeader(std::istream &is, const std::string &context)
 {
     char magic[sizeof(kMagic)];
     is.read(magic, sizeof(magic));
-    common::fatalIf(!is || std::memcmp(magic, kMagic, sizeof(magic)) != 0,
-                    context, ": not a Twig checkpoint file");
+    common::fatalIf(!is, context, ": truncated checkpoint header");
+    common::fatalIf(std::memcmp(magic, kMagic, sizeof(magic)) != 0,
+                    context, ": not a Twig checkpoint (magic bytes ",
+                    hexBytes(magic, sizeof(magic)), ", expected ",
+                    hexBytes(kMagic, sizeof(kMagic)), " \"TWIGCKPT\")");
     const auto version = readPod<std::uint32_t>(is, context);
     common::fatalIf(version != kVersion, context,
                     ": unsupported checkpoint version ", version);

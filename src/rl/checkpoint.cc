@@ -1,6 +1,8 @@
 #include "rl/checkpoint.hh"
 
 #include <fstream>
+#include <istream>
+#include <ostream>
 
 #include "common/error.hh"
 #include "nn/checkpoint.hh"
@@ -25,18 +27,61 @@ bdqShape(const nn::BdqConfig &cfg)
 }
 
 void
-saveCheckpoint(const BdqLearner &learner, const std::string &path)
+saveCheckpoint(const BdqLearner &learner, std::ostream &os,
+               const std::string &context)
 {
-    std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    common::fatalIf(!os.is_open(),
-                    "cannot open checkpoint for writing: ", path);
     nn::CheckpointHeader hdr;
     hdr.kind = nn::kCheckpointKindBdq;
     hdr.shape = bdqShape(learner.onlineNetwork().config());
     hdr.paramFloats = learner.onlineNetwork().paramCount();
     nn::writeCheckpointHeader(os, hdr);
     learner.save(os);
-    common::fatalIf(!os, "write failed for checkpoint: ", path);
+    common::fatalIf(!os, "write failed for checkpoint: ", context);
+}
+
+void
+saveCheckpoint(const BdqLearner &learner, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    common::fatalIf(!os.is_open(),
+                    "cannot open checkpoint for writing: ", path);
+    saveCheckpoint(learner, os, path);
+}
+
+void
+loadCheckpoint(BdqLearner &learner, std::istream &is,
+               const std::string &context)
+{
+    const nn::CheckpointHeader hdr =
+        nn::readCheckpointHeader(is, context);
+    common::fatalIf(hdr.kind != nn::kCheckpointKindBdq, context,
+                    ": checkpoint holds kind ", hdr.kind,
+                    ", expected kind ", nn::kCheckpointKindBdq,
+                    " (BDQ learner)");
+    const auto expected = bdqShape(learner.onlineNetwork().config());
+    common::fatalIf(
+        hdr.shape != expected, context,
+        ": checkpoint architecture does not match this learner "
+        "(machine shape / service count differ)");
+    common::fatalIf(hdr.paramFloats !=
+                        learner.onlineNetwork().paramCount(),
+                    context, ": checkpoint holds ", hdr.paramFloats,
+                    " parameters, this learner has ",
+                    learner.onlineNetwork().paramCount());
+
+    // Validate the payload size up front so a bad frame never leaves
+    // the learner half-loaded.
+    const std::streampos params_begin = is.tellg();
+    is.seekg(0, std::ios::end);
+    const std::streampos stream_end = is.tellg();
+    const auto payload =
+        static_cast<std::uint64_t>(stream_end - params_begin);
+    common::fatalIf(payload != hdr.paramFloats * sizeof(float), context,
+                    ": checkpoint payload is ", payload,
+                    " bytes, expected ",
+                    hdr.paramFloats * sizeof(float));
+    is.seekg(params_begin);
+    learner.load(is);
 }
 
 void
@@ -44,35 +89,7 @@ loadCheckpoint(BdqLearner &learner, const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
     common::fatalIf(!is.is_open(), "cannot open checkpoint: ", path);
-    const nn::CheckpointHeader hdr =
-        nn::readCheckpointHeader(is, path);
-    common::fatalIf(hdr.kind != nn::kCheckpointKindBdq, path,
-                    ": checkpoint holds kind ", hdr.kind,
-                    ", expected a BDQ learner");
-    const auto expected = bdqShape(learner.onlineNetwork().config());
-    common::fatalIf(
-        hdr.shape != expected, path,
-        ": checkpoint architecture does not match this learner "
-        "(machine shape / service count differ)");
-    common::fatalIf(hdr.paramFloats !=
-                        learner.onlineNetwork().paramCount(),
-                    path, ": checkpoint holds ", hdr.paramFloats,
-                    " parameters, this learner has ",
-                    learner.onlineNetwork().paramCount());
-
-    // Validate the payload size up front so a bad file never leaves
-    // the learner half-loaded.
-    const std::streampos params_begin = is.tellg();
-    is.seekg(0, std::ios::end);
-    const std::streampos file_end = is.tellg();
-    const auto payload =
-        static_cast<std::uint64_t>(file_end - params_begin);
-    common::fatalIf(payload != hdr.paramFloats * sizeof(float), path,
-                    ": checkpoint payload is ", payload,
-                    " bytes, expected ",
-                    hdr.paramFloats * sizeof(float));
-    is.seekg(params_begin);
-    learner.load(is);
+    loadCheckpoint(learner, is, path);
 }
 
 } // namespace twig::rl

@@ -16,6 +16,7 @@
 #define TWIG_RL_CHECKPOINT_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,12 @@ std::vector<std::uint64_t> bdqShape(const nn::BdqConfig &cfg);
 /** Snapshot @p learner's online-network weights to @p path. */
 void saveCheckpoint(const BdqLearner &learner, const std::string &path);
 
+/** As the file variant, writing the framed checkpoint to @p os —
+ * the cluster failover path snapshots into in-memory frames this way.
+ * @p context prefixes error messages. */
+void saveCheckpoint(const BdqLearner &learner, std::ostream &os,
+                    const std::string &context);
+
 /**
  * Restore weights from @p path into @p learner (online and target
  * networks). The checkpoint's fingerprint must match the learner's
@@ -37,6 +44,12 @@ void saveCheckpoint(const BdqLearner &learner, const std::string &path);
  * FatalError and leave the learner untouched.
  */
 void loadCheckpoint(BdqLearner &learner, const std::string &path);
+
+/** As the file variant, reading a framed checkpoint from @p is, which
+ * must hold the checkpoint and nothing else (payload size is validated
+ * before any parameter is installed). @p context prefixes errors. */
+void loadCheckpoint(BdqLearner &learner, std::istream &is,
+                    const std::string &context);
 
 } // namespace twig::rl
 

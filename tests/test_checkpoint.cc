@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -191,5 +192,97 @@ TEST(BdqCheckpoint, RejectsWrongNetworkFamily)
 
     Rng rng_l(1);
     rl::BdqLearner learner(smallLearner(), rng_l);
-    EXPECT_THROW(rl::loadCheckpoint(learner, path), FatalError);
+    try {
+        rl::loadCheckpoint(learner, path);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        const std::string msg = err.what();
+        // The wrong-kind diagnosis names what a BDQ restore expects.
+        EXPECT_NE(msg.find("expected kind 2"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find(path), std::string::npos) << msg;
+    }
+}
+
+TEST(CheckpointErrors, BadMagicReportsPathAndBytes)
+{
+    const std::string path = tmpPath("bad_magic.ckpt");
+    Rng rng(1);
+    nn::Mlp a(smallMlp(), rng);
+    nn::saveMlpCheckpoint(a, path);
+    std::string bytes = readFileBytes(path);
+    bytes[0] = 'X'; // "XWIGCKPT"
+    writeFileBytes(path, bytes);
+
+    Rng rng_b(2);
+    nn::Mlp b(smallMlp(), rng_b);
+    try {
+        nn::loadMlpCheckpoint(b, path);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        const std::string msg = err.what();
+        EXPECT_NE(msg.find(path), std::string::npos) << msg;
+        // Expected-vs-actual magic, with the actual bytes in hex
+        // ('X' = 0x58) and the expected name spelled out.
+        EXPECT_NE(msg.find("TWIGCKPT"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("58"), std::string::npos) << msg;
+    }
+}
+
+TEST(CheckpointErrors, TruncatedMagicIsDiagnosedAsTruncation)
+{
+    const std::string path = tmpPath("tiny.ckpt");
+    writeFileBytes(path, "TWI");
+    Rng rng(1);
+    nn::Mlp m(smallMlp(), rng);
+    try {
+        nn::loadMlpCheckpoint(m, path);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        const std::string msg = err.what();
+        EXPECT_NE(msg.find(path), std::string::npos) << msg;
+        EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+    }
+}
+
+TEST(BdqCheckpoint, StreamRoundTripMatchesFileRoundTrip)
+{
+    Rng rng_a(3);
+    rl::BdqLearner a(smallLearner(), rng_a);
+    for (int i = 0; i < 30; ++i)
+        a.observe(someTransition(0.05 * i));
+
+    std::ostringstream out;
+    rl::saveCheckpoint(a, out, "stream checkpoint");
+
+    Rng rng_b(9);
+    rl::BdqLearner b(smallLearner(), rng_b);
+    std::istringstream in(out.str());
+    rl::loadCheckpoint(b, in, "stream checkpoint");
+    for (int i = 0; i < 5; ++i) {
+        const std::vector<float> state(6, 0.2f * static_cast<float>(i));
+        EXPECT_EQ(a.greedyActions(state), b.greedyActions(state));
+    }
+}
+
+TEST(BdqCheckpoint, StreamLoadErrorsCarryTheContext)
+{
+    Rng rng_a(3);
+    rl::BdqLearner a(smallLearner(), rng_a);
+    std::ostringstream out;
+    rl::saveCheckpoint(a, out, "ctx");
+    std::string bytes = out.str();
+    bytes.resize(bytes.size() - 12); // chop the parameter tail
+
+    Rng rng_b(3);
+    rl::BdqLearner b(smallLearner(), rng_b);
+    std::istringstream in(bytes);
+    try {
+        rl::loadCheckpoint(b, in, "node-1 frame");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("node-1 frame"),
+                  std::string::npos)
+            << err.what();
+    }
 }

@@ -1,0 +1,522 @@
+/** @file Fleet failover and agent recovery under injected faults:
+ * router health, crash/restart with warm and cold recovery, corrupt
+ * checkpoint fallback, load shedding, and bit-exact replay. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/static_manager.hh"
+#include "cluster/cluster_manager.hh"
+#include "cluster/router.hh"
+#include "common/error.hh"
+#include "core/twig_manager.hh"
+#include "faults/fault_injector.hh"
+#include "faults/fault_spec.hh"
+#include "harness/engine.hh"
+#include "services/microbench.hh"
+#include "services/tailbench.hh"
+#include "sim/loadgen.hh"
+
+using namespace twig;
+using namespace twig::cluster;
+using twig::common::FatalError;
+
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+ClusterManager::ManagerFactory
+staticNodes()
+{
+    return [](const sim::MachineConfig &machine,
+              const std::vector<sim::ServiceProfile> &,
+              std::uint64_t) -> std::unique_ptr<core::TaskManager> {
+        return std::make_unique<baselines::StaticManager>(machine);
+    };
+}
+
+/** Twig nodes with a canned power model (the RL loop and its RNG run
+ * for real; only the Eq. 2 fit is skipped for speed). */
+ClusterManager::ManagerFactory
+twigNodes(std::size_t horizon)
+{
+    return [horizon](const sim::MachineConfig &machine,
+                     const std::vector<sim::ServiceProfile> &svcs,
+                     std::uint64_t seed)
+        -> std::unique_ptr<core::TaskManager> {
+        const auto maxima = services::calibrateCounterMaxima(machine);
+        std::vector<core::TwigServiceSpec> specs;
+        for (const auto &p : svcs) {
+            core::TwigServiceSpec spec;
+            spec.name = p.name;
+            spec.qosTargetMs = p.qosTargetMs;
+            spec.maxLoadRps = p.maxLoadRps;
+            spec.powerModel = core::ServicePowerModel(10.0, 1.0, 2.0);
+            specs.push_back(spec);
+        }
+        return std::make_unique<core::TwigManager>(
+            core::TwigConfig::fast(horizon), machine, maxima,
+            std::move(specs), seed);
+    };
+}
+
+/** Homogeneous fixed-load Masstree fleet. */
+ClusterManager
+makeFleet(RoutingPolicy policy, std::size_t jobs, std::size_t nodes,
+          const ClusterManager::ManagerFactory &factory)
+{
+    const auto masstree = services::masstree();
+    ClusterConfig cfg;
+    cfg.router.policy = policy;
+    cfg.jobs = jobs;
+    std::vector<std::unique_ptr<sim::LoadGenerator>> loads;
+    loads.push_back(std::make_unique<sim::FixedLoad>(
+        masstree.maxLoadRps * static_cast<double>(nodes), 0.4));
+    ClusterManager fleet(cfg, {masstree}, std::move(loads), 42);
+    for (std::size_t n = 0; n < nodes; ++n)
+        fleet.addNode(sim::MachineConfig{}, factory);
+    return fleet;
+}
+
+faults::FaultAction
+crashAction(std::size_t at, std::size_t node, std::size_t restart_after,
+            const std::string &recovery)
+{
+    faults::FaultAction a;
+    a.kind = faults::FaultKind::NodeCrash;
+    a.atStep = at;
+    a.node = node;
+    a.restartAfterSteps = restart_after;
+    a.recovery = recovery;
+    return a;
+}
+
+std::size_t
+countEvents(const std::vector<faults::FaultEvent> &log,
+            faults::FaultEventKind kind)
+{
+    std::size_t n = 0;
+    for (const auto &ev : log)
+        n += ev.kind == kind ? 1 : 0;
+    return n;
+}
+
+const faults::FaultEvent *
+findEvent(const std::vector<faults::FaultEvent> &log,
+          faults::FaultEventKind kind)
+{
+    for (const auto &ev : log)
+        if (ev.kind == kind)
+            return &ev;
+    return nullptr;
+}
+
+/** Bit-identical, not approximately equal — the jobs count and the
+ * run instance must not leak into any simulated quantity. */
+void
+expectIdenticalTraces(const FleetRunResult &a, const FleetRunResult &b)
+{
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t t = 0; t < a.trace.size(); ++t) {
+        const auto &fa = a.trace[t];
+        const auto &fb = b.trace[t];
+        EXPECT_EQ(fa.offeredRps, fb.offeredRps) << "step " << t;
+        EXPECT_EQ(fa.fleetP99Ms, fb.fleetP99Ms) << "step " << t;
+        EXPECT_EQ(fa.totalPowerW, fb.totalPowerW) << "step " << t;
+        EXPECT_EQ(fa.nodeUp, fb.nodeUp) << "step " << t;
+        EXPECT_EQ(fa.shedRps, fb.shedRps) << "step " << t;
+        EXPECT_EQ(fa.faultEvents, fb.faultEvents) << "step " << t;
+    }
+    EXPECT_EQ(a.metrics.windowP99Ms, b.metrics.windowP99Ms);
+    EXPECT_EQ(a.metrics.meanPowerW, b.metrics.meanPowerW);
+}
+
+} // namespace
+
+// --- Router health ----------------------------------------------------
+
+TEST(RouterHealth, EvictRenormalizesOntoSurvivors)
+{
+    Router wrr({RoutingPolicy::WeightedRoundRobin, 300}, 1);
+    wrr.evict(1);
+    const auto out = wrr.route({600.0}, {2.0, 1.0, 1.0}, {});
+    EXPECT_DOUBLE_EQ(out[1][0], 0.0);
+    EXPECT_NEAR(out[0][0] + out[2][0], 600.0, 1e-9);
+    // 2:1 among the survivors.
+    EXPECT_NEAR(out[0][0], 400.0, 1e-9);
+
+    Router stat({RoutingPolicy::Static, 64}, 1);
+    stat.evict(0);
+    const auto eq = stat.route({600.0}, {1.0, 1.0, 1.0}, {});
+    EXPECT_DOUBLE_EQ(eq[0][0], 0.0);
+    EXPECT_DOUBLE_EQ(eq[1][0], 300.0);
+    EXPECT_DOUBLE_EQ(eq[2][0], 300.0);
+}
+
+TEST(RouterHealth, SingleSurvivorTakesTheWholeLoad)
+{
+    // Regression: p2c with exactly one node in rotation must not draw
+    // a second choice from an empty candidate set.
+    Router router({RoutingPolicy::PowerOfTwoLatency, 256}, 7);
+    router.evict(0);
+    router.evict(2);
+    const auto out = router.route({900.0}, {1.0, 1.0, 1.0}, {});
+    EXPECT_DOUBLE_EQ(out[0][0], 0.0);
+    EXPECT_DOUBLE_EQ(out[1][0], 900.0);
+    EXPECT_DOUBLE_EQ(out[2][0], 0.0);
+}
+
+TEST(RouterHealth, AllNodesDownShedsInsteadOfNaN)
+{
+    for (const RoutingPolicy policy :
+         {RoutingPolicy::Static, RoutingPolicy::WeightedRoundRobin,
+          RoutingPolicy::PowerOfTwoLatency}) {
+        Router router({policy, 64}, 1);
+        router.evict(0);
+        router.evict(1);
+        std::vector<std::vector<double>> out;
+        EXPECT_FALSE(router.routeInto({500.0}, {1.0, 1.0}, {}, out));
+        for (const auto &node : out)
+            for (const double rps : node) {
+                EXPECT_FALSE(std::isnan(rps));
+                EXPECT_DOUBLE_EQ(rps, 0.0);
+            }
+
+        router.readmit(1);
+        EXPECT_TRUE(router.routeInto({500.0}, {1.0, 1.0}, {}, out));
+        EXPECT_DOUBLE_EQ(out[1][0], 500.0);
+    }
+}
+
+TEST(RouterHealth, EvictAndReadmitAreIdempotent)
+{
+    Router router({RoutingPolicy::Static, 64}, 1);
+    router.evict(1);
+    router.evict(1);
+    EXPECT_FALSE(router.isUp(1));
+    EXPECT_TRUE(router.isUp(0));
+    router.readmit(1);
+    router.readmit(1);
+    EXPECT_TRUE(router.isUp(1));
+    // Nodes the router has never seen are up by definition.
+    EXPECT_TRUE(router.isUp(17));
+}
+
+// --- Fleet failover ---------------------------------------------------
+
+TEST(FleetFailover, CrashRemovesTheNodeUntilRestart)
+{
+    auto fleet =
+        makeFleet(RoutingPolicy::Static, 1, 3, staticNodes());
+    faults::FaultSpec spec;
+    spec.actions.push_back(crashAction(5, 1, 5, "cold"));
+    fleet.setFaults(spec);
+    const auto result = fleet.run(15, 5);
+
+    for (std::size_t t = 0; t < 15; ++t) {
+        const bool down = t >= 5 && t < 10;
+        EXPECT_EQ(result.trace[t].nodeUp[1], down ? 0 : 1)
+            << "step " << t;
+        EXPECT_EQ(result.trace[t].nodeUp[0], 1) << "step " << t;
+        // A two-survivor interval carries two nodes' power only.
+        if (down) {
+            EXPECT_DOUBLE_EQ(result.trace[t].totalPowerW,
+                             result.trace[t].nodes[0].socketPowerW +
+                                 result.trace[t].nodes[2].socketPowerW)
+                << "step " << t;
+        }
+    }
+    EXPECT_EQ(countEvents(fleet.faultLog(),
+                          faults::FaultEventKind::NodeCrash),
+              1u);
+    EXPECT_EQ(countEvents(fleet.faultLog(),
+                          faults::FaultEventKind::NodeRestart),
+              1u);
+    EXPECT_EQ(countEvents(fleet.faultLog(),
+                          faults::FaultEventKind::ColdRestart),
+              1u);
+}
+
+TEST(FleetFailover, WarmRecoveryRestoresTheLatestFrame)
+{
+    auto fleet =
+        makeFleet(RoutingPolicy::Static, 1, 2, twigNodes(16));
+    faults::FaultSpec spec;
+    spec.checkpointEverySteps = 4;
+    spec.actions.push_back(crashAction(9, 1, 3, "warm"));
+    fleet.setFaults(spec);
+    fleet.run(16, 4);
+
+    const auto &log = fleet.faultLog();
+    EXPECT_GT(countEvents(log, faults::FaultEventKind::CheckpointSaved),
+              0u);
+    ASSERT_EQ(countEvents(log, faults::FaultEventKind::WarmRestore), 1u);
+    EXPECT_EQ(countEvents(log, faults::FaultEventKind::ColdRestart), 0u);
+    const auto *restore =
+        findEvent(log, faults::FaultEventKind::WarmRestore);
+    EXPECT_EQ(restore->node, 1);
+    EXPECT_GT(restore->value, 0.0); // restored payload bytes
+    EXPECT_EQ(restore->step, 12u);
+}
+
+TEST(FleetFailover, WarmWithoutAFrameFallsBackToCold)
+{
+    auto fleet =
+        makeFleet(RoutingPolicy::Static, 1, 2, twigNodes(12));
+    faults::FaultSpec spec; // no periodic checkpoints
+    spec.actions.push_back(crashAction(3, 0, 3, "warm"));
+    fleet.setFaults(spec);
+    fleet.run(12, 4);
+
+    const auto &log = fleet.faultLog();
+    EXPECT_EQ(countEvents(log, faults::FaultEventKind::WarmRestore), 0u);
+    ASSERT_EQ(countEvents(log, faults::FaultEventKind::ColdRestart), 1u);
+    const auto *cold =
+        findEvent(log, faults::FaultEventKind::ColdRestart);
+    EXPECT_NE(cold->note.find("no checkpoint frame"),
+              std::string::npos)
+        << cold->note;
+}
+
+TEST(FleetFailover, CorruptFrameIsDetectedAndDegradesToCold)
+{
+    auto fleet =
+        makeFleet(RoutingPolicy::Static, 1, 2, twigNodes(16));
+    faults::FaultSpec spec;
+    spec.checkpointEverySteps = 4;
+    faults::FaultAction corrupt;
+    corrupt.kind = faults::FaultKind::CheckpointCorrupt;
+    corrupt.atStep = 10;
+    corrupt.node = 1;
+    spec.actions.push_back(corrupt);
+    spec.actions.push_back(crashAction(11, 1, 3, "warm"));
+    fleet.setFaults(spec);
+    // The damaged frame must be rejected, not loaded and not fatal.
+    const auto result = fleet.run(16, 4);
+    EXPECT_EQ(result.trace.size(), 16u);
+
+    const auto &log = fleet.faultLog();
+    EXPECT_EQ(countEvents(log, faults::FaultEventKind::WarmRestore), 0u);
+    EXPECT_EQ(countEvents(log, faults::FaultEventKind::CorruptDetected),
+              1u);
+    EXPECT_EQ(countEvents(log, faults::FaultEventKind::ColdRestart), 1u);
+    EXPECT_EQ(result.trace[15].nodeUp[1], 1); // back in service
+}
+
+TEST(FleetFailover, AllNodesDownBecomesAWellDefinedShedRecord)
+{
+    auto fleet =
+        makeFleet(RoutingPolicy::PowerOfTwoLatency, 1, 2, staticNodes());
+    faults::FaultSpec spec;
+    spec.actions.push_back(crashAction(3, 0, 0, "cold"));
+    spec.actions.push_back(crashAction(4, 1, 0, "cold"));
+    fleet.setFaults(spec);
+    const auto result = fleet.run(8, 3);
+
+    for (std::size_t t = 4; t < 8; ++t) {
+        const auto &fs = result.trace[t];
+        EXPECT_GT(fs.shedRps, 0.0) << "step " << t;
+        EXPECT_DOUBLE_EQ(fs.shedRps, fs.offeredRps[0]) << "step " << t;
+        EXPECT_DOUBLE_EQ(fs.totalPowerW, 0.0) << "step " << t;
+        for (const double p99 : fs.fleetP99Ms)
+            EXPECT_FALSE(std::isnan(p99)) << "step " << t;
+    }
+    EXPECT_EQ(countEvents(fleet.faultLog(),
+                          faults::FaultEventKind::LoadShed),
+              4u);
+}
+
+TEST(FleetFailover, ThrottleReducesPowerWhileActive)
+{
+    auto baseline =
+        makeFleet(RoutingPolicy::Static, 1, 2, staticNodes());
+    const auto clean = baseline.run(12, 4);
+
+    auto throttled =
+        makeFleet(RoutingPolicy::Static, 1, 2, staticNodes());
+    faults::FaultSpec spec;
+    faults::FaultAction throttle;
+    throttle.kind = faults::FaultKind::ThermalThrottle;
+    throttle.atStep = 4;
+    throttle.node = 0;
+    throttle.durationSteps = 6;
+    throttle.maxDvfsIndex = 0;
+    spec.actions.push_back(throttle);
+    throttled.setFaults(spec);
+    const auto hot = throttled.run(12, 4);
+
+    // Same world up to the throttle...
+    for (std::size_t t = 0; t < 4; ++t)
+        EXPECT_EQ(hot.trace[t].nodes[0].socketPowerW,
+                  clean.trace[t].nodes[0].socketPowerW)
+            << "step " << t;
+    // ...then the capped node burns strictly less than its
+    // all-cores-max baseline while the cap holds.
+    for (std::size_t t = 4; t < 10; ++t)
+        EXPECT_LT(hot.trace[t].nodes[0].socketPowerW,
+                  clean.trace[t].nodes[0].socketPowerW)
+            << "step " << t;
+}
+
+TEST(FleetFailover, TelemetryFaultLeavesGroundTruthExact)
+{
+    // A stats-blind manager decides identically under PMC noise, so
+    // the whole simulated world must replay bit-identically: the
+    // fault perturbs only the manager-visible copy of the telemetry.
+    auto baseline =
+        makeFleet(RoutingPolicy::Static, 1, 2, staticNodes());
+    const auto clean = baseline.run(12, 4);
+
+    auto noisy = makeFleet(RoutingPolicy::Static, 1, 2, staticNodes());
+    faults::FaultSpec spec;
+    faults::FaultAction noise;
+    noise.kind = faults::FaultKind::PmcNoise;
+    noise.atStep = 2;
+    noise.node = 0;
+    noise.durationSteps = 8;
+    noise.sigma = 0.5;
+    noise.staleProb = 0.3;
+    spec.actions.push_back(noise);
+    noisy.setFaults(spec);
+    const auto faulted = noisy.run(12, 4);
+
+    for (std::size_t t = 0; t < 12; ++t) {
+        EXPECT_EQ(faulted.trace[t].fleetP99Ms, clean.trace[t].fleetP99Ms)
+            << "step " << t;
+        EXPECT_EQ(faulted.trace[t].totalPowerW,
+                  clean.trace[t].totalPowerW)
+            << "step " << t;
+    }
+}
+
+TEST(FleetFailover, SurgeMultipliesTheOfferedLoad)
+{
+    auto baseline =
+        makeFleet(RoutingPolicy::Static, 1, 2, staticNodes());
+    const auto clean = baseline.run(10, 4);
+
+    auto surged = makeFleet(RoutingPolicy::Static, 1, 2, staticNodes());
+    faults::FaultSpec spec;
+    faults::FaultAction surge;
+    surge.kind = faults::FaultKind::LoadSurge;
+    surge.atStep = 4;
+    surge.service = 0;
+    surge.durationSteps = 3;
+    surge.multiplier = 2.0;
+    spec.actions.push_back(surge);
+    surged.setFaults(spec);
+    const auto hot = surged.run(10, 4);
+
+    for (std::size_t t = 0; t < 10; ++t) {
+        const double expected = (t >= 4 && t < 7 ? 2.0 : 1.0) *
+            clean.trace[t].offeredRps[0];
+        EXPECT_DOUBLE_EQ(hot.trace[t].offeredRps[0], expected)
+            << "step " << t;
+    }
+}
+
+TEST(FleetFailover, SetFaultsValidatesAgainstTheFleetShape)
+{
+    auto fleet =
+        makeFleet(RoutingPolicy::Static, 1, 2, staticNodes());
+    faults::FaultSpec bad;
+    bad.actions.push_back(crashAction(3, 5, 0, "cold")); // node 5 of 2
+    EXPECT_THROW(fleet.setFaults(bad), FatalError);
+
+    const auto masstree = services::masstree();
+    std::vector<std::unique_ptr<sim::LoadGenerator>> loads;
+    loads.push_back(
+        std::make_unique<sim::FixedLoad>(masstree.maxLoadRps, 0.4));
+    ClusterManager empty({}, {masstree}, std::move(loads), 1);
+    faults::FaultSpec ok;
+    ok.checkpointEverySteps = 4;
+    EXPECT_THROW(empty.setFaults(ok), FatalError); // no nodes yet
+}
+
+// --- Deterministic replay ---------------------------------------------
+
+TEST(FaultReplay, SameSeedSameScheduleIsBitIdentical)
+{
+    faults::FaultSpec spec;
+    spec.checkpointEverySteps = 4;
+    spec.actions.push_back(crashAction(7, 1, 4, "warm"));
+    faults::FaultAction noise;
+    noise.kind = faults::FaultKind::PmcNoise;
+    noise.atStep = 3;
+    noise.node = 0;
+    noise.durationSteps = 6;
+    noise.sigma = 0.3;
+    spec.actions.push_back(noise);
+    faults::FaultAction surge;
+    surge.kind = faults::FaultKind::LoadSurge;
+    surge.atStep = 5;
+    surge.service = 0;
+    surge.durationSteps = 4;
+    surge.multiplier = 1.4;
+    spec.actions.push_back(surge);
+
+    auto runOnce = [&](std::size_t jobs) {
+        auto fleet = makeFleet(RoutingPolicy::PowerOfTwoLatency, jobs,
+                               3, twigNodes(16));
+        fleet.setFaults(spec);
+        auto result = fleet.run(16, 5);
+        return std::make_pair(std::move(result), fleet.faultLog());
+    };
+
+    const auto a = runOnce(1);
+    const auto b = runOnce(1);
+    const auto c = runOnce(3);
+    expectIdenticalTraces(a.first, b.first);
+    // Node stepping on a thread pool must not reorder or alter one
+    // fault event either.
+    expectIdenticalTraces(a.first, c.first);
+    EXPECT_EQ(a.second, b.second);
+    EXPECT_EQ(a.second, c.second);
+}
+
+TEST(FaultReplay, EngineScenarioStreamsEventsAndReplaysAcrossJobs)
+{
+    harness::ScenarioSpec spec;
+    spec.name = "fault-replay";
+    spec.topology = "cluster";
+    harness::ServiceLoadSpec load;
+    load.service = "masstree";
+    load.pattern = "fixed";
+    load.fraction = 0.4;
+    spec.services.push_back(load);
+    spec.manager = "static";
+    spec.steps = 12;
+    spec.window = 4;
+    spec.nodes = 2;
+    spec.policy = "p2c-latency";
+    spec.faults.actions.push_back(crashAction(3, 1, 4, "cold"));
+
+    const std::string csv = tmpPath("fault_events.csv");
+    harness::FaultCsvSink sink(csv);
+    harness::EngineOptions serial;
+    serial.jobs = 1;
+    serial.sinks.push_back(&sink);
+    const auto a = harness::Engine(serial).run(spec);
+    EXPECT_GT(sink.events(), 0u);
+
+    harness::EngineOptions parallel;
+    parallel.jobs = 2;
+    const auto b = harness::Engine(parallel).run(spec);
+    expectIdenticalTraces(a.fleet, b.fleet);
+
+    std::ifstream in(csv);
+    std::stringstream text;
+    text << in.rdbuf();
+    EXPECT_NE(text.str().find("node_crash"), std::string::npos);
+    EXPECT_NE(text.str().find("cold_restart"), std::string::npos);
+}

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/flags.hh"
+#include "faults/fault_spec.hh"
 #include "harness/engine.hh"
 #include "harness/registry.hh"
 #include "harness/scenario.hh"
@@ -53,6 +54,8 @@ struct Options
     std::string checkpoint;
     std::string saveCheckpoint;
     std::string trace;
+    std::string faults;
+    std::string faultTrace;
 };
 
 common::FlagParser
@@ -91,6 +94,11 @@ makeParser(Options &opt)
                      "save node 0's trained BDQ after the run");
     parser.addString("--trace", &opt.trace,
                      "write a per-step fleet CSV trace");
+    parser.addString("--faults", &opt.faults,
+                     "fault-schedule file (replaces the scenario's own "
+                     "schedule)");
+    parser.addString("--fault-trace", &opt.faultTrace,
+                     "write the fault-event stream as CSV");
     return parser;
 }
 
@@ -173,7 +181,9 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const auto spec = buildSpec(opt, argv[0]);
+    auto spec = buildSpec(opt, argv[0]);
+    if (!opt.faults.empty())
+        spec.faults = faults::FaultSpec::fromFile(opt.faults);
     const auto &registry = harness::ManagerRegistry::builtin();
     if (const auto err = spec.validate(registry); !err.empty()) {
         std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
@@ -184,8 +194,11 @@ main(int argc, char **argv)
     engine_opts.jobs = opt.jobs;
     engine_opts.saveCheckpoint = opt.saveCheckpoint;
     harness::CsvTraceSink trace(opt.trace);
+    harness::FaultCsvSink fault_trace(opt.faultTrace);
     if (!opt.trace.empty())
         engine_opts.sinks.push_back(&trace);
+    if (!opt.faultTrace.empty())
+        engine_opts.sinks.push_back(&fault_trace);
 
     const harness::Engine engine(engine_opts);
     const auto result = engine.run(spec);
@@ -193,6 +206,10 @@ main(int argc, char **argv)
     if (!opt.trace.empty()) {
         std::printf("trace written to %s (%zu steps)\n",
                     opt.trace.c_str(), trace.records());
+    }
+    if (!opt.faultTrace.empty()) {
+        std::printf("fault trace written to %s (%zu events)\n",
+                    opt.faultTrace.c_str(), fault_trace.events());
     }
     if (!opt.saveCheckpoint.empty()) {
         std::printf("node 0 BDQ checkpoint written to %s\n",
@@ -212,5 +229,35 @@ main(int argc, char **argv)
     }
     std::printf("  fleet mean power %.1f W, energy %.0f J\n",
                 m.meanPowerW, m.energyJoules);
+
+    if (!spec.faults.empty()) {
+        std::size_t total = 0, warm = 0, cold = 0, corrupt = 0,
+                    shed = 0;
+        for (const auto &fs : result.fleet.trace) {
+            total += fs.faultEvents.size();
+            for (const auto &ev : fs.faultEvents) {
+                switch (ev.kind) {
+                case faults::FaultEventKind::WarmRestore:
+                    ++warm;
+                    break;
+                case faults::FaultEventKind::ColdRestart:
+                    ++cold;
+                    break;
+                case faults::FaultEventKind::CorruptDetected:
+                    ++corrupt;
+                    break;
+                case faults::FaultEventKind::LoadShed:
+                    ++shed;
+                    break;
+                default:
+                    break;
+                }
+            }
+        }
+        std::printf("  fault events: %zu (warm restores %zu, cold "
+                    "restarts %zu, corrupt frames detected %zu, shed "
+                    "intervals %zu)\n",
+                    total, warm, cold, corrupt, shed);
+    }
     return 0;
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/flags.hh"
+#include "faults/fault_spec.hh"
 #include "harness/engine.hh"
 #include "harness/registry.hh"
 #include "harness/scenario.hh"
@@ -46,6 +47,8 @@ struct Options
     std::uint64_t seed = kSeedUnset;
     std::size_t jobs = 1;
     std::string trace;
+    std::string faults;
+    std::string faultTrace;
     bool paper = false;
     bool simProfile = false;
 };
@@ -73,6 +76,11 @@ makeParser(Options &opt)
                     "node-stepping threads for cluster scenarios");
     parser.addString("--trace", &opt.trace,
                      "write a per-step CSV trace");
+    parser.addString("--faults", &opt.faults,
+                     "fault-schedule file (cluster scenarios; replaces "
+                     "the scenario's own schedule)");
+    parser.addString("--fault-trace", &opt.faultTrace,
+                     "write the fault-event stream as CSV");
     parser.addBool("--paper", &opt.paper,
                    "use the paper's full hyper-parameters");
     parser.addBool("--sim-profile", &opt.simProfile,
@@ -173,6 +181,34 @@ printClusterSummary(const harness::ScenarioSpec &spec,
     }
     std::printf("  fleet mean power %.1f W, energy %.0f J\n",
                 m.meanPowerW, m.energyJoules);
+
+    if (spec.faults.empty())
+        return;
+    std::size_t total = 0, warm = 0, cold = 0, corrupt = 0, shed = 0;
+    for (const auto &fs : result.fleet.trace) {
+        total += fs.faultEvents.size();
+        for (const auto &ev : fs.faultEvents) {
+            switch (ev.kind) {
+            case faults::FaultEventKind::WarmRestore:
+                ++warm;
+                break;
+            case faults::FaultEventKind::ColdRestart:
+                ++cold;
+                break;
+            case faults::FaultEventKind::CorruptDetected:
+                ++corrupt;
+                break;
+            case faults::FaultEventKind::LoadShed:
+                ++shed;
+                break;
+            default:
+                break;
+            }
+        }
+    }
+    std::printf("  fault events: %zu (warm restores %zu, cold restarts "
+                "%zu, corrupt frames detected %zu, shed intervals %zu)\n",
+                total, warm, cold, corrupt, shed);
 }
 
 } // namespace
@@ -193,7 +229,9 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const auto spec = buildSpec(opt, argv[0]);
+    auto spec = buildSpec(opt, argv[0]);
+    if (!opt.faults.empty())
+        spec.faults = faults::FaultSpec::fromFile(opt.faults);
 
     // Reject bad manager/mix combinations before the run starts.
     const auto &registry = harness::ManagerRegistry::builtin();
@@ -212,10 +250,13 @@ main(int argc, char **argv)
     engine_opts.jobs = opt.jobs;
     harness::SimProfileSink sim_profile;
     harness::CsvTraceSink trace(opt.trace);
+    harness::FaultCsvSink fault_trace(opt.faultTrace);
     if (opt.simProfile)
         engine_opts.sinks.push_back(&sim_profile);
     if (!opt.trace.empty())
         engine_opts.sinks.push_back(&trace);
+    if (!opt.faultTrace.empty())
+        engine_opts.sinks.push_back(&fault_trace);
 
     const harness::Engine engine(engine_opts);
     const auto result = engine.run(spec);
@@ -223,6 +264,10 @@ main(int argc, char **argv)
     if (!opt.trace.empty()) {
         std::printf("trace written to %s (%zu steps)\n",
                     opt.trace.c_str(), trace.records());
+    }
+    if (!opt.faultTrace.empty()) {
+        std::printf("fault trace written to %s (%zu events)\n",
+                    opt.faultTrace.c_str(), fault_trace.events());
     }
     if (result.cluster)
         printClusterSummary(spec, result);
