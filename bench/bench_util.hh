@@ -28,6 +28,15 @@ struct BenchArgs
      * is bit-identical either way: per-run seeds depend only on
      * (seed, config index), never on thread scheduling. */
     std::size_t jobs = 1;
+    /** Bind address for benches that stand up a live server
+     * (bench/fig_serve). */
+    std::string listen = "127.0.0.1";
+    /** TCP port for the same; 0 binds an ephemeral one. */
+    std::uint16_t port = 0;
+    /** Served-phase wall-clock length, seconds. */
+    double durationS = 2.0;
+    /** Load-generator connections. */
+    std::size_t connections = 8;
     /** Values of bench-specific value flags passed via the @p extra
      * allowlist of parse/tryParse, keyed by flag (e.g. "--out"). */
     std::map<std::string, std::string> extra;
@@ -66,7 +75,11 @@ struct BenchArgs
             "from (seed, config index)\n"
             "  --jobs N  run independent experiment configs on N "
             "threads (default 1;\n"
-            "            results are identical for any N)\n",
+            "            results are identical for any N)\n"
+            "  --listen ADDR / --port N / --duration-s S / "
+            "--connections N\n"
+            "            live-serving knobs (benches that stand up a "
+            "server only)\n",
             prog, extras.c_str());
     }
 };
@@ -132,6 +145,47 @@ BenchArgs::tryParse(int argc, char **argv,
             if (jobs == 0)
                 return fail("--jobs must be at least 1");
             res.args.jobs = static_cast<std::size_t>(jobs);
+        } else if (std::strcmp(arg, "--listen") == 0) {
+            if (i + 1 >= argc)
+                return fail("--listen is missing its value");
+            res.args.listen = argv[++i];
+            if (res.args.listen.empty())
+                return fail("--listen wants a non-empty address");
+        } else if (std::strcmp(arg, "--port") == 0) {
+            if (i + 1 >= argc)
+                return fail("--port is missing its value");
+            std::uint64_t port = 0;
+            std::string err;
+            if (!parseCount("--port", argv[++i], port, err))
+                return fail(err);
+            if (port > 65535)
+                return fail("--port must be in 0..65535 (0 binds an "
+                            "ephemeral port)");
+            res.args.port = static_cast<std::uint16_t>(port);
+        } else if (std::strcmp(arg, "--duration-s") == 0) {
+            if (i + 1 >= argc)
+                return fail("--duration-s is missing its value");
+            const char *text = argv[++i];
+            errno = 0;
+            char *end = nullptr;
+            const double v = std::strtod(text, &end);
+            if (errno != 0 || end == text || *end != '\0')
+                return fail(std::string("--duration-s wants a number, "
+                                        "got '") +
+                            text + "'");
+            if (!(v > 0.0))
+                return fail("--duration-s must be positive");
+            res.args.durationS = v;
+        } else if (std::strcmp(arg, "--connections") == 0) {
+            if (i + 1 >= argc)
+                return fail("--connections is missing its value");
+            std::uint64_t conns = 0;
+            std::string err;
+            if (!parseCount("--connections", argv[++i], conns, err))
+                return fail(err);
+            if (conns == 0)
+                return fail("--connections must be at least 1");
+            res.args.connections = static_cast<std::size_t>(conns);
         } else {
             bool matched = false;
             for (const auto &flag : extra_value_flags) {

@@ -365,73 +365,122 @@ Engine::runSingle(const ScenarioSpec &spec,
     return result;
 }
 
-EngineResult
-Engine::runCluster(const ScenarioSpec &spec,
-                   const ManagerRegistry &registry) const
-{
-    const auto profiles = profilesFor(spec.services);
-    const sim::MachineConfig reference;
-    auto node_machine = [&](std::size_t index) {
-        sim::MachineConfig m;
-        m.numCores = spec.hetero && index % 2 == 1 ? 6
-                                                   : spec.machineCores;
-        return m;
-    };
+namespace {
 
-    // --load keeps its meaning at any node count: relative peaks scale
-    // with total fleet capacity vs one reference node.
+/** Node @p index's machine under @p spec (hetero alternates sizes). */
+sim::MachineConfig
+nodeMachine(const ScenarioSpec &spec, std::size_t index)
+{
+    sim::MachineConfig m;
+    m.numCores = spec.hetero && index % 2 == 1 ? 6 : spec.machineCores;
+    return m;
+}
+
+/** --load keeps its meaning at any node count: relative peaks scale
+ * with total fleet capacity vs one reference node. */
+double
+fleetCapacityFactor(const ScenarioSpec &spec)
+{
+    const sim::MachineConfig reference;
     double capacity_factor = 0.0;
     for (std::size_t n = 0; n < spec.nodes; ++n) {
         capacity_factor +=
-            static_cast<double>(node_machine(n).numCores) /
+            static_cast<double>(nodeMachine(spec, n).numCores) /
             static_cast<double>(reference.numCores);
     }
+    return capacity_factor;
+}
 
-    const std::size_t window = spec.resolvedWindow();
+} // namespace
+
+std::vector<double>
+fleetMaxRps(const ScenarioSpec &spec)
+{
+    const auto profiles = profilesFor(spec.services);
+    const double capacity_factor = fleetCapacityFactor(spec);
+    std::vector<double> max_rps;
+    for (std::size_t s = 0; s < spec.services.size(); ++s)
+        max_rps.push_back(effectiveMaxRps(spec.services[s], profiles[s],
+                                          capacity_factor));
+    return max_rps;
+}
+
+FleetSetup
+buildFleet(const ScenarioSpec &spec, const ManagerRegistry &registry,
+           std::size_t jobs,
+           std::vector<std::unique_ptr<sim::LoadGenerator>>
+               loads_override)
+{
+    FleetSetup setup;
+    setup.profiles = profilesFor(spec.services);
+    const double capacity_factor = fleetCapacityFactor(spec);
+
+    common::fatalIf(!loads_override.empty() &&
+                        loads_override.size() != spec.services.size(),
+                    "buildFleet: loads_override needs one generator "
+                    "per service (got ", loads_override.size(),
+                    " for ", spec.services.size(), " services)");
     std::vector<std::unique_ptr<sim::LoadGenerator>> loads;
     for (std::size_t s = 0; s < spec.services.size(); ++s) {
-        loads.push_back(makeLoadFromSpec(
-            spec.services[s],
-            effectiveMaxRps(spec.services[s], profiles[s],
-                            capacity_factor),
-            spec.steps));
+        setup.maxRps.push_back(effectiveMaxRps(
+            spec.services[s], setup.profiles[s], capacity_factor));
+        loads.push_back(loads_override.empty()
+                            ? makeLoadFromSpec(spec.services[s],
+                                               setup.maxRps[s],
+                                               spec.steps)
+                            : std::move(loads_override[s]));
     }
 
     cluster::ClusterConfig cfg;
     cfg.router.policy = cluster::routingPolicyByName(spec.policy);
-    cfg.jobs = options_.jobs;
-    cluster::ClusterManager fleet(cfg, profiles, std::move(loads),
-                                  spec.seed);
+    cfg.jobs = jobs;
+    setup.fleet = std::make_unique<cluster::ClusterManager>(
+        cfg, setup.profiles, std::move(loads), spec.seed);
 
-    const Schedule sched{spec.steps, window, spec.resolvedHorizon()};
+    const Schedule sched{spec.steps, spec.resolvedWindow(),
+                         spec.resolvedHorizon()};
     const bool warm = !spec.checkpoint.empty();
+    // By-value captures: the factory outlives this call — it is the
+    // rebuild recipe the fleet keeps for crash recovery.
     const cluster::ClusterManager::ManagerFactory factory =
-        [&](const sim::MachineConfig &machine,
+        [sched, paper = spec.paper, knobs = spec.knobs, warm,
+         manager_name = spec.manager, registry_ptr = &registry](
+            const sim::MachineConfig &machine,
             const std::vector<sim::ServiceProfile> &svcs,
             std::uint64_t seed) -> std::unique_ptr<core::TaskManager> {
         ManagerContext ctx;
         ctx.machine = machine;
         ctx.profiles = svcs;
         ctx.schedule = sched;
-        ctx.full = spec.paper;
+        ctx.full = paper;
         ctx.seed = seed;
-        ctx.knobs = spec.knobs;
+        ctx.knobs = knobs;
         if (warm)
             ctx.knobs.exploitOnly = true; // deployed, trained policy
-        return registry.make(spec.manager, ctx);
+        return registry_ptr->make(manager_name, ctx);
     };
 
     for (std::size_t n = 0; n < spec.nodes; ++n) {
-        const auto machine = node_machine(n);
-        fleet.addNode(machine, factory,
-                      expandCheckpoint(spec.checkpoint,
-                                       machine.numCores));
+        const auto machine = nodeMachine(spec, n);
+        setup.fleet->addNode(machine, factory,
+                             expandCheckpoint(spec.checkpoint,
+                                              machine.numCores));
     }
     if (!spec.faults.empty())
-        fleet.setFaults(spec.faults);
+        setup.fleet->setFaults(spec.faults);
+    return setup;
+}
+
+EngineResult
+Engine::runCluster(const ScenarioSpec &spec,
+                   const ManagerRegistry &registry) const
+{
+    const std::size_t window = spec.resolvedWindow();
+    auto setup = buildFleet(spec, registry, options_.jobs);
+    cluster::ClusterManager &fleet = *setup.fleet;
 
     for (auto *sink : options_.sinks)
-        sink->begin(spec, profiles);
+        sink->begin(spec, setup.profiles);
 
     EngineResult result;
     result.cluster = true;

@@ -171,6 +171,40 @@ struct EngineOptions
     const ManagerRegistry *registry = nullptr;
 };
 
+/** A fleet built from a cluster-topology spec, plus the derived
+ * pieces a live driver needs (see buildFleet). */
+struct FleetSetup
+{
+    std::vector<sim::ServiceProfile> profiles;
+    /** Effective fleet-wide peak RPS per service (absolute max_rps
+     * override, or profile max x maxScale x fleet capacity). */
+    std::vector<double> maxRps;
+    std::unique_ptr<cluster::ClusterManager> fleet;
+};
+
+/** Effective fleet-wide peak RPS per service of a cluster-topology
+ * spec (the same capacity scaling buildFleet applies) — what a live
+ * front-end clamps observed arrival rates to. */
+std::vector<double> fleetMaxRps(const ScenarioSpec &spec);
+
+/**
+ * Build the fleet a cluster-topology spec describes: nodes, managers
+ * (warm-started from the spec's checkpoint when set), router policy
+ * and fault schedule — everything except running it. When
+ * @p loads_override is non-empty it supplies the fleet load
+ * generators (one per service, same order) instead of the spec's
+ * declarative patterns; this is how twig_serve plugs live socket
+ * arrivals in as just another load source (serve::LiveLoad) while the
+ * batch path stays byte-identical. The spec must already validate
+ * against @p registry, and @p registry must outlive the fleet (node
+ * rebuilds after faults go back through it).
+ */
+FleetSetup
+buildFleet(const ScenarioSpec &spec, const ManagerRegistry &registry,
+           std::size_t jobs,
+           std::vector<std::unique_ptr<sim::LoadGenerator>>
+               loads_override = {});
+
 /** Result of one scenario run. */
 struct EngineResult
 {

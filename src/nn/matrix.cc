@@ -35,7 +35,13 @@ namespace twig::nn {
 
 namespace {
 
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+// ThreadSanitizer instruments the ifunc resolver target_clones
+// emits, and resolvers run during relocation — before the TSan
+// runtime's thread state exists — so any TSan build that links the
+// kernel would crash before main. Under TSan the default-ISA kernel
+// is used instead.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__)
 #define TWIG_KERNEL_CLONES                                                  \
     __attribute__((target_clones("arch=x86-64-v4", "arch=x86-64-v3",        \
                                  "default")))

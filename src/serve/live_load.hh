@@ -1,0 +1,68 @@
+/**
+ * @file
+ * LiveLoad: the adapter that makes a live socket look like any other
+ * load source.
+ *
+ * The scenario engine drives fleets through the sim::LoadGenerator
+ * interface (fixed / diurnal / trace / ...). LiveLoad implements the
+ * same interface, but its RPS is whatever the serving daemon measured
+ * on the wire: each wall-clock control interval the daemon snapshots
+ * the per-service arrival counters the epoll thread accumulated,
+ * converts the window count to requests-per-second, clamps to the
+ * service's effective fleet capacity (offered load beyond capacity
+ * saturates the simulated service exactly like a real overload — and
+ * keeps the per-interval simulation cost bounded), and set()s the
+ * value before stepping the fleet. The cluster/sim layers never learn
+ * the difference, which is how the deterministic batch path stays
+ * byte-identical: LiveLoad is only ever constructed by the daemon.
+ *
+ * Threading: set() and rps() are both called on the daemon's control
+ * thread (set right before ClusterManager::step(), rps from inside
+ * it). The cross-thread handoff happens one layer up, in the daemon's
+ * atomic arrival counters — LiveLoad itself needs no synchronisation.
+ */
+
+#ifndef TWIG_SERVE_LIVE_LOAD_HH
+#define TWIG_SERVE_LIVE_LOAD_HH
+
+#include <algorithm>
+#include <cstddef>
+
+#include "sim/loadgen.hh"
+
+namespace twig::serve {
+
+/** Load generator fed by measured wire arrivals (see file comment). */
+class LiveLoad : public sim::LoadGenerator
+{
+  public:
+    /** @param max_rps  effective fleet capacity of the service; the
+     *                  observed rate is clamped to it (0 = no clamp). */
+    explicit LiveLoad(double max_rps = 0.0) : maxRps_(max_rps) {}
+
+    double rps(std::size_t) const override { return rps_; }
+
+    /** Install the rate observed over the last wall-clock window.
+     * Returns the clamped value the simulator will see. */
+    double
+    set(double observed_rps)
+    {
+        observed_ = observed_rps;
+        rps_ = maxRps_ > 0.0 ? std::min(observed_rps, maxRps_)
+                             : observed_rps;
+        return rps_;
+    }
+
+    /** Raw (pre-clamp) rate of the last window. */
+    double observedRps() const { return observed_; }
+    double maxRps() const { return maxRps_; }
+
+  private:
+    double maxRps_;
+    double rps_ = 0.0;
+    double observed_ = 0.0;
+};
+
+} // namespace twig::serve
+
+#endif // TWIG_SERVE_LIVE_LOAD_HH

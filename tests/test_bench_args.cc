@@ -94,3 +94,61 @@ TEST(BenchArgs, HelpIsNotAnError)
     EXPECT_FALSE(help.ok()); // callers must not run the bench
     EXPECT_TRUE(tryParse({"-h"}).helpRequested);
 }
+
+TEST(BenchArgs, ServeFlagDefaults)
+{
+    const auto res = tryParse({});
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.args.listen, "127.0.0.1");
+    EXPECT_EQ(res.args.port, 0u);
+    EXPECT_DOUBLE_EQ(res.args.durationS, 2.0);
+    EXPECT_EQ(res.args.connections, 8u);
+}
+
+TEST(BenchArgs, ParsesServeFlags)
+{
+    const auto res = tryParse({"--listen", "0.0.0.0", "--port", "7411",
+                               "--duration-s", "3.5", "--connections",
+                               "16"});
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.args.listen, "0.0.0.0");
+    EXPECT_EQ(res.args.port, 7411u);
+    EXPECT_DOUBLE_EQ(res.args.durationS, 3.5);
+    EXPECT_EQ(res.args.connections, 16u);
+}
+
+TEST(BenchArgs, PortZeroMeansEphemeral)
+{
+    const auto res = tryParse({"--port", "0"});
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.args.port, 0u);
+}
+
+TEST(BenchArgs, RejectsOutOfRangePorts)
+{
+    const auto res = tryParse({"--port", "65536"});
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.error.find("--port"), std::string::npos);
+    EXPECT_FALSE(tryParse({"--port", "99999999"}).ok());
+    EXPECT_FALSE(tryParse({"--port", "-1"}).ok());
+    EXPECT_FALSE(tryParse({"--port", "http"}).ok());
+    EXPECT_TRUE(tryParse({"--port", "65535"}).ok());
+}
+
+TEST(BenchArgs, RejectsNonPositiveDurations)
+{
+    EXPECT_FALSE(tryParse({"--duration-s", "0"}).ok());
+    EXPECT_FALSE(tryParse({"--duration-s", "-1.5"}).ok());
+    EXPECT_FALSE(tryParse({"--duration-s", "soon"}).ok());
+    const auto missing = tryParse({"--duration-s"});
+    EXPECT_FALSE(missing.ok());
+    EXPECT_NE(missing.error.find("--duration-s"), std::string::npos);
+}
+
+TEST(BenchArgs, RejectsZeroConnectionsAndEmptyListen)
+{
+    const auto res = tryParse({"--connections", "0"});
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.error.find("--connections"), std::string::npos);
+    EXPECT_FALSE(tryParse({"--listen", ""}).ok());
+}
