@@ -35,6 +35,7 @@ memx_memory_complexity
 abl_design_knobs
 perf_kernels
 fig_sim_throughput
+fig_dispatch
 fig_serve
 "
 

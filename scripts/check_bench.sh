@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Gate the simulator throughput bench artifact.
+#
+# Usage: scripts/check_bench.sh [BENCH_JSON]
+#
+# Reads the BENCH_sim.json produced by fig_sim_throughput (and
+# augmented by fig_dispatch) and fails when any config reports
+# checksums_match: false -- the calendar-queue dispatch diverged from
+# the reference path -- or optimized_allocs_per_step > 0 -- the hot
+# loop allocated. Both are hard invariants of the optimized simulator,
+# so CI runs this after bench_smoke instead of trusting the benches'
+# own exit codes alone (the artifact is also what gets uploaded, so
+# the gate checks exactly what a reader would download).
+set -u
+
+cd "$(dirname "$0")/.."
+bench_json=${1:-build/bench/BENCH_sim.json}
+
+if [[ ! -f "$bench_json" ]]; then
+    echo "check_bench: $bench_json not found -- run bench_smoke first" >&2
+    exit 1
+fi
+
+python3 - "$bench_json" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    root = json.load(f)
+
+configs = root.get("configs", [])
+if not configs:
+    print(f"check_bench: {path} has no configs", file=sys.stderr)
+    sys.exit(1)
+
+failures = 0
+for cfg in configs:
+    name = cfg.get("name", "?")
+    match = cfg.get("checksums_match")
+    allocs = cfg.get("optimized_allocs_per_step")
+    if match is not True:
+        print(f"check_bench: FAIL {name}: checksums_match is {match!r}",
+              file=sys.stderr)
+        failures += 1
+    if not isinstance(allocs, (int, float)) or allocs > 0:
+        print(f"check_bench: FAIL {name}: "
+              f"optimized_allocs_per_step is {allocs!r}",
+              file=sys.stderr)
+        failures += 1
+    speed = cfg.get("optimized_steps_per_sec")
+    print(f"check_bench: {name}: checksums_match={match} "
+          f"allocs/step={allocs} steps/s={speed}")
+
+cells = root.get("dispatch_microbench", [])
+for cell in cells:
+    name = f"{cell.get('cores')}c/{cell.get('pattern')}"
+    if cell.get("checksums_match") is not True:
+        print(f"check_bench: FAIL dispatch cell {name}: checksum mismatch",
+              file=sys.stderr)
+        failures += 1
+print(f"check_bench: {len(cells)} dispatch microbench cells checked")
+
+if failures:
+    print(f"check_bench: {failures} invariant violation(s)", file=sys.stderr)
+    sys.exit(1)
+print("check_bench: all invariants hold")
+EOF

@@ -177,6 +177,45 @@ class Rng
         return std::exp(normal(mu, sigma));
     }
 
+    /**
+     * Fill @p out with @p n log-normal draws, bit-identical to calling
+     * lognormal(mu, sigma) n times — including the Box-Muller cached
+     * second value at entry and exit, so the generator ends in exactly
+     * the state n sequential calls leave it in. Batching lets the
+     * independent sqrt/log/sincos/exp chains of consecutive pairs
+     * overlap instead of serializing behind each returned value.
+     */
+    void
+    lognormalBatch(double mu, double sigma, double *out, std::size_t n)
+    {
+        std::size_t i = 0;
+        if (i < n && hasCached_) {
+            hasCached_ = false;
+            out[i++] = std::exp(mu + sigma * cached_);
+        }
+        for (; i + 2 <= n; i += 2) {
+            double u1 = uniform();
+            const double u2 = uniform();
+            while (u1 <= 0.0)
+                u1 = uniform();
+            const double r = std::sqrt(-2.0 * std::log(u1));
+            const double theta = 2.0 * M_PI * u2;
+            out[i] = std::exp(mu + sigma * (r * std::cos(theta)));
+            out[i + 1] = std::exp(mu + sigma * (r * std::sin(theta)));
+        }
+        if (i < n) {
+            double u1 = uniform();
+            const double u2 = uniform();
+            while (u1 <= 0.0)
+                u1 = uniform();
+            const double r = std::sqrt(-2.0 * std::log(u1));
+            const double theta = 2.0 * M_PI * u2;
+            out[i] = std::exp(mu + sigma * (r * std::cos(theta)));
+            cached_ = r * std::sin(theta);
+            hasCached_ = true;
+        }
+    }
+
     /** Bernoulli trial with probability p of returning true. */
     bool
     bernoulli(double p)

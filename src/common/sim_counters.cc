@@ -19,6 +19,8 @@ phaseName(Phase phase)
         return "arrivals";
     case Phase::Dispatch:
         return "dispatch";
+    case Phase::Draws:
+        return "draws";
     case Phase::Quantile:
         return "quantile";
     case Phase::Interference:

@@ -2,9 +2,9 @@
  * @file
  * Per-phase cycle counters for the simulation hot path.
  *
- * The simulator's per-interval work splits into five phases — arrival
- * generation, FCFS dispatch, windowed-quantile maintenance,
- * interference evaluation, and power accounting. Each phase brackets
+ * The simulator's per-interval work splits into six phases — arrival
+ * generation, FCFS dispatch, service-time sampling, windowed-quantile
+ * maintenance, interference evaluation, and power accounting. Each phase brackets
  * itself with a ScopedPhaseTimer; the accumulated cycles and call
  * counts are read out and reported by harness::SimProfile
  * (src/harness/sim_profile.hh), which is the user-facing facade.
@@ -33,6 +33,7 @@ enum class Phase : std::size_t
 {
     Arrivals = 0,   ///< Poisson draw + arrival times + backlog append
     Dispatch,       ///< FCFS dispatch onto the logical core set
+    Draws,          ///< log-normal service-time sampling (batched)
     Quantile,       ///< QoS window maintenance + p99 selection
     Interference,   ///< shared-resource contention evaluation
     Power,          ///< per-core bookkeeping + attribution + RAPL

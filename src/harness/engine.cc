@@ -216,8 +216,17 @@ void
 SimProfileSink::end()
 {
     std::printf("simulator phase breakdown (%zu steps):\n", steps_);
-    SimProfile::snapshot().print(stdout);
+    const SimProfile prof = SimProfile::snapshot();
+    prof.print(stdout);
     SimProfile::disable();
+    const auto over = prof.phasesAbove(maxSharePct_);
+    exceeded_ = !over.empty();
+    for (const auto p : over) {
+        std::printf("  WARNING: phase '%s' share %.2f%% exceeds the "
+                    "--profile-max-share budget of %.2f%%\n",
+                    common::simprof::phaseName(p), prof.sharePct(p),
+                    maxSharePct_);
+    }
 }
 
 // --- EngineResult ----------------------------------------------------

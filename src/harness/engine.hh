@@ -137,16 +137,31 @@ class MetricsSink : public RecordSink
 };
 
 /** Wraps the run in the per-phase simulator cycle counters and prints
- * the breakdown at end() (tools' --sim-profile). */
+ * the breakdown — cycles, calls and percentage share per phase — at
+ * end() (tools' --sim-profile). A share budget (--profile-max-share)
+ * additionally flags every phase whose share exceeds it, so a CI run
+ * can assert "no phase above N%" instead of eyeballing the table. */
 class SimProfileSink : public RecordSink
 {
   public:
+    /** @param max_share_pct  flag phases above this share of total
+     *  cycles; the default never flags. */
+    explicit SimProfileSink(double max_share_pct = 100.0)
+        : maxSharePct_(max_share_pct)
+    {
+    }
+
     void begin(const ScenarioSpec &spec,
                const std::vector<sim::ServiceProfile> &profiles) override;
     void record(const StepRecord &rec) override { (void)rec; }
     void end() override;
 
+    /** Whether end() found a phase above the share budget. */
+    bool exceeded() const { return exceeded_; }
+
   private:
+    double maxSharePct_;
+    bool exceeded_ = false;
     std::size_t steps_ = 0;
 };
 

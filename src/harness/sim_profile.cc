@@ -38,6 +38,28 @@ SimProfile::totalCycles() const
     return total;
 }
 
+double
+SimProfile::sharePct(common::simprof::Phase p) const
+{
+    const std::uint64_t total = totalCycles();
+    if (total == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(phase(p).cycles) /
+        static_cast<double>(total);
+}
+
+std::vector<common::simprof::Phase>
+SimProfile::phasesAbove(double share_pct) const
+{
+    std::vector<simprof::Phase> out;
+    for (std::size_t i = 0; i < simprof::kNumPhases; ++i) {
+        const auto p = static_cast<simprof::Phase>(i);
+        if (sharePct(p) > share_pct)
+            out.push_back(p);
+    }
+    return out;
+}
+
 void
 SimProfile::print(std::FILE *out) const
 {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/sim_counters.hh"
 
@@ -58,6 +59,15 @@ class SimProfile
 
     /** Sum of all phase cycles. */
     std::uint64_t totalCycles() const;
+
+    /** Share of total cycles spent in @p p, in percent (0 when no
+     * cycles were recorded at all). */
+    double sharePct(common::simprof::Phase p) const;
+
+    /** Phases whose share of total cycles strictly exceeds
+     * @p share_pct (tools' --profile-max-share budget check). */
+    std::vector<common::simprof::Phase>
+    phasesAbove(double share_pct) const;
 
     /** Aligned per-phase table (cycles, calls, share of total). */
     void print(std::FILE *out) const;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
+#include <limits>
 
 #include "common/error.hh"
 #include "common/sim_counters.hh"
@@ -15,6 +15,77 @@ namespace {
 using common::simprof::Phase;
 using common::simprof::ScopedPhaseTimer;
 
+/** Service times are pre-drawn in chunks of this many requests (see
+ * runOptimized); the last chunk's unconsumed draws are rolled back. */
+constexpr std::size_t kDrawChunk = 64;
+
+// ThreadSanitizer instruments the ifunc resolver target_clones
+// emits, and resolvers run during relocation — before the TSan
+// runtime's thread state exists — so any TSan build that links this
+// file would crash before main. Under TSan the default-ISA scan is
+// used instead. (Same constraint as nn/matrix.cc.)
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__)
+#define TWIG_SIM_CLONES                                                     \
+    __attribute__((target_clones("arch=x86-64-v4", "arch=x86-64-v3",        \
+                                 "default")))
+#else
+#define TWIG_SIM_CLONES
+#endif
+
+/**
+ * Minimum of @p n doubles, n a positive multiple of 8 (lanes are
+ * padded with +inf to their stride). Four independent accumulator
+ * chains so the reduction pipelines (and vectorizes under the wider
+ * ISA clones) instead of serializing on one min dependency. FP min is
+ * exact and order-independent, so any association gives the identical
+ * result.
+ */
+TWIG_SIM_CLONES double
+laneMin(const double *v, std::uint32_t n)
+{
+    double m0 = v[0];
+    double m1 = v[1];
+    double m2 = v[2];
+    double m3 = v[3];
+    m0 = std::min(m0, v[4]);
+    m1 = std::min(m1, v[5]);
+    m2 = std::min(m2, v[6]);
+    m3 = std::min(m3, v[7]);
+    for (std::uint32_t i = 8; i < n; i += 4) {
+        m0 = std::min(m0, v[i]);
+        m1 = std::min(m1, v[i + 1]);
+        m2 = std::min(m2, v[i + 2]);
+        m3 = std::min(m3, v[i + 3]);
+    }
+    return std::min(std::min(m0, m1), std::min(m2, m3));
+}
+
+/**
+ * Min + arg-min over exactly 8 slots (+inf padding makes short
+ * buckets safe): a 3-level conditional-move tournament — no loop, no
+ * data-dependent branches. Ties resolve to the lower slot; slot
+ * identity never affects simulation output.
+ */
+inline void
+min8(const double *v, double &m, std::uint32_t &arg)
+{
+    const double m01 = std::min(v[0], v[1]);
+    const std::uint32_t a01 = v[1] < v[0] ? 1u : 0u;
+    const double m23 = std::min(v[2], v[3]);
+    const std::uint32_t a23 = v[3] < v[2] ? 3u : 2u;
+    const double m45 = std::min(v[4], v[5]);
+    const std::uint32_t a45 = v[5] < v[4] ? 5u : 4u;
+    const double m67 = std::min(v[6], v[7]);
+    const std::uint32_t a67 = v[7] < v[6] ? 7u : 6u;
+    const double m03 = std::min(m01, m23);
+    const std::uint32_t a03 = m23 < m01 ? a23 : a01;
+    const double m47 = std::min(m45, m67);
+    const std::uint32_t a47 = m67 < m45 ? a67 : a45;
+    m = std::min(m03, m47);
+    arg = m47 < m03 ? a47 : a03;
+}
+
 /** One logical server of the reference path: next-free time plus a
  * speed factor (< 1 for time-shared cores). */
 struct LogicalCore
@@ -25,27 +96,6 @@ struct LogicalCore
      * request runs (1 for dedicated, 1/shareCount for shared). */
     double occupancy;
 };
-
-/** Restore the min-heap property after heap[0] was overwritten. */
-void
-siftDownMin(std::vector<double> &heap)
-{
-    const std::size_t n = heap.size();
-    const double v = heap[0];
-    std::size_t i = 0;
-    for (;;) {
-        std::size_t child = 2 * i + 1;
-        if (child >= n)
-            break;
-        if (child + 1 < n && heap[child + 1] < heap[child])
-            ++child;
-        if (heap[child] >= v)
-            break;
-        heap[i] = heap[child];
-        i = child;
-    }
-    heap[i] = v;
-}
 
 /**
  * The seed's percentileOf: copy the samples, fully std::sort them,
@@ -102,6 +152,116 @@ resetResult(QueueIntervalResult &res)
 }
 
 } // namespace
+
+void
+RequestQueueSim::ClassCal::configure(double spd, double occ,
+                                     std::uint32_t n_cores, double t0,
+                                     double dt)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    // Invariant: every slot beyond a bucket's count holds +inf, so
+    // min scans can read a full 8-slot lane unconditionally. Restore
+    // it for the buckets the previous interval populated (O(previous
+    // core count)) before the layout (stride) potentially changes.
+    for (std::size_t w = 0; w < kOccWords; ++w) {
+        std::uint64_t word = occWords[w];
+        while (word != 0) {
+            const std::size_t b =
+                (w << 6) +
+                static_cast<std::size_t>(__builtin_ctzll(word));
+            word &= word - 1;
+            std::fill_n(slots.begin() +
+                            static_cast<std::ptrdiff_t>(b * stride),
+                        counts[b], inf);
+            counts[b] = 0;
+        }
+        occWords[w] = 0;
+    }
+    speed = spd;
+    occupancy = occ;
+    nCores = n_cores;
+    base = t0;
+    invW = static_cast<double>(kBuckets) / dt;
+    stride = (n_cores + 7u) & ~7u;
+    const std::size_t need = kBuckets * stride;
+    if (slots.size() < need)
+        slots.resize(need, inf); // grows only; settles after warmup
+    minBucket = 0;
+    minSlot = 0;
+    if (n_cores == 0) {
+        minFree = inf;
+        return;
+    }
+    // Every core frees at exactly t0: nCores values in bucket 0.
+    counts[0] = static_cast<std::uint16_t>(n_cores);
+    occWords[0] = 1;
+    std::fill(slots.begin(), slots.begin() + n_cores, t0);
+    minFree = t0;
+}
+
+void
+RequestQueueSim::ClassCal::consumeMin(double completion)
+{
+    // Swap-remove the cached minimum (appends never move existing
+    // slots, so the cached position is always current), re-padding
+    // the vacated slot with +inf.
+    const std::size_t b = minBucket;
+    {
+        double *lane = slots.data() + b * stride;
+        const std::uint32_t cnt = counts[b];
+        lane[minSlot] = lane[cnt - 1];
+        lane[cnt - 1] = std::numeric_limits<double>::infinity();
+        counts[b] = static_cast<std::uint16_t>(cnt - 1);
+        if (cnt == 1)
+            clearOcc(b);
+    }
+    // completion > start >= minFree, so its bucket is >= minBucket and
+    // the post-insert minimum still lives at or after minBucket.
+    const auto nb = static_cast<std::size_t>(bucketOf(completion));
+    slots[nb * stride + counts[nb]] = completion;
+    counts[nb] = static_cast<std::uint16_t>(counts[nb] + 1);
+    setOcc(nb);
+    recomputeMinFrom(b);
+}
+
+void
+RequestQueueSim::ClassCal::recomputeMinFrom(std::size_t fromBucket)
+{
+    // Buckets partition the time axis in order, so the minimum lives
+    // in the first occupied bucket; it is never below fromBucket.
+    std::size_t w = fromBucket >> 6;
+    std::uint64_t word = occWords[w] & (~0ULL << (fromBucket & 63));
+    while (word == 0)
+        word = occWords[++w]; // nCores > 0: some bucket is occupied
+    const std::size_t fb =
+        (w << 6) + static_cast<std::size_t>(__builtin_ctzll(word));
+    const double *lane = slots.data() + fb * stride;
+    const std::uint32_t cnt = counts[fb];
+    std::uint32_t arg;
+    double m;
+    if (cnt <= 8) {
+        // Common case: one branchless 8-slot tournament (+inf padding
+        // covers short buckets).
+        min8(lane, m, arg);
+    } else {
+        // Degenerate bucket (e.g. every core parked at t0, or an
+        // overload piling completions into the last bucket): SIMD
+        // lane scan over the padded stride, then locate the slot by
+        // equality. Ties pick the first slot; slot identity never
+        // affects outputs.
+        m = laneMin(lane, (cnt + 7u) & ~7u);
+        arg = 0;
+        for (std::uint32_t i = 0; i < cnt; ++i) {
+            if (lane[i] == m) {
+                arg = i;
+                break;
+            }
+        }
+    }
+    minFree = m;
+    minBucket = static_cast<std::uint32_t>(fb);
+    minSlot = arg;
+}
 
 RequestQueueSim::RequestQueueSim(const ServiceProfile &profile,
                                  common::Rng rng, double ref_freq_ghz,
@@ -176,10 +336,13 @@ RequestQueueSim::sortArrivals(double t0, double dt)
         return;
     }
     // The arrival times are uniform over [t0, t0 + dt), so a bucket
-    // scatter leaves ~1 element per bucket and the insertion-sort pass
-    // below moves each element O(1) slots on average: expected O(n)
-    // for exactly the sequence std::sort produces.
-    const std::size_t nb = n;
+    // scatter leaves a handful of elements per bucket and the
+    // insertion-sort pass below moves each element O(1) slots on
+    // average: expected O(n) for exactly the sequence std::sort
+    // produces. Bucket count is capped so the counting array stays
+    // L1-resident; the scatter's random accesses were the dominant
+    // cost with one bucket per element.
+    const std::size_t nb = n < 4096 ? n : 4096;
     bucketOffsets_.resize(nb + 1); // resize grows geometrically
     std::fill(bucketOffsets_.begin(), bucketOffsets_.end(), 0u);
     sortScratch_.resize(n);
@@ -227,14 +390,6 @@ RequestQueueSim::generateArrivals(double t0, double dt, double rps)
         std::sort(newArrivals_.begin(), newArrivals_.end());
     else
         sortArrivals(t0, dt);
-
-    for (double a : newArrivals_) {
-        if (pendingCount_ >= maxPending_) {
-            ++result_.dropped;
-            continue;
-        }
-        pendingPushBack(a);
-    }
 }
 
 const QueueIntervalResult &
@@ -259,11 +414,24 @@ RequestQueueSim::runOptimized(double t0, double dt, double rps,
     const double t_end = t0 + dt;
 
     generateArrivals(t0, dt, rps);
+    // Backlog cap, applied up front exactly as the reference path's
+    // push loop applies it: no requests leave the queue between the
+    // pushes, so the first (maxPending - backlog) sorted arrivals are
+    // accepted and the rest dropped. The accepted arrivals stay in
+    // newArrivals_ — dispatch reads the backlog ring first and then
+    // the array directly, and only the unstarted remainder is spilled
+    // into the ring at the end, instead of round-tripping every
+    // request through ring pushes.
+    const std::size_t room =
+        pendingCount_ >= maxPending_ ? 0 : maxPending_ - pendingCount_;
+    const std::size_t accepted = std::min(newArrivals_.size(), room);
+    res.dropped += newArrivals_.size() - accepted;
 
     // Group the logical server set into at most three equal-speed
     // classes. Within a class the cores are interchangeable, so FCFS
-    // dispatch only ever needs each class's earliest-free core — a
-    // min-heap per class replaces the reference path's linear scan.
+    // dispatch only ever needs each class's earliest-free core — the
+    // per-class free-time calendar replaces the reference path's
+    // linear scan.
     const double shared_freq_gain = std::pow(
         assignment.sharedFreqGhz / assignment.freqGhz,
         profile_.freqExponent);
@@ -278,21 +446,27 @@ RequestQueueSim::runOptimized(double t0, double dt, double rps,
     }
     const bool has_fraction = usable > 0.05;
 
-    classes_[0].speed = 1.0;
-    classes_[0].occupancy = 1.0;
-    classes_[0].freeAt.assign(assignment.dedicatedCores.size(), t0);
-    classes_[1].speed = shared_freq_gain;
-    classes_[1].occupancy = 1.0;
-    classes_[1].freeAt.assign(n_shared_full, t0);
-    classes_[2].speed = shared_freq_gain * usable;
-    classes_[2].occupancy = usable;
-    classes_[2].freeAt.assign(has_fraction ? 1 : 0, t0);
+    cals_[0].configure(
+        1.0, 1.0, static_cast<std::uint32_t>(assignment.dedicatedCores.size()),
+        t0, dt);
+    cals_[1].configure(shared_freq_gain, 1.0,
+                       static_cast<std::uint32_t>(n_shared_full), t0, dt);
+    cals_[2].configure(shared_freq_gain * usable, usable,
+                       has_fraction ? 1u : 0u, t0, dt);
 
-    std::size_t n_cores = 0;
-    for (const CoreClass &c : classes_)
-        n_cores += c.freeAt.size();
-    if (n_cores == 0) {
+    // Hot loop iterates only the classes that actually have cores
+    // (commonly one), in class order so first-wins ties match the
+    // reference scan.
+    ClassCal *active[3];
+    int n_active = 0;
+    for (ClassCal &c : cals_) {
+        if (c.nCores != 0)
+            active[n_active++] = &c;
+    }
+    if (n_active == 0) {
         // No cores this interval: everything just queues.
+        for (std::size_t i = 0; i < accepted; ++i)
+            pendingPushBack(newArrivals_[i]);
         res.queuedAtEnd = pendingCount_;
         res.p99Ms = pendingCount_ == 0
             ? 0.0
@@ -315,27 +489,66 @@ RequestQueueSim::runOptimized(double t0, double dt, double rps,
     const double lognormal_mu =
         std::log(mean_service_s) - 0.5 * lognormal_sigma2;
     const double lognormal_sigma = std::sqrt(lognormal_sigma2);
-    for (CoreClass &c : classes_) {
-        if (!c.freeAt.empty())
+    for (ClassCal &c : cals_) {
+        if (c.nCores != 0)
             c.svcTime = mean_service_s / c.speed;
     }
 
-    // Welford mean of the drawn service times, without the variance /
-    // min / max bookkeeping RunningStats carries: only count and mean
-    // are reported, and this recurrence is RunningStats::add's mean
-    // update verbatim, so the result is bit-identical.
+    // Welford means of the drawn service times and of the reported
+    // latencies, without the variance / min / max bookkeeping
+    // RunningStats carries: only count and mean are reported, and the
+    // recurrence is RunningStats::add's mean update verbatim, so the
+    // results are bit-identical. Folding the latency mean into the
+    // dispatch loop (the reference computes it after the fact over the
+    // same values in the same order) keeps the quantile phase free of
+    // per-sample work.
     std::size_t n_started = 0;
     double mean_service_drawn = 0.0;
-    reserveSlack(res.latenciesMs, pendingCount_);
+    std::size_t n_lat = 0;
+    double mean_lat = 0.0;
+    double busy_core_s = 0.0;
+    reserveSlack(res.latenciesMs, pendingCount_ + accepted);
+    if (drawBuf_.size() < kDrawChunk)
+        drawBuf_.resize(kDrawChunk);
 
-    {
+    const double timeout_s = profile_.timeoutMs * 1e-3;
+    std::size_t ringLeft = pendingCount_;
+    std::size_t arrIdx = 0;
+    std::size_t remaining = ringLeft + accepted;
+
+    // Service times are drawn speculatively, one batched pass per
+    // chunk of requests: the generator state is snapshotted at each
+    // refill, and after the loop the unconsumed draws of the final
+    // chunk are rolled back by restoring the snapshot and replaying
+    // exactly the consumed count. Timed-out requests consume no draw
+    // (matching the reference), they just drain the chunk slower. The
+    // first chunk is small because saturated intervals can break out
+    // after a handful of requests.
+    common::Rng chunkSnapshot = rng_;
+    std::size_t chunkLen = 0;
+    std::size_t chunkPos = 0;
+    std::size_t nextChunkSize = 16;
+
+    bool done = remaining == 0;
+    while (!done) {
+        if (chunkPos == chunkLen) {
+            ScopedPhaseTimer draw_timer(Phase::Draws);
+            chunkSnapshot = rng_;
+            chunkLen = std::min(remaining, nextChunkSize);
+            nextChunkSize = kDrawChunk;
+            rng_.lognormalBatch(lognormal_mu, lognormal_sigma,
+                                drawBuf_.data(), chunkLen);
+            chunkPos = 0;
+        }
+
         ScopedPhaseTimer timer(Phase::Dispatch);
-
         // FCFS dispatch: keep starting requests while a core frees up
-        // before the interval's end.
-        const double timeout_s = profile_.timeoutMs * 1e-3;
-        while (pendingCount_ > 0) {
-            const double arrival = pendingFront();
+        // before the interval's end. The backlog ring (older) drains
+        // before the new-arrival array; both are ascending.
+        while (chunkPos < chunkLen) {
+            const double arrival =
+                ringLeft != 0 ? pendingBuf_[pendingHead_]
+                              : newArrivals_[arrIdx];
             // Dispatch to the class whose earliest-free core gives the
             // earliest *expected completion* (not merely earliest-free:
             // a slow fractional pool core is often idle precisely
@@ -343,60 +556,100 @@ RequestQueueSim::runOptimized(double t0, double dt, double rps,
             // funnel requests onto it). Strict `<` in class order
             // dedicated -> shared-full -> fractional matches the
             // reference path's first-wins linear scan.
-            CoreClass *best = nullptr;
+            ClassCal *best = nullptr;
             double best_completion = 1e300;
-            for (CoreClass &c : classes_) {
-                if (c.freeAt.empty())
-                    continue;
-                const double s = std::max(arrival, c.freeAt.front());
-                const double completion = s + c.svcTime;
+            double start = 0.0;
+            for (int c = 0; c < n_active; ++c) {
+                ClassCal &cal = *active[c];
+                // max(arrival, earliest free) — the reference's start
+                // rule, as a conditional move.
+                const double f =
+                    cal.minFree > arrival ? cal.minFree : arrival;
+                const double completion = f + cal.svcTime;
                 if (completion < best_completion) {
                     best_completion = completion;
-                    best = &c;
+                    best = &cal;
+                    start = f;
                 }
             }
-            const double start = std::max(arrival, best->freeAt.front());
-            if (start >= t_end)
-                break; // next slot is beyond this interval
-            pendingPopFront();
+            if (start >= t_end) {
+                done = true; // next slot is beyond this interval
+                break;
+            }
+            if (ringLeft != 0) {
+                pendingPopFront();
+                --ringLeft;
+            } else {
+                ++arrIdx;
+            }
+            --remaining;
 
             // Client abandons requests that waited past the timeout;
             // the measured latency is censored at the timeout value.
             if (timeout_s > 0.0 && start - arrival > timeout_s) {
                 ++res.dropped;
                 res.latenciesMs.push_back(profile_.timeoutMs);
+                ++n_lat;
+                mean_lat += (profile_.timeoutMs - mean_lat) /
+                            static_cast<double>(n_lat);
+                if (remaining == 0) {
+                    done = true;
+                    break;
+                }
                 continue;
             }
 
-            const double raw =
-                rng_.lognormal(lognormal_mu, lognormal_sigma);
-            const double on_core = raw / best->speed;
+            ClassCal &cal = *best;
+            const double raw = drawBuf_[chunkPos++];
+            // x / 1.0 == x exactly; skip the divide for the dedicated
+            // class rather than prove it harmless.
+            const double on_core =
+                cal.speed == 1.0 ? raw : raw / cal.speed;
             const double completion = start + on_core;
-            // Replace-top: overwrite the earliest-free slot and sift
-            // down once (pop+push would sift twice). Only the heap's
-            // minimum is ever read, so the layout is free to differ
-            // from the reference path's.
-            best->freeAt.front() = completion;
-            siftDownMin(best->freeAt);
+            cal.consumeMin(completion);
 
             const double latency_ms = (completion - arrival) * 1000.0;
             res.latenciesMs.push_back(latency_ms);
-            res.busyCoreSeconds += on_core * best->occupancy;
+            ++n_lat;
+            mean_lat +=
+                (latency_ms - mean_lat) / static_cast<double>(n_lat);
+            busy_core_s += on_core * cal.occupancy;
             ++n_started;
             mean_service_drawn +=
                 (raw - mean_service_drawn) / static_cast<double>(n_started);
+            if (remaining == 0) {
+                done = true;
+                break;
+            }
         }
     }
 
+    if (chunkPos < chunkLen) {
+        // Un-draw the speculative leftovers: restore the snapshot and
+        // replay only what dispatch actually consumed, leaving the
+        // generator in exactly the state per-request draws would have.
+        ScopedPhaseTimer draw_timer(Phase::Draws);
+        rng_ = chunkSnapshot;
+        if (chunkPos > 0)
+            rng_.lognormalBatch(lognormal_mu, lognormal_sigma,
+                                drawBuf_.data(), chunkPos);
+    }
+    // Spill unstarted new arrivals into the backlog ring, behind any
+    // unstarted older backlog (same FIFO the push-everything path
+    // leaves behind).
+    for (std::size_t i = arrIdx; i < accepted; ++i)
+        pendingPushBack(newArrivals_[i]);
+
     res.completed = n_started;
     res.queuedAtEnd = pendingCount_;
+    res.busyCoreSeconds = busy_core_s;
     res.meanServiceTimeMs = mean_service_drawn * 1000.0;
 
     {
         ScopedPhaseTimer timer(Phase::Quantile);
 
-        // Measured QoS: p99 over the trailing window of intervals, kept
-        // as a flat sample buffer and answered by exact selection.
+        // Measured QoS: p99 over the trailing window of intervals,
+        // answered incrementally from per-interval tails.
         window_.beginInterval();
         window_.reserve(res.latenciesMs.size());
         window_.addBatch(res.latenciesMs.data(), res.latenciesMs.size());
@@ -406,13 +659,6 @@ RequestQueueSim::runOptimized(double t0, double dt, double rps,
 
         if (!window_.empty()) {
             res.p99Ms = window_.percentile(99.0);
-            // Welford mean only (see the dispatch-loop note above).
-            std::size_t k = 0;
-            double mean_lat = 0.0;
-            for (double l : res.latenciesMs) {
-                ++k;
-                mean_lat += (l - mean_lat) / static_cast<double>(k);
-            }
             res.meanMs = res.latenciesMs.empty() ? res.p99Ms : mean_lat;
         } else if (pendingCount_ > 0) {
             // Saturated and stalled: report the age of the oldest request
@@ -442,6 +688,17 @@ RequestQueueSim::runReference(double t0, double dt, double rps,
     const double t_end = t0 + dt;
 
     generateArrivals(t0, dt, rps);
+    {
+        // The seed pushed every arrival through the backlog queue.
+        ScopedPhaseTimer timer(Phase::Arrivals);
+        for (double a : newArrivals_) {
+            if (pendingCount_ >= maxPending_) {
+                ++res.dropped;
+                continue;
+            }
+            pendingPushBack(a);
+        }
+    }
 
     // Build the logical server set for this interval.
     std::vector<LogicalCore> cores;

@@ -16,12 +16,19 @@
  *
  * Two interchangeable hot paths produce bit-identical results:
  *
- *  - The *optimized* path (default) is allocation-free in steady state:
- *    the backlog lives in a flat ring buffer, cores are grouped into at
- *    most three equal-speed classes each dispatched from an
- *    earliest-free min-heap, and the QoS window is a flat
- *    stats::WindowedQuantile answering p99 by exact selection instead
- *    of a full sort.
+ *  - The *optimized* path (default) is allocation-free in steady state
+ *    and dispatches from a calendar of core free-times: cores are
+ *    grouped into at most three equal-speed classes, each class
+ *    buckets its cores' free-times by value into fixed-width time
+ *    slots (indexed lookup + intra-bucket scan, SIMD where a bucket
+ *    degenerates), so the earliest-free core is always in the first
+ *    occupied bucket and consuming it is O(bucket occupancy) instead
+ *    of a heap sift or a linear scan over every core. Service times
+ *    are drawn in speculative chunks (one batched sampling pass per
+ *    ~64 requests, unconsumed draws rolled back exactly), new arrivals
+ *    are dispatched straight from the sorted arrival array instead of
+ *    round-tripping through the backlog ring, and the QoS window is an
+ *    incrementally maintained stats::WindowedQuantile.
  *
  *  - The *reference* path (setReferencePath(true)) keeps the original
  *    concatenate-then-sort window and linear-scan dispatch. It exists
@@ -118,14 +125,90 @@ class RequestQueueSim
     const ServiceProfile &profile() const { return profile_; }
 
   private:
-    /** Cores of equal speed dispatched from an earliest-free min-heap. */
-    struct CoreClass
+    /**
+     * Cores of one equal-speed class, dispatched from a calendar of
+     * free-times.
+     *
+     * All nCores free-times live in the calendar at all times,
+     * bucketed by value into kBuckets fixed-width slots over the
+     * interval (bucket index is one multiply; buckets partition the
+     * time axis in order, so the smallest values live in the first
+     * occupied buckets). FCFS dispatch always consumes the
+     * earliest-free core — start = max(arrival, min) — so stale
+     * values (free before the arrival cursor) are exactly the minima
+     * and get consumed and replaced first; the calendar stays compact
+     * around the cursor without any explicit retirement pass.
+     * Consuming is one swap-remove at the cached min slot, one append
+     * at the new completion's bucket, and a rescan of the first
+     * occupied bucket at or after the old one (branchless cmov
+     * tournament; SIMD lane scan when a bucket degenerates, e.g.
+     * every core parked at t0 or an overload piling into the last
+     * bucket). Everything is branch-predictable by construction — an
+     * earlier variant that cached the next few minima to shorten the
+     * dependency chain lost to this one on mispredicts.
+     */
+    struct ClassCal
     {
+        /** Bucket count per interval. 256 makes a bucket a few ms at
+         * dt = 1s — comfortably below typical service times, so busy
+         * free-times spread over several buckets and the min rescan
+         * touches only a handful of slots. Workloads whose service
+         * time still collapses into one bucket fall back to the SIMD
+         * lane scan. */
+        static constexpr std::size_t kBuckets = 256;
+        static constexpr std::size_t kOccWords = kBuckets / 64;
+
         double speed = 1.0;
         double occupancy = 1.0;
         /** mean_service_s / speed, hoisted out of the dispatch loop. */
         double svcTime = 0.0;
-        std::vector<double> freeAt; ///< min-heap on next-free time
+        std::uint32_t nCores = 0;
+        /** Earliest free-time (+inf when nCores == 0) and its slot. */
+        double minFree = 0.0;
+        std::uint32_t minBucket = 0;
+        std::uint32_t minSlot = 0;
+        /** Bit b set iff counts[b] > 0. */
+        std::array<std::uint64_t, kOccWords> occWords{};
+        std::array<std::uint16_t, kBuckets> counts{};
+        /** Busy free-times, bucket b at [b * stride, b * stride +
+         * counts[b]). A bucket can hold every core of the class. */
+        std::vector<double> slots;
+        std::uint32_t stride = 0;
+        /** Bucket mapping for this interval: trunc((t - base) * invW),
+         * clamped to [0, kBuckets - 1]. Monotone in t, so bucket
+         * comparisons are exact order facts about the times. */
+        double base = 0.0;
+        double invW = 0.0;
+
+        /** Reset for an interval starting at @p t0: every core frees
+         * at exactly t0, i.e. nCores values in bucket 0. */
+        void configure(double spd, double occ, std::uint32_t n_cores,
+                       double t0, double dt);
+
+        std::int64_t
+        bucketOf(double t) const
+        {
+            const auto b = static_cast<std::int64_t>((t - base) * invW);
+            return b < 0 ? 0
+                         : (b >= static_cast<std::int64_t>(kBuckets)
+                                ? static_cast<std::int64_t>(kBuckets) - 1
+                                : b);
+        }
+
+        void
+        setOcc(std::size_t b)
+        {
+            occWords[b >> 6] |= 1ULL << (b & 63);
+        }
+
+        void
+        clearOcc(std::size_t b)
+        {
+            occWords[b >> 6] &= ~(1ULL << (b & 63));
+        }
+
+        void consumeMin(double completion);
+        void recomputeMinFrom(std::size_t fromBucket);
     };
 
     /** Draw a Poisson count (normal approximation above lambda = 64). */
@@ -138,8 +221,11 @@ class RequestQueueSim
                                             const CoreAssignment &assignment,
                                             double inflation);
 
-    /** Generate this interval's arrivals and append them to the backlog
-     * (shared by both paths; one RNG draw order). */
+    /** Generate this interval's arrivals, sorted ascending into
+     * newArrivals_ (shared by both paths; one RNG draw order). The
+     * reference path then pushes them through the backlog ring; the
+     * optimized path dispatches straight from the array and only
+     * spills the unstarted remainder. */
     void generateArrivals(double t0, double dt, double rps);
 
     /** Sort newArrivals_ ascending: bucket scatter + one insertion-sort
@@ -172,7 +258,9 @@ class RequestQueueSim
     std::vector<std::uint32_t> bucketOffsets_;
     std::vector<double> sortScratch_;
     /** Dedicated / shared-full / shared-fractional speed classes. */
-    std::array<CoreClass, 3> classes_;
+    std::array<ClassCal, 3> cals_;
+    /** Speculatively pre-drawn service times (see runOptimized). */
+    std::vector<double> drawBuf_;
     stats::WindowedQuantile window_;
 
     // --- reference-path window (original representation) ---

@@ -51,6 +51,9 @@ struct Options
     std::string faultTrace;
     bool paper = false;
     bool simProfile = false;
+    /** Flag phases above this share of simulator cycles (percent);
+     * 100 disables the check. Requires --sim-profile. */
+    double profileMaxShare = 100.0;
 };
 
 common::FlagParser
@@ -84,7 +87,11 @@ makeParser(Options &opt)
     parser.addBool("--paper", &opt.paper,
                    "use the paper's full hyper-parameters");
     parser.addBool("--sim-profile", &opt.simProfile,
-                   "print the per-phase simulator cycle breakdown");
+                   "print the per-phase simulator cycle breakdown "
+                   "(cycles, calls, share)");
+    parser.addDouble("--profile-max-share", &opt.profileMaxShare,
+                     "with --sim-profile: warn and exit 3 when any "
+                     "phase's share exceeds this percent (0, 100]");
     return parser;
 }
 
@@ -229,6 +236,20 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (opt.profileMaxShare != 100.0 && !opt.simProfile) {
+        std::fprintf(stderr,
+                     "%s: --profile-max-share needs --sim-profile\n",
+                     argv[0]);
+        return 2;
+    }
+    if (opt.profileMaxShare <= 0.0 || opt.profileMaxShare > 100.0) {
+        std::fprintf(stderr,
+                     "%s: --profile-max-share wants a percent in "
+                     "(0, 100], got %g\n",
+                     argv[0], opt.profileMaxShare);
+        return 2;
+    }
+
     auto spec = buildSpec(opt, argv[0]);
     if (!opt.faults.empty())
         spec.faults = faults::FaultSpec::fromFile(opt.faults);
@@ -248,7 +269,7 @@ main(int argc, char **argv)
 
     harness::EngineOptions engine_opts;
     engine_opts.jobs = opt.jobs;
-    harness::SimProfileSink sim_profile;
+    harness::SimProfileSink sim_profile(opt.profileMaxShare);
     harness::CsvTraceSink trace(opt.trace);
     harness::FaultCsvSink fault_trace(opt.faultTrace);
     if (opt.simProfile)
@@ -273,5 +294,7 @@ main(int argc, char **argv)
         printClusterSummary(spec, result);
     else
         printSingleSummary(spec, result);
-    return 0;
+    // A blown phase budget is a soft failure: the run's numbers above
+    // are still valid, but CI gets a distinct exit status.
+    return opt.simProfile && sim_profile.exceeded() ? 3 : 0;
 }
