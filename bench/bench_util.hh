@@ -37,6 +37,9 @@ struct BenchArgs
     double durationS = 2.0;
     /** Load-generator connections. */
     std::size_t connections = 8;
+    /** Routing domains for fleet benches; 0 = bench default (each
+     * bench picks per scale). Explicit values must be >= 1. */
+    std::size_t domains = 0;
     /** Values of bench-specific value flags passed via the @p extra
      * allowlist of parse/tryParse, keyed by flag (e.g. "--out"). */
     std::map<std::string, std::string> extra;
@@ -79,7 +82,10 @@ struct BenchArgs
             "  --listen ADDR / --port N / --duration-s S / "
             "--connections N\n"
             "            live-serving knobs (benches that stand up a "
-            "server only)\n",
+            "server only)\n"
+            "  --domains N\n"
+            "            routing domains for fleet benches (>= 1; "
+            "default: per-scale)\n",
             prog, extras.c_str());
     }
 };
@@ -145,6 +151,16 @@ BenchArgs::tryParse(int argc, char **argv,
             if (jobs == 0)
                 return fail("--jobs must be at least 1");
             res.args.jobs = static_cast<std::size_t>(jobs);
+        } else if (std::strcmp(arg, "--domains") == 0) {
+            if (i + 1 >= argc)
+                return fail("--domains is missing its value");
+            std::uint64_t domains = 0;
+            std::string err;
+            if (!parseCount("--domains", argv[++i], domains, err))
+                return fail(err);
+            if (domains == 0)
+                return fail("--domains must be at least 1");
+            res.args.domains = static_cast<std::size_t>(domains);
         } else if (std::strcmp(arg, "--listen") == 0) {
             if (i + 1 >= argc)
                 return fail("--listen is missing its value");

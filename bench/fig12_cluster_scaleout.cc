@@ -28,6 +28,8 @@
  * Writes BENCH_cluster.json (or --out PATH).
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -35,7 +37,9 @@
 
 #include "bench/bench_util.hh"
 #include "bench/managers.hh"
+#include "cluster/cluster_manager.hh"
 #include "harness/engine.hh"
+#include "harness/registry.hh"
 #include "services/tailbench.hh"
 
 using namespace twig;
@@ -242,6 +246,97 @@ countServed(const cluster::FleetRunResult &result, std::size_t window,
     }
 }
 
+// --- Two-level scale-out: domains + batched inference ----------------
+
+/** One executed fleet of the scale-out experiment. */
+struct FleetRun
+{
+    cluster::FleetRunResult result;
+    cluster::FleetPhaseProfile profile;
+    std::size_t batchedNodes = 0;
+    double wallMs = 0.0;
+};
+
+/** Build the spec's fleet and run it to completion on @p jobs threads,
+ * with cohort batching and/or the pre-sharding flat reference path
+ * toggled as asked. */
+FleetRun
+runScaleFleet(const harness::ScenarioSpec &spec,
+              const harness::ManagerRegistry &registry, std::size_t jobs,
+              bool batched, bool flat_reference)
+{
+    FleetRun run;
+    auto fs = harness::buildFleet(spec, registry, jobs);
+    fs.fleet->setBatchedInference(batched);
+    if (flat_reference)
+        fs.fleet->setFlatReferenceControl(true);
+    fs.fleet->resetPhaseProfile();
+    const auto t0 = std::chrono::steady_clock::now();
+    run.result = fs.fleet->run(spec.steps, spec.resolvedWindow());
+    const auto t1 = std::chrono::steady_clock::now();
+    run.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    run.profile = fs.fleet->phaseProfile();
+    run.batchedNodes = fs.fleet->batchedNodeCount();
+    return run;
+}
+
+/** Exact per-step equality of the fleet outcome metrics: every
+ * service's fleet p99 and the fleet power, all steps, bitwise. */
+bool
+identicalTraces(const cluster::FleetRunResult &a,
+                const cluster::FleetRunResult &b)
+{
+    if (a.trace.size() != b.trace.size())
+        return false;
+    for (std::size_t t = 0; t < a.trace.size(); ++t) {
+        if (a.trace[t].fleetP99Ms != b.trace[t].fleetP99Ms)
+            return false;
+        if (a.trace[t].totalPowerW != b.trace[t].totalPowerW)
+            return false;
+        if (a.trace[t].shedRps != b.trace[t].shedRps)
+            return false;
+    }
+    return true;
+}
+
+/** One row of the scale-out table. Cycle figures are per interval. */
+struct ScaleRow
+{
+    std::size_t nodes = 0;
+    std::size_t domains = 0;
+    std::size_t steps = 0;
+    std::size_t jobs = 0;
+    std::size_t batchedNodes = 0;
+    double wallMsPerStep = 0.0;
+    double routeCyc = 0.0;
+    double stepCyc = 0.0;
+    double gatherCyc = 0.0;
+    double forwardCyc = 0.0; ///< batched cohort GEMMs
+    double scatterCyc = 0.0;
+    double mergeCyc = 0.0;
+    double pernodeForwardCyc = 0.0; ///< same fleet, per-node decides
+    bool bitidenticalJobs = false;
+    bool batchedMatchesPernode = false;
+    /** Only checked on the smallest row (8 nodes): -1 = not checked. */
+    int domains1MatchesFlat = -1;
+
+    double
+    speedup() const
+    {
+        const double batched = forwardCyc + gatherCyc + scatterCyc;
+        return batched > 0.0 ? pernodeForwardCyc / batched : 0.0;
+    }
+};
+
+double
+perStep(std::uint64_t cycles, std::uint64_t steps)
+{
+    return steps > 0
+        ? static_cast<double>(cycles) / static_cast<double>(steps)
+        : 0.0;
+}
+
 } // namespace
 
 int
@@ -347,6 +442,112 @@ main(int argc, char **argv)
                 "overloaded small replicas; warm-started\nreplicas "
                 "converge sooner than cold ones.\n");
 
+    // --- Two-level scale-out: domains + batched inference ------------
+    // Warm exploit-only Twig fleets behind the p2c-latency policy at
+    // 8 / 64 / 512 replicas. Each scale runs three ways: batched
+    // cohort inference on 8 threads (the production path, timed),
+    // per-node decides (same fleet; the inference baseline) and the
+    // batched path again on 1 thread (the --jobs bit-identity check).
+    // The smallest scale also A/B-checks a one-domain sharded fleet
+    // against the pre-refactor flat control path, byte for byte.
+    bench::banner("Two-level scale-out: routing domains + batched "
+                  "cohort inference");
+
+    struct ScalePoint
+    {
+        std::size_t nodes;
+        std::size_t domains;
+        std::size_t steps;
+    };
+    const std::vector<ScalePoint> scale_points = args.full
+        ? std::vector<ScalePoint>{{8, 2, 96}, {64, 4, 48}, {512, 8, 24}}
+        : std::vector<ScalePoint>{{8, 2, 48}, {64, 4, 24}, {512, 8, 12}};
+    const std::size_t scale_jobs = args.jobs > 1 ? args.jobs : 8;
+    const auto &registry = harness::ManagerRegistry::builtin();
+
+    std::printf("\n%5s %7s %5s | %9s %9s %9s %9s %9s %9s | %9s %7s | "
+                "%5s %5s\n",
+                "nodes", "domains", "steps", "route", "step", "gather",
+                "forward", "scatter", "merge", "fwd/node", "speedup",
+                "jobs=", "d1=fl");
+    std::vector<ScaleRow> scale_rows;
+    for (const auto &point : scale_points) {
+        const std::size_t domains = args.domains != 0
+            ? std::min(args.domains, point.nodes)
+            : point.domains;
+        auto spec = fleetScenario(setup, point.nodes, "p2c-latency",
+                                  /*twig=*/true, /*warm=*/true);
+        spec.domains = domains;
+        spec.steps = point.steps;
+        spec.window = std::max<std::size_t>(point.steps / 4, 1);
+        spec.horizon = point.steps;
+
+        const FleetRun batched =
+            runScaleFleet(spec, registry, scale_jobs,
+                          /*batched=*/true, /*flat_reference=*/false);
+        const FleetRun pernode =
+            runScaleFleet(spec, registry, scale_jobs,
+                          /*batched=*/false, /*flat_reference=*/false);
+        const FleetRun serial =
+            runScaleFleet(spec, registry, /*jobs=*/1,
+                          /*batched=*/true, /*flat_reference=*/false);
+
+        ScaleRow row;
+        row.nodes = point.nodes;
+        row.domains = domains;
+        row.steps = point.steps;
+        row.jobs = scale_jobs;
+        row.batchedNodes = batched.batchedNodes;
+        row.wallMsPerStep =
+            batched.wallMs / static_cast<double>(point.steps);
+        const auto &prof = batched.profile;
+        row.routeCyc = perStep(prof.routeCycles, prof.steps);
+        row.stepCyc = perStep(prof.stepCycles, prof.steps);
+        row.gatherCyc = perStep(prof.gatherCycles, prof.steps);
+        row.forwardCyc = perStep(prof.forwardCycles, prof.steps);
+        row.scatterCyc = perStep(prof.scatterCycles, prof.steps);
+        row.mergeCyc = perStep(prof.mergeCycles, prof.steps);
+        row.pernodeForwardCyc =
+            perStep(pernode.profile.forwardCycles, pernode.profile.steps);
+        row.bitidenticalJobs =
+            identicalTraces(batched.result, serial.result);
+        row.batchedMatchesPernode =
+            identicalTraces(batched.result, pernode.result);
+
+        if (point.nodes == scale_points.front().nodes) {
+            // The flat-path A/B: one-domain sharded fleet vs the
+            // pre-refactor flat router + in-node decides + flat merge.
+            auto flat_spec = spec;
+            flat_spec.domains = 1;
+            const FleetRun sharded1 =
+                runScaleFleet(flat_spec, registry, /*jobs=*/1,
+                              /*batched=*/true, /*flat_reference=*/false);
+            const FleetRun flat =
+                runScaleFleet(flat_spec, registry, /*jobs=*/1,
+                              /*batched=*/false, /*flat_reference=*/true);
+            row.domains1MatchesFlat =
+                identicalTraces(sharded1.result, flat.result) ? 1 : 0;
+        }
+
+        scale_rows.push_back(row);
+        std::printf("%5zu %7zu %5zu | %9.0f %9.0f %9.0f %9.0f %9.0f "
+                    "%9.0f | %9.0f %6.2fx | %5s %5s\n",
+                    row.nodes, row.domains, row.steps, row.routeCyc,
+                    row.stepCyc, row.gatherCyc, row.forwardCyc,
+                    row.scatterCyc, row.mergeCyc, row.pernodeForwardCyc,
+                    row.speedup(),
+                    row.bitidenticalJobs ? "ok" : "FAIL",
+                    row.domains1MatchesFlat < 0
+                        ? "-"
+                        : (row.domains1MatchesFlat ? "ok" : "FAIL"));
+    }
+    std::printf("\ncycles are per interval (rdtsc); 'forward' is the "
+                "batched cohort GEMMs,\n'fwd/node' the same fleet "
+                "deciding per node; %zu of %zu replicas decide\n"
+                "through cohorts at the largest scale.\n",
+                scale_rows.back().batchedNodes,
+                scale_rows.back().nodes);
+
     // --- BENCH_cluster.json ------------------------------------------
     std::FILE *f = std::fopen(out_path.c_str(), "w");
     if (f == nullptr) {
@@ -386,8 +587,37 @@ main(int argc, char **argv)
                  "  ],\n  \"warm_start\": {\"nodes\": %zu, "
                  "\"policy\": \"p2c-latency\", \"stable_window\": %zu, "
                  "\"cold_convergence_step\": %zu, "
-                 "\"warm_convergence_step\": %zu}\n}\n",
+                 "\"warm_convergence_step\": %zu},\n",
                  conv_nodes, stable, cold_step, warm_step);
+    std::fprintf(f, "  \"scale_out\": [\n");
+    for (std::size_t i = 0; i < scale_rows.size(); ++i) {
+        const ScaleRow &r = scale_rows[i];
+        std::fprintf(f,
+                     "    {\"nodes\": %zu, \"domains\": %zu, "
+                     "\"steps\": %zu, \"jobs\": %zu, "
+                     "\"batched_nodes\": %zu, "
+                     "\"wall_ms_per_step\": %.3f, "
+                     "\"route_cycles\": %.0f, \"step_cycles\": %.0f, "
+                     "\"gather_cycles\": %.0f, "
+                     "\"forward_cycles_batched\": %.0f, "
+                     "\"scatter_cycles\": %.0f, \"merge_cycles\": %.0f, "
+                     "\"forward_cycles_pernode\": %.0f, "
+                     "\"forward_speedup\": %.3f, "
+                     "\"bitidentical_jobs\": %s, "
+                     "\"batched_matches_pernode\": %s",
+                     r.nodes, r.domains, r.steps, r.jobs,
+                     r.batchedNodes, r.wallMsPerStep, r.routeCyc,
+                     r.stepCyc, r.gatherCyc, r.forwardCyc, r.scatterCyc,
+                     r.mergeCyc, r.pernodeForwardCyc, r.speedup(),
+                     r.bitidenticalJobs ? "true" : "false",
+                     r.batchedMatchesPernode ? "true" : "false");
+        if (r.domains1MatchesFlat >= 0)
+            std::fprintf(f, ", \"domains1_matches_flat\": %s",
+                         r.domains1MatchesFlat ? "true" : "false");
+        std::fprintf(f, "}%s\n",
+                     i + 1 < scale_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;

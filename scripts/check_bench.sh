@@ -1,20 +1,30 @@
 #!/usr/bin/env bash
-# Gate the simulator throughput bench artifact.
+# Gate the bench artifacts on their hard invariants.
 #
-# Usage: scripts/check_bench.sh [BENCH_JSON]
+# Usage: scripts/check_bench.sh [BENCH_SIM_JSON] [BENCH_CLUSTER_JSON]
 #
-# Reads the BENCH_sim.json produced by fig_sim_throughput (and
-# augmented by fig_dispatch) and fails when any config reports
-# checksums_match: false -- the calendar-queue dispatch diverged from
-# the reference path -- or optimized_allocs_per_step > 0 -- the hot
-# loop allocated. Both are hard invariants of the optimized simulator,
-# so CI runs this after bench_smoke instead of trusting the benches'
-# own exit codes alone (the artifact is also what gets uploaded, so
-# the gate checks exactly what a reader would download).
+# BENCH_sim.json (fig_sim_throughput, augmented by fig_dispatch): fails
+# when any config reports checksums_match: false -- the calendar-queue
+# dispatch diverged from the reference path -- or
+# optimized_allocs_per_step > 0 -- the hot loop allocated.
+#
+# BENCH_cluster.json (fig12_cluster_scaleout): fails when any scale-out
+# row reports bitidentical_jobs: false (the fleet's metrics depended on
+# the thread count), batched_matches_pernode: false (the batched cohort
+# GEMM diverged from per-node forwards) or domains1_matches_flat: false
+# (a one-domain sharded fleet diverged from the pre-refactor flat
+# control path). The cluster artifact is skipped with a notice when
+# absent (a sim-only bench run) -- pass its path to require it.
+#
+# These are hard invariants, so CI runs this after bench_smoke instead
+# of trusting the benches' own exit codes alone (the artifacts are also
+# what gets uploaded, so the gate checks exactly what a reader would
+# download).
 set -u
 
 cd "$(dirname "$0")/.."
 bench_json=${1:-build/bench/BENCH_sim.json}
+cluster_json=${2:-build/bench/BENCH_cluster.json}
 
 if [[ ! -f "$bench_json" ]]; then
     echo "check_bench: $bench_json not found -- run bench_smoke first" >&2
@@ -64,5 +74,64 @@ print(f"check_bench: {len(cells)} dispatch microbench cells checked")
 if failures:
     print(f"check_bench: {failures} invariant violation(s)", file=sys.stderr)
     sys.exit(1)
-print("check_bench: all invariants hold")
+print("check_bench: sim invariants hold")
+EOF
+sim_status=$?
+if [[ $sim_status -ne 0 ]]; then
+    exit "$sim_status"
+fi
+
+if [[ ! -f "$cluster_json" ]]; then
+    echo "check_bench: $cluster_json not found -- skipping cluster invariants"
+    exit 0
+fi
+
+python3 - "$cluster_json" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    root = json.load(f)
+
+rows = root.get("scale_out", [])
+if not rows:
+    print(f"check_bench: {path} has no scale_out rows", file=sys.stderr)
+    sys.exit(1)
+
+failures = 0
+flat_checked = 0
+for row in rows:
+    name = f"{row.get('nodes')}n/{row.get('domains')}d"
+    if row.get("bitidentical_jobs") is not True:
+        print(f"check_bench: FAIL scale-out {name}: fleet metrics "
+              f"depend on --jobs (bitidentical_jobs is "
+              f"{row.get('bitidentical_jobs')!r})", file=sys.stderr)
+        failures += 1
+    if row.get("batched_matches_pernode") is not True:
+        print(f"check_bench: FAIL scale-out {name}: batched inference "
+              f"diverged from per-node forwards", file=sys.stderr)
+        failures += 1
+    if "domains1_matches_flat" in row:
+        flat_checked += 1
+        if row["domains1_matches_flat"] is not True:
+            print(f"check_bench: FAIL scale-out {name}: one-domain "
+                  f"sharded fleet diverged from the flat control path",
+                  file=sys.stderr)
+            failures += 1
+    print(f"check_bench: scale-out {name}: "
+          f"bitidentical_jobs={row.get('bitidentical_jobs')} "
+          f"batched=pernode={row.get('batched_matches_pernode')} "
+          f"fwd_speedup={row.get('forward_speedup')}")
+
+if flat_checked == 0:
+    print("check_bench: FAIL no scale-out row carries the "
+          "domains1_matches_flat A/B check", file=sys.stderr)
+    failures += 1
+
+if failures:
+    print(f"check_bench: {failures} invariant violation(s)", file=sys.stderr)
+    sys.exit(1)
+print(f"check_bench: cluster invariants hold ({len(rows)} scale-out "
+      f"rows, {flat_checked} flat A/B)")
 EOF

@@ -6,27 +6,15 @@
 #include <utility>
 
 #include "common/error.hh"
+#include "common/hash.hh"
+#include "common/sim_counters.hh"
 #include "core/twig_manager.hh"
 #include "harness/sweep.hh"
 
 namespace twig::cluster {
 
-namespace {
-
-/** FNV-1a over a checkpoint payload: the frame checksum that lets a
- * warm restore detect a corrupted frame before touching the learner. */
-std::uint64_t
-fnv1a(const char *data, std::size_t n)
-{
-    std::uint64_t h = 1469598103934665603ULL;
-    for (std::size_t i = 0; i < n; ++i) {
-        h ^= static_cast<unsigned char>(data[i]);
-        h *= 1099511628211ULL;
-    }
-    return h;
-}
-
-} // namespace
+using common::fnv1a;
+using common::simprof::now;
 
 double
 FleetRunMetrics::avgQosGuaranteePct() const
@@ -47,7 +35,12 @@ ClusterManager::ClusterManager(
       fleetLoads_(std::move(fleet_loads)),
       // The router draws from its own derived seed stream so adding
       // policies never perturbs the nodes' randomness (and vice versa).
-      router_(cfg.router, harness::sweepSeed(seed, 0x5107e5)), seed_(seed)
+      // The flat reference router shares domain 0's exact seed: with
+      // one domain the two paths replay the same draw sequence.
+      router_(ShardedRouterConfig{cfg.router, cfg.domains},
+              harness::sweepSeed(seed, 0x5107e5)),
+      flatRouter_(cfg.router, harness::sweepSeed(seed, 0x5107e5)),
+      seed_(seed)
 {
     common::fatalIf(services_.empty(), "ClusterManager: no services");
     common::fatalIf(fleetLoads_.size() != services_.size(),
@@ -61,6 +54,90 @@ ClusterManager::ClusterManager(
     common::fatalIf(cfg_.latencySpanQosMultiple <= 0.0,
                     "ClusterManager: latencySpanQosMultiple must be "
                     "positive");
+}
+
+void
+ClusterManager::setFlatReferenceControl(bool on)
+{
+    common::fatalIf(on && cfg_.domains != 1,
+                    "setFlatReferenceControl: the flat reference path "
+                    "is only comparable at domains == 1 (have ",
+                    cfg_.domains, ")");
+    flatReference_ = on;
+    cohortsDirty_ = true;
+}
+
+void
+ClusterManager::setBatchedInference(bool on)
+{
+    cfg_.batchedInference = on;
+    cohortsDirty_ = true;
+}
+
+std::size_t
+ClusterManager::batchedNodeCount() const
+{
+    std::size_t count = 0;
+    for (std::uint8_t b : nodeBatched_)
+        count += b;
+    return count;
+}
+
+const stats::Histogram &
+ClusterManager::domainHistogram(std::size_t d, std::size_t s) const
+{
+    common::fatalIf(d >= domainScratch_.size() ||
+                        s >= domainScratch_[d].size(),
+                    "ClusterManager::domainHistogram: bad index (no "
+                    "hierarchical merge yet?)");
+    return domainScratch_[d][s];
+}
+
+void
+ClusterManager::rebuildCohorts()
+{
+    cohortsDirty_ = false;
+    cohorts_.clear();
+    nodeBatched_.assign(nodes_.size(), 0);
+
+    // Group serving exploit-only TwigManagers by (architecture,
+    // parameters). Exploit-only is the freeze guarantee: no gradient
+    // steps, no epsilon draws, so members stay interchangeable for as
+    // long as the cohort exists. Fingerprinting serialises each
+    // network — fine here (topology changes), not per interval.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> keys;
+    std::vector<Cohort> groups;
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        if (!isNodeUp(n))
+            continue;
+        auto *twig =
+            dynamic_cast<core::TwigManager *>(&nodes_[n]->manager());
+        if (twig == nullptr || !twig->exploitOnly())
+            continue; // learning or baseline: decides in-node
+        const std::pair<std::uint64_t, std::uint64_t> key{
+            twig->architectureFingerprint(),
+            twig->parameterFingerprint()};
+        std::size_t g = keys.size();
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+            if (keys[i] == key) {
+                g = i;
+                break;
+            }
+        }
+        if (g == keys.size()) {
+            keys.push_back(key);
+            groups.emplace_back();
+        }
+        groups[g].members.push_back(n);
+        groups[g].twigs.push_back(twig);
+    }
+    for (auto &group : groups) {
+        if (group.members.size() < 2)
+            continue; // a lone replica gains nothing from batching
+        for (std::size_t n : group.members)
+            nodeBatched_[n] = 1;
+        cohorts_.push_back(std::move(group));
+    }
 }
 
 std::vector<LatencyBinning>
@@ -104,6 +181,7 @@ ClusterManager::addNode(const sim::MachineConfig &machine,
     // the same machine and factory (not from the donor checkpoint —
     // recovery semantics come from the periodic frames).
     slots_.push_back(NodeSlot{machine, factory});
+    cohortsDirty_ = true;
     return index;
 }
 
@@ -232,6 +310,7 @@ ClusterManager::rebuildNode(std::size_t n, const std::string &recovery)
     NodeConfig node_cfg{slot.machine, services_, binnings()};
     nodes_[n] =
         std::make_unique<Node>(node_cfg, std::move(manager), node_seed);
+    cohortsDirty_ = true; // fresh manager: cohort pointers are stale
     // Environmental faults outlive the process that crashed: the rack
     // is still hot, the monitor is still flaky.
     if (slot.throttled)
@@ -255,11 +334,14 @@ ClusterManager::applyFaultEvents()
         switch (ev.kind) {
         case faults::FaultEventKind::NodeCrash:
             router_.evict(n);
+            flatRouter_.evict(n);
             nodeUp_[n] = 0;
+            cohortsDirty_ = true;
             break;
         case faults::FaultEventKind::NodeRestart:
             rebuildNode(n, ev.note);
             router_.readmit(n);
+            flatRouter_.readmit(n);
             nodeUp_[n] = 1;
             break;
         case faults::FaultEventKind::ThrottleStart:
@@ -330,6 +412,9 @@ ClusterManager::step()
     common::fatalIf(nodes_.empty(), "ClusterManager::step: no nodes");
     const std::size_t num_nodes = nodes_.size();
     const std::size_t num_services = services_.size();
+    // Fix the domain partition to the fleet shape (idempotent; fatal
+    // when domains > nodes).
+    router_.bind(num_nodes);
 
     // 0. Faults: apply the schedule transitions due this step, then
     //    the periodic checkpoint, all serially — recovery and frame
@@ -345,7 +430,9 @@ ClusterManager::step()
     }
 
     // 1. Route: fleet offered load -> per-node shares (serial; the
-    //    router's RNG must see the same draw sequence at any --jobs).
+    //    routers' RNG streams must see the same draw sequence at any
+    //    --jobs).
+    const std::uint64_t t_route = now();
     fleetRps_.resize(num_services);
     for (std::size_t s = 0; s < num_services; ++s)
         fleetRps_[s] = fleetLoads_[s]->rps(step_);
@@ -371,8 +458,9 @@ ClusterManager::step()
     } else {
         feedback_.p99MsByNode.clear();
     }
-    const bool routed =
-        router_.routeInto(fleetRps_, weights_, feedback_, shares_);
+    const bool routed = flatReference_
+        ? flatRouter_.routeInto(fleetRps_, weights_, feedback_, shares_)
+        : router_.routeInto(fleetRps_, weights_, feedback_, shares_);
     double shed_rps = 0.0;
     if (!routed) {
         // Every replica is down: the interval's whole offered load is
@@ -385,11 +473,19 @@ ClusterManager::step()
         ev.value = shed_rps;
         stepEvents_.push_back(std::move(ev));
     }
+    profile_.routeCycles += now() - t_route;
 
     // 2. Step every serving node. Nodes are sealed seeded worlds, so
     //    the pool schedule cannot change any node's results — only the
     //    order they finish in, which the serial merge below ignores.
+    //    Cohort members defer their decisions to the batched pass.
+    const bool batching = cfg_.batchedInference && !flatReference_;
+    if (batching && cohortsDirty_)
+        rebuildCohorts();
+    const std::uint64_t t_step = now();
     for (std::size_t n = 0; n < num_nodes; ++n) {
+        nodes_[n]->setDeferDecision(batching && nodeBatched_.size() > n &&
+                                    nodeBatched_[n] != 0);
         if (isNodeUp(n))
             nodes_[n]->setOfferedLoad(shares_[n]);
     }
@@ -406,8 +502,53 @@ ClusterManager::step()
                 nodes_[n]->stepInterval();
         }
     }
+    profile_.stepCycles += now() - t_step;
 
-    // 3. Merge node telemetry in node order (deterministic).
+    // 2b. Batched inference: per cohort, gather every member's joint
+    //     state into one matrix, run ONE fused forward on the first
+    //     member's network (all members hold identical parameters by
+    //     construction), scatter the per-row greedy actions back.
+    //     Serial and in cohort/member order — bit-identical to the
+    //     per-node decides it replaces, at any --jobs.
+    if (batching) {
+        for (auto &cohort : cohorts_) {
+            const std::uint64_t t_gather = now();
+            const std::size_t rows = cohort.members.size();
+            const std::size_t input_dim =
+                cohort.twigs[0]->learner().config().net.inputDim();
+            cohort.states.resize(rows, input_dim);
+            for (std::size_t i = 0; i < rows; ++i) {
+                const std::vector<float> &state =
+                    cohort.twigs[i]->observeState(
+                        nodes_[cohort.members[i]]->managerStats());
+                std::copy(state.begin(), state.end(),
+                          cohort.states.rowPtr(i));
+            }
+            profile_.gatherCycles += now() - t_gather;
+
+            const std::uint64_t t_fwd = now();
+            cohort.twigs[0]->learner().greedyActionsRows(
+                cohort.states, cohort.qScratch, cohort.actions);
+            profile_.forwardCycles += now() - t_fwd;
+
+            const std::uint64_t t_scatter = now();
+            for (std::size_t i = 0; i < rows; ++i)
+                nodes_[cohort.members[i]]->finishDecision(
+                    cohort.actions[i]);
+            profile_.scatterCycles += now() - t_scatter;
+        }
+    }
+    // In-node decides (non-cohort nodes, or batching off) accumulate
+    // their cycles node-locally; fold them into the same measure.
+    for (std::size_t n = 0; n < num_nodes; ++n)
+        profile_.forwardCycles += nodes_[n]->takeDecideCycles();
+
+    // 3. Merge node telemetry deterministically: hierarchically (node
+    //    -> domain -> fleet, domains in parallel on the pool) on the
+    //    sharded path, the seed's flat node loop on the reference
+    //    path. Bin counts are integers, so both orders produce the
+    //    same merged histogram exactly.
+    const std::uint64_t t_merge = now();
     if (mergedScratch_.empty()) {
         const auto bins = binnings();
         for (const auto &b : bins) {
@@ -430,10 +571,49 @@ ClusterManager::step()
         out.nodeUp[n] = isNodeUp(n) ? 1 : 0;
         if (!isNodeUp(n))
             continue; // crashed: no samples, no power this interval
-        for (std::size_t s = 0; s < num_services; ++s)
-            mergedScratch_[s].merge(nodes_[n]->intervalHistogram(s));
         out.totalPowerW += nodes_[n]->lastStats().socketPowerW;
         out.nodes[n] = nodes_[n]->lastStats();
+    }
+    if (flatReference_) {
+        for (std::size_t n = 0; n < num_nodes; ++n) {
+            if (!isNodeUp(n))
+                continue;
+            for (std::size_t s = 0; s < num_services; ++s)
+                mergedScratch_[s].merge(nodes_[n]->intervalHistogram(s));
+        }
+    } else {
+        const std::size_t num_domains = router_.numDomains();
+        if (domainScratch_.empty()) {
+            domainScratch_.resize(num_domains);
+            const auto bins = binnings();
+            for (auto &per_service : domainScratch_) {
+                for (const auto &b : bins)
+                    per_service.emplace_back(b.loMs, b.hiMs, b.bins);
+            }
+        }
+        auto merge_domain = [this, num_services](std::size_t d) {
+            const Domain &dom = router_.domain(d);
+            auto &per_service = domainScratch_[d];
+            for (auto &h : per_service)
+                h.clear();
+            for (std::size_t i = 0; i < dom.count; ++i) {
+                const std::size_t n = dom.first + i;
+                if (!isNodeUp(n))
+                    continue; // crashed: partial domain merge
+                for (std::size_t s = 0; s < num_services; ++s)
+                    per_service[s].merge(nodes_[n]->intervalHistogram(s));
+            }
+        };
+        if (pool_ && cfg_.jobs > 1 && num_domains > 1)
+            pool_->parallelFor(0, num_domains, merge_domain);
+        else
+            for (std::size_t d = 0; d < num_domains; ++d)
+                merge_domain(d);
+        // Fleet level: serial, in domain order.
+        for (std::size_t d = 0; d < num_domains; ++d) {
+            for (std::size_t s = 0; s < num_services; ++s)
+                mergedScratch_[s].merge(domainScratch_[d][s]);
+        }
     }
     out.faultEvents = stepEvents_;
     if (injector_)
@@ -461,8 +641,10 @@ ClusterManager::step()
             trailing.merge(window[i]);
         out.fleetP99Ms[s] = trailing.quantile(0.99);
     }
+    profile_.mergeCycles += now() - t_merge;
 
     ++step_;
+    ++profile_.steps;
     return out;
 }
 

@@ -1,18 +1,36 @@
 /**
  * @file
- * Fleet orchestration: N replica nodes behind a Router, stepped in
- * lockstep one control interval at a time.
+ * Fleet orchestration: N replica nodes behind a two-level
+ * ShardedRouter, stepped in lockstep one control interval at a time.
  *
  * The per-interval loop is:
  *
  *   1. sample the fleet-level load generators (one per service) and
- *      let the Router split each service's RPS across the replicas;
+ *      let the ShardedRouter split each service's RPS — first across
+ *      routing domains (deterministic, weighted by capacity x QoS
+ *      headroom), then across each domain's replicas;
  *   2. step every node — in parallel on a common::ThreadPool when
  *      jobs > 1, bit-identical to serial stepping because nodes share
  *      no mutable state and all routing/merging stays on the caller;
- *   3. merge the per-node latency histograms (stats::Histogram::merge)
- *      into fleet-wide per-service histograms and read the fleet p99
- *      off the merged bins; sum node power into fleet power.
+ *   3. batched inference: replicas running the *same frozen policy*
+ *      (equal architecture + parameter fingerprints, exploit-only)
+ *      form cohorts; each cohort's joint states are gathered into one
+ *      [n x inputDim] matrix and pushed through a single batched BDQ
+ *      forward — one fused GEMM per layer instead of n tiny ones —
+ *      then the per-row argmax actions scatter back to the nodes.
+ *      Bit-identical to per-node forwards (the GEMM accumulates each
+ *      output row independently in a fixed order); nodes outside any
+ *      cohort (training managers, baselines, singletons) decide
+ *      in-node as before;
+ *   4. merge the per-node latency histograms hierarchically — node ->
+ *      domain (parallel per domain) -> fleet — which is *exactly* the
+ *      flat merge because histogram merging is bin-wise integer
+ *      addition; sum node power into fleet power.
+ *
+ * The pre-sharding flat control path (single flat Router, in-node
+ * decisions, flat merge) is kept switchable via
+ * setFlatReferenceControl; the scale-out bench A/B-checks that a
+ * one-domain fleet reproduces it byte for byte.
  *
  * Replicas added with a checkpoint path are warm-started: the
  * checkpointed BDQ is restored into the new node's TwigManager
@@ -32,6 +50,7 @@
 
 #include "cluster/node.hh"
 #include "cluster/router.hh"
+#include "cluster/sharded_router.hh"
 #include "common/thread_pool.hh"
 #include "faults/fault_injector.hh"
 #include "faults/fault_spec.hh"
@@ -39,6 +58,10 @@
 #include "sim/machine.hh"
 #include "sim/service_profile.hh"
 #include "stats/histogram.hh"
+
+namespace twig::core {
+class TwigManager;
+}
 
 namespace twig::cluster {
 
@@ -59,6 +82,30 @@ struct ClusterConfig
      * qosWindowIntervals: a single interval's p99 is a noisy order
      * statistic). */
     std::size_t qosWindowIntervals = 3;
+    /** Routing domains of the two-level front-end; 1 degenerates to
+     * the flat router exactly (must not exceed the node count). */
+    std::size_t domains = 1;
+    /** Batch the BDQ forward passes of identical exploit-only replicas
+     * into one fused GEMM per cohort per interval. Bit-identical to
+     * per-node forwards either way. */
+    bool batchedInference = true;
+};
+
+/** Cycle totals of the fleet control loop's phases (rdtsc via
+ * common/sim_counters.hh; measurement only — nothing reads them for
+ * control). Summed over steps since the last reset. In-node decides
+ * run inside the node-stepping phase, so their cycles appear in both
+ * stepCycles (wall) and forwardCycles (the apples-to-apples inference
+ * measure the scale-out bench compares batched against). */
+struct FleetPhaseProfile
+{
+    std::uint64_t routeCycles = 0;   ///< fleet load -> per-node shares
+    std::uint64_t stepCycles = 0;    ///< node serve (incl. in-node decide)
+    std::uint64_t gatherCycles = 0;  ///< batched: state-row gather
+    std::uint64_t forwardCycles = 0; ///< decide: batched GEMM / in-node
+    std::uint64_t scatterCycles = 0; ///< batched: action scatter
+    std::uint64_t mergeCycles = 0;   ///< histogram merge + window p99
+    std::uint64_t steps = 0;
 };
 
 /** Fleet-wide telemetry for one control interval. */
@@ -181,6 +228,34 @@ class ClusterManager
             node->setReferenceSimPath(on);
     }
 
+    /**
+     * Run the pre-sharding flat control path: a single flat Router
+     * (seeded identically to domain 0), in-node decisions and a flat
+     * node -> fleet merge. Requires domains == 1 — the A/B reference
+     * the scale-out bench checks the sharded one-domain path against,
+     * byte for byte.
+     */
+    void setFlatReferenceControl(bool on);
+
+    /** Toggle cohort-batched BDQ inference (bit-identical either way;
+     * the bench uses the per-node mode for the timing comparison). */
+    void setBatchedInference(bool on);
+
+    /** Number of replicas deciding through a batched cohort in the
+     * last stepped interval (0 before the first step). */
+    std::size_t batchedNodeCount() const;
+
+    const ShardedRouter &shardedRouter() const { return router_; }
+    ShardedRouter &shardedRouter() { return router_; }
+
+    /** Domain @p d's merged interval histogram for service @p s from
+     * the last step (hierarchical merge path only; tests). */
+    const stats::Histogram &domainHistogram(std::size_t d,
+                                            std::size_t s) const;
+
+    const FleetPhaseProfile &phaseProfile() const { return profile_; }
+    void resetPhaseProfile() { profile_ = FleetPhaseProfile{}; }
+
     /** Advance the whole fleet one control interval. The returned
      * reference points at a member scratch that the next step
      * overwrites; copy it if you need it to persist. */
@@ -214,7 +289,23 @@ class ClusterManager
         std::uint64_t faultSeed = 0;
     };
 
+    /** A batched-inference cohort: serving replicas whose managers run
+     * the same frozen policy (equal architecture + parameter
+     * fingerprints, exploit-only). One batched forward per interval on
+     * the first member's network serves them all. */
+    struct Cohort
+    {
+        std::vector<std::size_t> members; ///< node indices, ascending
+        std::vector<core::TwigManager *> twigs; ///< parallel to members
+        // Per-interval scratch (reused; no steady-state allocation).
+        nn::Matrix states;   ///< [members x inputDim] gathered rows
+        nn::BdqOutput qScratch;
+        std::vector<std::vector<nn::BranchActions>> actions;
+    };
+
     std::vector<LatencyBinning> binnings() const;
+    /** Regroup serving replicas into batched-inference cohorts. */
+    void rebuildCohorts();
     /** Apply the schedule transitions due at the current step. */
     void applyFaultEvents();
     /** Periodic checksummed in-memory BDQ frames of serving replicas. */
@@ -226,7 +317,12 @@ class ClusterManager
     ClusterConfig cfg_;
     std::vector<sim::ServiceProfile> services_;
     std::vector<std::unique_ptr<sim::LoadGenerator>> fleetLoads_;
-    Router router_;
+    /** The two-level front-end (the production path). */
+    ShardedRouter router_;
+    /** The pre-sharding flat router, seeded identically to domain 0;
+     * consulted only under setFlatReferenceControl. */
+    Router flatRouter_;
+    bool flatReference_ = false;
     std::vector<std::unique_ptr<Node>> nodes_;
     /** Created on first parallel step (jobs > 1). */
     std::unique_ptr<common::ThreadPool> pool_;
@@ -234,9 +330,20 @@ class ClusterManager
     std::size_t step_ = 0;
     /** Scratch: merged per-service histograms for the current interval. */
     std::vector<stats::Histogram> mergedScratch_;
+    /** Hierarchical-merge scratch: per-domain per-service histograms. */
+    std::vector<std::vector<stats::Histogram>> domainScratch_;
     /** Last qosWindowIntervals interval histograms per service
      * (recent_[svc] is ordered oldest first). */
     std::vector<std::vector<stats::Histogram>> recent_;
+
+    // --- batched inference -------------------------------------------
+    std::vector<Cohort> cohorts_;
+    /** Cohorts need regrouping (topology or policy-freeze changed). */
+    bool cohortsDirty_ = true;
+    /** Per node: 1 when a cohort decides for it this interval. */
+    std::vector<std::uint8_t> nodeBatched_;
+
+    FleetPhaseProfile profile_;
 
     // Per-step scratch, reused so steady-state fleet stepping does not
     // allocate (see tests/test_alloc.cc).

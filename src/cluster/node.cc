@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.hh"
+#include "common/sim_counters.hh"
+#include "core/twig_manager.hh"
 
 namespace twig::cluster {
 
@@ -100,6 +102,9 @@ Node::stepInterval()
 {
     common::fatalIf(!loadSet_,
                     "Node::stepInterval: offered load never set");
+    common::fatalIf(decisionPending_,
+                    "Node::stepInterval: previous interval's deferred "
+                    "decision never completed (finishDecision)");
     for (auto &h : intervalHists_)
         h.clear();
     // Thermal throttle: the hardware saturates whatever DVFS state
@@ -112,6 +117,8 @@ Node::stepInterval()
     mapper_.mapInto(requests_, assignments_);
     const sim::ServerIntervalStats &stats = server_.runInterval(assignments_);
     if (telemetryFault_) {
+        // Perturb before any decide so the fault RNG's draw sequence
+        // is the same whether the decision runs in-node or deferred.
         perturbed_ = stats;
         for (std::size_t s = 0; s < perturbed_.services.size(); ++s) {
             auto &pmcs = perturbed_.services[s].pmcs;
@@ -124,9 +131,16 @@ Node::stepInterval()
                         faultRng_.normal(0.0, faultSigma_));
             }
         }
-        manager_->decideInto(perturbed_, requests_);
+        managerView_ = &perturbed_;
     } else {
-        manager_->decideInto(stats, requests_);
+        managerView_ = &stats;
+    }
+    if (deferDecision_) {
+        decisionPending_ = true;
+    } else {
+        const std::uint64_t t0 = common::simprof::now();
+        manager_->decideInto(*managerView_, requests_);
+        decideCycles_ += common::simprof::now() - t0;
     }
     // Remember the truthful counters as the next interval's stale-
     // reading source (cheap fixed-size copies).
@@ -136,6 +150,34 @@ Node::stepInterval()
         prevPmcs_[s] = stats.services[s].pmcs;
     havePrevPmcs_ = true;
     return stats;
+}
+
+const sim::ServerIntervalStats &
+Node::managerStats() const
+{
+    common::fatalIf(managerView_ == nullptr,
+                    "Node::managerStats: no interval stepped yet");
+    return *managerView_;
+}
+
+void
+Node::finishDecision(const std::vector<nn::BranchActions> &actions)
+{
+    common::fatalIf(!decisionPending_,
+                    "Node::finishDecision: no deferred decision pending");
+    auto *twig = dynamic_cast<core::TwigManager *>(manager_.get());
+    common::fatalIf(twig == nullptr,
+                    "Node::finishDecision: manager is not a TwigManager");
+    twig->applyDecision(actions, requests_);
+    decisionPending_ = false;
+}
+
+std::uint64_t
+Node::takeDecideCycles()
+{
+    const std::uint64_t cycles = decideCycles_;
+    decideCycles_ = 0;
+    return cycles;
 }
 
 double

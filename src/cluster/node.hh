@@ -30,6 +30,7 @@
 #include "common/rng.hh"
 #include "core/mapper.hh"
 #include "core/task_manager.hh"
+#include "nn/bdq.hh"
 #include "sim/loadgen.hh"
 #include "sim/machine.hh"
 #include "sim/server.hh"
@@ -123,8 +124,34 @@ class Node
      * Advance one control interval: map the pending resource requests,
      * run the server, then ask the manager for the next interval's
      * requests. Offered load must have been set first.
+     *
+     * With deferred decisions armed (setDeferDecision), the manager is
+     * NOT consulted: the interval ends with the decision pending and
+     * the owner must complete it via finishDecision() before the next
+     * stepInterval. The cluster's batched-inference path uses this
+     * seam to gather every replica's state and run one fused BDQ
+     * forward instead of per-node passes.
      */
     const sim::ServerIntervalStats &stepInterval();
+
+    /** Defer manager decisions to the owner (see stepInterval). */
+    void setDeferDecision(bool on) { deferDecision_ = on; }
+    bool decisionPending() const { return decisionPending_; }
+
+    /** The interval telemetry the manager observes: the truthful stats
+     * unless a telemetry fault is armed, then the perturbed copy —
+     * exactly what the in-node decide path feeds decideInto. Valid
+     * after stepInterval until the next one. */
+    const sim::ServerIntervalStats &managerStats() const;
+
+    /** Complete a deferred interval with externally chosen actions
+     * (the manager must be a TwigManager whose observeState already
+     * ran this interval — the cluster's batched scatter). */
+    void finishDecision(const std::vector<nn::BranchActions> &actions);
+
+    /** Cycles the manager's in-node decide consumed since the last
+     * takeDecideCycles (rdtsc; measurement only, never control). */
+    std::uint64_t takeDecideCycles();
 
     /** Telemetry of the most recent interval (borrowed from the
      * server's interval scratch; overwritten by the next step). */
@@ -159,6 +186,15 @@ class Node
     std::vector<sim::CoreAssignment> assignments_;
     std::vector<stats::Histogram> intervalHists_;
     bool loadSet_ = false;
+
+    // --- deferred-decision seam (cluster batched inference) ----------
+    bool deferDecision_ = false;
+    bool decisionPending_ = false;
+    /** What the manager observes this interval (truthful stats or the
+     * telemetry-fault perturbed copy); set by stepInterval. */
+    const sim::ServerIntervalStats *managerView_ = nullptr;
+    /** In-node decide cycles since the last takeDecideCycles. */
+    std::uint64_t decideCycles_ = 0;
 
     // --- fault surfaces (src/faults) ---------------------------------
     /** Highest DVFS index the hardware delivers (default: no cap). */

@@ -1,0 +1,224 @@
+#include "cluster/sharded_router.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "harness/sweep.hh"
+
+namespace twig::cluster {
+
+namespace {
+
+/** Cap on a node's QoS-excess contribution to its domain's headroom
+ * (same bound the inner p2c cost uses, so one terrible interval cannot
+ * starve a whole domain). */
+constexpr double kMaxQosExcess = 2.0;
+
+} // namespace
+
+ShardedRouter::ShardedRouter(const ShardedRouterConfig &cfg,
+                             std::uint64_t seed)
+    : cfg_(cfg), seed_(seed)
+{
+    common::fatalIf(cfg_.domains == 0,
+                    "ShardedRouter: need at least one domain");
+}
+
+void
+ShardedRouter::bind(std::size_t nodes)
+{
+    common::fatalIf(nodes == 0, "ShardedRouter::bind: no nodes");
+    if (bound()) {
+        common::fatalIf(nodes_ != nodes,
+                        "ShardedRouter::bind: fleet resized from ",
+                        nodes_, " to ", nodes,
+                        " nodes (the partition is fixed at first use)");
+        return;
+    }
+    common::fatalIf(cfg_.domains > nodes, "ShardedRouter::bind: ",
+                    cfg_.domains, " domains for ", nodes, " nodes");
+    nodes_ = nodes;
+    if (up_.size() < nodes)
+        up_.resize(nodes, 1);
+
+    domains_.resize(cfg_.domains);
+    for (std::size_t d = 0; d < cfg_.domains; ++d) {
+        Domain &dom = domains_[d];
+        // Contiguous balanced partition: domain d covers
+        // [d*N/D, (d+1)*N/D) — every domain within one node of even.
+        dom.first = d * nodes / cfg_.domains;
+        dom.count = (d + 1) * nodes / cfg_.domains - dom.first;
+        // Domain 0 inherits the caller's seed verbatim so a one-domain
+        // fleet replays the flat Router's draw sequence bit for bit;
+        // siblings get independent derived streams.
+        const std::uint64_t dseed =
+            d == 0 ? seed_ : harness::sweepSeed(seed_, 0xd0a000 + d);
+        dom.router = std::make_unique<Router>(cfg_.router, dseed);
+        // Apply health recorded before the partition existed.
+        for (std::size_t i = 0; i < dom.count; ++i) {
+            if (up_[dom.first + i] == 0)
+                dom.router->evict(i);
+        }
+    }
+}
+
+std::size_t
+ShardedRouter::domainOf(std::size_t n) const
+{
+    common::fatalIf(!bound(), "ShardedRouter::domainOf: not bound");
+    common::fatalIf(n >= nodes_, "ShardedRouter::domainOf: bad node");
+    return n * cfg_.domains / nodes_;
+}
+
+const Domain &
+ShardedRouter::domain(std::size_t d) const
+{
+    common::fatalIf(!bound(), "ShardedRouter::domain: not bound");
+    common::fatalIf(d >= domains_.size(),
+                    "ShardedRouter::domain: bad index");
+    return domains_[d];
+}
+
+std::size_t
+ShardedRouter::upCountInDomain(std::size_t d) const
+{
+    const Domain &dom = domain(d);
+    std::size_t up = 0;
+    for (std::size_t i = 0; i < dom.count; ++i)
+        up += isUp(dom.first + i) ? 1 : 0;
+    return up;
+}
+
+void
+ShardedRouter::evict(std::size_t n)
+{
+    if (up_.size() <= n)
+        up_.resize(n + 1, 1);
+    up_[n] = 0;
+    if (bound()) {
+        const std::size_t d = domainOf(n);
+        domains_[d].router->evict(n - domains_[d].first);
+    }
+}
+
+void
+ShardedRouter::readmit(std::size_t n)
+{
+    if (up_.size() <= n)
+        up_.resize(n + 1, 1);
+    up_[n] = 1;
+    if (bound()) {
+        const std::size_t d = domainOf(n);
+        domains_[d].router->readmit(n - domains_[d].first);
+    }
+}
+
+bool
+ShardedRouter::isUp(std::size_t n) const
+{
+    return n >= up_.size() || up_[n] != 0;
+}
+
+bool
+ShardedRouter::routeInto(const std::vector<double> &fleet_rps,
+                         const std::vector<double> &weights,
+                         const RouterFeedback &feedback,
+                         std::vector<std::vector<double>> &out)
+{
+    common::fatalIf(weights.empty(), "ShardedRouter::route: no nodes");
+    bind(weights.size());
+    common::fatalIf(weights.size() != nodes_,
+                    "ShardedRouter::route: ", weights.size(),
+                    " weights for a ", nodes_, "-node partition");
+
+    // A single domain is the flat router: forward the fleet vectors
+    // verbatim (no slicing arithmetic in the way of bit-identity).
+    if (domains_.size() == 1)
+        return domains_[0].router->routeInto(fleet_rps, weights,
+                                             feedback, out);
+
+    const std::size_t num_services = fleet_rps.size();
+    out.resize(nodes_);
+    for (auto &row : out)
+        row.assign(num_services, 0.0);
+
+    std::size_t live_domains = 0;
+    for (std::size_t d = 0; d < domains_.size(); ++d)
+        live_domains += upCountInDomain(d) > 0 ? 1 : 0;
+    if (live_domains == 0)
+        return false; // every domain dark: shed the interval
+
+    // Level 1 — the domain split, one service at a time. Weight =
+    // serving capacity x QoS headroom: a domain whose members sat
+    // above target last interval takes proportionally less of this
+    // one. Pure arithmetic, no draws: the split can never perturb the
+    // inner routers' RNG streams.
+    for (std::size_t d = 0; d < domains_.size(); ++d)
+        domains_[d].rps.assign(num_services, 0.0);
+    domainWeight_.resize(domains_.size());
+    for (std::size_t s = 0; s < num_services; ++s) {
+        double total = 0.0;
+        for (std::size_t d = 0; d < domains_.size(); ++d) {
+            const Domain &dom = domains_[d];
+            double cap_up = 0.0;
+            double excess_sum = 0.0;
+            std::size_t up = 0;
+            for (std::size_t i = 0; i < dom.count; ++i) {
+                const std::size_t n = dom.first + i;
+                if (!isUp(n))
+                    continue;
+                ++up;
+                cap_up += weights[n];
+                if (n < feedback.p99MsByNode.size() &&
+                    s < feedback.p99MsByNode[n].size() &&
+                    s < feedback.qosTargetsMs.size() &&
+                    feedback.qosTargetsMs[s] > 0.0) {
+                    const double tardiness = feedback.p99MsByNode[n][s] /
+                        feedback.qosTargetsMs[s];
+                    excess_sum += std::clamp(tardiness - 1.0, 0.0,
+                                             kMaxQosExcess);
+                }
+            }
+            // headroom in (0, 1]: 1 with every member on target (or
+            // before any feedback), shrinking as the domain's mean
+            // QoS excess grows. A dark domain weighs nothing — its
+            // share renormalises onto the siblings below.
+            const double mean_excess =
+                up > 0 ? excess_sum / static_cast<double>(up) : 0.0;
+            domainWeight_[d] =
+                up > 0 ? cap_up / (1.0 + mean_excess) : 0.0;
+            total += domainWeight_[d];
+        }
+        for (std::size_t d = 0; d < domains_.size(); ++d)
+            domains_[d].rps[s] = fleet_rps[s] * domainWeight_[d] / total;
+    }
+
+    // Level 2 — each live domain deals its slice across its members
+    // with the configured policy, from its own RNG stream.
+    for (std::size_t d = 0; d < domains_.size(); ++d) {
+        Domain &dom = domains_[d];
+        if (upCountInDomain(d) == 0)
+            continue; // weight 0 above; nothing to deal
+        dom.weights.resize(dom.count);
+        for (std::size_t i = 0; i < dom.count; ++i)
+            dom.weights[i] = weights[dom.first + i];
+        dom.feedback.qosTargetsMs = feedback.qosTargetsMs;
+        if (feedback.p99MsByNode.empty()) {
+            dom.feedback.p99MsByNode.clear();
+        } else {
+            dom.feedback.p99MsByNode.resize(dom.count);
+            for (std::size_t i = 0; i < dom.count; ++i)
+                dom.feedback.p99MsByNode[i] =
+                    feedback.p99MsByNode[dom.first + i];
+        }
+        const bool ok = dom.router->routeInto(dom.rps, dom.weights,
+                                              dom.feedback, dom.shares);
+        common::fatalIf(!ok, "ShardedRouter::route: live domain ", d,
+                        " failed to route");
+        for (std::size_t i = 0; i < dom.count; ++i)
+            out[dom.first + i] = dom.shares[i];
+    }
+    return true;
+}
+
+} // namespace twig::cluster

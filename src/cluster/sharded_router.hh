@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Two-level fleet routing: the node list is partitioned into
+ * contiguous routing *domains*, each behind its own inner Router. Per
+ * interval the front-end first splits every service's fleet RPS across
+ * the domains — deterministically, weighted by each domain's serving
+ * capacity times its QoS headroom (no RNG at this level) — then each
+ * domain's inner Router deals its slice across its member nodes with
+ * the configured policy (static / WRR / power-of-two-choices).
+ *
+ * Why two levels: a single flat router is O(quanta x nodes) with one
+ * shared RNG stream — fine at 8 nodes, a serial bottleneck at 512.
+ * Domains keep every inner router small and give the fleet a natural
+ * unit for hierarchical histogram merging and failure containment.
+ *
+ * Determinism and compatibility:
+ *
+ *  * The domain split is pure arithmetic on (capacity, previous
+ *    interval p99) — no draws — so the inner routers' RNG streams
+ *    never shift with domain count or health changes elsewhere.
+ *  * With domains == 1 the single inner Router receives the fleet
+ *    vectors verbatim and is seeded with exactly the seed a flat
+ *    Router would get, so a one-domain fleet is bit-identical to the
+ *    pre-sharding flat path (the bench asserts this byte-for-byte).
+ *
+ * Health: evict/readmit forward to the owning domain's inner router,
+ * which renormalises among the surviving members. A domain whose every
+ * member is down gets weight 0 — its share sheds to the sibling
+ * domains, not to an abort. When every domain is down routeInto
+ * returns false with zeroed shares so the caller records a shed
+ * interval, same contract as the flat Router.
+ */
+
+#ifndef TWIG_CLUSTER_SHARDED_ROUTER_HH
+#define TWIG_CLUSTER_SHARDED_ROUTER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/router.hh"
+
+namespace twig::cluster {
+
+/** One routing domain: a contiguous slice of the fleet behind its own
+ * inner Router, plus per-interval routing scratch. */
+struct Domain
+{
+    /** Global index of the first member node. */
+    std::size_t first = 0;
+    /** Member count (members are first .. first + count - 1). */
+    std::size_t count = 0;
+    std::unique_ptr<Router> router;
+
+    // Per-interval scratch (reused; steady-state routing is
+    // allocation-free once capacities are warm).
+    std::vector<double> rps;                  ///< [service] slice
+    std::vector<double> weights;              ///< [count]
+    RouterFeedback feedback;                  ///< sliced rows
+    std::vector<std::vector<double>> shares;  ///< [count][service]
+};
+
+/** ShardedRouter configuration. */
+struct ShardedRouterConfig
+{
+    /** Inner per-domain router policy. */
+    RouterConfig router;
+    /** Routing domains; 1 degenerates to the flat router exactly. */
+    std::size_t domains = 1;
+};
+
+/** The two-level fleet front-end (see file comment). */
+class ShardedRouter
+{
+  public:
+    /** @p seed seeds domain 0's inner router directly (flat-path
+     * compatibility); sibling domains derive their own streams. */
+    ShardedRouter(const ShardedRouterConfig &cfg, std::uint64_t seed);
+
+    const ShardedRouterConfig &config() const { return cfg_; }
+    std::size_t numDomains() const { return cfg_.domains; }
+
+    /**
+     * Fix the fleet size and build the domain partition (contiguous,
+     * balanced: domain d covers [d*N/D, (d+1)*N/D)). Called implicitly
+     * by the first routeInto; idempotent for the same @p nodes, fatal
+     * on a resize or when domains > nodes.
+     */
+    void bind(std::size_t nodes);
+    bool bound() const { return nodes_ != 0; }
+
+    /** Domain owning node @p n (after bind). */
+    std::size_t domainOf(std::size_t n) const;
+    /** Domain @p d (after bind). */
+    const Domain &domain(std::size_t d) const;
+    /** Serving members of domain @p d. */
+    std::size_t upCountInDomain(std::size_t d) const;
+
+    /** Take node @p n out of rotation / put it back. Usable before
+     * bind (health is applied to the partition when it forms). */
+    void evict(std::size_t n);
+    void readmit(std::size_t n);
+    bool isUp(std::size_t n) const;
+
+    /**
+     * Split each service's fleet RPS across @p weights.size() nodes:
+     * domain split by capacity x QoS headroom, then the inner routers.
+     * Same contract as Router::routeInto — @p out is [node][service],
+     * rewritten in full; false (all shares zero) when every node in
+     * every domain is out of rotation.
+     */
+    bool routeInto(const std::vector<double> &fleet_rps,
+                   const std::vector<double> &weights,
+                   const RouterFeedback &feedback,
+                   std::vector<std::vector<double>> &out);
+
+  private:
+    ShardedRouterConfig cfg_;
+    std::uint64_t seed_;
+    /** Fleet size; 0 until bind. */
+    std::size_t nodes_ = 0;
+    std::vector<Domain> domains_;
+    /** Health per node (1 = in rotation). Mirrors the inner routers'
+     * masks; also buffers evictions arriving before bind. */
+    std::vector<std::uint8_t> up_;
+    /** Per-domain split weight scratch ([domain], per service). */
+    std::vector<double> domainWeight_;
+};
+
+} // namespace twig::cluster
+
+#endif // TWIG_CLUSTER_SHARDED_ROUTER_HH

@@ -1,8 +1,10 @@
 #include "core/twig_manager.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/error.hh"
+#include "common/hash.hh"
 #include "rl/checkpoint.hh"
 #include "sim/power.hh"
 
@@ -139,9 +141,8 @@ TwigManager::actionsToRequests(const std::vector<nn::BranchActions> &actions,
     }
 }
 
-void
-TwigManager::decideInto(const sim::ServerIntervalStats &stats,
-                        std::vector<ResourceRequest> &out)
+const std::vector<float> &
+TwigManager::observeState(const sim::ServerIntervalStats &stats)
 {
     common::fatalIf(stats.services.size() != specs_.size(),
                     "TwigManager: telemetry for ", stats.services.size(),
@@ -150,7 +151,7 @@ TwigManager::decideInto(const sim::ServerIntervalStats &stats,
     // 1. Observe the new state from the PMC stream.
     for (std::size_t k = 0; k < specs_.size(); ++k)
         monitor_.update(k, stats.services[k].pmcs);
-    const std::vector<float> state = monitor_.jointState();
+    stateScratch_ = monitor_.jointState();
 
     // 2. Close the previous transition: compute each agent's reward for
     //    the interval that just finished and learn from it.
@@ -158,7 +159,7 @@ TwigManager::decideInto(const sim::ServerIntervalStats &stats,
         rl::Transition t;
         t.state = *prevState_;
         t.actions = prevActions_;
-        t.nextState = state;
+        t.nextState = stateScratch_;
         t.rewards.resize(specs_.size());
         for (std::size_t k = 0; k < specs_.size(); ++k) {
             const auto &svc = stats.services[k];
@@ -181,14 +182,57 @@ TwigManager::decideInto(const sim::ServerIntervalStats &stats,
         }
         learner_.observe(std::move(t));
     }
+    return stateScratch_;
+}
+
+void
+TwigManager::applyDecision(const std::vector<nn::BranchActions> &actions,
+                           std::vector<ResourceRequest> &out)
+{
+    common::fatalIf(actions.size() != specs_.size(),
+                    "TwigManager::applyDecision: ", actions.size(),
+                    " actions for ", specs_.size(), " services");
+    prevState_ = stateScratch_;
+    prevActions_ = actions;
+    actionsToRequests(actions, out);
+}
+
+void
+TwigManager::decideInto(const sim::ServerIntervalStats &stats,
+                        std::vector<ResourceRequest> &out)
+{
+    const std::vector<float> &state = observeState(stats);
 
     // 3. Choose the allocation for the next interval.
     const auto actions = exploitOnly_
         ? learner_.greedyActions(state)
         : learner_.selectActions(state);
-    prevState_ = state;
-    prevActions_ = actions;
-    actionsToRequests(actions, out);
+    applyDecision(actions, out);
+}
+
+std::uint64_t
+TwigManager::architectureFingerprint() const
+{
+    const nn::BdqConfig &net = learner_.config().net;
+    std::uint64_t h = common::kFnvOffsetBasis;
+    h = common::fnv1aValue(net.numAgents, h);
+    h = common::fnv1aValue(net.stateDimPerAgent, h);
+    for (std::size_t w : net.trunkHidden)
+        h = common::fnv1aValue(w, h);
+    h = common::fnv1aValue(net.agentHeadHidden, h);
+    h = common::fnv1aValue(net.branchHidden, h);
+    for (std::size_t n : net.branchActions)
+        h = common::fnv1aValue(n, h);
+    return h;
+}
+
+std::uint64_t
+TwigManager::parameterFingerprint() const
+{
+    std::ostringstream os(std::ios::binary);
+    learner_.save(os);
+    const std::string bytes = std::move(os).str();
+    return common::fnv1a(bytes.data(), bytes.size());
 }
 
 void

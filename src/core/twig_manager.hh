@@ -83,6 +83,26 @@ class TwigManager : public TaskManager
                     std::vector<ResourceRequest> &out) override;
 
     /**
+     * The state-gather half of decideInto: feed the interval's PMC
+     * telemetry to the monitor, close the previous transition (learning
+     * unless exploit-only) and return the new joint state. The returned
+     * reference points at a member scratch overwritten by the next
+     * observeState. Callers must follow up with applyDecision before
+     * the next interval — decideInto composes exactly these two halves,
+     * so the split path is bit-identical to the fused one. The cluster
+     * layer uses the seam to run one batched BDQ forward across a
+     * replica cohort instead of per-node passes.
+     */
+    const std::vector<float> &
+    observeState(const sim::ServerIntervalStats &stats);
+
+    /** The action-scatter half of decideInto: record @p actions as the
+     * interval's decision (next transition's prev-actions) and convert
+     * them to resource requests. */
+    void applyDecision(const std::vector<nn::BranchActions> &actions,
+                       std::vector<ResourceRequest> &out);
+
+    /**
      * Transfer learning (paper §IV): swap the spec of service @p idx
      * for a new service, re-initialise the network's output layers and
      * re-anneal epsilon over a short window.
@@ -92,6 +112,19 @@ class TwigManager : public TaskManager
 
     /** Switch to pure exploitation (drops gradient descent). */
     void setExploitOnly(bool on) { exploitOnly_ = on; }
+    bool exploitOnly() const { return exploitOnly_; }
+
+    /** FNV-1a over the BDQ topology (agents, state width, layer sizes,
+     * branch action counts). Managers with equal architecture
+     * fingerprints accept the same joint-state rows. */
+    std::uint64_t architectureFingerprint() const;
+
+    /** FNV-1a over the serialised network parameters. Two exploit-only
+     * managers with equal architecture AND parameter fingerprints are
+     * interchangeable replicas: the cluster batches their forward
+     * passes through one shared network. Costs a full serialisation —
+     * call on topology changes, not per interval. */
+    std::uint64_t parameterFingerprint() const;
 
     /** Persist the trained policy (network parameters only). A model
      * saved by one manager can be loaded by another with the same
@@ -139,6 +172,8 @@ class TwigManager : public TaskManager
     std::optional<std::vector<float>> prevState_;
     std::vector<nn::BranchActions> prevActions_;
     std::vector<double> lastRewards_;
+    /** Joint state of the current interval (observeState scratch). */
+    std::vector<float> stateScratch_;
 };
 
 } // namespace twig::core

@@ -206,6 +206,10 @@ ScenarioSpec::validate(const ManagerRegistry &registry) const
             policy != "p2c-latency")
             return "unknown routing policy '" + policy +
                 "' (want static | wrr | p2c-latency)";
+        if (domains == 0)
+            return "cluster scenario with zero routing domains";
+        if (domains > nodes)
+            return "more routing domains than nodes";
         if (!checkpoint.empty() && manager != "twig")
             return "checkpoint warm-start needs the twig manager";
         if (!events.empty())
@@ -274,6 +278,8 @@ ScenarioSpec::toJson() const
         if (hetero)
             c.set("hetero", true);
         c.set("policy", policy);
+        if (domains != 1)
+            c.set("domains", domains);
         if (!checkpoint.empty())
             c.set("checkpoint", checkpoint);
         j.set("cluster", std::move(c));
@@ -327,6 +333,8 @@ ScenarioSpec::fromJson(const Json &j)
         s.nodes = static_cast<std::size_t>(c->indexOr("nodes", s.nodes));
         s.hetero = c->boolOr("hetero", false);
         s.policy = c->stringOr("policy", s.policy);
+        s.domains =
+            static_cast<std::size_t>(c->indexOr("domains", s.domains));
         s.checkpoint = c->stringOr("checkpoint", "");
     }
     if (const Json *f = j.find("faults"))

@@ -141,6 +141,9 @@ struct ScenarioSpec
     bool hetero = false;
     /** static | wrr | p2c-latency. */
     std::string policy = "p2c-latency";
+    /** Routing domains of the two-level front-end; 1 = flat-equivalent
+     * single domain (must not exceed the node count). */
+    std::size_t domains = 1;
     /** Warm-start BDQ checkpoint for every node; "{cores}" expands to
      * the node's core count (per-shape donors). Implies exploit-only
      * twig nodes. */

@@ -240,6 +240,34 @@ MultiAgentBdq::greedyActions(const std::vector<float> &joint_state)
 }
 
 void
+MultiAgentBdq::greedyActionsRows(
+    const Matrix &x, BdqOutput &scratch,
+    std::vector<std::vector<BranchActions>> &out)
+{
+    common::fatalIf(x.cols() != cfg_.inputDim(),
+                    "greedyActionsRows: wrong joint-state width");
+    forward(x, scratch, false);
+
+    const std::size_t batch = x.rows();
+    out.resize(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        out[b].resize(cfg_.numAgents);
+        for (std::size_t k = 0; k < cfg_.numAgents; ++k) {
+            out[b][k].resize(cfg_.numBranches());
+            for (std::size_t d = 0; d < cfg_.numBranches(); ++d) {
+                const Matrix &q = scratch.q[k][d];
+                std::size_t best = 0;
+                for (std::size_t a = 1; a < q.cols(); ++a) {
+                    if (q(b, a) > q(b, best))
+                        best = a;
+                }
+                out[b][k][d] = best;
+            }
+        }
+    }
+}
+
+void
 MultiAgentBdq::forEachLinear(const std::function<void(Linear &)> &fn)
 {
     for (auto &stage : trunk_)

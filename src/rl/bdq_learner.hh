@@ -113,6 +113,16 @@ class BdqLearner
         return online_.greedyActions(joint_state);
     }
 
+    /** Batched greedyActions over the rows of @p x — one fused forward
+     * for a whole replica cohort (cluster batched-inference path);
+     * out[row] equals greedyActions(row) exactly. */
+    void
+    greedyActionsRows(const nn::Matrix &x, nn::BdqOutput &scratch,
+                      std::vector<std::vector<nn::BranchActions>> &out)
+    {
+        online_.greedyActionsRows(x, scratch, out);
+    }
+
     /**
      * Record a completed transition; trains every cfg.trainEvery steps
      * once the buffer holds cfg.minReplayBeforeTraining transitions,

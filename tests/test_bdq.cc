@@ -121,6 +121,60 @@ TEST(Bdq, GreedyActionsMatchArgmax)
     }
 }
 
+TEST(Bdq, GreedyActionsRowsMatchPerRowGreedyActionsExactly)
+{
+    // The cluster's batched-inference contract: one forward over a
+    // [batch x inputDim] matrix must produce, for every row, exactly
+    // the actions (and Q-values) the per-sample path picks — not
+    // approximately, bitwise. Each GEMM output element accumulates
+    // over the reduction dimension in a fixed order independent of the
+    // batch size, and the argmax tie-break (first maximum) matches.
+    Rng rng(11);
+    const auto cfg = smallConfig(3);
+    MultiAgentBdq net(cfg, rng);
+    const std::size_t batch = 16;
+    const Matrix x = randomBatch(batch, cfg.inputDim(), rng);
+
+    BdqOutput batched_out;
+    std::vector<std::vector<BranchActions>> batched;
+    net.greedyActionsRows(x, batched_out, batched);
+    ASSERT_EQ(batched.size(), batch);
+
+    for (std::size_t i = 0; i < batch; ++i) {
+        std::vector<float> state(x.rowPtr(i), x.rowPtr(i) + x.cols());
+        EXPECT_EQ(batched[i], net.greedyActions(state))
+            << "row " << i;
+
+        Matrix single(1, state.size());
+        std::copy(state.begin(), state.end(), single.rowPtr(0));
+        BdqOutput single_out;
+        net.forward(single, single_out, false);
+        for (std::size_t k = 0; k < cfg.numAgents; ++k) {
+            for (std::size_t d = 0; d < cfg.branchActions.size(); ++d) {
+                for (std::size_t a = 0;
+                     a < cfg.branchActions[d]; ++a) {
+                    // Bitwise equality of every Q-value.
+                    EXPECT_EQ(batched_out.q[k][d](i, a),
+                              single_out.q[k][d](0, a))
+                        << "row " << i << " agent " << k << " branch "
+                        << d << " action " << a;
+                }
+            }
+        }
+    }
+}
+
+TEST(Bdq, GreedyActionsRowsRejectsWrongWidth)
+{
+    Rng rng(12);
+    MultiAgentBdq net(smallConfig(2), rng);
+    Matrix bad(3, 5); // inputDim is 8
+    BdqOutput out;
+    std::vector<std::vector<BranchActions>> actions;
+    EXPECT_THROW(net.greedyActionsRows(bad, out, actions),
+                 twig::common::FatalError);
+}
+
 TEST(Bdq, SupervisedTrainingConverges)
 {
     // Regress fixed random Q targets; exercises the full backward path

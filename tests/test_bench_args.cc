@@ -72,6 +72,26 @@ TEST(BenchArgs, RejectsUnknownFlagsAndMissingValues)
     EXPECT_FALSE(tryParse({"--jobs"}).ok());
 }
 
+TEST(BenchArgs, ParsesDomains)
+{
+    // 0 means "bench default" and only arises by omission — an
+    // explicit --domains 0 is rejected, like --jobs 0.
+    EXPECT_EQ(tryParse({}).args.domains, 0u);
+    const auto res = tryParse({"--domains", "8"});
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.args.domains, 8u);
+}
+
+TEST(BenchArgs, RejectsBadDomains)
+{
+    const auto zero = tryParse({"--domains", "0"});
+    EXPECT_FALSE(zero.ok());
+    EXPECT_NE(zero.error.find("--domains"), std::string::npos);
+    EXPECT_FALSE(tryParse({"--domains", "-3"}).ok());
+    EXPECT_FALSE(tryParse({"--domains", "2x"}).ok());
+    EXPECT_FALSE(tryParse({"--domains"}).ok());
+}
+
 TEST(BenchArgs, ExtraValueFlagsAreAllowlisted)
 {
     // Not allowlisted: rejected like any unknown flag.

@@ -9,11 +9,14 @@
 #include "baselines/static_manager.hh"
 #include "cluster/cluster_manager.hh"
 #include "cluster/router.hh"
+#include "cluster/sharded_router.hh"
 #include "common/error.hh"
 #include "core/twig_manager.hh"
+#include "faults/fault_spec.hh"
 #include "services/microbench.hh"
 #include "services/tailbench.hh"
 #include "sim/loadgen.hh"
+#include "stats/histogram.hh"
 
 using namespace twig;
 using namespace twig::cluster;
@@ -66,12 +69,14 @@ twigNodes(std::size_t horizon)
 ClusterManager
 makeFleet(RoutingPolicy policy, std::size_t jobs, std::size_t nodes,
           const ClusterManager::ManagerFactory &factory,
-          std::size_t steps)
+          std::size_t steps, std::size_t domains = 1,
+          const std::string &warm_checkpoint = "", bool hetero = true)
 {
     const auto masstree = services::masstree();
     ClusterConfig cfg;
     cfg.router.policy = policy;
     cfg.jobs = jobs;
+    cfg.domains = domains;
     std::vector<std::unique_ptr<sim::LoadGenerator>> loads;
     loads.push_back(std::make_unique<sim::DiurnalLoad>(
         masstree.maxLoadRps * static_cast<double>(nodes), 0.15, 0.4,
@@ -79,11 +84,57 @@ makeFleet(RoutingPolicy policy, std::size_t jobs, std::size_t nodes,
     ClusterManager fleet(cfg, {masstree}, std::move(loads), 42);
     for (std::size_t n = 0; n < nodes; ++n) {
         sim::MachineConfig machine;
-        if (n % 2 == 1)
+        if (hetero && n % 2 == 1)
             machine.numCores = 6;
-        fleet.addNode(machine, factory);
+        fleet.addNode(machine, factory, warm_checkpoint);
     }
     return fleet;
+}
+
+/** Twig nodes frozen in exploit-only mode (the batched-inference
+ * cohort precondition; combined with a shared warm-start checkpoint
+ * all same-shape replicas hold identical parameters). */
+ClusterManager::ManagerFactory
+exploitTwigNodes(std::size_t horizon)
+{
+    const auto inner = twigNodes(horizon);
+    return [inner](const sim::MachineConfig &machine,
+                   const std::vector<sim::ServiceProfile> &svcs,
+                   std::uint64_t seed)
+        -> std::unique_ptr<core::TaskManager> {
+        auto manager = inner(machine, svcs, seed);
+        dynamic_cast<core::TwigManager &>(*manager).setExploitOnly(
+            true);
+        return manager;
+    };
+}
+
+/** Train a small homogeneous-shape donor pair and checkpoint the
+ * 18-core one (makeFleet's even-node shape). Returns the path. */
+std::string
+trainDonorCheckpoint(const std::string &name)
+{
+    const std::string path = tmpPath(name);
+    auto donor_fleet =
+        makeFleet(RoutingPolicy::Static, 1, 1, twigNodes(20), 20);
+    donor_fleet.run(20, 5);
+    auto *donor = dynamic_cast<core::TwigManager *>(
+        &donor_fleet.node(0).manager());
+    donor->saveCheckpoint(path);
+    return path;
+}
+
+faults::FaultAction
+crashAction(std::size_t at, std::size_t node, std::size_t restart_after,
+            const std::string &recovery)
+{
+    faults::FaultAction a;
+    a.kind = faults::FaultKind::NodeCrash;
+    a.atStep = at;
+    a.node = node;
+    a.restartAfterSteps = restart_after;
+    a.recovery = recovery;
+    return a;
 }
 
 void
@@ -246,6 +297,241 @@ TEST(ClusterManager, WarmStartRejectsNonTwigManagers)
     ClusterManager fleet(cfg, {masstree}, std::move(loads), 1);
     EXPECT_THROW(fleet.addNode(sim::MachineConfig{}, staticNodes(),
                                tmpPath("whatever.ckpt")),
+                 FatalError);
+}
+
+TEST(ShardedRouter, OneDomainMatchesFlatRouterExactly)
+{
+    // domains == 1 must replay the flat router's RNG draw sequence bit
+    // for bit: the fleet vectors are forwarded verbatim and domain 0
+    // inherits the caller's seed.
+    const RouterConfig rcfg{RoutingPolicy::PowerOfTwoLatency, 256};
+    Router flat(rcfg, 7);
+    ShardedRouter sharded({rcfg, 1}, 7);
+
+    const std::vector<double> weights = {1.0, 2.0, 1.0, 1.5, 1.0};
+    RouterFeedback feedback;
+    std::vector<std::vector<double>> flat_out, sharded_out;
+    for (int interval = 0; interval < 5; ++interval) {
+        const std::vector<double> rps = {900.0 + 10.0 * interval,
+                                         300.0};
+        ASSERT_TRUE(flat.routeInto(rps, weights, feedback, flat_out));
+        ASSERT_TRUE(
+            sharded.routeInto(rps, weights, feedback, sharded_out));
+        EXPECT_EQ(flat_out, sharded_out) << "interval " << interval;
+        // Feed the routed shares back as fake p99s so later intervals
+        // exercise the latency-aware branch too.
+        feedback.p99MsByNode.assign(weights.size(), {10.0, 10.0});
+        feedback.p99MsByNode[2] = {90.0, 20.0};
+        feedback.qosTargetsMs = {30.0, 30.0};
+    }
+}
+
+TEST(ShardedRouter, SplitsAcrossDomainsAndConservesLoad)
+{
+    ShardedRouter router({{RoutingPolicy::PowerOfTwoLatency, 256}, 4},
+                         11);
+    const std::vector<double> weights(8, 1.0);
+    std::vector<std::vector<double>> out;
+    ASSERT_TRUE(router.routeInto({800.0, 240.0}, weights, {}, out));
+    ASSERT_EQ(out.size(), 8u);
+    EXPECT_EQ(router.numDomains(), 4u);
+    for (std::size_t d = 0; d < 4; ++d) {
+        EXPECT_EQ(router.domain(d).count, 2u);
+        EXPECT_EQ(router.domainOf(router.domain(d).first), d);
+    }
+    double total0 = 0.0, total1 = 0.0;
+    for (const auto &row : out) {
+        total0 += row[0];
+        total1 += row[1];
+    }
+    EXPECT_NEAR(total0, 800.0, 1e-6);
+    EXPECT_NEAR(total1, 240.0, 1e-6);
+}
+
+TEST(ShardedRouter, DomainEvictionShedsToSiblingDomains)
+{
+    // Evicting every node of one domain must renormalise its share
+    // onto the sibling domains, not abort or drop load.
+    ShardedRouter router({{RoutingPolicy::WeightedRoundRobin, 300}, 4},
+                         3);
+    const std::vector<double> weights(8, 1.0);
+    router.evict(0);
+    router.evict(1); // domain 0 = nodes {0, 1}: now dark
+    std::vector<std::vector<double>> out;
+    ASSERT_TRUE(router.routeInto({600.0}, weights, {}, out));
+    EXPECT_EQ(router.upCountInDomain(0), 0u);
+    EXPECT_EQ(out[0][0], 0.0);
+    EXPECT_EQ(out[1][0], 0.0);
+    double total = 0.0;
+    for (const auto &row : out)
+        total += row[0];
+    EXPECT_NEAR(total, 600.0, 1e-6);
+
+    router.readmit(0);
+    ASSERT_TRUE(router.routeInto({600.0}, weights, {}, out));
+    EXPECT_GT(out[0][0], 0.0);
+}
+
+TEST(ShardedRouter, AllDomainsDownShedsTheInterval)
+{
+    ShardedRouter router({{RoutingPolicy::Static, 64}, 2}, 5);
+    const std::vector<double> weights(4, 1.0);
+    for (std::size_t n = 0; n < 4; ++n)
+        router.evict(n);
+    std::vector<std::vector<double>> out;
+    EXPECT_FALSE(router.routeInto({500.0}, weights, {}, out));
+    ASSERT_EQ(out.size(), 4u);
+    for (const auto &row : out)
+        EXPECT_EQ(row[0], 0.0);
+}
+
+TEST(ShardedRouter, Validation)
+{
+    EXPECT_THROW(ShardedRouter({{RoutingPolicy::Static, 64}, 0}, 1),
+                 FatalError);
+
+    ShardedRouter too_many({{RoutingPolicy::Static, 64}, 4}, 1);
+    std::vector<std::vector<double>> out;
+    EXPECT_THROW(too_many.routeInto({100.0}, {1.0, 1.0}, {}, out),
+                 FatalError);
+
+    ShardedRouter fixed({{RoutingPolicy::Static, 64}, 2}, 1);
+    ASSERT_TRUE(
+        fixed.routeInto({100.0}, {1.0, 1.0, 1.0, 1.0}, {}, out));
+    EXPECT_THROW(fixed.routeInto({100.0}, std::vector<double>(6, 1.0),
+                                 {}, out),
+                 FatalError); // the partition is fixed at first use
+
+    EXPECT_THROW(ShardedRouter({{RoutingPolicy::Static, 64}, 2}, 1)
+                     .domainOf(0),
+                 FatalError); // not bound yet
+}
+
+TEST(ClusterManager, HierarchicalMergeMatchesFlatNodeMerge)
+{
+    // The returned fleet telemetry goes node -> domain -> fleet; this
+    // checks the per-domain histograms against a manual flat merge of
+    // the node histograms, bin for bin, every step.
+    auto fleet = makeFleet(RoutingPolicy::PowerOfTwoLatency, 1, 6,
+                           staticNodes(), 12, /*domains=*/3);
+    for (std::size_t t = 0; t < 12; ++t) {
+        fleet.step();
+        stats::Histogram flat(0.0,
+                              services::masstree().qosTargetMs * 32.0,
+                              1024);
+        for (std::size_t n = 0; n < 6; ++n)
+            flat.merge(fleet.node(n).intervalHistogram(0));
+
+        stats::Histogram fleet_merged(
+            0.0, services::masstree().qosTargetMs * 32.0, 1024);
+        for (std::size_t d = 0; d < 3; ++d)
+            fleet_merged.merge(fleet.domainHistogram(d, 0));
+
+        ASSERT_EQ(fleet_merged.count(), flat.count()) << "step " << t;
+        for (std::size_t b = 0; b < flat.bins(); ++b)
+            ASSERT_EQ(fleet_merged.binCount(b), flat.binCount(b))
+                << "step " << t << " bin " << b;
+    }
+}
+
+TEST(ClusterManager, HierarchicalMergeSkipsCrashedNodes)
+{
+    // A crashed replica serves no samples: its domain's histogram must
+    // cover exactly the surviving members (a partial merge), and the
+    // fleet merge must equal the flat merge over up nodes throughout
+    // crash and restart.
+    auto fleet = makeFleet(RoutingPolicy::PowerOfTwoLatency, 1, 6,
+                           staticNodes(), 16, /*domains=*/3);
+    faults::FaultSpec spec;
+    spec.actions.push_back(crashAction(3, 2, 5, "cold"));
+    fleet.setFaults(spec);
+    const double hi = services::masstree().qosTargetMs * 32.0;
+    for (std::size_t t = 0; t < 16; ++t) {
+        fleet.step();
+        stats::Histogram flat(0.0, hi, 1024);
+        for (std::size_t n = 0; n < 6; ++n) {
+            if (fleet.isNodeUp(n))
+                flat.merge(fleet.node(n).intervalHistogram(0));
+        }
+        stats::Histogram merged(0.0, hi, 1024);
+        for (std::size_t d = 0; d < 3; ++d)
+            merged.merge(fleet.domainHistogram(d, 0));
+        ASSERT_EQ(merged.count(), flat.count()) << "step " << t;
+        for (std::size_t b = 0; b < flat.bins(); ++b)
+            ASSERT_EQ(merged.binCount(b), flat.binCount(b))
+                << "step " << t << " bin " << b;
+        if (t == 4)
+            EXPECT_FALSE(fleet.isNodeUp(2)); // mid-outage sanity
+    }
+}
+
+TEST(ClusterManager, BatchedInferenceMatchesPerNodeDecidesExactly)
+{
+    // 200 intervals of a warm-started exploit-only fleet, decided two
+    // ways: per-node greedy forwards vs one batched cohort GEMM per
+    // interval. Every simulated quantity must be bit-identical.
+    const std::string path = trainDonorCheckpoint("batch_donor.ckpt");
+    auto batched =
+        makeFleet(RoutingPolicy::PowerOfTwoLatency, 1, 4,
+                  exploitTwigNodes(200), 200, /*domains=*/2, path,
+                  /*hetero=*/false);
+    auto pernode =
+        makeFleet(RoutingPolicy::PowerOfTwoLatency, 1, 4,
+                  exploitTwigNodes(200), 200, /*domains=*/2, path,
+                  /*hetero=*/false);
+    pernode.setBatchedInference(false);
+
+    const auto batched_result = batched.run(200, 50);
+    const auto pernode_result = pernode.run(200, 50);
+    EXPECT_EQ(batched.batchedNodeCount(), 4u);
+    EXPECT_EQ(pernode.batchedNodeCount(), 0u);
+    EXPECT_GT(batched.phaseProfile().forwardCycles, 0u);
+    expectIdenticalTraces(batched_result, pernode_result);
+}
+
+TEST(ClusterManager, ParallelSteppingBitIdenticalWithDomainsAndBatching)
+{
+    // The full two-level path (domain routing + hierarchical merge +
+    // batched cohorts) must stay bit-identical at any --jobs.
+    const std::string path = trainDonorCheckpoint("jobs_donor.ckpt");
+    auto serial =
+        makeFleet(RoutingPolicy::PowerOfTwoLatency, 1, 4,
+                  exploitTwigNodes(30), 30, /*domains=*/2, path,
+                  /*hetero=*/false);
+    auto threaded =
+        makeFleet(RoutingPolicy::PowerOfTwoLatency, 4, 4,
+                  exploitTwigNodes(30), 30, /*domains=*/2, path,
+                  /*hetero=*/false);
+    expectIdenticalTraces(serial.run(30, 10), threaded.run(30, 10));
+}
+
+TEST(ClusterManager, OneDomainShardedMatchesFlatReferenceControl)
+{
+    // The refactored control plane at domains == 1 vs the pre-sharding
+    // flat path (flat router, in-node decides, flat merge): byte for
+    // byte the same fleet history.
+    auto sharded = makeFleet(RoutingPolicy::PowerOfTwoLatency, 1, 3,
+                             twigNodes(25), 25);
+    auto flat = makeFleet(RoutingPolicy::PowerOfTwoLatency, 1, 3,
+                          twigNodes(25), 25);
+    flat.setFlatReferenceControl(true);
+    expectIdenticalTraces(sharded.run(25, 8), flat.run(25, 8));
+}
+
+TEST(ClusterManager, FlatReferenceControlRequiresOneDomain)
+{
+    auto fleet = makeFleet(RoutingPolicy::Static, 1, 4, staticNodes(),
+                           10, /*domains=*/2);
+    EXPECT_THROW(fleet.setFlatReferenceControl(true), FatalError);
+    fleet.setFlatReferenceControl(false); // turning it off is fine
+}
+
+TEST(ClusterManager, DomainCountMustNotExceedNodes)
+{
+    EXPECT_THROW(makeFleet(RoutingPolicy::Static, 1, 2, staticNodes(),
+                           10, /*domains=*/4)
+                     .step(),
                  FatalError);
 }
 

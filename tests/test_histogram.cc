@@ -140,6 +140,62 @@ TEST(Histogram, MergeThenQuantileMatchesConcatenatedSamples)
         EXPECT_DOUBLE_EQ(node_a.quantile(q), fleet.quantile(q));
 }
 
+TEST(Histogram, HierarchicalMergeMatchesFlatMergeExactly)
+{
+    // The two-level fleet contract: merging node histograms into
+    // per-domain histograms and then the domain histograms into the
+    // fleet one must equal the flat node -> fleet merge bin for bin
+    // (integer bin counts make the merge associative and commutative).
+    const std::size_t nodes = 12, domains = 3;
+    std::vector<Histogram> node_hists;
+    for (std::size_t n = 0; n < nodes; ++n) {
+        node_hists.emplace_back(0.0, 40.0, 256);
+        for (std::size_t i = 0; i <= 30 * n; ++i)
+            node_hists[n].add(0.013 * static_cast<double>(i * (n + 1)));
+    }
+
+    Histogram flat(0.0, 40.0, 256);
+    for (const auto &h : node_hists)
+        flat.merge(h);
+
+    Histogram fleet(0.0, 40.0, 256);
+    for (std::size_t d = 0; d < domains; ++d) {
+        Histogram domain(0.0, 40.0, 256);
+        for (std::size_t n = d * nodes / domains;
+             n < (d + 1) * nodes / domains; ++n)
+            domain.merge(node_hists[n]);
+        fleet.merge(domain);
+    }
+
+    ASSERT_EQ(fleet.count(), flat.count());
+    for (std::size_t b = 0; b < flat.bins(); ++b)
+        EXPECT_EQ(fleet.binCount(b), flat.binCount(b)) << "bin " << b;
+    for (double q : {0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(fleet.quantile(q), flat.quantile(q));
+}
+
+TEST(Histogram, HierarchicalMergeWithEmptyDomainsIsExact)
+{
+    // A domain whose every member crashed contributes an empty
+    // histogram; the fleet merge must be unaffected.
+    Histogram populated(0.0, 10.0, 32);
+    populated.add(2.5);
+    populated.add(7.5);
+
+    Histogram flat(0.0, 10.0, 32);
+    flat.merge(populated);
+
+    Histogram empty_domain(0.0, 10.0, 32);
+    Histogram fleet(0.0, 10.0, 32);
+    fleet.merge(empty_domain);
+    fleet.merge(populated);
+    fleet.merge(empty_domain);
+
+    ASSERT_EQ(fleet.count(), flat.count());
+    for (std::size_t b = 0; b < flat.bins(); ++b)
+        EXPECT_EQ(fleet.binCount(b), flat.binCount(b));
+}
+
 TEST(Histogram, MergeRejectsMismatchedBinning)
 {
     Histogram h(0.0, 10.0, 10);

@@ -114,6 +114,7 @@ TEST(ScenarioSpec, ClusterFieldsRoundTrip)
     spec.nodes = 8;
     spec.hetero = true;
     spec.policy = "wrr";
+    spec.domains = 4;
     spec.checkpoint = "donor_{cores}c.ckpt";
 
     const std::string once = spec.toJson().dump();
@@ -124,7 +125,26 @@ TEST(ScenarioSpec, ClusterFieldsRoundTrip)
     EXPECT_EQ(back.nodes, 8u);
     EXPECT_TRUE(back.hetero);
     EXPECT_EQ(back.policy, "wrr");
+    EXPECT_EQ(back.domains, 4u);
     EXPECT_EQ(back.checkpoint, "donor_{cores}c.ckpt");
+}
+
+TEST(ScenarioSpec, DomainsDefaultToOneAndOmitFromJson)
+{
+    ScenarioSpec spec;
+    spec.name = "fleet";
+    spec.topology = "cluster";
+    ServiceLoadSpec s;
+    s.service = "masstree";
+    spec.services.push_back(s);
+
+    // domains == 1 (the flat-equivalent default) is left out of the
+    // JSON so pre-sharding scenario files stay byte-stable.
+    EXPECT_EQ(spec.domains, 1u);
+    EXPECT_EQ(spec.toJson().dump().find("domains"), std::string::npos);
+    const ScenarioSpec back = ScenarioSpec::fromJson(
+        common::Json::parse(spec.toJson().dump()));
+    EXPECT_EQ(back.domains, 1u);
 }
 
 #ifdef TWIG_SOURCE_DIR
@@ -227,6 +247,19 @@ TEST(ScenarioSpec, ValidateCatchesStructuralErrors)
     EXPECT_EQ(broken.validate(registry),
               "unknown routing policy 'fastest' (want static | wrr | "
               "p2c-latency)");
+
+    broken = spec;
+    broken.topology = "cluster";
+    broken.domains = 0;
+    EXPECT_EQ(broken.validate(registry),
+              "cluster scenario with zero routing domains");
+
+    broken = spec;
+    broken.topology = "cluster";
+    broken.nodes = 4;
+    broken.domains = 8;
+    EXPECT_EQ(broken.validate(registry),
+              "more routing domains than nodes");
 }
 
 // --- golden runs: the engine reproduces hand-built harness runs ------

@@ -42,6 +42,7 @@ struct Options
     std::string scenario;
     std::vector<std::string> services;
     std::size_t nodes = 0; ///< 0 = default / keep the scenario's
+    std::size_t domains = 0; ///< 0 = default / keep the scenario's
     std::string policy = "p2c-latency";
     std::string manager = "twig";
     bool hetero = false;
@@ -68,6 +69,9 @@ makeParser(Options &opt)
                          "catalogue service");
     parser.addCount("--nodes", &opt.nodes,
                     "replica count (default 4)");
+    parser.addCount("--domains", &opt.domains,
+                    "routing domains of the two-level front-end "
+                    "(default 1 = flat-equivalent)");
     parser.addString("--policy", &opt.policy,
                      "static | wrr | p2c-latency (default p2c-latency)");
     parser.addString("--manager", &opt.manager,
@@ -133,6 +137,8 @@ buildSpec(const Options &opt, const char *argv0)
             spec.window = opt.window;
         if (opt.seed != kSeedUnset)
             spec.seed = opt.seed;
+        if (opt.domains != 0)
+            spec.domains = opt.domains;
         return spec;
     }
 
@@ -157,6 +163,7 @@ buildSpec(const Options &opt, const char *argv0)
     spec.window = opt.window;
     spec.seed = opt.seed != kSeedUnset ? opt.seed : 42;
     spec.nodes = opt.nodes != 0 ? opt.nodes : 4;
+    spec.domains = opt.domains != 0 ? opt.domains : 1;
     spec.hetero = opt.hetero;
     spec.policy = opt.policy;
     spec.checkpoint = opt.checkpoint;
@@ -217,9 +224,10 @@ main(int argc, char **argv)
     }
 
     const auto &m = result.fleet.metrics;
-    std::printf("%zu-node fleet (%s routing, %s nodes%s) over the last "
-                "%zu of %zu steps:\n",
-                spec.nodes, spec.policy.c_str(), spec.manager.c_str(),
+    std::printf("%zu-node fleet (%zu domain%s, %s routing, %s nodes%s) "
+                "over the last %zu of %zu steps:\n",
+                spec.nodes, spec.domains, spec.domains == 1 ? "" : "s",
+                spec.policy.c_str(), spec.manager.c_str(),
                 spec.hetero ? ", hetero" : "", m.windowSteps,
                 spec.steps);
     for (std::size_t s = 0; s < m.serviceNames.size(); ++s) {
