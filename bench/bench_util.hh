@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "autoscale/node_class.hh"
+
 namespace twig::bench {
 
 /** Common bench options. */
@@ -40,6 +42,15 @@ struct BenchArgs
     /** Routing domains for fleet benches; 0 = bench default (each
      * bench picks per scale). Explicit values must be >= 1. */
     std::size_t domains = 0;
+    /** Elastic-fleet bounds from --autoscale MIN:MAX; 0:0 = bench
+     * default. MIN must be >= 1 and <= MAX. */
+    std::size_t autoscaleMin = 0;
+    std::size_t autoscaleMax = 0;
+    /** Override hourly rate for every slot, $; 0 = per-class defaults. */
+    double costPerNodeHour = 0.0;
+    /** Built-in node-class ids for heterogeneous fleet benches, in the
+     * order given (no duplicates; each must name a catalogue class). */
+    std::vector<std::string> nodeClasses;
     /** Values of bench-specific value flags passed via the @p extra
      * allowlist of parse/tryParse, keyed by flag (e.g. "--out"). */
     std::map<std::string, std::string> extra;
@@ -85,7 +96,17 @@ struct BenchArgs
             "server only)\n"
             "  --domains N\n"
             "            routing domains for fleet benches (>= 1; "
-            "default: per-scale)\n",
+            "default: per-scale)\n"
+            "  --autoscale MIN:MAX\n"
+            "            elastic-fleet bounds for autoscale benches "
+            "(MIN >= 1, MIN <= MAX)\n"
+            "  --cost-per-node-hour X\n"
+            "            override every slot's hourly rate, $ "
+            "(default: per-class)\n"
+            "  --node-class ID\n"
+            "            add a built-in node class to the fleet mix "
+            "(repeatable, no\n"
+            "            duplicates: std18 | little6 | gen1 | gen2)\n",
             prog, extras.c_str());
     }
 };
@@ -161,6 +182,58 @@ BenchArgs::tryParse(int argc, char **argv,
             if (domains == 0)
                 return fail("--domains must be at least 1");
             res.args.domains = static_cast<std::size_t>(domains);
+        } else if (std::strcmp(arg, "--autoscale") == 0) {
+            if (i + 1 >= argc)
+                return fail("--autoscale is missing its value");
+            const std::string text = argv[++i];
+            const std::size_t colon = text.find(':');
+            if (colon == std::string::npos ||
+                text.find(':', colon + 1) != std::string::npos)
+                return fail("--autoscale wants MIN:MAX, got '" + text +
+                            "'");
+            std::uint64_t lo = 0, hi = 0;
+            std::string err;
+            if (!parseCount("--autoscale",
+                            text.substr(0, colon).c_str(), lo, err) ||
+                !parseCount("--autoscale",
+                            text.substr(colon + 1).c_str(), hi, err))
+                return fail(err);
+            if (lo == 0)
+                return fail("--autoscale MIN must be at least 1");
+            if (lo > hi)
+                return fail("--autoscale wants MIN <= MAX, got '" +
+                            text + "'");
+            res.args.autoscaleMin = static_cast<std::size_t>(lo);
+            res.args.autoscaleMax = static_cast<std::size_t>(hi);
+        } else if (std::strcmp(arg, "--cost-per-node-hour") == 0) {
+            if (i + 1 >= argc)
+                return fail("--cost-per-node-hour is missing its value");
+            const char *text = argv[++i];
+            errno = 0;
+            char *end = nullptr;
+            const double v = std::strtod(text, &end);
+            if (errno != 0 || end == text || *end != '\0')
+                return fail(std::string("--cost-per-node-hour wants a "
+                                        "number, got '") +
+                            text + "'");
+            if (v < 0.0)
+                return fail("--cost-per-node-hour must be "
+                            "non-negative");
+            res.args.costPerNodeHour = v;
+        } else if (std::strcmp(arg, "--node-class") == 0) {
+            if (i + 1 >= argc)
+                return fail("--node-class is missing its value");
+            const std::string id = argv[++i];
+            if (!autoscale::isBuiltinNodeClass(id))
+                return fail("--node-class names the unknown class '" +
+                            id +
+                            "' (want std18 | little6 | gen1 | gen2)");
+            for (const auto &seen : res.args.nodeClasses) {
+                if (seen == id)
+                    return fail("--node-class repeats class '" + id +
+                                "'");
+            }
+            res.args.nodeClasses.push_back(id);
         } else if (std::strcmp(arg, "--listen") == 0) {
             if (i + 1 >= argc)
                 return fail("--listen is missing its value");

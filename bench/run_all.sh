@@ -30,6 +30,7 @@ fig11_varying_load_coloc
 fig12_coloc_mapping
 fig12_cluster_scaleout
 fig_fault_resilience
+fig_autoscale
 fig13_twigc_fixed_load
 memx_memory_complexity
 abl_design_knobs

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Gate the bench artifacts on their hard invariants.
 #
-# Usage: scripts/check_bench.sh [BENCH_SIM_JSON] [BENCH_CLUSTER_JSON]
+# Usage: scripts/check_bench.sh [BENCH_SIM_JSON] [BENCH_CLUSTER_JSON] \
+#                               [BENCH_AUTOSCALE_JSON]
 #
 # BENCH_sim.json (fig_sim_throughput, augmented by fig_dispatch): fails
 # when any config reports checksums_match: false -- the calendar-queue
@@ -16,6 +17,14 @@
 # control path). The cluster artifact is skipped with a notice when
 # absent (a sim-only bench run) -- pass its path to require it.
 #
+# BENCH_autoscale.json (fig_autoscale): fails when any acceptance check
+# in the artifact's checks{} block is false -- the elastic fleet must
+# hold QoS within 5 points of static max provisioning at a strictly
+# lower bill and lower cost-normalized power, the flash-crowd row must
+# actually scale out, the mixed-generation fleet must be billed, and
+# every row must replay bit-identically across --jobs counts. Skipped
+# with a notice when absent, like the cluster artifact.
+#
 # These are hard invariants, so CI runs this after bench_smoke instead
 # of trusting the benches' own exit codes alone (the artifacts are also
 # what gets uploaded, so the gate checks exactly what a reader would
@@ -25,6 +34,7 @@ set -u
 cd "$(dirname "$0")/.."
 bench_json=${1:-build/bench/BENCH_sim.json}
 cluster_json=${2:-build/bench/BENCH_cluster.json}
+autoscale_json=${3:-build/bench/BENCH_autoscale.json}
 
 if [[ ! -f "$bench_json" ]]; then
     echo "check_bench: $bench_json not found -- run bench_smoke first" >&2
@@ -134,4 +144,60 @@ if failures:
     sys.exit(1)
 print(f"check_bench: cluster invariants hold ({len(rows)} scale-out "
       f"rows, {flat_checked} flat A/B)")
+EOF
+cluster_status=$?
+if [[ $cluster_status -ne 0 ]]; then
+    exit "$cluster_status"
+fi
+
+if [[ ! -f "$autoscale_json" ]]; then
+    echo "check_bench: $autoscale_json not found -- skipping autoscale invariants"
+    exit 0
+fi
+
+python3 - "$autoscale_json" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    root = json.load(f)
+
+runs = root.get("runs", [])
+if not runs:
+    print(f"check_bench: {path} has no runs", file=sys.stderr)
+    sys.exit(1)
+
+failures = 0
+for run in runs:
+    name = run.get("fleet", "?")
+    if run.get("replay_bit_identical") is not True:
+        print(f"check_bench: FAIL autoscale {name}: run is not "
+              f"bit-identical across --jobs counts", file=sys.stderr)
+        failures += 1
+    print(f"check_bench: autoscale {name}: "
+          f"qos={run.get('qos_pct')} dollars={run.get('dollars')} "
+          f"cost_norm_w={run.get('cost_normalized_power_w')} "
+          f"bitidentical={run.get('replay_bit_identical')}")
+
+checks = root.get("checks", {})
+required = [
+    "qos_within_5pts_of_static",
+    "cheaper_than_static_max",
+    "cost_normalized_power_below_static_max",
+    "flashcrowd_scaled_out",
+    "mixed_gen_billed",
+    "replay_bit_identical",
+]
+for key in required:
+    if checks.get(key) is not True:
+        print(f"check_bench: FAIL autoscale check {key} is "
+              f"{checks.get(key)!r}", file=sys.stderr)
+        failures += 1
+
+if failures:
+    print(f"check_bench: {failures} invariant violation(s)", file=sys.stderr)
+    sys.exit(1)
+print(f"check_bench: autoscale invariants hold ({len(runs)} fleet rows, "
+      f"{len(required)} acceptance checks)")
 EOF

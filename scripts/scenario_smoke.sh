@@ -44,6 +44,18 @@ for scenario in scenarios/*.json; do
             failures=$((failures + 1))
         fi
         ;;
+    scenarios/autoscale_*.json)
+        if ! grep -Eq 'scale events: [1-9]' <<<"$out"; then
+            echo "scenario_smoke: FAIL $scenario (autoscaler never acted)" >&2
+            failures=$((failures + 1))
+        fi
+        ;;
+    scenarios/fleet_mixed_gen.json)
+        if ! grep -Eq 'fleet bill \$[0-9]' <<<"$out"; then
+            echo "scenario_smoke: FAIL $scenario (no cost-model bill in output)" >&2
+            failures=$((failures + 1))
+        fi
+        ;;
     esac
 done
 

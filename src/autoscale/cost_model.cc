@@ -1,0 +1,38 @@
+/** @file Interval billing arithmetic. */
+
+#include "autoscale/cost_model.hh"
+
+#include "common/error.hh"
+
+namespace twig::autoscale {
+
+CostModel::CostModel(std::vector<double> dollars_per_node_hour)
+    : rates_(std::move(dollars_per_node_hour))
+{
+    for (std::size_t n = 0; n < rates_.size(); ++n)
+        common::fatalIf(rates_[n] < 0.0, "CostModel: node ", n,
+                        " has a negative hourly rate");
+}
+
+double
+CostModel::nodeRate(std::size_t n) const
+{
+    common::fatalIf(n >= rates_.size(), "CostModel: bad node index");
+    return rates_[n];
+}
+
+double
+CostModel::chargeInterval(const std::vector<unsigned char> &billable,
+                          double interval_seconds)
+{
+    common::fatalIf(billable.size() != rates_.size(),
+                    "CostModel: billable mask size mismatch");
+    double added = 0.0;
+    for (std::size_t n = 0; n < rates_.size(); ++n)
+        if (billable[n])
+            added += rates_[n] * (interval_seconds / 3600.0);
+    totalDollars_ += added;
+    return added;
+}
+
+} // namespace twig::autoscale

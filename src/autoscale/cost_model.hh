@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic $/node-hour billing for elastic fleets.
+ *
+ * A node is billed for every control interval it is powered — serving
+ * new load or draining its backlog — at its class's hourly rate.
+ * Standby (scaled-in) and crashed nodes cost nothing. The model is
+ * pure arithmetic over the step sequence, so the bill is bit-identical
+ * across replays and `--jobs` counts, and a static fleet's bill is
+ * exactly `nodes x rate x wall-time` — the baseline autoscaling is
+ * judged against in BENCH_autoscale.json.
+ */
+
+#ifndef TWIG_AUTOSCALE_COST_MODEL_HH
+#define TWIG_AUTOSCALE_COST_MODEL_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace twig::autoscale {
+
+/** Accumulates the fleet's dollar cost interval by interval. */
+class CostModel
+{
+  public:
+    CostModel() = default;
+    /** @param dollars_per_node_hour hourly rate per fleet slot */
+    explicit CostModel(std::vector<double> dollars_per_node_hour);
+
+    std::size_t numNodes() const { return rates_.size(); }
+    double nodeRate(std::size_t n) const;
+
+    /**
+     * Bill one interval.
+     *
+     * @param billable         per-slot flag: non-zero = powered this
+     *                         interval (active or draining)
+     * @param interval_seconds wall-clock length of the interval
+     * @return dollars added by this interval
+     */
+    double chargeInterval(const std::vector<unsigned char> &billable,
+                          double interval_seconds);
+
+    /** Total accumulated since construction. */
+    double totalDollars() const { return totalDollars_; }
+
+  private:
+    std::vector<double> rates_;
+    double totalDollars_ = 0.0;
+};
+
+} // namespace twig::autoscale
+
+#endif // TWIG_AUTOSCALE_COST_MODEL_HH

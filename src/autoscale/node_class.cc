@@ -1,0 +1,150 @@
+/** @file NodeClass expansion, validation, JSON round-trip, catalogue. */
+
+#include "autoscale/node_class.hh"
+
+#include <sstream>
+
+namespace twig::autoscale {
+
+sim::MachineConfig
+NodeClass::machine() const
+{
+    sim::MachineConfig m;
+    m.numCores = cores;
+    m.dvfs = dvfs;
+    m.serviceRateScale = serviceRateScale;
+    return m;
+}
+
+double
+NodeClass::capacityFactor() const
+{
+    const sim::MachineConfig ref;
+    return (static_cast<double>(cores) * dvfs.maxGhz * serviceRateScale) /
+        (static_cast<double>(ref.numCores) * ref.dvfs.maxGhz);
+}
+
+std::string
+NodeClass::validate() const
+{
+    std::ostringstream err;
+    if (id.empty())
+        return "node class with empty id";
+    if (cores == 0) {
+        err << "node class '" << id << "' has zero cores";
+        return err.str();
+    }
+    if (dvfs.minGhz <= 0.0 || dvfs.maxGhz < dvfs.minGhz ||
+        dvfs.stepGhz <= 0.0) {
+        err << "node class '" << id << "' has an invalid DVFS ladder";
+        return err.str();
+    }
+    if (serviceRateScale <= 0.0) {
+        err << "node class '" << id
+            << "' needs a positive service_rate_scale";
+        return err.str();
+    }
+    if (dollarsPerHour < 0.0) {
+        err << "node class '" << id << "' has a negative dollars_per_hour";
+        return err.str();
+    }
+    return "";
+}
+
+common::Json
+NodeClass::toJson() const
+{
+    const NodeClass defaults;
+    auto j = common::Json::object();
+    j.set("id", id);
+    if (cores != defaults.cores)
+        j.set("cores", cores);
+    if (dvfs.minGhz != defaults.dvfs.minGhz ||
+        dvfs.maxGhz != defaults.dvfs.maxGhz ||
+        dvfs.stepGhz != defaults.dvfs.stepGhz) {
+        auto d = common::Json::object();
+        d.set("min_ghz", dvfs.minGhz);
+        d.set("max_ghz", dvfs.maxGhz);
+        d.set("step_ghz", dvfs.stepGhz);
+        j.set("dvfs", d);
+    }
+    if (serviceRateScale != defaults.serviceRateScale)
+        j.set("service_rate_scale", serviceRateScale);
+    if (dollarsPerHour != defaults.dollarsPerHour)
+        j.set("dollars_per_hour", dollarsPerHour);
+    return j;
+}
+
+NodeClass
+NodeClass::fromJson(const common::Json &j)
+{
+    NodeClass c;
+    c.id = j.at("id").asString();
+    c.cores = static_cast<std::size_t>(j.indexOr("cores", c.cores));
+    if (const common::Json *d = j.find("dvfs")) {
+        c.dvfs.minGhz = d->numberOr("min_ghz", c.dvfs.minGhz);
+        c.dvfs.maxGhz = d->numberOr("max_ghz", c.dvfs.maxGhz);
+        c.dvfs.stepGhz = d->numberOr("step_ghz", c.dvfs.stepGhz);
+    }
+    c.serviceRateScale =
+        j.numberOr("service_rate_scale", c.serviceRateScale);
+    c.dollarsPerHour = j.numberOr("dollars_per_hour", c.dollarsPerHour);
+    return c;
+}
+
+const std::vector<NodeClass> &
+builtinNodeClasses()
+{
+    static const std::vector<NodeClass> catalogue = [] {
+        std::vector<NodeClass> v;
+        NodeClass std18;
+        std18.id = "std18";
+        v.push_back(std18);
+
+        NodeClass little6;
+        little6.id = "little6";
+        little6.cores = 6;
+        little6.dvfs.minGhz = 1.0;
+        little6.dvfs.maxGhz = 1.6;
+        little6.dvfs.stepGhz = 0.1;
+        little6.dollarsPerHour = 0.30;
+        v.push_back(little6);
+
+        NodeClass gen1;
+        gen1.id = "gen1";
+        gen1.serviceRateScale = 0.85;
+        gen1.dollarsPerHour = 0.70;
+        v.push_back(gen1);
+
+        NodeClass gen2;
+        gen2.id = "gen2";
+        gen2.serviceRateScale = 1.25;
+        gen2.dollarsPerHour = 1.25;
+        v.push_back(gen2);
+        return v;
+    }();
+    return catalogue;
+}
+
+bool
+isBuiltinNodeClass(const std::string &id)
+{
+    for (const NodeClass &c : builtinNodeClasses())
+        if (c.id == id)
+            return true;
+    return false;
+}
+
+const NodeClass *
+findNodeClass(const std::vector<NodeClass> &classes, const std::string &id)
+{
+    for (const NodeClass &c : classes)
+        if (c.id == id)
+            return &c;
+    for (const NodeClass &c : builtinNodeClasses())
+        if (c.id == id)
+            return &c;
+    return nullptr;
+}
+
+} // namespace twig::autoscale

@@ -16,6 +16,20 @@ namespace twig::cluster {
 using common::fnv1a;
 using common::simprof::now;
 
+const char *
+scaleEventKindName(ScaleEvent::Kind kind)
+{
+    switch (kind) {
+    case ScaleEvent::Kind::ScaleOut:
+        return "scale_out";
+    case ScaleEvent::Kind::DrainStart:
+        return "drain_start";
+    case ScaleEvent::Kind::Retire:
+        return "retire";
+    }
+    common::panic("scaleEventKindName: bad enum value");
+}
+
 double
 FleetRunMetrics::avgQosGuaranteePct() const
 {
@@ -197,6 +211,10 @@ ClusterManager::setFaults(const faults::FaultSpec &spec)
     // The injector's derived seed stream is independent of both the
     // router's and the nodes', so arming an empty schedule perturbs
     // nothing.
+    common::fatalIf(autoscaler_ != nullptr,
+                    "ClusterManager::setFaults: arm the fault schedule "
+                    "before attaching the autoscaler (it would reset "
+                    "the standby slots)");
     injector_ = std::make_unique<faults::FaultInjector>(
         spec, harness::sweepSeed(seed_, 0xfa017));
     nodeUp_.assign(nodes_.size(), 1);
@@ -206,32 +224,118 @@ ClusterManager::setFaults(const faults::FaultSpec &spec)
 }
 
 void
+ClusterManager::setAutoscaler(const autoscale::AutoscaleConfig &cfg,
+                              std::vector<double> rated_fleet_rps,
+                              std::vector<double> dollars_per_node_hour,
+                              std::size_t initial_active)
+{
+    common::fatalIf(nodes_.empty(),
+                    "ClusterManager::setAutoscaler: add every slot "
+                    "first (standby slots must exist to activate)");
+    common::fatalIf(step_ != 0, "ClusterManager::setAutoscaler: attach "
+                    "before the first step");
+    const std::string err = cfg.validate();
+    common::fatalIf(!err.empty(), "ClusterManager::setAutoscaler: ", err);
+    common::fatalIf(cfg.maxNodes != nodes_.size(),
+                    "ClusterManager::setAutoscaler: max_nodes (",
+                    cfg.maxNodes, ") must equal the provisioned slot "
+                    "count (", nodes_.size(),
+                    ") — the routing partition is fixed; slots park in "
+                    "standby instead of disappearing");
+    common::fatalIf(initial_active < cfg.minNodes ||
+                        initial_active > cfg.maxNodes,
+                    "ClusterManager::setAutoscaler: initial active "
+                    "count ", initial_active,
+                    " outside [min_nodes, max_nodes]");
+    common::fatalIf(rated_fleet_rps.size() != services_.size(),
+                    "ClusterManager::setAutoscaler: need one rated "
+                    "fleet RPS per service");
+    for (double rated : rated_fleet_rps)
+        common::fatalIf(rated <= 0.0, "ClusterManager::setAutoscaler: "
+                        "rated fleet RPS must be > 0");
+    if (dollars_per_node_hour.empty())
+        dollars_per_node_hour.assign(nodes_.size(), 1.0);
+    common::fatalIf(dollars_per_node_hour.size() != nodes_.size(),
+                    "ClusterManager::setAutoscaler: need one hourly "
+                    "rate per slot");
+
+    autoscaler_ = std::make_unique<autoscale::Autoscaler>(cfg);
+    costModel_ = std::make_unique<autoscale::CostModel>(
+        std::move(dollars_per_node_hour));
+    ratedFleetRps_ = std::move(rated_fleet_rps);
+    // The fault-era health/frame state doubles as the elastic state;
+    // size it when no schedule armed it already.
+    if (nodeUp_.empty())
+        nodeUp_.assign(nodes_.size(), 1);
+    if (frames_.empty())
+        frames_.assign(nodes_.size(), std::string());
+    if (surgeMult_.empty())
+        surgeMult_.assign(services_.size(), 1.0);
+    slotState_.assign(nodes_.size(), SlotState::Active);
+    drainDeadline_.assign(nodes_.size(), 0);
+    everServed_.assign(nodes_.size(), 0);
+    qosTargets_.clear();
+    for (const auto &svc : services_)
+        qosTargets_.push_back(svc.qosTargetMs);
+    for (std::size_t n = initial_active; n < nodes_.size(); ++n) {
+        slotState_[n] = SlotState::Standby;
+        nodeUp_[n] = 0;
+        router_.evict(n);
+        flatRouter_.evict(n);
+    }
+    scaleLog_.clear();
+    cohortsDirty_ = true;
+}
+
+void
+ClusterManager::setCostModel(std::vector<double> dollars_per_node_hour)
+{
+    common::fatalIf(nodes_.empty(),
+                    "ClusterManager::setCostModel: add every replica "
+                    "first");
+    common::fatalIf(autoscaler_ != nullptr,
+                    "ClusterManager::setCostModel: the autoscaler "
+                    "already attached its own cost model");
+    if (dollars_per_node_hour.empty())
+        dollars_per_node_hour.assign(nodes_.size(), 1.0);
+    common::fatalIf(dollars_per_node_hour.size() != nodes_.size(),
+                    "ClusterManager::setCostModel: need one hourly "
+                    "rate per replica");
+    costModel_ = std::make_unique<autoscale::CostModel>(
+        std::move(dollars_per_node_hour));
+}
+
+void
 ClusterManager::saveCheckpointFrames()
 {
     for (std::size_t n = 0; n < nodes_.size(); ++n) {
-        if (!isNodeUp(n))
-            continue;
-        auto *twig =
-            dynamic_cast<core::TwigManager *>(&nodes_[n]->manager());
-        if (!twig)
-            continue; // baselines are stateless; cold restart is exact
-        std::ostringstream os(std::ios::binary);
-        twig->saveCheckpointStream(
-            os, "node " + std::to_string(n) + " checkpoint frame");
-        const std::string payload = std::move(os).str();
-        const std::uint64_t sum = fnv1a(payload.data(), payload.size());
-        std::string &frame = frames_[n];
-        frame.resize(sizeof(sum) + payload.size());
-        std::memcpy(frame.data(), &sum, sizeof(sum));
-        std::memcpy(frame.data() + sizeof(sum), payload.data(),
-                    payload.size());
-        faults::FaultEvent ev;
-        ev.step = step_;
-        ev.kind = faults::FaultEventKind::CheckpointSaved;
-        ev.node = static_cast<std::int64_t>(n);
-        ev.value = static_cast<double>(payload.size());
-        stepEvents_.push_back(std::move(ev));
+        if (isNodeUp(n))
+            saveFrame(n);
     }
+}
+
+void
+ClusterManager::saveFrame(std::size_t n)
+{
+    auto *twig = dynamic_cast<core::TwigManager *>(&nodes_[n]->manager());
+    if (!twig)
+        return; // baselines are stateless; cold restart is exact
+    std::ostringstream os(std::ios::binary);
+    twig->saveCheckpointStream(
+        os, "node " + std::to_string(n) + " checkpoint frame");
+    const std::string payload = std::move(os).str();
+    const std::uint64_t sum = fnv1a(payload.data(), payload.size());
+    std::string &frame = frames_[n];
+    frame.resize(sizeof(sum) + payload.size());
+    std::memcpy(frame.data(), &sum, sizeof(sum));
+    std::memcpy(frame.data() + sizeof(sum), payload.data(),
+                payload.size());
+    faults::FaultEvent ev;
+    ev.step = step_;
+    ev.kind = faults::FaultEventKind::CheckpointSaved;
+    ev.node = static_cast<std::int64_t>(n);
+    ev.value = static_cast<double>(payload.size());
+    stepEvents_.push_back(std::move(ev));
 }
 
 void
@@ -391,6 +495,153 @@ ClusterManager::applyFaultEvents()
     }
 }
 
+double
+ClusterManager::servingCapacityFraction(std::size_t excluding_victims) const
+{
+    double total = 0.0;
+    double serving = 0.0;
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        const double w = nodes_[n]->capacityWeight();
+        total += w;
+        if (slotState_[n] == SlotState::Active && isNodeUp(n))
+            serving += w;
+    }
+    // The hypothetical scale-in removes the same slots drainNode would
+    // pick: the highest-indexed serving ones.
+    std::size_t left = excluding_victims;
+    for (std::size_t n = nodes_.size(); n-- > 0 && left > 0;) {
+        if (slotState_[n] != SlotState::Active || !isNodeUp(n))
+            continue;
+        serving -= nodes_[n]->capacityWeight();
+        --left;
+    }
+    return total > 0.0 ? serving / total : 0.0;
+}
+
+void
+ClusterManager::applyAutoscale()
+{
+    scaleStepEvents_.clear();
+
+    // 1. Retirements first: a due drain completes regardless of the
+    //    cooldown — it is the tail of an already-taken decision.
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        if (slotState_[n] == SlotState::Draining &&
+            step_ >= drainDeadline_[n])
+            retireNode(n);
+    }
+
+    // 2. Evaluate the decision rule against this interval's (surge-
+    //    adjusted) offered load and the previous interval's trailing
+    //    fleet p99.
+    autoscale::FleetSignal sig;
+    sig.step = step_;
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        if (slotState_[n] == SlotState::Standby)
+            ++sig.standby;
+        else if (!isNodeUp(n))
+            continue; // crashed: neither serving nor activatable
+        else if (slotState_[n] == SlotState::Active)
+            ++sig.serving;
+        else
+            ++sig.draining;
+    }
+    sig.servingCapacityFraction = servingCapacityFraction(0);
+    sig.capacityFractionAfterScaleIn =
+        servingCapacityFraction(autoscaler_->config().inStepNodes);
+    sig.offeredRps = &fleetRps_;
+    sig.ratedRps = &ratedFleetRps_;
+    sig.trailingP99Ms =
+        lastTrailingP99_.empty() ? nullptr : &lastTrailingP99_;
+    sig.qosTargetsMs = &qosTargets_;
+    const autoscale::ScaleDecision d = autoscaler_->decide(sig);
+
+    // 3. Apply. Victim choice is positional, not load-based: lowest-
+    //    indexed standby activates first, highest-indexed serving
+    //    drains first, so slot indices stay stable and the whole
+    //    trajectory is a pure function of the step sequence.
+    if (d.kind == autoscale::ScaleDecision::Kind::Out) {
+        std::size_t left = d.count;
+        for (std::size_t n = 0; n < nodes_.size() && left > 0; ++n) {
+            if (slotState_[n] != SlotState::Standby)
+                continue;
+            activateNode(n, d);
+            --left;
+        }
+    } else if (d.kind == autoscale::ScaleDecision::Kind::In) {
+        std::size_t left = d.count;
+        for (std::size_t n = nodes_.size(); n-- > 0 && left > 0;) {
+            if (slotState_[n] != SlotState::Active || !isNodeUp(n))
+                continue;
+            drainNode(n, d);
+            --left;
+        }
+    }
+}
+
+void
+ClusterManager::activateNode(std::size_t n,
+                             const autoscale::ScaleDecision &d)
+{
+    // Warm spawn: a slot that has served before restores the frame
+    // saved when its drain began (the same PR 5 restore path crashes
+    // use — checksum verified, cold on damage); a virgin slot keeps
+    // the donor policy addNode loaded into it.
+    if (everServed_[n])
+        rebuildNode(n, "warm");
+    router_.readmit(n);
+    router_.undrain(n);
+    flatRouter_.readmit(n);
+    flatRouter_.undrain(n);
+    nodeUp_[n] = 1;
+    slotState_[n] = SlotState::Active;
+    cohortsDirty_ = true;
+    ScaleEvent ev;
+    ev.step = step_;
+    ev.kind = ScaleEvent::Kind::ScaleOut;
+    ev.node = n;
+    ev.utilization = d.utilization;
+    ev.tardiness = d.tardiness;
+    scaleStepEvents_.push_back(ev);
+}
+
+void
+ClusterManager::drainNode(std::size_t n, const autoscale::ScaleDecision &d)
+{
+    // Snapshot the policy now, so a later reactivation resumes exactly
+    // the state the slot retired with.
+    saveFrame(n);
+    slotState_[n] = SlotState::Draining;
+    drainDeadline_[n] = step_ + autoscaler_->config().drainIntervals;
+    router_.drain(n);
+    flatRouter_.drain(n);
+    ScaleEvent ev;
+    ev.step = step_;
+    ev.kind = ScaleEvent::Kind::DrainStart;
+    ev.node = n;
+    ev.utilization = d.utilization;
+    ev.tardiness = d.tardiness;
+    scaleStepEvents_.push_back(ev);
+}
+
+void
+ClusterManager::retireNode(std::size_t n)
+{
+    slotState_[n] = SlotState::Standby;
+    drainDeadline_[n] = 0;
+    nodeUp_[n] = 0;
+    router_.evict(n);
+    router_.undrain(n);
+    flatRouter_.evict(n);
+    flatRouter_.undrain(n);
+    cohortsDirty_ = true;
+    ScaleEvent ev;
+    ev.step = step_;
+    ev.kind = ScaleEvent::Kind::Retire;
+    ev.node = n;
+    scaleStepEvents_.push_back(ev);
+}
+
 Node &
 ClusterManager::node(std::size_t i)
 {
@@ -421,8 +672,9 @@ ClusterManager::step()
     //    contents never depend on --jobs. Without an armed schedule
     //    this whole block is skipped and the step is byte-identical
     //    to the fault-free code.
-    if (injector_) {
+    if (injector_ || autoscaler_)
         stepEvents_.clear();
+    if (injector_) {
         applyFaultEvents();
         const std::size_t every = injector_->spec().checkpointEverySteps;
         if (every > 0 && step_ > 0 && step_ % every == 0)
@@ -440,6 +692,13 @@ ClusterManager::step()
         for (std::size_t s = 0; s < num_services; ++s)
             fleetRps_[s] *= surgeMult_[s];
     }
+
+    // 1b. Elastic sizing: retire due drains, then run the decision
+    //     rule against the surge-adjusted offered load — serially,
+    //     before routing, so the router deals this interval's load
+    //     across the post-decision fleet shape.
+    if (autoscaler_)
+        applyAutoscale();
 
     weights_.resize(num_nodes);
     for (std::size_t n = 0; n < num_nodes; ++n)
@@ -567,10 +826,16 @@ ClusterManager::step()
     out.nodes.resize(num_nodes);
     out.nodeUp.resize(num_nodes);
     out.shedRps = shed_rps;
+    out.servingNodes = 0;
+    out.drainingNodes = 0;
     for (std::size_t n = 0; n < num_nodes; ++n) {
         out.nodeUp[n] = isNodeUp(n) ? 1 : 0;
         if (!isNodeUp(n))
-            continue; // crashed: no samples, no power this interval
+            continue; // crashed/standby: no samples, no power
+        if (!slotState_.empty() && slotState_[n] == SlotState::Draining)
+            ++out.drainingNodes;
+        else
+            ++out.servingNodes;
         out.totalPowerW += nodes_[n]->lastStats().socketPowerW;
         out.nodes[n] = nodes_[n]->lastStats();
     }
@@ -616,9 +881,28 @@ ClusterManager::step()
         }
     }
     out.faultEvents = stepEvents_;
-    if (injector_)
+    if (injector_ || autoscaler_)
         faultLog_.insert(faultLog_.end(), stepEvents_.begin(),
                          stepEvents_.end());
+    out.scaleEvents = scaleStepEvents_;
+    if (autoscaler_) {
+        scaleLog_.insert(scaleLog_.end(), scaleStepEvents_.begin(),
+                         scaleStepEvents_.end());
+        for (std::size_t n = 0; n < num_nodes; ++n) {
+            if (isNodeUp(n))
+                everServed_[n] = 1;
+        }
+    }
+    // Billing: every powered slot (serving or draining) pays its
+    // hourly rate for the interval; standby and crashed slots do not.
+    if (costModel_) {
+        billable_.resize(num_nodes);
+        for (std::size_t n = 0; n < num_nodes; ++n)
+            billable_[n] = isNodeUp(n) ? 1 : 0;
+        costModel_->chargeInterval(billable_,
+                                   nodes_[0]->machine().intervalSeconds);
+    }
+    out.costDollars = costModel_ ? costModel_->totalDollars() : 0.0;
     // Fleet p99 over a short trailing window of intervals (one
     // interval's p99 is a noisy order statistic at realistic rates).
     if (recent_.empty())
@@ -641,6 +925,10 @@ ClusterManager::step()
             trailing.merge(window[i]);
         out.fleetP99Ms[s] = trailing.quantile(0.99);
     }
+    // Next interval's scale decision reads this interval's trailing
+    // fleet p99 (decisions run before the nodes step).
+    if (autoscaler_)
+        lastTrailingP99_ = out.fleetP99Ms;
     profile_.mergeCycles += now() - t_merge;
 
     ++step_;
@@ -706,6 +994,7 @@ ClusterManager::run(
     interval_s = nodes_.empty() ? 0.0 : nodes_[0]->machine().intervalSeconds;
     m.energyJoules =
         power_sum * interval_s;
+    m.costDollars = costDollars();
     return result;
 }
 

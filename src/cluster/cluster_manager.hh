@@ -36,6 +36,19 @@
  * checkpointed BDQ is restored into the new node's TwigManager
  * (rl/checkpoint.hh), so a scale-out event starts from a trained
  * policy instead of exploring from scratch.
+ *
+ * Elastic sizing (src/autoscale): setAutoscaler parks the slots above
+ * the initial count in *standby* — router-evicted, not stepped, not
+ * billed. Each interval the Autoscaler's decision rule runs serially
+ * before routing; scale-out activates standby slots through the PR 5
+ * warm-restore spawn path (a virgin slot keeps its donor-checkpoint
+ * policy, a previously retired one restores the frame saved when its
+ * drain began), scale-in drains first — weight 0 in both routers while
+ * the backlog flushes and histograms keep merging exactly — then
+ * retires the slot back to standby. Decisions are pure functions of
+ * the step sequence, so autoscaled runs replay bit-identically at any
+ * --jobs, and every powered interval is billed against the attached
+ * $/node-hour CostModel.
  */
 
 #ifndef TWIG_CLUSTER_CLUSTER_MANAGER_HH
@@ -48,6 +61,8 @@
 #include <string>
 #include <vector>
 
+#include "autoscale/autoscaler.hh"
+#include "autoscale/cost_model.hh"
 #include "cluster/node.hh"
 #include "cluster/router.hh"
 #include "cluster/sharded_router.hh"
@@ -108,6 +123,32 @@ struct FleetPhaseProfile
     std::uint64_t steps = 0;
 };
 
+/** One elastic-sizing action on the scale-event stream. */
+struct ScaleEvent
+{
+    enum class Kind
+    {
+        /** Standby slot activated (warm spawn). */
+        ScaleOut,
+        /** Serving slot stopped taking new load; backlog flushing. */
+        DrainStart,
+        /** Drained slot left the fleet (back to standby). */
+        Retire,
+    };
+    std::size_t step = 0;
+    Kind kind = Kind::ScaleOut;
+    std::size_t node = 0;
+    /** Worst-service utilisation at decision time. */
+    double utilization = 0.0;
+    /** Worst-service trailing tardiness at decision time. */
+    double tardiness = 0.0;
+
+    bool operator==(const ScaleEvent &) const = default;
+};
+
+/** Short name of @p kind ("scale_out" | "drain_start" | "retire"). */
+const char *scaleEventKindName(ScaleEvent::Kind kind);
+
 /** Fleet-wide telemetry for one control interval. */
 struct FleetIntervalStats
 {
@@ -130,6 +171,17 @@ struct FleetIntervalStats
     /** Fault-subsystem events that fired this interval, in application
      * order (empty without a fault schedule). */
     std::vector<faults::FaultEvent> faultEvents;
+    /** Elastic-sizing actions this interval (empty without an
+     * autoscaler). */
+    std::vector<ScaleEvent> scaleEvents;
+    /** Slots serving new load this interval (== nodes up without an
+     * autoscaler). */
+    std::size_t servingNodes = 0;
+    /** Slots draining toward retirement this interval. */
+    std::size_t drainingNodes = 0;
+    /** Cumulative fleet bill through this interval, $ (0 without a
+     * cost model). */
+    double costDollars = 0.0;
 };
 
 /** Fleet outcome over a run's trailing summary window. */
@@ -145,6 +197,9 @@ struct FleetRunMetrics
     double meanPowerW = 0.0;
     double energyJoules = 0.0;
     std::size_t windowSteps = 0;
+    /** Total fleet bill over the whole run (not just the window), $
+     * (0 without a cost model). */
+    double costDollars = 0.0;
 
     double avgQosGuaranteePct() const;
 };
@@ -211,8 +266,47 @@ class ClusterManager
         return faultLog_;
     }
 
-    /** Whether replica @p n is currently serving (always true without
-     * a fault schedule). */
+    /**
+     * Attach elastic fleet sizing. Call after every slot has been
+     * added (numNodes() must equal cfg.maxNodes — the partition is
+     * fixed, slots park instead of disappearing) and before the first
+     * step. Slots [initial_active, maxNodes) start in standby:
+     * router-evicted, not stepped, not billed.
+     *
+     * @param cfg                  decision rule (validated; fatal on a
+     *                             malformed block)
+     * @param rated_fleet_rps      per-service fleet RPS the *full*
+     *                             (maxNodes) fleet is rated for — the
+     *                             utilisation denominator
+     * @param dollars_per_node_hour hourly rate per slot (empty =
+     *                             $1/h each)
+     * @param initial_active       slots serving at step 0 (must lie in
+     *                             [minNodes, maxNodes])
+     */
+    void setAutoscaler(const autoscale::AutoscaleConfig &cfg,
+                       std::vector<double> rated_fleet_rps,
+                       std::vector<double> dollars_per_node_hour,
+                       std::size_t initial_active);
+
+    /** Attach $/node-hour billing to a *static* fleet (the autoscaler
+     * attaches its own). Empty = $1/h per replica. Every powered
+     * replica is billed each interval; crashed ones are not. */
+    void setCostModel(std::vector<double> dollars_per_node_hour);
+
+    bool autoscaled() const { return autoscaler_ != nullptr; }
+
+    /** All elastic-sizing actions so far, in application order. */
+    const std::vector<ScaleEvent> &scaleLog() const { return scaleLog_; }
+
+    /** Cumulative fleet bill, $ (0 without a cost model). */
+    double costDollars() const
+    {
+        return costModel_ ? costModel_->totalDollars() : 0.0;
+    }
+
+    /** Whether replica @p n is currently powered (always true without
+     * a fault schedule or autoscaler; false for crashed and standby
+     * slots). Draining slots are still up. */
     bool isNodeUp(std::size_t n) const
     {
         return n >= nodeUp_.size() || nodeUp_[n] != 0;
@@ -303,6 +397,14 @@ class ClusterManager
         std::vector<std::vector<nn::BranchActions>> actions;
     };
 
+    /** Elastic lifecycle of a fleet slot (autoscaler only). */
+    enum class SlotState : std::uint8_t
+    {
+        Active,   ///< serving new load (unless crashed)
+        Draining, ///< weight 0, flushing backlog toward retirement
+        Standby,  ///< parked: evicted, not stepped, not billed
+    };
+
     std::vector<LatencyBinning> binnings() const;
     /** Regroup serving replicas into batched-inference cohorts. */
     void rebuildCohorts();
@@ -310,9 +412,28 @@ class ClusterManager
     void applyFaultEvents();
     /** Periodic checksummed in-memory BDQ frames of serving replicas. */
     void saveCheckpointFrames();
+    /** One checksummed in-memory BDQ frame of replica @p n (emits the
+     * CheckpointSaved event); no-op for managers without a policy. */
+    void saveFrame(std::size_t n);
     /** Rebuild replica @p n after a crash; @p recovery is "warm" or
      * "cold". Emits the recovery-outcome events. */
     void rebuildNode(std::size_t n, const std::string &recovery);
+
+    // --- elastic sizing (src/autoscale) -------------------------------
+    /** Retire due drains, evaluate the decision rule, apply the
+     * action. Serial, before routing; uses the current interval's
+     * offered load and the previous interval's trailing p99. */
+    void applyAutoscale();
+    /** Activate standby slot @p n (warm spawn; see file comment). */
+    void activateNode(std::size_t n, const autoscale::ScaleDecision &d);
+    /** Begin draining serving slot @p n. */
+    void drainNode(std::size_t n, const autoscale::ScaleDecision &d);
+    /** Retire drained slot @p n back to standby. */
+    void retireNode(std::size_t n);
+    /** Capability-weighted share of full-fleet capacity held by the
+     * serving slots, optionally excluding the @p excluding_victims
+     * highest-indexed ones (the hypothetical scale-in). */
+    double servingCapacityFraction(std::size_t excluding_victims) const;
 
     ClusterConfig cfg_;
     std::vector<sim::ServiceProfile> services_;
@@ -372,6 +493,32 @@ class ClusterManager
     std::vector<faults::FaultEvent> stepEvents_;
     /** Full event stream across the run. */
     std::vector<faults::FaultEvent> faultLog_;
+
+    // --- elastic sizing (src/autoscale) -------------------------------
+    /** Decision rule (null without setAutoscaler; the non-autoscaled
+     * step path is byte-identical to the pre-autoscale code). */
+    std::unique_ptr<autoscale::Autoscaler> autoscaler_;
+    /** $/node-hour billing (attached with the autoscaler). */
+    std::unique_ptr<autoscale::CostModel> costModel_;
+    /** Per-service fleet RPS the full fleet is rated for. */
+    std::vector<double> ratedFleetRps_;
+    /** Elastic lifecycle per slot (sized by setAutoscaler). */
+    std::vector<SlotState> slotState_;
+    /** Step at which a draining slot retires (valid while Draining). */
+    std::vector<std::size_t> drainDeadline_;
+    /** 1 once a slot has served an interval: reactivation restores its
+     * drain-time frame instead of keeping the virgin donor policy. */
+    std::vector<std::uint8_t> everServed_;
+    /** Previous interval's trailing-window fleet p99 per service. */
+    std::vector<double> lastTrailingP99_;
+    /** Cached QoS targets (signal scratch). */
+    std::vector<double> qosTargets_;
+    /** Billing mask scratch. */
+    std::vector<unsigned char> billable_;
+    /** Scale events fired during the current step (scratch). */
+    std::vector<ScaleEvent> scaleStepEvents_;
+    /** Full scale-event stream across the run. */
+    std::vector<ScaleEvent> scaleLog_;
 };
 
 } // namespace twig::cluster

@@ -50,7 +50,7 @@ double
 Node::capacityWeight() const
 {
     return static_cast<double>(config_.machine.numCores) *
-        config_.machine.dvfs.maxGhz;
+        config_.machine.dvfs.maxGhz * config_.machine.serviceRateScale;
 }
 
 void

@@ -73,6 +73,37 @@ Router::isUp(std::size_t n) const
 }
 
 void
+Router::drain(std::size_t n)
+{
+    if (draining_.size() <= n)
+        draining_.resize(n + 1, 0);
+    draining_[n] = 1;
+    // Same rationale as evict(): when the node resumes serving its
+    // pre-drain credit is stale.
+    if (n < wrrCredit_.size())
+        wrrCredit_[n] = 0.0;
+}
+
+void
+Router::undrain(std::size_t n)
+{
+    if (n < draining_.size())
+        draining_[n] = 0;
+}
+
+bool
+Router::isDraining(std::size_t n) const
+{
+    return n < draining_.size() && draining_[n] != 0;
+}
+
+bool
+Router::isServing(std::size_t n) const
+{
+    return isUp(n) && !isDraining(n);
+}
+
+void
 Router::syncHealth(std::size_t nodes)
 {
     if (up_.size() < nodes)
@@ -85,6 +116,15 @@ Router::upCount(std::size_t nodes) const
     std::size_t count = 0;
     for (std::size_t n = 0; n < nodes; ++n)
         count += isUp(n) ? 1 : 0;
+    return count;
+}
+
+std::size_t
+Router::servingCount(std::size_t nodes) const
+{
+    std::size_t count = 0;
+    for (std::size_t n = 0; n < nodes; ++n)
+        count += isServing(n) ? 1 : 0;
     return count;
 }
 
@@ -123,9 +163,16 @@ Router::routeInto(const std::vector<double> &fleet_rps,
     if (up == 0)
         return false;
 
+    // Up but entirely draining: the fleet refuses new load on purpose
+    // while backlogs flush, so zero shares is a successful route, not
+    // a shed.
+    const std::size_t serving = servingCount(weights.size());
+    if (serving == 0)
+        return true;
+
     switch (cfg_.policy) {
     case RoutingPolicy::Static:
-        routeStaticInto(fleet_rps, weights.size(), up, out);
+        routeStaticInto(fleet_rps, weights.size(), serving, out);
         return true;
     case RoutingPolicy::WeightedRoundRobin:
         routeWrrInto(fleet_rps, weights, out);
@@ -139,13 +186,13 @@ Router::routeInto(const std::vector<double> &fleet_rps,
 
 void
 Router::routeStaticInto(const std::vector<double> &fleet_rps,
-                        std::size_t nodes, std::size_t up,
+                        std::size_t nodes, std::size_t serving,
                         std::vector<std::vector<double>> &out)
 {
     for (std::size_t s = 0; s < fleet_rps.size(); ++s) {
-        const double share = fleet_rps[s] / static_cast<double>(up);
+        const double share = fleet_rps[s] / static_cast<double>(serving);
         for (std::size_t n = 0; n < nodes; ++n)
-            out[n][s] = isUp(n) ? share : 0.0;
+            out[n][s] = isServing(n) ? share : 0.0;
     }
 }
 
@@ -157,12 +204,13 @@ Router::routeWrrInto(const std::vector<double> &fleet_rps,
     const std::size_t nodes = weights.size();
     if (wrrCredit_.size() != nodes)
         wrrCredit_.resize(nodes, 0.0);
-    // Only in-rotation nodes earn credit or count toward the total
-    // weight — evicting a replica re-normalises the split across the
-    // survivors automatically.
+    // Only serving nodes earn credit or count toward the total weight
+    // — evicting or draining a replica re-normalises the split across
+    // the remaining servers automatically (a draining node's weight
+    // is effectively 0 without any shed bookkeeping).
     double weight_sum = 0.0;
     for (std::size_t n = 0; n < nodes; ++n)
-        weight_sum += isUp(n) ? weights[n] : 0.0;
+        weight_sum += isServing(n) ? weights[n] : 0.0;
 
     for (std::size_t s = 0; s < fleet_rps.size(); ++s) {
         const double quantum =
@@ -174,7 +222,7 @@ Router::routeWrrInto(const std::vector<double> &fleet_rps,
         for (std::size_t q = 0; q < cfg_.quantaPerService; ++q) {
             std::size_t best = nodes;
             for (std::size_t n = 0; n < nodes; ++n) {
-                if (!isUp(n))
+                if (!isServing(n))
                     continue;
                 wrrCredit_[n] += weights[n];
                 if (best == nodes || wrrCredit_[n] > wrrCredit_[best])
@@ -195,7 +243,7 @@ Router::routeP2cInto(const std::vector<double> &fleet_rps,
     const std::size_t nodes = weights.size();
     upIdx_.clear();
     for (std::size_t n = 0; n < nodes; ++n) {
-        if (isUp(n))
+        if (isServing(n))
             upIdx_.push_back(n);
     }
     // A single surviving replica takes everything: two-choices needs

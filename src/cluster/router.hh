@@ -24,11 +24,18 @@
  * --jobs count.
  *
  * Node health: the router tracks which replicas are in rotation.
- * evict(n) drains a node (it receives no quanta and its weight drops
+ * evict(n) removes a node (it receives no quanta and its weight drops
  * out of every normalisation, so surviving replicas absorb the load);
  * readmit(n) puts it back. When every node is down the router routes
  * nothing and reports it, so the caller can record a well-defined
  * "shed" interval instead of dividing by zero.
+ *
+ * Draining is the softer state scale-in uses: a draining node gets
+ * weight 0 (no new quanta) but is still up — it keeps flushing its
+ * backlog and its histograms keep merging. Crucially, a fleet whose
+ * every node is up-but-draining routes zero load *successfully*: no
+ * shed interval is recorded, because nothing was refused — there was
+ * simply no load to accept while the drain completes.
  */
 
 #ifndef TWIG_CLUSTER_ROUTER_HH
@@ -101,6 +108,23 @@ class Router
     bool isUp(std::size_t n) const;
 
     /**
+     * Stop dealing new load to node @p n without taking it out of
+     * rotation: its weight drops to 0 in every normalisation while it
+     * flushes in-flight work (scale-in drain protocol). Idempotent;
+     * resets its smooth-WRR credit like evict().
+     */
+    void drain(std::size_t n);
+
+    /** Resume dealing load to node @p n. Idempotent. */
+    void undrain(std::size_t n);
+
+    /** Whether node @p n is draining. */
+    bool isDraining(std::size_t n) const;
+
+    /** Up and not draining: eligible for new load. */
+    bool isServing(std::size_t n) const;
+
+    /**
      * Split each service's fleet RPS across @p weights.size() nodes.
      *
      * @param fleet_rps  offered fleet load per service
@@ -119,7 +143,9 @@ class Router
     /** As route(), writing into @p out ([node][service], rewritten in
      * full; no allocation once capacities are warm). Returns false —
      * with @p out zero-filled — when every node is out of rotation
-     * and the interval's load must be shed. */
+     * and the interval's load must be shed. A fleet that is up but
+     * entirely draining returns true with zero shares: the drain
+     * window refuses new load by design, which is not a shed. */
     bool routeInto(const std::vector<double> &fleet_rps,
                    const std::vector<double> &weights,
                    const RouterFeedback &feedback,
@@ -129,9 +155,10 @@ class Router
     /** Health mask resized (new nodes up) to @p nodes. */
     void syncHealth(std::size_t nodes);
     std::size_t upCount(std::size_t nodes) const;
+    std::size_t servingCount(std::size_t nodes) const;
 
     void routeStaticInto(const std::vector<double> &fleet_rps,
-                         std::size_t nodes, std::size_t up,
+                         std::size_t nodes, std::size_t serving,
                          std::vector<std::vector<double>> &out);
     void routeWrrInto(const std::vector<double> &fleet_rps,
                       const std::vector<double> &weights,
@@ -145,6 +172,8 @@ class Router
     common::Rng rng_;
     /** Health per node (1 = in rotation); grown on demand. */
     std::vector<std::uint8_t> up_;
+    /** Drain mask per node (1 = no new load); grown on demand. */
+    std::vector<std::uint8_t> draining_;
     /** Smooth-WRR credit per node (persists across intervals). */
     std::vector<double> wrrCredit_;
     // Per-interval scratch of the two-choices policy.

@@ -58,6 +58,8 @@ ShardedRouter::bind(std::size_t nodes)
         for (std::size_t i = 0; i < dom.count; ++i) {
             if (up_[dom.first + i] == 0)
                 dom.router->evict(i);
+            if (isDraining(dom.first + i))
+                dom.router->drain(i);
         }
     }
 }
@@ -89,6 +91,16 @@ ShardedRouter::upCountInDomain(std::size_t d) const
     return up;
 }
 
+std::size_t
+ShardedRouter::servingCountInDomain(std::size_t d) const
+{
+    const Domain &dom = domain(d);
+    std::size_t serving = 0;
+    for (std::size_t i = 0; i < dom.count; ++i)
+        serving += isServing(dom.first + i) ? 1 : 0;
+    return serving;
+}
+
 void
 ShardedRouter::evict(std::size_t n)
 {
@@ -117,6 +129,41 @@ bool
 ShardedRouter::isUp(std::size_t n) const
 {
     return n >= up_.size() || up_[n] != 0;
+}
+
+void
+ShardedRouter::drain(std::size_t n)
+{
+    if (draining_.size() <= n)
+        draining_.resize(n + 1, 0);
+    draining_[n] = 1;
+    if (bound()) {
+        const std::size_t d = domainOf(n);
+        domains_[d].router->drain(n - domains_[d].first);
+    }
+}
+
+void
+ShardedRouter::undrain(std::size_t n)
+{
+    if (n < draining_.size())
+        draining_[n] = 0;
+    if (bound() && n < nodes_) {
+        const std::size_t d = domainOf(n);
+        domains_[d].router->undrain(n - domains_[d].first);
+    }
+}
+
+bool
+ShardedRouter::isDraining(std::size_t n) const
+{
+    return n < draining_.size() && draining_[n] != 0;
+}
+
+bool
+ShardedRouter::isServing(std::size_t n) const
+{
+    return isUp(n) && !isDraining(n);
 }
 
 bool
@@ -160,15 +207,15 @@ ShardedRouter::routeInto(const std::vector<double> &fleet_rps,
         double total = 0.0;
         for (std::size_t d = 0; d < domains_.size(); ++d) {
             const Domain &dom = domains_[d];
-            double cap_up = 0.0;
+            double cap_serving = 0.0;
             double excess_sum = 0.0;
-            std::size_t up = 0;
+            std::size_t serving = 0;
             for (std::size_t i = 0; i < dom.count; ++i) {
                 const std::size_t n = dom.first + i;
-                if (!isUp(n))
+                if (!isServing(n))
                     continue;
-                ++up;
-                cap_up += weights[n];
+                ++serving;
+                cap_serving += weights[n];
                 if (n < feedback.p99MsByNode.size() &&
                     s < feedback.p99MsByNode[n].size() &&
                     s < feedback.qosTargetsMs.size() &&
@@ -181,23 +228,32 @@ ShardedRouter::routeInto(const std::vector<double> &fleet_rps,
             }
             // headroom in (0, 1]: 1 with every member on target (or
             // before any feedback), shrinking as the domain's mean
-            // QoS excess grows. A dark domain weighs nothing — its
-            // share renormalises onto the siblings below.
-            const double mean_excess =
-                up > 0 ? excess_sum / static_cast<double>(up) : 0.0;
+            // QoS excess grows. A dark or entirely draining domain
+            // weighs nothing — its share renormalises onto the
+            // siblings below.
+            const double mean_excess = serving > 0
+                ? excess_sum / static_cast<double>(serving)
+                : 0.0;
             domainWeight_[d] =
-                up > 0 ? cap_up / (1.0 + mean_excess) : 0.0;
+                serving > 0 ? cap_serving / (1.0 + mean_excess) : 0.0;
             total += domainWeight_[d];
         }
+        // total == 0 with live domains means every up node is
+        // draining: refuse the load without a shed (rps stays 0).
+        if (total <= 0.0)
+            continue;
         for (std::size_t d = 0; d < domains_.size(); ++d)
             domains_[d].rps[s] = fleet_rps[s] * domainWeight_[d] / total;
     }
 
-    // Level 2 — each live domain deals its slice across its members
-    // with the configured policy, from its own RNG stream.
+    // Level 2 — each serving domain deals its slice across its members
+    // with the configured policy, from its own RNG stream. Domains
+    // that are dark or entirely draining got weight 0 above and their
+    // rows stay zero; skipping them keeps the inner fatal-on-shed
+    // contract (a draining domain refusing load is not a failure).
     for (std::size_t d = 0; d < domains_.size(); ++d) {
         Domain &dom = domains_[d];
-        if (upCountInDomain(d) == 0)
+        if (servingCountInDomain(d) == 0)
             continue; // weight 0 above; nothing to deal
         dom.weights.resize(dom.count);
         for (std::size_t i = 0; i < dom.count; ++i)

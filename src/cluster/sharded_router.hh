@@ -29,6 +29,13 @@
  * domains, not to an abort. When every domain is down routeInto
  * returns false with zeroed shares so the caller records a shed
  * interval, same contract as the flat Router.
+ *
+ * Draining (scale-in) follows the flat Router's soft state: drain(n)
+ * zeroes a node's weight in the level-1 split and in its domain's
+ * dealing while it flushes its backlog. A domain whose members are all
+ * up-but-draining weighs nothing — its slice renormalises onto the
+ * siblings — and an entirely draining fleet routes zero load
+ * successfully rather than recording a shed.
  */
 
 #ifndef TWIG_CLUSTER_SHARDED_ROUTER_HH
@@ -94,14 +101,25 @@ class ShardedRouter
     std::size_t domainOf(std::size_t n) const;
     /** Domain @p d (after bind). */
     const Domain &domain(std::size_t d) const;
-    /** Serving members of domain @p d. */
+    /** In-rotation members of domain @p d. */
     std::size_t upCountInDomain(std::size_t d) const;
+    /** Members of domain @p d eligible for new load (up and not
+     * draining). */
+    std::size_t servingCountInDomain(std::size_t d) const;
 
     /** Take node @p n out of rotation / put it back. Usable before
      * bind (health is applied to the partition when it forms). */
     void evict(std::size_t n);
     void readmit(std::size_t n);
     bool isUp(std::size_t n) const;
+
+    /** Stop/resume dealing new load to node @p n while it stays in
+     * rotation (scale-in drain). Usable before bind, like evict. */
+    void drain(std::size_t n);
+    void undrain(std::size_t n);
+    bool isDraining(std::size_t n) const;
+    /** Up and not draining. */
+    bool isServing(std::size_t n) const;
 
     /**
      * Split each service's fleet RPS across @p weights.size() nodes:
@@ -124,6 +142,8 @@ class ShardedRouter
     /** Health per node (1 = in rotation). Mirrors the inner routers'
      * masks; also buffers evictions arriving before bind. */
     std::vector<std::uint8_t> up_;
+    /** Drain mask per node (1 = no new load); same buffering. */
+    std::vector<std::uint8_t> draining_;
     /** Per-domain split weight scratch ([domain], per service). */
     std::vector<double> domainWeight_;
 };

@@ -376,26 +376,41 @@ Engine::runSingle(const ScenarioSpec &spec,
 
 namespace {
 
-/** Node @p index's machine under @p spec (hetero alternates sizes). */
+/** Slot @p index's machine under @p spec: its fleet class when a class
+ * list is set, else the hetero 18/6 alternation. */
 sim::MachineConfig
 nodeMachine(const ScenarioSpec &spec, std::size_t index)
 {
+    if (!spec.fleetClasses.empty()) {
+        const std::string &id =
+            spec.fleetClasses[index % spec.fleetClasses.size()];
+        const autoscale::NodeClass *cls =
+            autoscale::findNodeClass(spec.nodeClasses, id);
+        common::fatalIf(cls == nullptr,
+                        "nodeMachine: undefined node class '", id, "'");
+        return cls->machine();
+    }
     sim::MachineConfig m;
     m.numCores = spec.hetero && index % 2 == 1 ? 6 : spec.machineCores;
     return m;
 }
 
 /** --load keeps its meaning at any node count: relative peaks scale
- * with total fleet capacity vs one reference node. */
+ * with total fleet capacity vs one reference node. Autoscaled fleets
+ * are rated at *full* (maxNodes) provisioning — the static-max
+ * reference — so the load pattern's peak genuinely needs the whole
+ * fleet. */
 double
 fleetCapacityFactor(const ScenarioSpec &spec)
 {
     const sim::MachineConfig reference;
+    const double ref_capacity =
+        static_cast<double>(reference.numCores) * reference.dvfs.maxGhz;
     double capacity_factor = 0.0;
-    for (std::size_t n = 0; n < spec.nodes; ++n) {
-        capacity_factor +=
-            static_cast<double>(nodeMachine(spec, n).numCores) /
-            static_cast<double>(reference.numCores);
+    for (std::size_t n = 0; n < spec.totalNodes(); ++n) {
+        const sim::MachineConfig m = nodeMachine(spec, n);
+        capacity_factor += static_cast<double>(m.numCores) *
+            m.dvfs.maxGhz * m.serviceRateScale / ref_capacity;
     }
     return capacity_factor;
 }
@@ -470,7 +485,10 @@ buildFleet(const ScenarioSpec &spec, const ManagerRegistry &registry,
         return registry_ptr->make(manager_name, ctx);
     };
 
-    for (std::size_t n = 0; n < spec.nodes; ++n) {
+    // Provision every slot (standby included on autoscaled fleets —
+    // the routing partition is fixed; slots park instead of
+    // disappearing).
+    for (std::size_t n = 0; n < spec.totalNodes(); ++n) {
         const auto machine = nodeMachine(spec, n);
         setup.fleet->addNode(machine, factory,
                              expandCheckpoint(spec.checkpoint,
@@ -478,6 +496,24 @@ buildFleet(const ScenarioSpec &spec, const ManagerRegistry &registry,
     }
     if (!spec.faults.empty())
         setup.fleet->setFaults(spec.faults);
+    // Per-slot hourly rates from the class list (empty = $1/h each).
+    std::vector<double> rates;
+    if (!spec.fleetClasses.empty()) {
+        for (std::size_t n = 0; n < spec.totalNodes(); ++n) {
+            const autoscale::NodeClass *cls = autoscale::findNodeClass(
+                spec.nodeClasses,
+                spec.fleetClasses[n % spec.fleetClasses.size()]);
+            rates.push_back(cls->dollarsPerHour);
+        }
+    }
+    if (spec.autoscale) {
+        // Rated at full provisioning: the utilisation denominator is
+        // the same static-max capacity the bench compares against.
+        setup.fleet->setAutoscaler(*spec.autoscale, setup.maxRps,
+                                   std::move(rates), spec.nodes);
+    } else if (!rates.empty()) {
+        setup.fleet->setCostModel(std::move(rates));
+    }
     return setup;
 }
 

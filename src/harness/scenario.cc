@@ -208,16 +208,53 @@ ScenarioSpec::validate(const ManagerRegistry &registry) const
                 "' (want static | wrr | p2c-latency)";
         if (domains == 0)
             return "cluster scenario with zero routing domains";
-        if (domains > nodes)
+        if (domains > totalNodes())
             return "more routing domains than nodes";
         if (!checkpoint.empty() && manager != "twig")
             return "checkpoint warm-start needs the twig manager";
         if (!events.empty())
             return "events are only supported on the single topology";
-        if (auto err = faults.validate(nodes, n_svc); !err.empty())
+        for (std::size_t i = 0; i < nodeClasses.size(); ++i) {
+            const autoscale::NodeClass &cls = nodeClasses[i];
+            if (auto err = cls.validate(); !err.empty())
+                return err;
+            if (autoscale::isBuiltinNodeClass(cls.id))
+                return "node class id '" + cls.id +
+                    "' shadows a built-in class";
+            for (std::size_t k = 0; k < i; ++k) {
+                if (nodeClasses[k].id == cls.id)
+                    return "duplicate node class id '" + cls.id + "'";
+            }
+        }
+        if (hetero && !fleetClasses.empty())
+            return "hetero and a fleet class list are mutually "
+                   "exclusive (the class list already fixes each "
+                   "slot's shape)";
+        for (const auto &id : fleetClasses) {
+            if (autoscale::findNodeClass(nodeClasses, id) == nullptr)
+                return "fleet references undefined node class id '" +
+                    id + "'";
+        }
+        if (autoscale) {
+            if (auto err = autoscale->validate(); !err.empty())
+                return err;
+            if (nodes < autoscale->minNodes ||
+                nodes > autoscale->maxNodes)
+                return "autoscale initial nodes outside "
+                       "[min_nodes, max_nodes]";
+        }
+        if (auto err = faults.validate(totalNodes(), n_svc);
+            !err.empty())
             return err;
-    } else if (!faults.empty()) {
-        return "faults are only supported on the cluster topology";
+    } else {
+        if (!faults.empty())
+            return "faults are only supported on the cluster topology";
+        if (autoscale)
+            return "autoscale is only supported on the cluster "
+                   "topology";
+        if (!nodeClasses.empty() || !fleetClasses.empty())
+            return "node classes are only supported on the cluster "
+                   "topology";
     }
     return {};
 }
@@ -282,6 +319,20 @@ ScenarioSpec::toJson() const
             c.set("domains", domains);
         if (!checkpoint.empty())
             c.set("checkpoint", checkpoint);
+        if (!nodeClasses.empty()) {
+            Json arr = Json::array();
+            for (const auto &cls : nodeClasses)
+                arr.push(cls.toJson());
+            c.set("node_classes", std::move(arr));
+        }
+        if (!fleetClasses.empty()) {
+            Json arr = Json::array();
+            for (const auto &id : fleetClasses)
+                arr.push(Json(id));
+            c.set("fleet", std::move(arr));
+        }
+        if (autoscale)
+            c.set("autoscale", autoscale->toJson());
         j.set("cluster", std::move(c));
     }
     if (!faults.empty())
@@ -336,6 +387,17 @@ ScenarioSpec::fromJson(const Json &j)
         s.domains =
             static_cast<std::size_t>(c->indexOr("domains", s.domains));
         s.checkpoint = c->stringOr("checkpoint", "");
+        if (const Json *arr = c->find("node_classes")) {
+            for (std::size_t i = 0; i < arr->size(); ++i)
+                s.nodeClasses.push_back(
+                    autoscale::NodeClass::fromJson(arr->at(i)));
+        }
+        if (const Json *arr = c->find("fleet")) {
+            for (std::size_t i = 0; i < arr->size(); ++i)
+                s.fleetClasses.push_back(arr->at(i).asString());
+        }
+        if (const Json *a = c->find("autoscale"))
+            s.autoscale = autoscale::AutoscaleConfig::fromJson(*a);
     }
     if (const Json *f = j.find("faults"))
         s.faults = faults::FaultSpec::fromJson(*f);

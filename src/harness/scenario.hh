@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "autoscale/autoscaler.hh"
+#include "autoscale/node_class.hh"
 #include "common/json.hh"
 #include "faults/fault_spec.hh"
 #include "harness/registry.hh"
@@ -151,6 +153,25 @@ struct ScenarioSpec
     /** Fault schedule the run must survive (src/faults); empty = no
      * faults and a step loop byte-identical to a fault-free run. */
     faults::FaultSpec faults;
+    /** User-defined node capability classes, referenced by id from
+     * `fleet` (the built-in catalogue is always available and may not
+     * be shadowed). */
+    std::vector<autoscale::NodeClass> nodeClasses;
+    /** Per-slot class ids: slot n is provisioned as
+     * fleet[n % fleet.size()]. Empty = homogeneous reference nodes
+     * (or hetero's 18/6 alternation). */
+    std::vector<std::string> fleetClasses;
+    /** Elastic sizing block (src/autoscale). When present `nodes` is
+     * the *initial* active count and the fleet provisions
+     * autoscale->maxNodes slots (the rest start in standby). */
+    std::optional<autoscale::AutoscaleConfig> autoscale;
+
+    /** Provisioned fleet slots: autoscale->maxNodes with an autoscale
+     * block, `nodes` without. */
+    std::size_t totalNodes() const
+    {
+        return autoscale ? autoscale->maxNodes : nodes;
+    }
 
     /** Effective metrics window / learning horizon. */
     std::size_t resolvedWindow() const;

@@ -86,6 +86,13 @@ struct MachineConfig
      * of §IV aggregates over a short trailing window; single-interval
      * p99 at ~1k RPS is a noisy order statistic). */
     std::size_t qosWindowIntervals = 3;
+
+    /** Per-core service-rate multiplier relative to the reference part
+     * (1.0 = the paper's E5-2695v4). A mixed-generation fleet models a
+     * newer node as > 1 (same ladder, higher IPC: service times shrink
+     * by this factor at every DVFS point) and a wimpier class as < 1.
+     * Ground truth only — managers still adapt from telemetry. */
+    double serviceRateScale = 1.0;
 };
 
 /** Concrete per-service core assignment produced by a mapper. */

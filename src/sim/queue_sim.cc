@@ -266,9 +266,10 @@ RequestQueueSim::ClassCal::recomputeMinFrom(std::size_t fromBucket)
 RequestQueueSim::RequestQueueSim(const ServiceProfile &profile,
                                  common::Rng rng, double ref_freq_ghz,
                                  std::size_t max_pending,
-                                 std::size_t qos_window_intervals)
+                                 std::size_t qos_window_intervals,
+                                 double service_rate_scale)
     : profile_(profile), rng_(rng), refFreqGhz_(ref_freq_ghz),
-      maxPending_(max_pending),
+      rateScale_(service_rate_scale), maxPending_(max_pending),
       qosWindow_(qos_window_intervals ? qos_window_intervals : 1),
       window_(qos_window_intervals ? qos_window_intervals : 1)
 {
@@ -276,6 +277,8 @@ RequestQueueSim::RequestQueueSim(const ServiceProfile &profile,
                     "service ", profile.name,
                     ": base service time must be > 0");
     common::fatalIf(ref_freq_ghz <= 0.0, "reference frequency must be > 0");
+    common::fatalIf(service_rate_scale <= 0.0,
+                    "service rate scale must be > 0");
 }
 
 std::size_t
@@ -479,7 +482,8 @@ RequestQueueSim::runOptimized(double t0, double dt, double rps,
     const double freq_scale = std::pow(refFreqGhz_ / assignment.freqGhz,
                                        profile_.freqExponent);
     const double mean_service_s =
-        profile_.baseServiceTimeMs * 1e-3 * freq_scale * inflation;
+        profile_.baseServiceTimeMs * 1e-3 * freq_scale * inflation /
+        rateScale_;
 
     // The on-core time distribution is fixed for the interval: derive
     // the underlying-normal parameters once (exactly what
@@ -727,7 +731,8 @@ RequestQueueSim::runReference(double t0, double dt, double rps,
     const double freq_scale = std::pow(refFreqGhz_ / assignment.freqGhz,
                                        profile_.freqExponent);
     const double mean_service_s =
-        profile_.baseServiceTimeMs * 1e-3 * freq_scale * inflation;
+        profile_.baseServiceTimeMs * 1e-3 * freq_scale * inflation /
+        rateScale_;
 
     stats::RunningStats service_times;
     res.latenciesMs.reserve(pendingCount_);

@@ -91,10 +91,14 @@ class RequestQueueSim
      * @param rng          private randomness stream
      * @param ref_freq_ghz frequency at which baseServiceTimeMs holds
      * @param max_pending  backlog cap (drops beyond; memory guard)
+     * @param service_rate_scale per-core rate multiplier of the hosting
+     *                     node class (MachineConfig::serviceRateScale);
+     *                     1.0 is bitwise-identical to the unscaled path
      */
     RequestQueueSim(const ServiceProfile &profile, common::Rng rng,
                     double ref_freq_ghz, std::size_t max_pending = 200000,
-                    std::size_t qos_window_intervals = 3);
+                    std::size_t qos_window_intervals = 3,
+                    double service_rate_scale = 1.0);
 
     /**
      * Simulate the interval [t0, t0+dt).
@@ -242,6 +246,7 @@ class RequestQueueSim
     ServiceProfile profile_;
     common::Rng rng_;
     double refFreqGhz_;
+    double rateScale_;
     std::size_t maxPending_;
     std::size_t qosWindow_;
     bool referencePath_ = false;

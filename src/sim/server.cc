@@ -25,7 +25,7 @@ Server::addService(const ServiceProfile &profile,
     h.load = std::move(load);
     h.queue = std::make_unique<RequestQueueSim>(
         profile, rng_.fork(), machine_.dvfs.maxGhz, 200000,
-        machine_.qosWindowIntervals);
+        machine_.qosWindowIntervals, machine_.serviceRateScale);
     h.queue->setReferencePath(referenceSimPath_);
     services_.push_back(std::move(h));
     prevBusy_.push_back(0.0);
@@ -43,7 +43,7 @@ Server::replaceService(std::size_t idx, const ServiceProfile &profile,
     h.load = std::move(load);
     h.queue = std::make_unique<RequestQueueSim>(
         profile, rng_.fork(), machine_.dvfs.maxGhz, 200000,
-        machine_.qosWindowIntervals);
+        machine_.qosWindowIntervals, machine_.serviceRateScale);
     h.queue->setReferencePath(referenceSimPath_);
     prevBusy_[idx] = 0.0;
 }

@@ -1,0 +1,861 @@
+/** @file Unit tests for elastic fleet sizing (src/autoscale/) and its
+ * ClusterManager integration: decision rule, node classes, billing,
+ * the drain protocol and the warm-spawn path. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autoscale/autoscaler.hh"
+#include "autoscale/cost_model.hh"
+#include "autoscale/node_class.hh"
+#include "baselines/static_manager.hh"
+#include "cluster/cluster_manager.hh"
+#include "cluster/router.hh"
+#include "common/error.hh"
+#include "core/twig_manager.hh"
+#include "faults/fault_spec.hh"
+#include "harness/engine.hh"
+#include "harness/registry.hh"
+#include "harness/scenario.hh"
+#include "services/microbench.hh"
+#include "services/tailbench.hh"
+#include "sim/loadgen.hh"
+
+using namespace twig;
+using namespace twig::autoscale;
+using twig::common::FatalError;
+
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+AutoscaleConfig
+validConfig()
+{
+    AutoscaleConfig cfg;
+    cfg.minNodes = 1;
+    cfg.maxNodes = 4;
+    cfg.hiUtilization = 0.6;
+    cfg.loUtilization = 0.4;
+    cfg.persistIntervals = 1;
+    cfg.cooldownIntervals = 1;
+    cfg.drainIntervals = 2;
+    return cfg;
+}
+
+/** A signal whose utilisation is exactly @p util with @p serving of
+ * @p max slots active (homogeneous capacity weights). */
+struct SignalFixture
+{
+    std::vector<double> offered;
+    std::vector<double> rated{1000.0};
+    std::vector<double> trailing;
+    std::vector<double> qos{10.0};
+    FleetSignal sig;
+
+    SignalFixture(double util, std::size_t serving, std::size_t max,
+                  std::size_t draining = 0)
+    {
+        const double frac =
+            static_cast<double>(serving) / static_cast<double>(max);
+        offered = {util * rated[0] * frac};
+        sig.serving = serving;
+        sig.draining = draining;
+        sig.standby = max - serving - draining;
+        sig.servingCapacityFraction = frac;
+        sig.capacityFractionAfterScaleIn =
+            static_cast<double>(serving - 1) / static_cast<double>(max);
+        sig.offeredRps = &offered;
+        sig.ratedRps = &rated;
+        sig.qosTargetsMs = &qos;
+    }
+
+    void
+    setTrailingP99(double p99_ms)
+    {
+        trailing = {p99_ms};
+        sig.trailingP99Ms = &trailing;
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// AutoscaleConfig validation + JSON
+// ---------------------------------------------------------------------
+
+TEST(AutoscaleConfig, ValidatesStructure)
+{
+    EXPECT_EQ(validConfig().validate(), "");
+
+    auto bad = validConfig();
+    bad.minNodes = 0;
+    EXPECT_NE(bad.validate(), "");
+
+    bad = validConfig();
+    bad.minNodes = 5; // > maxNodes 4
+    EXPECT_NE(bad.validate(), "");
+
+    bad = validConfig();
+    bad.cooldownIntervals = 0;
+    EXPECT_NE(bad.validate(), "");
+
+    bad = validConfig();
+    bad.persistIntervals = 0;
+    EXPECT_NE(bad.validate(), "");
+
+    bad = validConfig();
+    bad.outStepNodes = 0;
+    EXPECT_NE(bad.validate(), "");
+
+    bad = validConfig();
+    bad.drainIntervals = 0;
+    EXPECT_NE(bad.validate(), "");
+
+    bad = validConfig();
+    bad.hiUtilization = 1.5;
+    EXPECT_NE(bad.validate(), "");
+
+    // The hysteresis bands may not overlap or invert.
+    bad = validConfig();
+    bad.loUtilization = bad.hiUtilization;
+    EXPECT_NE(bad.validate(), "");
+
+    bad = validConfig();
+    bad.outTardiness = 0.0;
+    EXPECT_NE(bad.validate(), "");
+
+    EXPECT_THROW(Autoscaler{bad}, FatalError);
+}
+
+TEST(AutoscaleConfig, JsonRoundTripsAndOmitsDefaults)
+{
+    AutoscaleConfig cfg;
+    cfg.minNodes = 2;
+    cfg.maxNodes = 6;
+    cfg.hiUtilization = 0.62;
+    cfg.outStepNodes = 3;
+    const auto j = cfg.toJson();
+    // Defaults stay out of the serialised block.
+    EXPECT_EQ(j.find("lo_utilization"), nullptr);
+    EXPECT_EQ(j.find("cooldown"), nullptr);
+    const auto back = AutoscaleConfig::fromJson(j);
+    EXPECT_EQ(back.minNodes, 2u);
+    EXPECT_EQ(back.maxNodes, 6u);
+    EXPECT_DOUBLE_EQ(back.hiUtilization, 0.62);
+    EXPECT_EQ(back.outStepNodes, 3u);
+    EXPECT_DOUBLE_EQ(back.loUtilization, cfg.loUtilization);
+    EXPECT_EQ(back.cooldownIntervals, cfg.cooldownIntervals);
+}
+
+// ---------------------------------------------------------------------
+// Decision rule
+// ---------------------------------------------------------------------
+
+TEST(Autoscaler, ScalesOutWhenUtilizationExceedsHiBand)
+{
+    auto cfg = validConfig();
+    cfg.persistIntervals = 2;
+    Autoscaler scaler(cfg);
+
+    SignalFixture hot(0.8, 2, 4);
+    // First interval only starts the streak.
+    EXPECT_EQ(scaler.decide(hot.sig).kind, ScaleDecision::Kind::None);
+    const auto d = scaler.decide(hot.sig);
+    EXPECT_EQ(d.kind, ScaleDecision::Kind::Out);
+    EXPECT_EQ(d.count, 1u);
+    EXPECT_NEAR(d.utilization, 0.8, 1e-12);
+}
+
+TEST(Autoscaler, HoldsInsideTheHysteresisGap)
+{
+    Autoscaler scaler(validConfig());
+    // Between lo (0.4 post-retirement) and hi (0.6): no action, ever.
+    SignalFixture mid(0.55, 2, 4);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(scaler.decide(mid.sig).kind,
+                  ScaleDecision::Kind::None);
+}
+
+TEST(Autoscaler, ScaleOutNeedsAStandbySlot)
+{
+    Autoscaler scaler(validConfig());
+    SignalFixture hot(0.9, 4, 4); // fully scaled out already
+    EXPECT_EQ(scaler.decide(hot.sig).kind, ScaleDecision::Kind::None);
+}
+
+TEST(Autoscaler, ScalesInAgainstPostRetirementUtilization)
+{
+    Autoscaler scaler(validConfig());
+    // 0.2 at 3-of-4 serving; after retiring one: 0.2 * 3/2 = 0.3 < lo.
+    SignalFixture cold(0.2, 3, 4);
+    const auto d = scaler.decide(cold.sig);
+    EXPECT_EQ(d.kind, ScaleDecision::Kind::In);
+    EXPECT_EQ(d.count, 1u);
+
+    // 0.35 at 3-of-4: post-retirement 0.525 >= lo — retiring would
+    // immediately re-trip the hi band, so the scaler must hold.
+    Autoscaler scaler2(validConfig());
+    SignalFixture warmish(0.35, 3, 4);
+    EXPECT_EQ(scaler2.decide(warmish.sig).kind,
+              ScaleDecision::Kind::None);
+}
+
+TEST(Autoscaler, NeverDropsBelowMinNodes)
+{
+    auto cfg = validConfig();
+    cfg.minNodes = 2;
+    Autoscaler scaler(cfg);
+    SignalFixture cold(0.05, 2, 4);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(scaler.decide(cold.sig).kind,
+                  ScaleDecision::Kind::None);
+}
+
+TEST(Autoscaler, TardinessForcesScaleOutAndVetoesScaleIn)
+{
+    auto cfg = validConfig();
+    cfg.outTardiness = 1.2;
+    Autoscaler scaler(cfg);
+
+    // Utilisation looks idle, but the measured tail is blown: the
+    // override fires a scale-out anyway (mis-rated class, interference).
+    SignalFixture lying(0.1, 2, 4);
+    lying.setTrailingP99(15.0); // 1.5x the 10 ms target
+    const auto d = scaler.decide(lying.sig);
+    EXPECT_EQ(d.kind, ScaleDecision::Kind::Out);
+    EXPECT_NEAR(d.tardiness, 1.5, 1e-12);
+
+    // Tardiness just above 1 does not force an out, but vetoes the in
+    // that the idle utilisation would otherwise take.
+    Autoscaler scaler2(cfg);
+    SignalFixture tail(0.1, 2, 4);
+    tail.setTrailingP99(11.0);
+    cfg.minNodes = 1;
+    EXPECT_EQ(scaler2.decide(tail.sig).kind, ScaleDecision::Kind::None);
+}
+
+TEST(Autoscaler, CooldownBlocksThenExpires)
+{
+    auto cfg = validConfig();
+    cfg.cooldownIntervals = 3;
+    Autoscaler scaler(cfg);
+
+    SignalFixture hot(0.9, 2, 4);
+    EXPECT_EQ(scaler.decide(hot.sig).kind, ScaleDecision::Kind::Out);
+    // Condition persists straight through the cooldown...
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(scaler.decide(hot.sig).kind,
+                  ScaleDecision::Kind::None);
+    // ...and fires the moment it expires.
+    EXPECT_EQ(scaler.decide(hot.sig).kind, ScaleDecision::Kind::Out);
+}
+
+TEST(Autoscaler, OutStepIsClampedToStandby)
+{
+    auto cfg = validConfig();
+    cfg.outStepNodes = 3;
+    Autoscaler scaler(cfg);
+    SignalFixture hot(0.9, 3, 4); // one standby slot left
+    const auto d = scaler.decide(hot.sig);
+    EXPECT_EQ(d.kind, ScaleDecision::Kind::Out);
+    EXPECT_EQ(d.count, 1u);
+}
+
+TEST(Autoscaler, WorstSignalHelpers)
+{
+    FleetSignal empty;
+    EXPECT_DOUBLE_EQ(Autoscaler::worstUtilization(empty, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(Autoscaler::worstTardiness(empty), 0.0);
+
+    const std::vector<double> offered{100.0, 450.0};
+    const std::vector<double> rated{1000.0, 500.0};
+    const std::vector<double> p99{5.0, 30.0};
+    const std::vector<double> qos{10.0, 20.0};
+    FleetSignal sig;
+    sig.offeredRps = &offered;
+    sig.ratedRps = &rated;
+    sig.trailingP99Ms = &p99;
+    sig.qosTargetsMs = &qos;
+    // Worst service wins: 450/500 = 0.9 over 100/1000 = 0.1.
+    EXPECT_NEAR(Autoscaler::worstUtilization(sig, 1.0), 0.9, 1e-12);
+    EXPECT_NEAR(Autoscaler::worstUtilization(sig, 0.5), 1.8, 1e-12);
+    // 30/20 = 1.5 over 5/10 = 0.5.
+    EXPECT_NEAR(Autoscaler::worstTardiness(sig), 1.5, 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Node classes
+// ---------------------------------------------------------------------
+
+TEST(NodeClass, BuiltinCatalogue)
+{
+    const auto &catalogue = builtinNodeClasses();
+    ASSERT_EQ(catalogue.size(), 4u);
+    for (const auto &cls : catalogue)
+        EXPECT_EQ(cls.validate(), "");
+    EXPECT_TRUE(isBuiltinNodeClass("std18"));
+    EXPECT_TRUE(isBuiltinNodeClass("little6"));
+    EXPECT_TRUE(isBuiltinNodeClass("gen1"));
+    EXPECT_TRUE(isBuiltinNodeClass("gen2"));
+    EXPECT_FALSE(isBuiltinNodeClass("quantum9"));
+
+    // The reference class is exactly one capacity unit; the others
+    // scale by cores x peak GHz x rate scale.
+    const NodeClass *std18 = findNodeClass({}, "std18");
+    ASSERT_NE(std18, nullptr);
+    EXPECT_DOUBLE_EQ(std18->capacityFactor(), 1.0);
+    const NodeClass *gen2 = findNodeClass({}, "gen2");
+    ASSERT_NE(gen2, nullptr);
+    EXPECT_DOUBLE_EQ(gen2->capacityFactor(), 1.25);
+    const NodeClass *little6 = findNodeClass({}, "little6");
+    ASSERT_NE(little6, nullptr);
+    EXPECT_LT(little6->capacityFactor(), 0.5);
+    EXPECT_EQ(little6->machine().numCores, 6u);
+}
+
+TEST(NodeClass, SpecClassesShadowNothingAndWinLookups)
+{
+    NodeClass custom;
+    custom.id = "fat32";
+    custom.cores = 32;
+    const std::vector<NodeClass> classes{custom};
+    const NodeClass *hit = findNodeClass(classes, "fat32");
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->cores, 32u);
+    // Builtins still resolve through the same lookup.
+    EXPECT_NE(findNodeClass(classes, "gen1"), nullptr);
+    EXPECT_EQ(findNodeClass(classes, "absent"), nullptr);
+}
+
+TEST(NodeClass, ValidatesStructure)
+{
+    NodeClass cls;
+    cls.id = "x";
+    EXPECT_EQ(cls.validate(), "");
+    cls.id = "";
+    EXPECT_NE(cls.validate(), "");
+    cls.id = "x";
+    cls.cores = 0;
+    EXPECT_NE(cls.validate(), "");
+    cls = NodeClass{};
+    cls.id = "x";
+    cls.serviceRateScale = 0.0;
+    EXPECT_NE(cls.validate(), "");
+    cls = NodeClass{};
+    cls.id = "x";
+    cls.dollarsPerHour = -0.1;
+    EXPECT_NE(cls.validate(), "");
+    cls = NodeClass{};
+    cls.id = "x";
+    cls.dvfs.minGhz = 2.5; // > maxGhz
+    EXPECT_NE(cls.validate(), "");
+}
+
+TEST(NodeClass, JsonRoundTrip)
+{
+    NodeClass cls;
+    cls.id = "gen3";
+    cls.cores = 24;
+    cls.serviceRateScale = 1.4;
+    cls.dollarsPerHour = 1.6;
+    cls.dvfs.minGhz = 1.4;
+    cls.dvfs.maxGhz = 2.4;
+    cls.dvfs.stepGhz = 0.2;
+    const auto back = NodeClass::fromJson(cls.toJson());
+    EXPECT_EQ(back.id, "gen3");
+    EXPECT_EQ(back.cores, 24u);
+    EXPECT_DOUBLE_EQ(back.serviceRateScale, 1.4);
+    EXPECT_DOUBLE_EQ(back.dollarsPerHour, 1.6);
+    EXPECT_DOUBLE_EQ(back.dvfs.maxGhz, 2.4);
+}
+
+// ---------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------
+
+TEST(CostModel, BillsPoweredSlotsByTheHour)
+{
+    CostModel model({1.0, 0.5, 2.0});
+    EXPECT_EQ(model.numNodes(), 3u);
+    EXPECT_DOUBLE_EQ(model.nodeRate(1), 0.5);
+    EXPECT_DOUBLE_EQ(model.totalDollars(), 0.0);
+
+    // One full hour with the middle slot parked: $1 + $2.
+    const double added = model.chargeInterval({1, 0, 1}, 3600.0);
+    EXPECT_DOUBLE_EQ(added, 3.0);
+    EXPECT_DOUBLE_EQ(model.totalDollars(), 3.0);
+
+    // One second, everything powered: (1 + 0.5 + 2) / 3600.
+    model.chargeInterval({1, 1, 1}, 1.0);
+    EXPECT_NEAR(model.totalDollars(), 3.0 + 3.5 / 3600.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Router drain protocol (the scale-in primitive)
+// ---------------------------------------------------------------------
+
+TEST(RouterDrain, DrainingNodeGetsNoNewLoad)
+{
+    cluster::RouterConfig cfg;
+    cfg.policy = cluster::RoutingPolicy::WeightedRoundRobin;
+    cluster::Router router(cfg, 7);
+    const std::vector<double> rps{900.0};
+    const std::vector<double> weights{1.0, 1.0, 1.0};
+
+    router.drain(1);
+    EXPECT_TRUE(router.isUp(1));
+    EXPECT_TRUE(router.isDraining(1));
+    EXPECT_FALSE(router.isServing(1));
+
+    const auto shares = router.route(rps, weights, {});
+    EXPECT_DOUBLE_EQ(shares[1][0], 0.0);
+    EXPECT_NEAR(shares[0][0] + shares[2][0], 900.0, 1e-9);
+
+    router.undrain(1);
+    const auto after = router.route(rps, weights, {});
+    EXPECT_GT(after[1][0], 0.0);
+}
+
+TEST(RouterDrain, AllDrainingRoutesZeroWithoutShed)
+{
+    cluster::RouterConfig cfg;
+    cfg.policy = cluster::RoutingPolicy::Static;
+    cluster::Router router(cfg, 7);
+    const std::vector<double> rps{500.0};
+    const std::vector<double> weights{1.0, 1.0};
+    std::vector<std::vector<double>> out;
+
+    // Every node up but draining — the last node in the domain going
+    // weight-0 must NOT read as "all dark": nothing was refused.
+    router.drain(0);
+    router.drain(1);
+    EXPECT_TRUE(router.routeInto(rps, weights, {}, out));
+    EXPECT_DOUBLE_EQ(out[0][0], 0.0);
+    EXPECT_DOUBLE_EQ(out[1][0], 0.0);
+
+    // Actually dark (evicted) is still a shed.
+    router.evict(0);
+    router.evict(1);
+    EXPECT_FALSE(router.routeInto(rps, weights, {}, out));
+}
+
+// ---------------------------------------------------------------------
+// ClusterManager integration
+// ---------------------------------------------------------------------
+
+namespace {
+
+cluster::ClusterManager::ManagerFactory
+staticNodes()
+{
+    return [](const sim::MachineConfig &machine,
+              const std::vector<sim::ServiceProfile> &,
+              std::uint64_t) -> std::unique_ptr<core::TaskManager> {
+        return std::make_unique<baselines::StaticManager>(machine);
+    };
+}
+
+/** Replays a per-step RPS script (last value held). */
+class ScriptedLoad : public sim::LoadGenerator
+{
+  public:
+    explicit ScriptedLoad(std::vector<double> rps) : rps_(std::move(rps))
+    {
+    }
+
+    double
+    rps(std::size_t step) const override
+    {
+        return rps_[std::min(step, rps_.size() - 1)];
+    }
+
+  private:
+    std::vector<double> rps_;
+};
+
+/** A 4-slot masstree fleet with an elastic 1..4 autoscaler and a
+ * scripted fleet load (fractions of the full 4-node rated RPS). */
+cluster::ClusterManager
+makeElasticFleet(const std::vector<double> &fractions,
+                 const AutoscaleConfig &cfg, std::size_t initial,
+                 std::vector<double> rates = {})
+{
+    const auto masstree = services::masstree();
+    const double rated = masstree.maxLoadRps * 4.0;
+    cluster::ClusterConfig ccfg;
+    ccfg.router.policy = cluster::RoutingPolicy::WeightedRoundRobin;
+    std::vector<double> script;
+    for (const double f : fractions)
+        script.push_back(f * rated);
+    std::vector<std::unique_ptr<sim::LoadGenerator>> loads;
+    loads.push_back(std::make_unique<ScriptedLoad>(std::move(script)));
+    cluster::ClusterManager fleet(ccfg, {masstree}, std::move(loads),
+                                  42);
+    for (std::size_t n = 0; n < 4; ++n)
+        fleet.addNode(sim::MachineConfig{}, staticNodes());
+    fleet.setAutoscaler(cfg, {rated}, std::move(rates), initial);
+    return fleet;
+}
+
+std::size_t
+countKind(const std::vector<cluster::ScaleEvent> &log,
+          cluster::ScaleEvent::Kind kind)
+{
+    return static_cast<std::size_t>(
+        std::count_if(log.begin(), log.end(), [kind](const auto &ev) {
+            return ev.kind == kind;
+        }));
+}
+
+} // namespace
+
+TEST(ClusterAutoscale, StandbySlotsStartParkedAndUnbilled)
+{
+    auto cfg = validConfig();
+    auto fleet = makeElasticFleet({0.2}, cfg, 2);
+    const auto &stats = fleet.step();
+    EXPECT_EQ(stats.servingNodes, 2u);
+    EXPECT_EQ(stats.drainingNodes, 0u);
+    EXPECT_EQ(stats.nodeUp[2], 0u);
+    EXPECT_EQ(stats.nodeUp[3], 0u);
+    // Two slots at $1/h for one machine interval.
+    const double interval_s =
+        fleet.node(0).machine().intervalSeconds;
+    EXPECT_NEAR(fleet.costDollars(), 2.0 * interval_s / 3600.0, 1e-12);
+}
+
+TEST(ClusterAutoscale, ScalesOutLowestStandbyFirstUnderLoad)
+{
+    auto cfg = validConfig();
+    auto fleet = makeElasticFleet({0.8}, cfg, 2);
+    fleet.run(8, 2);
+    const auto &log = fleet.scaleLog();
+    ASSERT_GE(countKind(log, cluster::ScaleEvent::Kind::ScaleOut), 2u);
+    // Victim selection is positional: slot 2 activates before slot 3.
+    std::vector<std::size_t> activated;
+    for (const auto &ev : log)
+        if (ev.kind == cluster::ScaleEvent::Kind::ScaleOut)
+            activated.push_back(ev.node);
+    EXPECT_EQ(activated[0], 2u);
+    EXPECT_EQ(activated[1], 3u);
+}
+
+TEST(ClusterAutoscale, ScaleInDrainsThenRetiresHighestFirst)
+{
+    auto cfg = validConfig();
+    cfg.drainIntervals = 2;
+    auto fleet = makeElasticFleet({0.1}, cfg, 3);
+    std::vector<cluster::FleetIntervalStats> trace;
+    fleet.run(10, 2,
+              [&trace](std::size_t, const cluster::FleetIntervalStats &s) {
+                  trace.push_back(s);
+              });
+    const auto &log = fleet.scaleLog();
+    ASSERT_GE(countKind(log, cluster::ScaleEvent::Kind::DrainStart), 1u);
+    ASSERT_GE(countKind(log, cluster::ScaleEvent::Kind::Retire), 1u);
+    // Highest-indexed serving slot drains first.
+    const auto drain = std::find_if(
+        log.begin(), log.end(), [](const auto &ev) {
+            return ev.kind == cluster::ScaleEvent::Kind::DrainStart;
+        });
+    EXPECT_EQ(drain->node, 2u);
+    const auto retire = std::find_if(
+        log.begin(), log.end(), [](const auto &ev) {
+            return ev.kind == cluster::ScaleEvent::Kind::Retire;
+        });
+    EXPECT_EQ(retire->node, 2u);
+    // The drain window separates the two actions and keeps the slot
+    // powered (draining, billed) the whole way.
+    EXPECT_EQ(retire->step, drain->step + cfg.drainIntervals);
+    for (std::size_t t = drain->step; t < retire->step; ++t) {
+        EXPECT_EQ(trace[t].drainingNodes, 1u);
+        EXPECT_EQ(trace[t].nodeUp[2], 1u);
+    }
+    EXPECT_EQ(trace[retire->step].nodeUp[2], 0u);
+}
+
+TEST(ClusterAutoscale, BillMatchesPoweredSlotSeconds)
+{
+    auto cfg = validConfig();
+    auto fleet = makeElasticFleet({0.1}, cfg, 3);
+    const double interval_s =
+        fleet.node(0).machine().intervalSeconds;
+    double expected = 0.0;
+    const auto result = fleet.run(
+        12, 2,
+        [&expected, interval_s](std::size_t,
+                                const cluster::FleetIntervalStats &s) {
+            std::size_t powered = 0;
+            for (const auto up : s.nodeUp)
+                powered += up != 0 ? 1 : 0;
+            expected +=
+                static_cast<double>(powered) * interval_s / 3600.0;
+        });
+    EXPECT_NEAR(fleet.costDollars(), expected, 1e-9);
+    EXPECT_DOUBLE_EQ(result.metrics.costDollars, fleet.costDollars());
+    // The elastic bill must undercut always-on max provisioning.
+    EXPECT_LT(fleet.costDollars(), 4.0 * 12.0 * interval_s / 3600.0);
+}
+
+TEST(ClusterAutoscale, SetupOrderingAndShapeAreEnforced)
+{
+    const auto masstree = services::masstree();
+    auto make_fleet = [&](std::size_t slots) {
+        cluster::ClusterConfig ccfg;
+        std::vector<std::unique_ptr<sim::LoadGenerator>> loads;
+        loads.push_back(
+            std::make_unique<sim::FixedLoad>(masstree.maxLoadRps, 0.5));
+        cluster::ClusterManager fleet(ccfg, {masstree},
+                                      std::move(loads), 42);
+        for (std::size_t n = 0; n < slots; ++n)
+            fleet.addNode(sim::MachineConfig{}, staticNodes());
+        return fleet;
+    };
+
+    // maxNodes must equal the provisioned slot count.
+    auto short_fleet = make_fleet(2);
+    EXPECT_THROW(
+        short_fleet.setAutoscaler(validConfig(), {100.0}, {}, 1),
+        FatalError);
+
+    // initial_active outside [min, max].
+    auto fleet = make_fleet(4);
+    EXPECT_THROW(fleet.setAutoscaler(validConfig(), {100.0}, {}, 5),
+                 FatalError);
+
+    // One rated entry per service.
+    auto fleet2 = make_fleet(4);
+    EXPECT_THROW(
+        fleet2.setAutoscaler(validConfig(), {100.0, 50.0}, {}, 2),
+        FatalError);
+
+    // Faults arm before the autoscaler, never after (setFaults would
+    // reset the standby slots' power state).
+    auto fleet3 = make_fleet(4);
+    fleet3.setAutoscaler(validConfig(), {100.0}, {}, 2);
+    faults::FaultSpec faults;
+    faults::FaultAction surge;
+    surge.kind = faults::FaultKind::LoadSurge;
+    surge.atStep = 1;
+    surge.durationSteps = 1;
+    surge.multiplier = 2.0;
+    faults.actions.push_back(surge);
+    EXPECT_THROW(fleet3.setFaults(faults), FatalError);
+
+    // A static fleet can bill without an autoscaler, but not both ways.
+    auto fleet4 = make_fleet(4);
+    fleet4.setAutoscaler(validConfig(), {100.0}, {}, 2);
+    EXPECT_THROW(fleet4.setCostModel({}), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Warm spawn through the engine (checkpoint-restore scale-out path)
+// ---------------------------------------------------------------------
+
+namespace {
+
+harness::ScenarioSpec
+elasticSurgeSpec(const std::string &ckpt)
+{
+    harness::ScenarioSpec spec;
+    spec.name = "autoscale-warm-spawn";
+    spec.topology = "cluster";
+    harness::ServiceLoadSpec load;
+    load.service = "masstree";
+    load.pattern = "fixed";
+    load.fraction = 0.15; // of the full 4-slot fleet
+    spec.services.push_back(load);
+    spec.manager = "twig";
+    spec.steps = 140;
+    spec.window = 40;
+    spec.horizon = 140;
+    spec.seed = 42;
+    spec.nodes = 2;
+    spec.policy = "p2c-latency";
+    spec.checkpoint = ckpt;
+
+    AutoscaleConfig cfg;
+    cfg.minNodes = 2;
+    cfg.maxNodes = 4;
+    cfg.hiUtilization = 0.6;
+    cfg.loUtilization = 0.4;
+    cfg.outTardiness = 1.2;
+    cfg.persistIntervals = 1;
+    cfg.cooldownIntervals = 3;
+    cfg.outStepNodes = 2;
+    cfg.drainIntervals = 2;
+    spec.autoscale = cfg;
+
+    faults::FaultAction surge;
+    surge.kind = faults::FaultKind::LoadSurge;
+    surge.atStep = 60;
+    surge.service = 0;
+    surge.durationSteps = 40;
+    surge.multiplier = 4.0;
+    spec.faults.actions.push_back(surge);
+    return spec;
+}
+
+} // namespace
+
+TEST(AutoscaleEngine, WarmSpawnMeetsQosWithZeroRampAndReplaysExactly)
+{
+    // Train a donor across the per-node load range the elastic fleet
+    // visits, then warm-start (and warm-spawn) every replica from it.
+    const std::string ckpt = tmpPath("autoscale_donor.ckpt");
+    harness::ScenarioSpec donor;
+    donor.name = "autoscale-donor";
+    donor.topology = "cluster";
+    harness::ServiceLoadSpec donor_load;
+    donor_load.service = "masstree";
+    donor_load.pattern = "diurnal";
+    donor_load.fraction = 0.75;
+    donor_load.lowFraction = 0.25;
+    donor.services.push_back(donor_load);
+    donor.manager = "twig";
+    donor.steps = 300;
+    donor.window = 300;
+    donor.horizon = 300;
+    donor.seed = 42 ^ 0xd0;
+    donor.nodes = 1;
+    donor.policy = "static";
+    harness::EngineOptions donor_opts;
+    donor_opts.saveCheckpoint = ckpt;
+    harness::Engine(donor_opts).run(donor);
+
+    const auto spec = elasticSurgeSpec(ckpt);
+    ASSERT_EQ(
+        spec.validate(harness::ManagerRegistry::builtin()), "");
+
+    harness::EngineOptions serial;
+    serial.jobs = 1;
+    const auto result = harness::Engine(serial).run(spec);
+    const auto &trace = result.fleet.trace;
+
+    // The surge must have warm-spawned at least one standby replica.
+    std::size_t spawn_step = 0, spawn_node = 0;
+    bool spawned = false;
+    for (const auto &fs : trace) {
+        for (const auto &ev : fs.scaleEvents) {
+            if (ev.kind == cluster::ScaleEvent::Kind::ScaleOut &&
+                !spawned) {
+                spawned = true;
+                spawn_step = ev.step;
+                spawn_node = ev.node;
+            }
+        }
+    }
+    ASSERT_TRUE(spawned);
+    EXPECT_GE(spawn_step, 60u);
+
+    // Zero post-spawn ramp: the replica serves AND meets QoS in the
+    // very interval it joins — the donor policy needs no re-learning.
+    const double qos_ms = services::masstree().qosTargetMs;
+    const auto &svc = trace[spawn_step].nodes[spawn_node].services[0];
+    EXPECT_GT(svc.completed, 0u);
+    EXPECT_LE(svc.p99Ms, qos_ms);
+
+    // And the whole elastic run replays bit-identically at --jobs 8.
+    harness::EngineOptions parallel;
+    parallel.jobs = 8;
+    const auto replay = harness::Engine(parallel).run(spec);
+    ASSERT_EQ(replay.fleet.trace.size(), trace.size());
+    for (std::size_t t = 0; t < trace.size(); ++t) {
+        const auto &x = trace[t];
+        const auto &y = replay.fleet.trace[t];
+        ASSERT_EQ(x.fleetP99Ms, y.fleetP99Ms);
+        ASSERT_EQ(x.totalPowerW, y.totalPowerW);
+        ASSERT_EQ(x.nodeUp, y.nodeUp);
+        ASSERT_EQ(x.servingNodes, y.servingNodes);
+        ASSERT_EQ(x.drainingNodes, y.drainingNodes);
+        ASSERT_EQ(x.costDollars, y.costDollars);
+        ASSERT_EQ(x.scaleEvents.size(), y.scaleEvents.size());
+        for (std::size_t i = 0; i < x.scaleEvents.size(); ++i)
+            ASSERT_TRUE(x.scaleEvents[i] == y.scaleEvents[i]);
+    }
+    EXPECT_DOUBLE_EQ(result.fleet.metrics.costDollars,
+                     replay.fleet.metrics.costDollars);
+}
+
+TEST(AutoscaleEngine, ReactivatedSlotRestoresItsDrainTimePolicy)
+{
+    // A slot that served, drained out, and comes back must warm-restore
+    // the frame snapshotted at drain time (not cold-start): the scale
+    // log shows its retirement and the fault-event stream shows the
+    // WarmRestore on reactivation.
+    const auto masstree = services::masstree();
+    const double rated = masstree.maxLoadRps * 3.0;
+    cluster::ClusterConfig ccfg;
+    ccfg.router.policy = cluster::RoutingPolicy::WeightedRoundRobin;
+    // Script: idle long enough to retire slot 2, then hot enough to
+    // bring it back.
+    std::vector<double> script;
+    for (int i = 0; i < 10; ++i)
+        script.push_back(0.05 * rated);
+    script.push_back(0.9 * rated);
+    std::vector<std::unique_ptr<sim::LoadGenerator>> loads;
+    loads.push_back(std::make_unique<ScriptedLoad>(std::move(script)));
+    cluster::ClusterManager fleet(ccfg, {masstree}, std::move(loads),
+                                  42);
+    const auto factory =
+        [](const sim::MachineConfig &machine,
+           const std::vector<sim::ServiceProfile> &svcs,
+           std::uint64_t seed) -> std::unique_ptr<core::TaskManager> {
+        const auto maxima = services::calibrateCounterMaxima(machine);
+        std::vector<core::TwigServiceSpec> specs;
+        for (const auto &p : svcs) {
+            core::TwigServiceSpec spec;
+            spec.name = p.name;
+            spec.qosTargetMs = p.qosTargetMs;
+            spec.maxLoadRps = p.maxLoadRps;
+            spec.powerModel = core::ServicePowerModel(10.0, 1.0, 2.0);
+            specs.push_back(spec);
+        }
+        return std::make_unique<core::TwigManager>(
+            core::TwigConfig::fast(40), machine, maxima,
+            std::move(specs), seed);
+    };
+    for (std::size_t n = 0; n < 3; ++n)
+        fleet.addNode(sim::MachineConfig{}, factory);
+    AutoscaleConfig cfg;
+    cfg.minNodes = 1;
+    cfg.maxNodes = 3;
+    cfg.hiUtilization = 0.6;
+    cfg.loUtilization = 0.4;
+    cfg.persistIntervals = 1;
+    cfg.cooldownIntervals = 1;
+    cfg.drainIntervals = 1;
+    fleet.setAutoscaler(cfg, {rated}, {}, 3);
+
+    bool warm_restored_after_retire = false;
+    std::size_t retired_node = 0;
+    bool retired = false;
+    fleet.run(40, 5,
+              [&](std::size_t, const cluster::FleetIntervalStats &s) {
+                  for (const auto &ev : s.scaleEvents) {
+                      if (ev.kind == cluster::ScaleEvent::Kind::Retire) {
+                          retired = true;
+                          retired_node = ev.node;
+                      }
+                  }
+                  for (const auto &ev : s.faultEvents) {
+                      if (retired &&
+                          ev.kind ==
+                              faults::FaultEventKind::WarmRestore &&
+                          ev.node == static_cast<std::int64_t>(
+                                         retired_node))
+                          warm_restored_after_retire = true;
+                  }
+              });
+    ASSERT_TRUE(retired);
+    EXPECT_TRUE(warm_restored_after_retire);
+}

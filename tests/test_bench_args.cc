@@ -172,3 +172,77 @@ TEST(BenchArgs, RejectsZeroConnectionsAndEmptyListen)
     EXPECT_NE(res.error.find("--connections"), std::string::npos);
     EXPECT_FALSE(tryParse({"--listen", ""}).ok());
 }
+
+TEST(BenchArgs, ParsesAutoscaleBounds)
+{
+    // 0:0 means "bench default" and only arises by omission.
+    EXPECT_EQ(tryParse({}).args.autoscaleMin, 0u);
+    EXPECT_EQ(tryParse({}).args.autoscaleMax, 0u);
+    const auto res = tryParse({"--autoscale", "2:6"});
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.args.autoscaleMin, 2u);
+    EXPECT_EQ(res.args.autoscaleMax, 6u);
+    // MIN == MAX pins the fleet size but keeps the billing path.
+    EXPECT_TRUE(tryParse({"--autoscale", "4:4"}).ok());
+}
+
+TEST(BenchArgs, RejectsBadAutoscaleBounds)
+{
+    const auto inverted = tryParse({"--autoscale", "6:2"});
+    EXPECT_FALSE(inverted.ok());
+    EXPECT_NE(inverted.error.find("--autoscale"), std::string::npos);
+    EXPECT_FALSE(tryParse({"--autoscale", "0:4"}).ok());
+    EXPECT_FALSE(tryParse({"--autoscale", "4"}).ok());
+    EXPECT_FALSE(tryParse({"--autoscale", "2:6:8"}).ok());
+    EXPECT_FALSE(tryParse({"--autoscale", "-2:6"}).ok());
+    EXPECT_FALSE(tryParse({"--autoscale", "two:six"}).ok());
+    EXPECT_FALSE(tryParse({"--autoscale", ":"}).ok());
+    EXPECT_FALSE(tryParse({"--autoscale"}).ok());
+}
+
+TEST(BenchArgs, ParsesCostPerNodeHour)
+{
+    EXPECT_DOUBLE_EQ(tryParse({}).args.costPerNodeHour, 0.0);
+    const auto res = tryParse({"--cost-per-node-hour", "1.25"});
+    ASSERT_TRUE(res.ok());
+    EXPECT_DOUBLE_EQ(res.args.costPerNodeHour, 1.25);
+    // A free tier is a valid override.
+    EXPECT_TRUE(tryParse({"--cost-per-node-hour", "0"}).ok());
+}
+
+TEST(BenchArgs, RejectsBadCostPerNodeHour)
+{
+    const auto negative = tryParse({"--cost-per-node-hour", "-1"});
+    EXPECT_FALSE(negative.ok());
+    EXPECT_NE(negative.error.find("--cost-per-node-hour"),
+              std::string::npos);
+    EXPECT_FALSE(tryParse({"--cost-per-node-hour", "cheap"}).ok());
+    EXPECT_FALSE(tryParse({"--cost-per-node-hour", "1.5x"}).ok());
+    EXPECT_FALSE(tryParse({"--cost-per-node-hour"}).ok());
+}
+
+TEST(BenchArgs, ParsesNodeClasses)
+{
+    EXPECT_TRUE(tryParse({}).args.nodeClasses.empty());
+    const auto res = tryParse(
+        {"--node-class", "gen2", "--node-class", "gen1"});
+    ASSERT_TRUE(res.ok());
+    ASSERT_EQ(res.args.nodeClasses.size(), 2u);
+    EXPECT_EQ(res.args.nodeClasses[0], "gen2");
+    EXPECT_EQ(res.args.nodeClasses[1], "gen1");
+}
+
+TEST(BenchArgs, RejectsUnknownAndDuplicateNodeClasses)
+{
+    const auto unknown = tryParse({"--node-class", "quantum9"});
+    EXPECT_FALSE(unknown.ok());
+    EXPECT_NE(unknown.error.find("quantum9"), std::string::npos);
+
+    const auto dup =
+        tryParse({"--node-class", "gen1", "--node-class", "gen1"});
+    EXPECT_FALSE(dup.ok());
+    EXPECT_NE(dup.error.find("gen1"), std::string::npos);
+
+    EXPECT_FALSE(tryParse({"--node-class", ""}).ok());
+    EXPECT_FALSE(tryParse({"--node-class"}).ok());
+}

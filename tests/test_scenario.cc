@@ -129,6 +129,124 @@ TEST(ScenarioSpec, ClusterFieldsRoundTrip)
     EXPECT_EQ(back.checkpoint, "donor_{cores}c.ckpt");
 }
 
+TEST(ScenarioSpec, AutoscaleAndFleetBlocksRoundTrip)
+{
+    ScenarioSpec spec;
+    spec.name = "elastic";
+    spec.topology = "cluster";
+    ServiceLoadSpec s;
+    s.service = "masstree";
+    spec.services.push_back(s);
+    spec.nodes = 3;
+    autoscale::NodeClass custom;
+    custom.id = "fat32";
+    custom.cores = 32;
+    custom.serviceRateScale = 1.1;
+    custom.dollarsPerHour = 1.8;
+    spec.nodeClasses.push_back(custom);
+    spec.fleetClasses = {"fat32", "gen1", "std18"};
+    autoscale::AutoscaleConfig cfg;
+    cfg.minNodes = 2;
+    cfg.maxNodes = 6;
+    cfg.hiUtilization = 0.65;
+    cfg.cooldownIntervals = 4;
+    spec.autoscale = cfg;
+
+    const std::string once = spec.toJson().dump(2);
+    const ScenarioSpec back =
+        ScenarioSpec::fromJson(common::Json::parse(once));
+    EXPECT_EQ(back.toJson().dump(2), once);
+    ASSERT_TRUE(back.autoscale.has_value());
+    EXPECT_EQ(back.autoscale->minNodes, 2u);
+    EXPECT_EQ(back.autoscale->maxNodes, 6u);
+    EXPECT_DOUBLE_EQ(back.autoscale->hiUtilization, 0.65);
+    EXPECT_EQ(back.autoscale->cooldownIntervals, 4u);
+    ASSERT_EQ(back.nodeClasses.size(), 1u);
+    EXPECT_EQ(back.nodeClasses[0].id, "fat32");
+    EXPECT_EQ(back.nodeClasses[0].cores, 32u);
+    EXPECT_DOUBLE_EQ(back.nodeClasses[0].dollarsPerHour, 1.8);
+    EXPECT_EQ(back.fleetClasses,
+              (std::vector<std::string>{"fat32", "gen1", "std18"}));
+    // With an autoscale block `nodes` is the initial count and the
+    // fleet provisions max_nodes slots.
+    EXPECT_EQ(back.nodes, 3u);
+    EXPECT_EQ(back.totalNodes(), 6u);
+}
+
+TEST(ScenarioSpec, ValidateCatchesElasticFleetErrors)
+{
+    const ManagerRegistry &registry = ManagerRegistry::builtin();
+    ScenarioSpec spec;
+    spec.topology = "cluster";
+    ServiceLoadSpec s;
+    s.service = "masstree";
+    spec.services.push_back(s);
+    spec.nodes = 3;
+    autoscale::AutoscaleConfig cfg;
+    cfg.minNodes = 2;
+    cfg.maxNodes = 6;
+    spec.autoscale = cfg;
+    EXPECT_EQ(spec.validate(registry), "");
+
+    auto broken = spec;
+    broken.autoscale->minNodes = 7;
+    EXPECT_EQ(broken.validate(registry),
+              "autoscale block with min_nodes > max_nodes");
+
+    broken = spec;
+    broken.autoscale->cooldownIntervals = 0;
+    EXPECT_EQ(broken.validate(registry),
+              "autoscale block with cooldown 0 (would oscillate every "
+              "interval)");
+
+    broken = spec;
+    broken.nodes = 1; // below min_nodes 2
+    EXPECT_EQ(broken.validate(registry),
+              "autoscale initial nodes outside [min_nodes, max_nodes]");
+
+    broken = spec;
+    broken.fleetClasses = {"gen9"};
+    EXPECT_EQ(broken.validate(registry),
+              "fleet references undefined node class id 'gen9'");
+
+    broken = spec;
+    autoscale::NodeClass shadow;
+    shadow.id = "std18";
+    broken.nodeClasses.push_back(shadow);
+    EXPECT_EQ(broken.validate(registry),
+              "node class id 'std18' shadows a built-in class");
+
+    broken = spec;
+    autoscale::NodeClass dup;
+    dup.id = "fat32";
+    broken.nodeClasses.push_back(dup);
+    broken.nodeClasses.push_back(dup);
+    EXPECT_EQ(broken.validate(registry),
+              "duplicate node class id 'fat32'");
+
+    broken = spec;
+    broken.autoscale.reset();
+    broken.hetero = true;
+    broken.fleetClasses = {"std18"};
+    EXPECT_EQ(broken.validate(registry),
+              "hetero and a fleet class list are mutually exclusive "
+              "(the class list already fixes each slot's shape)");
+
+    // Neither block means anything on the single topology.
+    broken = spec;
+    broken.topology = "single";
+    EXPECT_EQ(broken.validate(registry),
+              "autoscale is only supported on the cluster topology");
+
+    broken = spec;
+    broken.topology = "single";
+    broken.autoscale.reset();
+    broken.fleetClasses = {"std18"};
+    EXPECT_EQ(broken.validate(registry),
+              "node classes are only supported on the cluster "
+              "topology");
+}
+
 TEST(ScenarioSpec, DomainsDefaultToOneAndOmitFromJson)
 {
     ScenarioSpec spec;

@@ -22,9 +22,11 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "autoscale/autoscaler.hh"
 #include "common/flags.hh"
 #include "faults/fault_spec.hh"
 #include "harness/engine.hh"
@@ -57,6 +59,7 @@ struct Options
     std::string trace;
     std::string faults;
     std::string faultTrace;
+    std::string autoscale; ///< MIN:MAX elastic bounds; empty = off
 };
 
 common::FlagParser
@@ -103,6 +106,9 @@ makeParser(Options &opt)
                      "schedule)");
     parser.addString("--fault-trace", &opt.faultTrace,
                      "write the fault-event stream as CSV");
+    parser.addString("--autoscale", &opt.autoscale,
+                     "elastic fleet bounds MIN:MAX (adds to or "
+                     "overrides the scenario's autoscale block)");
     return parser;
 }
 
@@ -170,6 +176,53 @@ buildSpec(const Options &opt, const char *argv0)
     return spec;
 }
 
+/**
+ * Fold a --autoscale MIN:MAX override into the spec. Keeps any other
+ * knobs the scenario's own autoscale block set (hysteresis, cooldown,
+ * drain) and only replaces the bounds; the initial node count is
+ * clamped into [MIN, MAX] so the override is usable with the default
+ * --nodes. Exits 2 on a malformed value.
+ */
+void
+applyAutoscaleOverride(harness::ScenarioSpec &spec,
+                       const std::string &text, const char *argv0)
+{
+    auto bad = [&] {
+        std::fprintf(stderr,
+                     "%s: --autoscale wants MIN:MAX with MIN >= 1 and "
+                     "MIN <= MAX, got '%s'\n",
+                     argv0, text.c_str());
+        std::exit(2);
+    };
+    const auto colon = text.find(':');
+    if (colon == std::string::npos ||
+        text.find(':', colon + 1) != std::string::npos)
+        bad();
+    auto parse_bound = [&](const std::string &part) {
+        if (part.empty() || part[0] == '-' || part[0] == '+')
+            bad();
+        errno = 0;
+        char *end = nullptr;
+        const auto v = std::strtoull(part.c_str(), &end, 10);
+        if (errno != 0 || end == part.c_str() || *end != '\0')
+            bad();
+        return static_cast<std::size_t>(v);
+    };
+    const std::size_t lo = parse_bound(text.substr(0, colon));
+    const std::size_t hi = parse_bound(text.substr(colon + 1));
+    if (lo == 0 || lo > hi)
+        bad();
+    auto cfg = spec.autoscale ? *spec.autoscale
+                              : autoscale::AutoscaleConfig{};
+    cfg.minNodes = lo;
+    cfg.maxNodes = hi;
+    spec.autoscale = cfg;
+    if (spec.nodes < lo)
+        spec.nodes = lo;
+    if (spec.nodes > hi)
+        spec.nodes = hi;
+}
+
 } // namespace
 
 int
@@ -191,6 +244,8 @@ main(int argc, char **argv)
     auto spec = buildSpec(opt, argv[0]);
     if (!opt.faults.empty())
         spec.faults = faults::FaultSpec::fromFile(opt.faults);
+    if (!opt.autoscale.empty())
+        applyAutoscaleOverride(spec, opt.autoscale, argv[0]);
     const auto &registry = harness::ManagerRegistry::builtin();
     if (const auto err = spec.validate(registry); !err.empty()) {
         std::fprintf(stderr, "%s: %s\n", argv[0], err.c_str());
@@ -237,6 +292,33 @@ main(int argc, char **argv)
     }
     std::printf("  fleet mean power %.1f W, energy %.0f J\n",
                 m.meanPowerW, m.energyJoules);
+
+    if (spec.autoscale) {
+        std::size_t outs = 0, drains = 0, retires = 0, scale_total = 0;
+        for (const auto &fs : result.fleet.trace) {
+            scale_total += fs.scaleEvents.size();
+            for (const auto &ev : fs.scaleEvents) {
+                switch (ev.kind) {
+                case cluster::ScaleEvent::Kind::ScaleOut:
+                    ++outs;
+                    break;
+                case cluster::ScaleEvent::Kind::DrainStart:
+                    ++drains;
+                    break;
+                case cluster::ScaleEvent::Kind::Retire:
+                    ++retires;
+                    break;
+                }
+            }
+        }
+        std::printf("  elastic fleet %zu..%zu nodes: scale events %zu "
+                    "(scale-outs %zu, drains %zu, retires %zu), fleet "
+                    "bill $%.2f\n",
+                    spec.autoscale->minNodes, spec.autoscale->maxNodes,
+                    scale_total, outs, drains, retires, m.costDollars);
+    } else if (!spec.fleetClasses.empty()) {
+        std::printf("  fleet bill $%.2f\n", m.costDollars);
+    }
 
     if (!spec.faults.empty()) {
         std::size_t total = 0, warm = 0, cold = 0, corrupt = 0,

@@ -189,6 +189,32 @@ printClusterSummary(const harness::ScenarioSpec &spec,
     std::printf("  fleet mean power %.1f W, energy %.0f J\n",
                 m.meanPowerW, m.energyJoules);
 
+    if (spec.autoscale) {
+        std::size_t outs = 0, drains = 0, retires = 0, scale_total = 0;
+        for (const auto &fs : result.fleet.trace) {
+            scale_total += fs.scaleEvents.size();
+            for (const auto &ev : fs.scaleEvents) {
+                switch (ev.kind) {
+                case cluster::ScaleEvent::Kind::ScaleOut:
+                    ++outs;
+                    break;
+                case cluster::ScaleEvent::Kind::DrainStart:
+                    ++drains;
+                    break;
+                case cluster::ScaleEvent::Kind::Retire:
+                    ++retires;
+                    break;
+                }
+            }
+        }
+        std::printf("  scale events: %zu (scale-outs %zu, drains %zu, "
+                    "retires %zu), fleet bill $%.2f\n",
+                    scale_total, outs, drains, retires,
+                    m.costDollars);
+    } else if (!spec.fleetClasses.empty()) {
+        std::printf("  fleet bill $%.2f\n", m.costDollars);
+    }
+
     if (spec.faults.empty())
         return;
     std::size_t total = 0, warm = 0, cold = 0, corrupt = 0, shed = 0;
